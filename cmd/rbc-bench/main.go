@@ -1,0 +1,54 @@
+// Command rbc-bench regenerates the paper's evaluation tables and
+// figures.
+//
+// Usage:
+//
+//	rbc-bench                      # run every experiment
+//	rbc-bench -experiment table5   # one experiment
+//	rbc-bench -trials 1200         # paper-scale stochastic sampling
+//	rbc-bench -csv                 # machine-readable output
+//
+// Experiments: table1, itermicro, figure3, flaginterval, table4, table5,
+// table6, figure4, table7, cpuscaling, sharedmem, awarevssalted,
+// multiapu, noisesecurity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rbcsalted/internal/exper"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment id to run (empty = all)")
+	trials := flag.Int("trials", 200, "stochastic trials for average-case rows (paper used 1200)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	var tables []*exper.Table
+	if *experiment == "" {
+		tables = exper.All(*trials)
+	} else {
+		tbl, err := exper.ByID(*experiment, *trials)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tables = []*exper.Table{tbl}
+	}
+
+	for _, tbl := range tables {
+		var err error
+		if *csv {
+			err = tbl.RenderCSV(os.Stdout)
+		} else {
+			err = tbl.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

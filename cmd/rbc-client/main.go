@@ -1,0 +1,65 @@
+// Command rbc-client authenticates against an rbc-server using a
+// simulated PUF device.
+//
+// Usage:
+//
+//	rbc-client -server 127.0.0.1:7443 -id alice -devseed 42 -noise 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/netproto"
+	"rbcsalted/internal/puf"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7443", "server address")
+	id := flag.String("id", "alice", "client id")
+	devSeed := flag.Uint64("devseed", 42, "PUF device seed (must match the server's enrollment)")
+	noise := flag.Int("noise", 0, "deliberately injected noise bits")
+	paperComm := flag.Bool("papercomm", false, "inject the paper's 0.90s communication latency")
+	baseError := flag.Float64("baseerror", puf.DefaultProfile.BaseError,
+		"per-read cell flip probability (must match enrollment)")
+	flag.Parse()
+
+	profile := puf.DefaultProfile
+	profile.BaseError = *baseError
+	dev, err := puf.NewDevice(*devSeed, 1024, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Burn the enrollment reads so the device RNG state matches a
+	// deployed device (enrollment happened at the factory).
+	if _, err := puf.Enroll(dev, 31); err != nil {
+		log.Fatal(err)
+	}
+	client := &core.Client{ID: core.ClientID(*id), Device: dev, NoiseBits: *noise}
+
+	conn, err := net.Dial("tcp", *server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	lat := netproto.Latency{}
+	if *paperComm {
+		lat = netproto.PaperLatency
+	}
+	start := time.Now()
+	res, err := netproto.Authenticate(conn, client, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("authenticated: %v (timed out: %v)\n", res.Authenticated, res.TimedOut)
+	fmt.Printf("server search time: %.3fs; end-to-end: %.3fs\n",
+		res.SearchSeconds, time.Since(start).Seconds())
+	if res.Authenticated {
+		fmt.Printf("session public key (%d bytes): %x...\n", len(res.PublicKey), res.PublicKey[:16])
+	}
+}

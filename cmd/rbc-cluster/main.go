@@ -1,0 +1,90 @@
+// Command rbc-cluster runs the distributed SALTED-CPU search (paper §5
+// future work): one coordinator node fans each Hamming shell out over
+// connected worker nodes, weighted by their core counts.
+//
+// Coordinator (also runs the demo search once the fleet is ready):
+//
+//	rbc-cluster -mode coordinator -listen :7500 -workers 2 -maxd 3
+//
+// Workers (one per node):
+//
+//	rbc-cluster -mode worker -connect host:7500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"runtime"
+	"time"
+
+	"rbcsalted/internal/cluster"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+func main() {
+	mode := flag.String("mode", "coordinator", "coordinator or worker")
+	listen := flag.String("listen", "127.0.0.1:7500", "coordinator listen address")
+	connect := flag.String("connect", "127.0.0.1:7500", "coordinator address (worker mode)")
+	workers := flag.Int("workers", 1, "workers to wait for before searching")
+	maxD := flag.Int("maxd", 3, "maximum Hamming distance")
+	distance := flag.Int("distance", 2, "true distance of the demo client seed")
+	cores := flag.Int("cores", 0, "advertised cores (worker mode; 0 = GOMAXPROCS)")
+	flag.Parse()
+
+	switch *mode {
+	case "worker":
+		w := &cluster.Worker{Cores: *cores}
+		fmt.Printf("rbc-cluster worker (%d cores) connecting to %s\n",
+			effectiveCores(*cores), *connect)
+		stop := make(chan struct{})
+		cluster.RunWorkerUntil(*connect, w, stop)
+	case "coordinator":
+		coord := &cluster.Coordinator{Alg: core.SHA3}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go coord.Serve(ln)
+		fmt.Printf("rbc-cluster coordinator on %s, waiting for %d worker(s)\n",
+			ln.Addr(), *workers)
+		if err := coord.WaitForWorkers(*workers, 5*time.Minute); err != nil {
+			log.Fatal(err)
+		}
+		n, c := coord.Workers()
+		fmt.Printf("fleet ready: %d workers, %d cores\n", n, c)
+
+		// Demo search: a random enrolled seed with `distance` flipped bits.
+		r := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1))
+		base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+		client := puf.InjectNoise(base, base, *distance, r)
+		start := time.Now()
+		res, err := coord.Search(core.Task{
+			Base:        base,
+			Target:      core.HashSeed(core.SHA3, client),
+			MaxDistance: *maxD,
+			Method:      iterseq.GrayCode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("found=%v distance=%d covered=%d seeds in %.3fs (%.2f Mseed/s)\n",
+			res.Found, res.Distance, res.SeedsCovered, time.Since(start).Seconds(),
+			float64(res.SeedsCovered)/time.Since(start).Seconds()/1e6)
+		coord.Close()
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func effectiveCores(flagged int) int {
+	if flagged > 0 {
+		return flagged
+	}
+	return runtime.GOMAXPROCS(0)
+}

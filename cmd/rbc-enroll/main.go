@@ -1,0 +1,108 @@
+// Command rbc-enroll is the secure-facility side of the protocol: it
+// manufactures (simulated) PUF devices, captures their enrollment images
+// over repeated reads, and writes them into an encrypted image-store file
+// that rbc-server can load.
+//
+// Usage:
+//
+//	rbc-enroll -store ca-images.db -key <64-hex-chars> -clients alice,bob -reads 31
+//	rbc-enroll -store ca-images.db -key <64-hex-chars> -list
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/puf"
+)
+
+func main() {
+	storePath := flag.String("store", "ca-images.db", "encrypted image-store file")
+	keyHex := flag.String("key", strings.Repeat("00", 32), "64-hex-char master key")
+	clients := flag.String("clients", "", "comma-separated client ids to enroll")
+	reads := flag.Int("reads", 31, "enrollment reads per cell")
+	cells := flag.Int("cells", 1024, "PUF cells per device")
+	seedBase := flag.Uint64("seedbase", 1000, "device seed base (client i gets seedbase+i)")
+	baseError := flag.Float64("baseerror", puf.DefaultProfile.BaseError,
+		"per-read cell flip probability (default: the paper's ~5 bits per 256)")
+	list := flag.Bool("list", false, "report the stored client count and exit")
+	flag.Parse()
+
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store, err := openOrCreate(key, *storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		fmt.Printf("%s: %d enrolled client(s)\n", *storePath, store.Len())
+		return
+	}
+	if *clients == "" {
+		log.Fatal("rbc-enroll: -clients required (or -list)")
+	}
+
+	for i, id := range strings.Split(*clients, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		devSeed := *seedBase + uint64(i)
+		profile := puf.DefaultProfile
+		profile.BaseError = *baseError
+		dev, err := puf.NewDevice(devSeed, *cells, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := puf.Enroll(dev, *reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Put(core.ClientID(id), im); err != nil {
+			log.Fatal(err)
+		}
+		uniq := puf.Uniformity(im)
+		fmt.Printf("enrolled %q: device seed %d, %d cells, uniformity %.3f\n",
+			id, devSeed, *cells, uniq)
+	}
+
+	f, err := os.Create(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := store.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d clients, sealed with AES-256-GCM)\n", *storePath, store.Len())
+}
+
+func parseKey(s string) ([32]byte, error) {
+	var key [32]byte
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 32 {
+		return key, fmt.Errorf("rbc-enroll: key must be 64 hex chars (32 bytes)")
+	}
+	copy(key[:], raw)
+	return key, nil
+}
+
+func openOrCreate(key [32]byte, path string) (*core.ImageStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return core.NewImageStore(key)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadImageStore(key, f)
+}

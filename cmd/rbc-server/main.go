@@ -1,0 +1,112 @@
+// Command rbc-server runs an RBC-SALTED certificate authority over TCP.
+//
+// For demonstration it enrolls a set of simulated PUF clients at startup
+// (deterministic from -enrollseed) and prints the device seeds so
+// rbc-client instances can be pointed at them.
+//
+// Usage:
+//
+//	rbc-server -listen :7443 -clients alice,bob -maxd 3
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/netproto"
+	"rbcsalted/internal/puf"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7443", "listen address")
+	clients := flag.String("clients", "alice,bob", "comma-separated client ids to enroll")
+	enrollSeed := flag.Uint64("enrollseed", 42, "deterministic enrollment seed base")
+	maxD := flag.Int("maxd", 3, "maximum Hamming distance searched")
+	timeLimit := flag.Duration("timelimit", 20*time.Second, "authentication threshold T")
+	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS)")
+	storePath := flag.String("store", "", "load an rbc-enroll image store instead of self-enrolling")
+	keyHex := flag.String("key", strings.Repeat("00", 32), "master key for -store (64 hex chars)")
+	flag.Parse()
+
+	var store *core.ImageStore
+	var err error
+	if *storePath != "" {
+		store, err = loadStore(*storePath, *keyHex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s: %d enrolled client(s)\n", *storePath, store.Len())
+		*clients = "" // images come from the store
+	} else {
+		store, err = core.NewImageStore([32]byte{0x52, 0x42, 0x43}) // demo master key
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ra := core.NewRA()
+	backend := &cpu.Backend{Alg: core.SHA3, Workers: *workers}
+	ca, err := core.NewCA(store, backend, &aeskg.Generator{}, ra, core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: *maxD,
+		TimeLimit:   *timeLimit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, id := range strings.Split(*clients, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		devSeed := *enrollSeed + uint64(i)
+		dev, err := puf.NewDevice(devSeed, 1024, puf.DefaultProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := puf.Enroll(dev, 31)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ca.Enroll(core.ClientID(id), im); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("enrolled %q (device seed %d; run: rbc-client -id %s -devseed %d)\n",
+			id, devSeed, id, devSeed)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rbc-server: CA listening on %s (backend %s, d<=%d, T=%s)\n",
+		ln.Addr(), backend.Name(), *maxD, *timeLimit)
+	srv := &netproto.Server{CA: ca}
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadStore(path, keyHex string) (*core.ImageStore, error) {
+	raw, err := hex.DecodeString(keyHex)
+	if err != nil || len(raw) != 32 {
+		return nil, fmt.Errorf("rbc-server: -key must be 64 hex chars")
+	}
+	var key [32]byte
+	copy(key[:], raw)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadImageStore(key, f)
+}

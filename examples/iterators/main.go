@@ -1,0 +1,56 @@
+// Iterators: run the same RBC search with each seed-iteration algorithm
+// (paper §3.2.1 / Table 4) on the real CPU backend at a host-feasible
+// radius, verifying they all find the identical seed, and print their
+// genuinely measured per-seed costs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"rbcsalted"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+func main() {
+	r := rand.New(rand.NewPCG(99, 1))
+	base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	client := puf.InjectNoise(base, base, 2, r)
+	target := rbc.HashSeed(rbc.SHA3, client)
+
+	methods := []struct {
+		m    rbc.IterMethod
+		note string
+	}{
+		{rbc.IterGray, "minimal-change Gray code (Chase-class; paper's winner)"},
+		{rbc.IterGosper, "Gosper's hack at 256 bits (prior RBC work)"},
+		{rbc.IterAlg515, "Algorithm 515 lexicographic unranking"},
+		{rbc.IterMifsud, "Algorithm 154 lexicographic successor"},
+	}
+
+	fmt.Println("Exhaustive d=2 search (32,897 seeds) with each iterator, SHA-3:")
+	backend := &rbc.CPUBackend{Alg: rbc.SHA3}
+	for _, m := range methods {
+		start := time.Now()
+		res, err := backend.Search(rbc.Task{
+			Base:        base,
+			Target:      target,
+			MaxDistance: 2,
+			Method:      m.m,
+			Exhaustive:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			log.Fatalf("%v failed to recover the seed", m.m)
+		}
+		fmt.Printf("  %-11v %8.3fs  (%s)\n", m.m, time.Since(start).Seconds(), m.note)
+	}
+	fmt.Println("\nAll four iterators recovered the identical seed from disjoint")
+	fmt.Println("orderings of the same Hamming ball. On the paper's A100, the")
+	fmt.Println("minimal-change method is 22.7% faster end to end (Table 4).")
+}

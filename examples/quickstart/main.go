@@ -1,0 +1,69 @@
+// Quickstart: enroll a simulated PUF, run the full RBC-SALTED protocol
+// in-process on the real CPU backend, and print the recovered seed and
+// session key.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbcsalted"
+)
+
+func main() {
+	// 1. Manufacture a PUF and capture its enrollment image (this happens
+	//    once, in the secure facility).
+	// A well-behaved PUF (~1 flipped bit per read) keeps the search
+	// radius CPU-friendly; the paper's nominal 5-bit profile
+	// (rbc.DefaultPUFProfile) needs the d=5 radius of the device models.
+	profile := rbc.PUFProfile{BaseError: 1.0 / 256.0, FlakyFraction: 0.05, FlakyError: 0.35}
+	dev, err := rbc.NewPUFDevice(1234, 1024, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	image, err := rbc.EnrollPUF(dev, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Assemble the server side: encrypted image store, search backend,
+	//    key generator, registration authority.
+	store, err := rbc.NewImageStore([32]byte{0x01, 0x02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := rbc.NewCA(store, &rbc.CPUBackend{Alg: rbc.SHA3}, &rbc.AESKeyGenerator{},
+		rbc.NewRA(), rbc.CAConfig{MaxDistance: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ca.Enroll("alice", image); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The client answers a challenge by reading its PUF and hashing
+	//    the (erratic) seed.
+	client := &rbc.Client{ID: "alice", Device: dev}
+	ch, err := ca.BeginHandshake("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1, err := client.Respond(ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client digest M1 = %s\n", m1)
+
+	// 4. The CA brute-forces the Hamming ball until a candidate seed
+	//    hashes to M1, then salts it and generates the session key.
+	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("authenticated: %v\n", res.Authenticated)
+	fmt.Printf("seed recovered at Hamming distance %d after %d hashes in %.3fs\n",
+		res.Search.Distance, res.Search.HashesExecuted, res.Search.DeviceSeconds)
+	if res.Authenticated {
+		fmt.Printf("session public key: %x...\n", res.PublicKey[:16])
+	}
+}

@@ -1,0 +1,3 @@
+module rbcsalted
+
+go 1.24

@@ -1,0 +1,422 @@
+// Package apusim implements SALTED-APU (paper §3.3) as a simulated GSI
+// Gemini associative processing unit: 4 cores x 16 banks x 2048 16-bit
+// processors, with software-defined processing elements (2 bit processors
+// per PE for SHA-1, 5 for SHA-3, giving the paper's 65k and 26k PEs),
+// batch-of-256 seed permutation with early-exit checks between batches,
+// and an in-memory-compute energy profile.
+//
+// The execution engine is real: shells within budget are hashed through
+// the bit-sliced gate-level SHA-1/Keccak implementations in
+// internal/bitslice - the software transpose of the APU's bit-serial
+// associative compute - 64 seeds per batch, early exit only at batch
+// boundaries, exactly as the hardware checks its flag. Gate counts from
+// the executed batches drive the cycle model's compute term; the paper's
+// Table 5 APU rows pin the absolute cycles-per-gate scale (two constants,
+// one per hash, because SHA-3's working set spills beyond per-PE state
+// memory).
+package apusim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbcsalted/internal/bitslice"
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/device"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+// BatchSeeds is the number of seed permutations a PE generates per loaded
+// startup combination; the early-exit flag is checked after each batch
+// (paper §3.3).
+const BatchSeeds = 256
+
+// DefaultExecBudget fully executes shells up to 64Ki seeds through the
+// bit-sliced engine; larger shells run a sampled validation and are
+// planned analytically.
+const DefaultExecBudget = 1 << 16
+
+// Config assembles a SALTED-APU backend.
+type Config struct {
+	// Alg is the search hash.
+	Alg core.HashAlg
+	// Devices is the number of APUs in the node. The paper evaluates one
+	// and proposes up to 8 per 2U node as future work (§5); values above
+	// one exercise that extension. 0 means 1.
+	Devices int
+	// ExecBudget is the largest shell fully executed bit-sliced; 0 means
+	// DefaultExecBudget.
+	ExecBudget uint64
+	// HostWorkers sets goroutines for real execution; 0 means GOMAXPROCS.
+	HostWorkers int
+}
+
+// Multi-APU coordination constants (§5 extension). The APU checks its
+// exit flag at 256-seed batch boundaries in associative memory, so
+// cross-device coordination costs only host-side shell dispatch plus one
+// batch of drain - lighter than the GPU's unified-memory traffic, which
+// is why the paper expects better single-node scaling.
+const (
+	perDeviceShellSyncSeconds = 1.5e-3
+	exitDrainSeconds          = 10e-3
+)
+
+// Backend is the simulated SALTED-APU engine.
+type Backend struct {
+	cfg Config
+	// pes is the software-defined processing element count for the hash.
+	pes int
+	// cyclesPerSeed is the calibrated per-PE cost of one seed
+	// (permutation + hash + compare) in APU clock cycles.
+	cyclesPerSeed float64
+	// gatesPerSeed is measured from the bit-sliced engine; it justifies
+	// and decomposes cyclesPerSeed (see CyclesPerGate).
+	gatesPerSeed float64
+}
+
+// NewBackend builds a calibrated backend.
+func NewBackend(cfg Config) *Backend {
+	if cfg.Devices == 0 {
+		cfg.Devices = 1
+	}
+	if cfg.ExecBudget == 0 {
+		cfg.ExecBudget = DefaultExecBudget
+	}
+	b := &Backend{cfg: cfg}
+	bpsPerPE := device.APUBPsPerPESHA3
+	anchor := device.AnchorAPUSHA3Seconds
+	if cfg.Alg == core.SHA1 {
+		bpsPerPE = device.APUBPsPerPESHA1
+		anchor = device.AnchorAPUSHA1Seconds
+	}
+	b.pes = device.APUCores * device.APUBanksPerCore * (device.APUBPsPerBank / bpsPerPE)
+	// Measure the real gate counts of one bit-sliced batch.
+	var e bitslice.Engine
+	var seeds [bitslice.Width][32]byte
+	if cfg.Alg == core.SHA1 {
+		e.SHA1Seeds(&seeds)
+	} else {
+		e.SHA3Seeds256(&seeds)
+	}
+	b.gatesPerSeed = float64(e.Counts().Total()) / bitslice.Width
+	// Absolute scale: throughput anchor from Table 5.
+	throughput := device.ExhaustiveSeedsD5 / anchor
+	b.cyclesPerSeed = float64(b.pes) * device.GeminiAPU.ClockHz / throughput
+	return b
+}
+
+// Name implements core.Backend.
+func (b *Backend) Name() string {
+	return fmt.Sprintf("SALTED-APU(%s, %dx%d PEs)", b.cfg.Alg, b.cfg.Devices, b.pes)
+}
+
+// PEs returns the software-defined processing element count.
+func (b *Backend) PEs() int { return b.pes }
+
+// GatesPerSeed returns the measured boolean-gate count per hashed seed.
+func (b *Backend) GatesPerSeed() float64 { return b.gatesPerSeed }
+
+// CyclesPerGate decomposes the calibrated per-seed cost against the
+// measured gate count: cycles each bit processor spends per boolean gate,
+// including associative-memory access. SHA-3's larger value reflects
+// working-set spill beyond per-PE state memory.
+func (b *Backend) CyclesPerGate() float64 {
+	bpsPerPE := device.APUBPsPerPESHA3
+	if b.cfg.Alg == core.SHA1 {
+		bpsPerPE = device.APUBPsPerPESHA1
+	}
+	return b.cyclesPerSeed * float64(bpsPerPE) / b.gatesPerSeed
+}
+
+func (b *Backend) powerModel() (device.PowerModel, float64) {
+	if b.cfg.Alg == core.SHA1 {
+		return device.PowerAPUSHA1, device.PeakAPUSHA1
+	}
+	return device.PowerAPUSHA3, device.PeakAPUSHA3
+}
+
+// Search implements core.Backend.
+func (b *Backend) Search(task core.Task) (core.Result, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Result{}, fmt.Errorf("apusim: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	start := time.Now()
+	var res core.Result
+	var clock device.VirtualClock
+
+	res.HashesExecuted++
+	res.SeedsCovered++
+	clock.AdvanceCycles(b.cyclesPerSeed, device.GeminiAPU.ClockHz)
+	if core.HashSeed(b.cfg.Alg, task.Base).Equal(task.Target) {
+		res.Found = true
+		res.Seed = task.Base
+		res.Distance = 0
+	}
+
+	if !(res.Found && !task.Exhaustive) {
+		for d := 1; d <= task.MaxDistance; d++ {
+			before := clock.Seconds()
+			coveredBefore := res.SeedsCovered
+			done, err := b.searchShell(task, d, &res, &clock)
+			if err != nil {
+				return core.Result{}, err
+			}
+			res.Shells = append(res.Shells, core.ShellStat{
+				Distance:      d,
+				SeedsCovered:  res.SeedsCovered - coveredBefore,
+				DeviceSeconds: clock.Seconds() - before,
+			})
+			if done {
+				break
+			}
+			if task.TimeLimit > 0 && clock.Seconds() > task.TimeLimit.Seconds() {
+				res.TimedOut = true
+				break
+			}
+		}
+	}
+
+	res.DeviceSeconds = clock.Seconds()
+	if task.TimeLimit > 0 && res.DeviceSeconds > task.TimeLimit.Seconds() {
+		res.TimedOut = true
+	}
+	power, peak := b.powerModel()
+	res.EnergyJoules = power.Energy(res.DeviceSeconds) * float64(b.cfg.Devices)
+	res.PeakWatts = peak * float64(b.cfg.Devices)
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+func (b *Backend) searchShell(task core.Task, d int, res *core.Result, clock *device.VirtualClock) (bool, error) {
+	size, ok := combin.Binomial64(256, d)
+	if !ok {
+		return false, fmt.Errorf("apusim: C(256,%d) overflows uint64", d)
+	}
+
+	var matched bool
+	var seed u256.Uint256
+
+	if size <= b.cfg.ExecBudget {
+		f, s, hashed, err := b.executeShellBitsliced(task, d)
+		if err != nil {
+			return false, err
+		}
+		res.HashesExecuted += hashed
+		matched, seed = f, s
+	} else {
+		// Analytic planning: verify the oracle by hashing, plus execute a
+		// validation sample of real bit-sliced batches.
+		if task.Oracle != nil && core.MatchShell(task.Base, *task.Oracle) == d {
+			res.HashesExecuted++
+			if core.HashSeed(b.cfg.Alg, *task.Oracle).Equal(task.Target) {
+				matched = true
+				seed = *task.Oracle
+			}
+		}
+		f, s, hashed, err := b.executeSample(task, d, 8*bitslice.Width)
+		if err != nil {
+			return false, err
+		}
+		res.HashesExecuted += hashed
+		if f && !matched {
+			matched, seed = true, s
+		}
+	}
+
+	// Charge modelled time. PEs (across all devices in the node) progress
+	// in lockstep over equal shares; early exit happens at the end of the
+	// finding PE's current 256-seed batch. Multi-APU runs pay host-side
+	// shell dispatch per device and one drain on early exit (§5
+	// extension).
+	totalPEs := uint64(b.pes) * uint64(b.cfg.Devices)
+	perPE := (size + totalPEs - 1) / totalPEs
+	sync := 0.0
+	if b.cfg.Devices > 1 {
+		sync = perDeviceShellSyncSeconds * float64(b.cfg.Devices)
+	}
+	if matched && !task.Exhaustive {
+		rank, err := core.MatchRank(task.Method, task.Base, seed)
+		if err != nil {
+			return false, err
+		}
+		share := size / totalPEs // share before remainder distribution
+		if share == 0 {
+			share = 1
+		}
+		local := rank % share
+		// Round up to the batch boundary where the flag is checked.
+		batches := (local + BatchSeeds) / BatchSeeds
+		steps := min64(batches*BatchSeeds, perPE)
+		clock.AdvanceCycles(float64(steps)*b.cyclesPerSeed, device.GeminiAPU.ClockHz)
+		clock.AdvanceSeconds(sync)
+		if b.cfg.Devices > 1 {
+			clock.AdvanceSeconds(exitDrainSeconds)
+		}
+		res.SeedsCovered += min64(steps*totalPEs, size)
+		res.Found = true
+		res.Seed = seed
+		res.Distance = d
+		return true, nil
+	}
+	clock.AdvanceCycles(float64(perPE)*b.cyclesPerSeed, device.GeminiAPU.ClockHz)
+	clock.AdvanceSeconds(sync)
+	res.SeedsCovered += size
+	if matched && !res.Found {
+		res.Found = true
+		res.Seed = seed
+		res.Distance = d
+	}
+	return res.Found && !task.Exhaustive, nil
+}
+
+// executeShellBitsliced covers the whole shell with real bit-sliced
+// batches across host goroutines, honouring batch-boundary early exit.
+func (b *Backend) executeShellBitsliced(task core.Task, d int) (bool, u256.Uint256, uint64, error) {
+	workers := b.cfg.HostWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	ranges, err := iterseq.Partition(256, d, workers)
+	if err != nil {
+		return false, u256.Zero, 0, err
+	}
+	var (
+		stop   atomic.Bool
+		hashed atomic.Uint64
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+	)
+	var foundSeed u256.Uint256
+	var found bool
+
+	for _, r := range ranges {
+		if r.Count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r iterseq.Range) {
+			defer wg.Done()
+			it, iterErr := iterseq.New(task.Method, 256, d, r.Start, int64(r.Count))
+			if iterErr != nil {
+				panic(iterErr)
+			}
+			var engine bitslice.Engine
+			c := make([]int, d)
+			var batch [bitslice.Width][32]byte
+			var batchSeeds [bitslice.Width]u256.Uint256
+			for {
+				nIn := 0
+				for nIn < bitslice.Width && it.Next(c) {
+					s := iterseq.ApplySeed(task.Base, c)
+					batchSeeds[nIn] = s
+					batch[nIn] = s.Bytes()
+					nIn++
+				}
+				if nIn == 0 {
+					return
+				}
+				// Unused lanes hash garbage; they are ignored below.
+				hit := -1
+				if b.cfg.Alg == core.SHA1 {
+					digests := engine.SHA1Seeds(&batch)
+					want := task.Target.Bytes()
+					for i := 0; i < nIn; i++ {
+						if string(digests[i][:]) == string(want) {
+							hit = i
+							break
+						}
+					}
+				} else {
+					digests := engine.SHA3Seeds256(&batch)
+					want := task.Target.Bytes()
+					for i := 0; i < nIn; i++ {
+						if string(digests[i][:]) == string(want) {
+							hit = i
+							break
+						}
+					}
+				}
+				hashed.Add(uint64(nIn))
+				if hit >= 0 {
+					mu.Lock()
+					if !found {
+						found = true
+						foundSeed = batchSeeds[hit]
+					}
+					mu.Unlock()
+					if !task.Exhaustive {
+						stop.Store(true)
+						return
+					}
+				}
+				// Batch-boundary early-exit check, as on hardware.
+				if !task.Exhaustive && stop.Load() {
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	return found, foundSeed, hashed.Load(), nil
+}
+
+// executeSample runs a bounded number of real bit-sliced batches from the
+// front of the shell, keeping every modelled search backed by executed
+// gate-level code.
+func (b *Backend) executeSample(task core.Task, d int, sample int64) (bool, u256.Uint256, uint64, error) {
+	it, err := iterseq.New(task.Method, 256, d, 0, sample)
+	if err != nil {
+		return false, u256.Zero, 0, err
+	}
+	var engine bitslice.Engine
+	c := make([]int, d)
+	var batch [bitslice.Width][32]byte
+	var batchSeeds [bitslice.Width]u256.Uint256
+	hashed := uint64(0)
+	for {
+		nIn := 0
+		for nIn < bitslice.Width && it.Next(c) {
+			s := iterseq.ApplySeed(task.Base, c)
+			batchSeeds[nIn] = s
+			batch[nIn] = s.Bytes()
+			nIn++
+		}
+		if nIn == 0 {
+			return false, u256.Zero, hashed, nil
+		}
+		want := task.Target.Bytes()
+		hit := -1
+		if b.cfg.Alg == core.SHA1 {
+			digests := engine.SHA1Seeds(&batch)
+			for i := 0; i < nIn; i++ {
+				if string(digests[i][:]) == string(want) {
+					hit = i
+					break
+				}
+			}
+		} else {
+			digests := engine.SHA3Seeds256(&batch)
+			for i := 0; i < nIn; i++ {
+				if string(digests[i][:]) == string(want) {
+					hit = i
+					break
+				}
+			}
+		}
+		hashed += uint64(nIn)
+		if hit >= 0 {
+			return true, batchSeeds[hit], hashed, nil
+		}
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

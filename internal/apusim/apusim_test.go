@@ -1,0 +1,307 @@
+package apusim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/device"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+func randSeed(r *rand.Rand) u256.Uint256 {
+	return u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+}
+
+func taskFor(alg core.HashAlg, base, client u256.Uint256, maxD int, method iterseq.Method) core.Task {
+	oracle := client
+	return core.Task{
+		Base:        base,
+		Target:      core.HashSeed(alg, client),
+		MaxDistance: maxD,
+		Method:      method,
+		Oracle:      &oracle,
+	}
+}
+
+func rel(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func TestPECounts(t *testing.T) {
+	if got := NewBackend(Config{Alg: core.SHA1}).PEs(); got != 65536 {
+		t.Errorf("SHA-1 PEs = %d, want 65536", got)
+	}
+	if got := NewBackend(Config{Alg: core.SHA3}).PEs(); got != 26176 {
+		t.Errorf("SHA-3 PEs = %d, want 26176", got)
+	}
+}
+
+func TestGateModelDiagnostics(t *testing.T) {
+	for _, alg := range core.HashAlgs() {
+		b := NewBackend(Config{Alg: alg})
+		if b.GatesPerSeed() <= 0 {
+			t.Errorf("%s: no gates measured", alg)
+		}
+		cpg := b.CyclesPerGate()
+		if cpg <= 0 {
+			t.Errorf("%s: cycles per gate %f", alg, cpg)
+		}
+		t.Logf("%s: %.0f gates/seed, %.1f cycles/gate, %d PEs",
+			alg, b.GatesPerSeed(), cpg, b.PEs())
+	}
+	// SHA-3's spill penalty: more cycles per gate than SHA-1.
+	s1 := NewBackend(Config{Alg: core.SHA1}).CyclesPerGate()
+	s3 := NewBackend(Config{Alg: core.SHA3}).CyclesPerGate()
+	if s3 <= s1 {
+		t.Errorf("SHA-3 cycles/gate (%.1f) should exceed SHA-1's (%.1f)", s3, s1)
+	}
+}
+
+func TestSearchFindsSeedBitslicedExecution(t *testing.T) {
+	// d <= 2 runs for real through the bit-sliced gate engine.
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, alg := range core.HashAlgs() {
+		base := randSeed(r)
+		client := puf.InjectNoise(base, base, 2, r)
+		b := NewBackend(Config{Alg: alg})
+		task := taskFor(alg, base, client, 2, iterseq.GrayCode)
+		task.Oracle = nil // real execution must not need the oracle
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || !res.Seed.Equal(client) || res.Distance != 2 {
+			t.Errorf("%s: %+v", alg, res)
+		}
+		if res.HashesExecuted < 256 {
+			t.Errorf("%s: expected bit-sliced execution, hashed %d", alg, res.HashesExecuted)
+		}
+	}
+}
+
+func TestSearchFindsSeedPlannedD5(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	b := NewBackend(Config{Alg: core.SHA3})
+	res, err := b.Search(taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) || res.Distance != 5 {
+		t.Fatalf("planned search failed: %+v", res)
+	}
+}
+
+func TestAnchorExhaustiveD5(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	cases := []struct {
+		alg  core.HashAlg
+		want float64
+	}{
+		{core.SHA1, 1.62},
+		{core.SHA3, 13.95},
+	}
+	for _, c := range cases {
+		b := NewBackend(Config{Alg: c.alg})
+		task := taskFor(c.alg, base, client, 5, iterseq.GrayCode)
+		task.Exhaustive = true
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel(res.DeviceSeconds, c.want) > 0.05 {
+			t.Errorf("%s exhaustive d=5: modelled %.2fs, paper %.2fs",
+				c.alg, res.DeviceSeconds, c.want)
+		}
+		t.Logf("%s exhaustive d=5: modelled %.2fs (paper %.2fs), %.0f J (paper %s)",
+			c.alg, res.DeviceSeconds, c.want, res.EnergyJoules,
+			map[core.HashAlg]string{core.SHA1: "124.43", core.SHA3: "974.06"}[c.alg])
+	}
+}
+
+func TestEnergyMatchesTable6(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	cases := []struct {
+		alg    core.HashAlg
+		joules float64
+		peak   float64
+	}{
+		{core.SHA1, 124.43, 83.81},
+		{core.SHA3, 974.06, 83.63},
+	}
+	for _, c := range cases {
+		b := NewBackend(Config{Alg: c.alg})
+		task := taskFor(c.alg, base, client, 5, iterseq.GrayCode)
+		task.Exhaustive = true
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel(res.EnergyJoules, c.joules) > 0.06 {
+			t.Errorf("%s: %.1f J, paper %.1f J", c.alg, res.EnergyJoules, c.joules)
+		}
+		if res.PeakWatts != c.peak {
+			t.Errorf("%s: peak %.2f W, paper %.2f W", c.alg, res.PeakWatts, c.peak)
+		}
+	}
+}
+
+// TestAPUEnergyAdvantageSHA1 pins the paper's headline: for SHA-1 the APU
+// uses ~39% of the GPU's joules; for SHA-3 they are roughly equivalent.
+func TestAPUEnergyAdvantageSHA1(t *testing.T) {
+	apuSHA1 := device.PowerAPUSHA1.Energy(device.AnchorAPUSHA1Seconds)
+	gpuSHA1 := device.PowerGPUSHA1.Energy(1.56)
+	ratio := apuSHA1 / gpuSHA1
+	if ratio < 0.35 || ratio > 0.45 {
+		t.Errorf("APU/GPU SHA-1 energy ratio %.2f, paper ~0.39", ratio)
+	}
+	apuSHA3 := device.PowerAPUSHA3.Energy(device.AnchorAPUSHA3Seconds)
+	gpuSHA3 := device.PowerGPUSHA3.Energy(4.67)
+	r3 := apuSHA3 / gpuSHA3
+	if r3 < 0.9 || r3 > 1.15 {
+		t.Errorf("APU/GPU SHA-3 energy ratio %.2f, paper ~1.03", r3)
+	}
+}
+
+func TestEarlyExitBatchBoundary(t *testing.T) {
+	// Early exit must cover whole 256-seed batches per PE.
+	r := rand.New(rand.NewPCG(5, 5))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	b := NewBackend(Config{Alg: core.SHA1})
+	res, err := b.Search(taskFor(core.SHA1, base, client, 5, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("match lost")
+	}
+	exh := taskFor(core.SHA1, base, client, 5, iterseq.GrayCode)
+	exh.Exhaustive = true
+	eres, err := b.Search(exh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.DeviceSeconds < eres.DeviceSeconds) {
+		t.Errorf("early exit %.2fs not faster than exhaustive %.2fs",
+			res.DeviceSeconds, eres.DeviceSeconds)
+	}
+}
+
+func TestOracleIsVerifiedNotTrusted(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	base := randSeed(r)
+	liar := puf.InjectNoise(base, base, 5, r)
+	task := core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, randSeed(r)),
+		MaxDistance: 5,
+		Method:      iterseq.GrayCode,
+		Oracle:      &liar,
+	}
+	b := NewBackend(Config{Alg: core.SHA3})
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("backend trusted a lying oracle")
+	}
+}
+
+func TestNameAndValidation(t *testing.T) {
+	b := NewBackend(Config{Alg: core.SHA3})
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+	if _, err := b.Search(core.Task{MaxDistance: 11}); err == nil {
+		t.Error("expected distance error")
+	}
+}
+
+// TestMultiAPUScaling exercises the §5 future-work extension: up to 8
+// APUs in one node, with scaling expected to beat the GPU's (lighter
+// cross-device coordination).
+func TestMultiAPUScaling(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 8))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	run := func(devices int, exhaustive bool) float64 {
+		b := NewBackend(Config{Alg: core.SHA3, Devices: devices})
+		task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
+		task.Exhaustive = exhaustive
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatal("match lost")
+		}
+		return res.DeviceSeconds
+	}
+	t1 := run(1, true)
+	prev := t1
+	for g := 2; g <= 8; g *= 2 {
+		tg := run(g, true)
+		if tg >= prev {
+			t.Errorf("no speedup from %d devices: %.2fs >= %.2fs", g, tg, prev)
+		}
+		prev = tg
+	}
+	t8 := run(8, true)
+	speedup := t1 / t8
+	if speedup < 6.5 || speedup > 8 {
+		t.Errorf("8-APU exhaustive speedup %.2f; expected near-linear", speedup)
+	}
+	t.Logf("multi-APU SHA-3 exhaustive: 1=%.2fs 8=%.2fs (%.2fx)", t1, t8, speedup)
+
+	// Scaling at 3 devices should beat the GPU's 2.87x (the paper's
+	// motivation for the 2U form factor).
+	t3 := run(3, true)
+	if s3 := t1 / t3; s3 <= 2.87 {
+		t.Errorf("3-APU speedup %.2f not better than 3-GPU 2.87", s3)
+	}
+	// Energy scales with device count times (shorter) time.
+	b8 := NewBackend(Config{Alg: core.SHA3, Devices: 8})
+	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
+	task.Exhaustive = true
+	res8, err := b8.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.EnergyJoules < 900 || res8.EnergyJoules > 1200 {
+		t.Errorf("8-APU energy %.0f J; expected near the single-APU total", res8.EnergyJoules)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	base := randSeed(r)
+	task := core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, randSeed(r)),
+		MaxDistance: 5,
+		Method:      iterseq.GrayCode,
+		TimeLimit:   5 * 1e9, // 5s < the 13.95s full search
+	}
+	b := NewBackend(Config{Alg: core.SHA3})
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Errorf("expected timeout, modelled %.2fs", res.DeviceSeconds)
+	}
+}

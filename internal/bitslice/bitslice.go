@@ -1,0 +1,71 @@
+// Package bitslice implements 64-way bit-sliced hashing: SHA-1 and
+// Keccak-f[1600] decomposed into boolean gates, evaluated 64 independent
+// instances at a time with one uint64 word per bit position.
+//
+// This is the execution engine of the APU simulator. The GSI Gemini
+// computes bit-serially: each bit processor applies one boolean operation
+// per cycle to one bit of state, and throughput comes from the ~2 million
+// bit processors operating associatively. Bit-slicing is the exact software
+// transpose of that model - the same gate-level decomposition, with the
+// 64 "processors" packed in a machine word - so the *gate counts* the APU
+// cycle model needs are measured from executed code rather than estimated.
+//
+// The Engine tracks how many word-level gate operations (XOR, AND, OR, NOT)
+// each primitive performs. Rotations and permutations of bit indices are
+// free, exactly as wiring is free in hardware.
+package bitslice
+
+// Width is the number of independent hash instances evaluated per batch.
+const Width = 64
+
+// GateCounts records boolean operations executed, by kind. One count unit
+// is a single gate applied across all Width instances.
+type GateCounts struct {
+	Xor uint64
+	And uint64
+	Or  uint64
+	Not uint64
+}
+
+// Total returns the total number of gate operations.
+func (g GateCounts) Total() uint64 { return g.Xor + g.And + g.Or + g.Not }
+
+// Add accumulates other into g.
+func (g *GateCounts) Add(other GateCounts) {
+	g.Xor += other.Xor
+	g.And += other.And
+	g.Or += other.Or
+	g.Not += other.Not
+}
+
+// Engine evaluates bit-sliced primitives and accumulates gate counts.
+// The zero value is ready to use. An Engine is not safe for concurrent
+// use; each simulated APU bank owns one.
+type Engine struct {
+	counts GateCounts
+}
+
+// Counts returns the gate operations executed since construction or the
+// last ResetCounts.
+func (e *Engine) Counts() GateCounts { return e.counts }
+
+// ResetCounts zeroes the gate counters.
+func (e *Engine) ResetCounts() { e.counts = GateCounts{} }
+
+// Transpose64 transposes a 64x64 bit matrix in place: bit j of word i
+// becomes bit i of word j. It is the standard recursive block-swap
+// (Hacker's Delight 7-3) and is used to move between 64 scalar values and
+// their bit-sliced representation. Data marshalling is not a gate
+// operation on the APU (the associative memory is accessed in place), so
+// it is not counted.
+func Transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k] ^ (a[k+j] >> uint(j))) & m
+			a[k] ^= t
+			a[k+j] ^= t << uint(j)
+		}
+		m ^= m << uint(j>>1)
+	}
+}

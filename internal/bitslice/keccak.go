@@ -1,0 +1,111 @@
+package bitslice
+
+import "rbcsalted/internal/keccak"
+
+// KeccakState is a bit-sliced Keccak-f[1600] state: 25 lanes, each held as
+// a Slice64 of Width independent instances.
+type KeccakState [25]Slice64
+
+// KeccakF applies Keccak-f[1600] to all Width instances, gate by gate.
+// Rotations (rho) and lane permutation (pi) re-index bits and cost
+// nothing; theta, chi and iota are counted as XOR/AND/NOT gates.
+func (e *Engine) KeccakF(s *KeccakState) {
+	for round := 0; round < keccak.Rounds; round++ {
+		// theta: column parities, then mix into every lane.
+		var c [5]Slice64
+		for x := 0; x < 5; x++ {
+			for z := 0; z < 64; z++ {
+				c[x][z] = s[x][z] ^ s[x+5][z] ^ s[x+10][z] ^ s[x+15][z] ^ s[x+20][z]
+			}
+		}
+		e.counts.Xor += 5 * 64 * 4
+		var d [5]Slice64
+		for x := 0; x < 5; x++ {
+			for z := 0; z < 64; z++ {
+				// ROTL(C, 1): bit z of the rotated lane is bit z-1.
+				d[x][z] = c[(x+4)%5][z] ^ c[(x+1)%5][(z+63)%64]
+			}
+		}
+		e.counts.Xor += 5 * 64
+		for i := 0; i < 25; i++ {
+			x := i % 5
+			for z := 0; z < 64; z++ {
+				s[i][z] ^= d[x][z]
+			}
+		}
+		e.counts.Xor += 25 * 64
+
+		// rho + pi: pure wiring.
+		var b KeccakState
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				src := x + 5*y
+				dst := y + 5*((2*x+3*y)%5)
+				r := int(keccak.RotationOffset(x, y))
+				for z := 0; z < 64; z++ {
+					b[dst][z] = s[src][(z-r+64)%64]
+				}
+			}
+		}
+
+		// chi: a = b ^ (^b1 & b2).
+		for y := 0; y < 25; y += 5 {
+			for x := 0; x < 5; x++ {
+				for z := 0; z < 64; z++ {
+					s[x+y][z] = b[x+y][z] ^ (^b[(x+1)%5+y][z] & b[(x+2)%5+y][z])
+				}
+			}
+		}
+		e.counts.Not += 25 * 64
+		e.counts.And += 25 * 64
+		e.counts.Xor += 25 * 64
+
+		// iota: flip the bits of lane 0 where the round constant is set.
+		rc := keccak.RoundConstant(round)
+		for z := 0; z < 64; z++ {
+			if rc>>uint(z)&1 == 1 {
+				s[0][z] = ^s[0][z]
+				e.counts.Not++
+			}
+		}
+	}
+}
+
+// SHA3Seeds256 hashes Width 32-byte seeds with SHA3-256 in one bit-sliced
+// permutation, using the same fixed padding as keccak.Sum256Seed: the seed
+// fills lanes 0-3, lane 4 carries the 0x06 domain suffix, and lane 16's
+// top bit is the closing pad bit.
+func (e *Engine) SHA3Seeds256(seeds *[Width][32]byte) [Width][32]byte {
+	var s KeccakState
+	var vals [Width]uint64
+	for lane := 0; lane < 4; lane++ {
+		for i := 0; i < Width; i++ {
+			vals[i] = leUint64(seeds[i][lane*8:])
+		}
+		s[lane] = Pack(&vals)
+	}
+	s[4] = Splat(uint64(keccak.DomainSHA3))
+	s[16] = Splat(0x80 << 56)
+
+	e.KeccakF(&s)
+
+	var out [Width][32]byte
+	for lane := 0; lane < 4; lane++ {
+		vals = Unpack(&s[lane])
+		for i := 0; i < Width; i++ {
+			putLEUint64(out[i][lane*8:], vals[i])
+		}
+	}
+	return out
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLEUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}

@@ -1,0 +1,72 @@
+package bitslice
+
+import "math/bits"
+
+// Slice64 is a bit-sliced group of Width 64-bit values: Slice64[z] holds
+// bit z of every instance, with instance i at bit i.
+type Slice64 [64]uint64
+
+// Pack converts Width 64-bit values into bit-sliced form, establishing the
+// invariant sliced[z] bit i == values[i] bit z.
+func Pack(values *[Width]uint64) Slice64 {
+	tmp := *values
+	Transpose64(&tmp)
+	// Transpose64 is the Hacker's Delight MSB-first transpose: it maps
+	// bit j of word i to bit 63-i of word 63-j. Mirror both axes to get
+	// the LSB-first convention stated above.
+	var out Slice64
+	for z := 0; z < 64; z++ {
+		out[z] = bits.Reverse64(tmp[63-z])
+	}
+	return out
+}
+
+// Unpack is the inverse of Pack.
+func Unpack(s *Slice64) [Width]uint64 {
+	var tmp [64]uint64
+	for z := 0; z < 64; z++ {
+		tmp[63-z] = bits.Reverse64(s[z])
+	}
+	Transpose64(&tmp)
+	return tmp
+}
+
+// Slice32 is a bit-sliced group of Width 32-bit values.
+type Slice32 [32]uint64
+
+// Pack32 converts Width 32-bit values into bit-sliced form.
+func Pack32(values *[Width]uint32) Slice32 {
+	var wide [Width]uint64
+	for i, v := range values {
+		wide[i] = uint64(v)
+	}
+	s := Pack(&wide)
+	var out Slice32
+	copy(out[:], s[:32])
+	return out
+}
+
+// Unpack32 is the inverse of Pack32.
+func Unpack32(s *Slice32) [Width]uint32 {
+	var wide Slice64
+	copy(wide[:32], s[:])
+	vals := Unpack(&wide)
+	var out [Width]uint32
+	for i, v := range vals {
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+// Splat returns a slice whose every instance holds the same 64-bit value:
+// bit z is all-ones iff v has bit z set. Constants cost no gates; on the
+// APU they are written once into associative memory.
+func Splat(v uint64) Slice64 {
+	var out Slice64
+	for z := 0; z < 64; z++ {
+		if v>>uint(z)&1 == 1 {
+			out[z] = ^uint64(0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package bitslice
+
+// Bit-sliced SHA-1. Unlike Keccak, SHA-1 is built on modular 32-bit
+// addition, which has no free bit-parallel form: each add becomes a
+// ripple-carry adder chain of XOR/AND/OR gates. This is exactly why the
+// paper observes SHA-1 needing fewer bit processors per PE than SHA-3 on
+// the APU (less state) while still costing real cycles per hash.
+
+const (
+	sha1K0 = 0x5A827999
+	sha1K1 = 0x6ED9EBA1
+	sha1K2 = 0x8F1BBCDC
+	sha1K3 = 0xCA62C1D6
+)
+
+// splat32 returns a Slice32 with the same 32-bit constant in every instance.
+func splat32(v uint32) Slice32 {
+	var out Slice32
+	for z := 0; z < 32; z++ {
+		if v>>uint(z)&1 == 1 {
+			out[z] = ^uint64(0)
+		}
+	}
+	return out
+}
+
+// add32 returns a + b per instance via a ripple-carry adder:
+// 2 XOR + 2 AND + 1 OR per bit (carry-out of the top bit is discarded).
+func (e *Engine) add32(a, b *Slice32) Slice32 {
+	var out Slice32
+	var carry uint64
+	for z := 0; z < 32; z++ {
+		axb := a[z] ^ b[z]
+		out[z] = axb ^ carry
+		carry = (a[z] & b[z]) | (carry & axb)
+	}
+	e.counts.Xor += 2 * 32
+	e.counts.And += 2 * 32
+	e.counts.Or += 32
+	return out
+}
+
+// xor32 returns a ^ b per instance.
+func (e *Engine) xor32(a, b *Slice32) Slice32 {
+	var out Slice32
+	for z := 0; z < 32; z++ {
+		out[z] = a[z] ^ b[z]
+	}
+	e.counts.Xor += 32
+	return out
+}
+
+// rotl32 rotates every instance left by n bits. Pure wiring: no gates.
+func rotl32(a *Slice32, n int) Slice32 {
+	var out Slice32
+	for z := 0; z < 32; z++ {
+		out[z] = a[(z-n+32)%32]
+	}
+	return out
+}
+
+// ch returns (b AND c) OR (NOT b AND d), computed as d ^ (b & (c ^ d)):
+// 2 XOR + 1 AND per bit.
+func (e *Engine) ch(b, c, d *Slice32) Slice32 {
+	var out Slice32
+	for z := 0; z < 32; z++ {
+		out[z] = d[z] ^ (b[z] & (c[z] ^ d[z]))
+	}
+	e.counts.Xor += 2 * 32
+	e.counts.And += 32
+	return out
+}
+
+// maj returns the bitwise majority of b, c, d, computed as
+// b ^ ((b ^ c) & (b ^ d)): 3 XOR + 1 AND per bit.
+func (e *Engine) maj(b, c, d *Slice32) Slice32 {
+	var out Slice32
+	for z := 0; z < 32; z++ {
+		out[z] = b[z] ^ ((b[z] ^ c[z]) & (b[z] ^ d[z]))
+	}
+	e.counts.Xor += 3 * 32
+	e.counts.And += 32
+	return out
+}
+
+// parity returns b ^ c ^ d: 2 XOR per bit.
+func (e *Engine) parity(b, c, d *Slice32) Slice32 {
+	var out Slice32
+	for z := 0; z < 32; z++ {
+		out[z] = b[z] ^ c[z] ^ d[z]
+	}
+	e.counts.Xor += 2 * 32
+	return out
+}
+
+// SHA1Seeds hashes Width 32-byte seeds with SHA-1 in one bit-sliced
+// compression, using the fixed single-block padding for 256-bit messages.
+func (e *Engine) SHA1Seeds(seeds *[Width][32]byte) [Width][20]byte {
+	// Message schedule: 8 seed words (big-endian), then the fixed pad.
+	var w [80]Slice32
+	var vals [Width]uint32
+	for word := 0; word < 8; word++ {
+		for i := 0; i < Width; i++ {
+			b := seeds[i][word*4:]
+			vals[i] = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		}
+		w[word] = Pack32(&vals)
+	}
+	w[8] = splat32(0x80000000)
+	// w[9..14] stay zero.
+	w[15] = splat32(256) // message length in bits
+	for i := 16; i < 80; i++ {
+		t := e.xor32(&w[i-3], &w[i-8])
+		t = e.xor32(&t, &w[i-14])
+		t = e.xor32(&t, &w[i-16])
+		w[i] = rotl32(&t, 1)
+	}
+
+	a := splat32(0x67452301)
+	b := splat32(0xEFCDAB89)
+	c := splat32(0x98BADCFE)
+	d := splat32(0x10325476)
+	ee := splat32(0xC3D2E1F0)
+
+	for i := 0; i < 80; i++ {
+		var f Slice32
+		var k uint32
+		switch {
+		case i < 20:
+			f = e.ch(&b, &c, &d)
+			k = sha1K0
+		case i < 40:
+			f = e.parity(&b, &c, &d)
+			k = sha1K1
+		case i < 60:
+			f = e.maj(&b, &c, &d)
+			k = sha1K2
+		default:
+			f = e.parity(&b, &c, &d)
+			k = sha1K3
+		}
+		rot := rotl32(&a, 5)
+		t := e.add32(&rot, &f)
+		t = e.add32(&t, &ee)
+		t = e.add32(&t, &w[i])
+		kc := splat32(k)
+		t = e.add32(&t, &kc)
+		ee, d, c, b, a = d, c, rotl32(&b, 30), a, t
+	}
+
+	h0 := splat32(0x67452301)
+	h1 := splat32(0xEFCDAB89)
+	h2 := splat32(0x98BADCFE)
+	h3 := splat32(0x10325476)
+	h4 := splat32(0xC3D2E1F0)
+	h0 = e.add32(&h0, &a)
+	h1 = e.add32(&h1, &b)
+	h2 = e.add32(&h2, &c)
+	h3 = e.add32(&h3, &d)
+	h4 = e.add32(&h4, &ee)
+
+	var out [Width][20]byte
+	for word, h := range []*Slice32{&h0, &h1, &h2, &h3, &h4} {
+		vals = Unpack32(h)
+		for i := 0; i < Width; i++ {
+			out[i][word*4] = byte(vals[i] >> 24)
+			out[i][word*4+1] = byte(vals[i] >> 16)
+			out[i][word*4+2] = byte(vals[i] >> 8)
+			out[i][word*4+3] = byte(vals[i])
+		}
+	}
+	return out
+}

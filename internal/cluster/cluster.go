@@ -1,0 +1,119 @@
+// Package cluster scales SALTED-CPU across multiple compute nodes - the
+// paper's §5 future-work direction, following the lineage of the
+// distributed-memory MPI engine of Philabaum et al. [36].
+//
+// A Coordinator owns the RBC search and implements core.Backend; Workers
+// connect over TCP, announce their core counts, and receive disjoint
+// rank ranges of each Hamming shell, weighted by capacity. Workers chunk
+// their ranges so a FOUND broadcast (the distributed analogue of the
+// shared-memory early-exit flag) stops the whole cluster within one chunk.
+//
+// The control plane uses gob over length-prefixed frames; the data plane
+// is the same real search loop as the single-node engine
+// (core.SearchShellHost), so a cluster of one worker is bit-for-bit the
+// local backend.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// ChunkSeeds is the number of seeds a worker covers between looking for a
+// cancel message; it bounds early-exit latency across the cluster.
+const ChunkSeeds = 32768
+
+// Message kinds.
+const (
+	kindHello byte = iota + 1
+	kindJob
+	kindDone
+	kindCancel
+)
+
+// helloMsg announces a worker and its capacity.
+type helloMsg struct {
+	Cores int
+	Name  string
+}
+
+// jobMsg assigns one contiguous rank range of one shell.
+type jobMsg struct {
+	ID            uint64
+	Base          [32]byte
+	Alg           int
+	Target        []byte
+	Distance      int
+	Method        int
+	StartRank     uint64
+	Count         uint64
+	CheckInterval int
+	Exhaustive    bool
+}
+
+// doneMsg reports a finished (or cancelled) job.
+type doneMsg struct {
+	ID      uint64
+	Found   bool
+	Seed    [32]byte
+	Covered uint64
+	Err     string
+}
+
+// cancelMsg aborts a job.
+type cancelMsg struct {
+	ID uint64
+}
+
+// writeMsg frames and sends one gob-encoded message.
+func writeMsg(w io.Writer, kind byte, v any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(v); err != nil {
+		return fmt.Errorf("cluster: encode: %w", err)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()+1))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// readMsg receives one framed message and decodes it into the value
+// selected by its kind.
+func readMsg(r io.Reader) (byte, any, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > 1<<20 {
+		return 0, nil, fmt.Errorf("cluster: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	dec := gob.NewDecoder(bytes.NewReader(buf[1:]))
+	switch buf[0] {
+	case kindHello:
+		var m helloMsg
+		return buf[0], &m, dec.Decode(&m)
+	case kindJob:
+		var m jobMsg
+		return buf[0], &m, dec.Decode(&m)
+	case kindDone:
+		var m doneMsg
+		return buf[0], &m, dec.Decode(&m)
+	case kindCancel:
+		var m cancelMsg
+		return buf[0], &m, dec.Decode(&m)
+	default:
+		return 0, nil, fmt.Errorf("cluster: unknown message kind %d", buf[0])
+	}
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"net"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+func startCluster(t *testing.T, alg core.HashAlg, workerCores []int) (*Coordinator, func()) {
+	t.Helper()
+	coord := &Coordinator{Alg: alg}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	stops := make([]chan struct{}, 0, len(workerCores))
+	for i, cores := range workerCores {
+		w := &Worker{Cores: cores, Name: string(rune('a' + i))}
+		stop := make(chan struct{})
+		stops = append(stops, stop)
+		go RunWorkerUntil(ln.Addr().String(), w, stop)
+	}
+	if err := coord.WaitForWorkers(len(workerCores), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return coord, func() {
+		for _, s := range stops {
+			close(s)
+		}
+		coord.Close()
+	}
+}
+
+func clusterTask(alg core.HashAlg, seed uint64, d, maxD int) (core.Task, u256.Uint256) {
+	r := rand.New(rand.NewPCG(seed, 3))
+	base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	client := puf.InjectNoise(base, base, d, r)
+	return core.Task{
+		Base:        base,
+		Target:      core.HashSeed(alg, client),
+		MaxDistance: maxD,
+		Method:      iterseq.GrayCode,
+	}, client
+}
+
+func TestClusterFindsSeed(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{1, 2, 1})
+	defer stop()
+	task, client := clusterTask(core.SHA3, 1, 2, 2)
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) || res.Distance != 2 {
+		t.Fatalf("cluster search failed: %+v", res)
+	}
+}
+
+func TestClusterMatchesLocalBackend(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA1, []int{2, 2})
+	defer stop()
+	task, client := clusterTask(core.SHA1, 2, 2, 3)
+	cres, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := &cpu.Backend{Alg: core.SHA1, Workers: 2}
+	lres, err := local.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Found != lres.Found || !cres.Seed.Equal(lres.Seed) || cres.Distance != lres.Distance {
+		t.Errorf("cluster %+v and local %+v disagree", cres, lres)
+	}
+	if !cres.Seed.Equal(client) {
+		t.Error("wrong seed")
+	}
+}
+
+func TestClusterExhaustiveCoverage(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{1, 3})
+	defer stop()
+	task, _ := clusterTask(core.SHA3, 3, 1, 2)
+	task.Exhaustive = true
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("covered %d, want u(2)=%d", res.SeedsCovered, want)
+	}
+	if !res.Found || res.Distance != 1 {
+		t.Errorf("exhaustive lost the match: %+v", res)
+	}
+}
+
+func TestClusterEarlyExitCancelsFleet(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{1, 1, 1, 1})
+	defer stop()
+	// Match early in the shell: the fleet must stop well short of full
+	// coverage (chunked cancellation bounds overshoot).
+	task, _ := clusterTask(core.SHA3, 4, 2, 2)
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if !res.Found {
+		t.Fatal("match lost")
+	}
+	if res.SeedsCovered >= full {
+		t.Errorf("early exit covered the whole space (%d)", res.SeedsCovered)
+	}
+}
+
+func TestClusterNotFound(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{2})
+	defer stop()
+	task, _ := clusterTask(core.SHA3, 5, 3, 2) // seed beyond radius
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("found a seed outside the radius")
+	}
+}
+
+func TestClusterNoWorkers(t *testing.T) {
+	coord := &Coordinator{Alg: core.SHA3}
+	task, _ := clusterTask(core.SHA3, 6, 1, 1)
+	if _, err := coord.Search(task); err == nil {
+		t.Error("search without workers succeeded")
+	}
+}
+
+func TestClusterWeightedPartition(t *testing.T) {
+	// A 3-core worker should get ~3x the seeds of a 1-core worker; verify
+	// indirectly through exhaustive coverage staying exact.
+	coord, stop := startCluster(t, core.SHA3, []int{3, 1})
+	defer stop()
+	task, _ := clusterTask(core.SHA3, 7, 2, 2)
+	task.Exhaustive = true
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("weighted partition lost seeds: %d != %d", res.SeedsCovered, want)
+	}
+}
+
+func TestClusterName(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{1, 1})
+	defer stop()
+	if coord.Name() == "" {
+		t.Error("empty name")
+	}
+	n, cores := coord.Workers()
+	if n != 2 || cores != 2 {
+		t.Errorf("Workers() = %d, %d", n, cores)
+	}
+}
+
+func TestClusterWorkerDisconnectSurfacesError(t *testing.T) {
+	coord := &Coordinator{Alg: core.SHA3}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	defer coord.Close()
+
+	// A worker that dies right after accepting its first job.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, kindHello, &helloMsg{Cores: 1, Name: "flaky"}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		readMsg(conn) // receive the job
+		conn.Close()  // die without answering
+	}()
+	if err := coord.WaitForWorkers(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := clusterTask(core.SHA3, 8, 1, 1)
+	if _, err := coord.Search(task); err == nil {
+		t.Error("expected an error after worker death")
+	}
+}
+
+func TestClusterCheckIntervalPassthrough(t *testing.T) {
+	// A large check interval must not change the result, only the
+	// early-exit lag.
+	coord, stop := startCluster(t, core.SHA3, []int{2})
+	defer stop()
+	task, client := clusterTask(core.SHA3, 9, 2, 2)
+	task.CheckInterval = 64
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("interval 64 lost the match: %+v", res)
+	}
+}
+
+func TestClusterShellStats(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{2})
+	defer stop()
+	task, _ := clusterTask(core.SHA3, 10, 1, 2)
+	task.Exhaustive = true
+	res, err := coord.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shells) != 2 || res.Shells[0].Distance != 1 || res.Shells[1].Distance != 2 {
+		t.Errorf("shell stats wrong: %+v", res.Shells)
+	}
+	var covered uint64
+	for _, sh := range res.Shells {
+		covered += sh.SeedsCovered
+	}
+	if covered+1 != res.SeedsCovered {
+		t.Errorf("shell coverage %d+1 != total %d", covered, res.SeedsCovered)
+	}
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/u256"
+)
+
+// Coordinator owns a distributed RBC search. It implements core.Backend:
+// a Task is split shell by shell over the registered workers, weighted by
+// their core counts, with a FOUND result cancelling the rest of the
+// cluster.
+type Coordinator struct {
+	// Alg is the hash algorithm the cluster searches with.
+	Alg core.HashAlg
+
+	mu      sync.Mutex
+	workers []*workerConn
+	nextJob uint64
+	ln      net.Listener
+}
+
+// workerConn is the coordinator's view of one connected worker.
+type workerConn struct {
+	name    string
+	cores   int
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *doneMsg
+	gone    bool
+}
+
+func (wc *workerConn) send(kind byte, v any) error {
+	wc.writeMu.Lock()
+	defer wc.writeMu.Unlock()
+	return writeMsg(wc.conn, kind, v)
+}
+
+// Serve accepts worker connections until the listener closes.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go c.admit(conn)
+	}
+}
+
+// Close stops accepting workers and disconnects the fleet.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	if c.ln != nil {
+		err = c.ln.Close()
+	}
+	for _, wc := range c.workers {
+		wc.conn.Close()
+	}
+	c.workers = nil
+	return err
+}
+
+// admit performs the hello exchange and starts the read loop.
+func (c *Coordinator) admit(conn net.Conn) {
+	kind, msg, err := readMsg(conn)
+	if err != nil || kind != kindHello {
+		conn.Close()
+		return
+	}
+	hello := msg.(*helloMsg)
+	if hello.Cores <= 0 {
+		conn.Close()
+		return
+	}
+	wc := &workerConn{
+		name:    hello.Name,
+		cores:   hello.Cores,
+		conn:    conn,
+		pending: make(map[uint64]chan *doneMsg),
+	}
+	c.mu.Lock()
+	c.workers = append(c.workers, wc)
+	c.mu.Unlock()
+
+	for {
+		kind, msg, err := readMsg(conn)
+		if err != nil {
+			break
+		}
+		if kind != kindDone {
+			continue
+		}
+		done := msg.(*doneMsg)
+		wc.mu.Lock()
+		ch, ok := wc.pending[done.ID]
+		delete(wc.pending, done.ID)
+		wc.mu.Unlock()
+		if ok {
+			ch <- done
+		}
+	}
+	// Worker left: fail its in-flight jobs and remove it from the pool.
+	wc.mu.Lock()
+	wc.gone = true
+	for id, ch := range wc.pending {
+		ch <- &doneMsg{ID: id, Err: "worker disconnected"}
+		delete(wc.pending, id)
+	}
+	wc.mu.Unlock()
+	c.mu.Lock()
+	for i, w := range c.workers {
+		if w == wc {
+			c.workers = append(c.workers[:i], c.workers[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// WaitForWorkers blocks until at least n workers are registered.
+func (c *Coordinator) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		have := len(c.workers)
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: only %d/%d workers after %s", have, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Workers returns the current worker count and total cores.
+func (c *Coordinator) Workers() (count, cores int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		cores += w.cores
+	}
+	return len(c.workers), cores
+}
+
+// Name implements core.Backend.
+func (c *Coordinator) Name() string {
+	n, cores := c.Workers()
+	return fmt.Sprintf("SALTED-CLUSTER(%s, %d workers, %d cores)", c.Alg, n, cores)
+}
+
+// Search implements core.Backend: the real distributed search.
+func (c *Coordinator) Search(task core.Task) (core.Result, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Result{}, fmt.Errorf("cluster: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	start := time.Now()
+	var res core.Result
+
+	res.HashesExecuted++
+	res.SeedsCovered++
+	if core.HashSeed(c.Alg, task.Base).Equal(task.Target) {
+		res.Found = true
+		res.Seed = task.Base
+		res.Distance = 0
+		if !task.Exhaustive {
+			res.WallSeconds = time.Since(start).Seconds()
+			res.DeviceSeconds = res.WallSeconds
+			return res, nil
+		}
+	}
+
+	for d := 1; d <= task.MaxDistance; d++ {
+		shellStart := time.Now()
+		found, seed, covered, err := c.searchShell(task, d)
+		if err != nil {
+			return core.Result{}, err
+		}
+		res.Shells = append(res.Shells, core.ShellStat{
+			Distance:      d,
+			SeedsCovered:  covered,
+			DeviceSeconds: time.Since(shellStart).Seconds(),
+		})
+		res.SeedsCovered += covered
+		res.HashesExecuted += covered
+		if found && !res.Found {
+			res.Found = true
+			res.Seed = seed
+			res.Distance = d
+		}
+		if res.Found && !task.Exhaustive {
+			break
+		}
+		if task.TimeLimit > 0 && time.Since(start) > task.TimeLimit {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.DeviceSeconds = res.WallSeconds
+	return res, nil
+}
+
+// searchShell fans one Hamming shell out over the fleet.
+func (c *Coordinator) searchShell(task core.Task, d int) (bool, u256.Uint256, uint64, error) {
+	c.mu.Lock()
+	fleet := append([]*workerConn(nil), c.workers...)
+	c.mu.Unlock()
+	if len(fleet) == 0 {
+		return false, u256.Zero, 0, errors.New("cluster: no workers registered")
+	}
+	size, ok := combin.Binomial64(256, d)
+	if !ok {
+		return false, u256.Zero, 0, fmt.Errorf("cluster: C(256,%d) overflows uint64", d)
+	}
+
+	totalCores := 0
+	for _, w := range fleet {
+		totalCores += w.cores
+	}
+
+	// Assign contiguous ranges proportional to core counts.
+	type assignment struct {
+		wc  *workerConn
+		id  uint64
+		ch  chan *doneMsg
+		cnt uint64
+	}
+	var assignments []assignment
+	startRank := uint64(0)
+	remaining := size
+	remainingCores := totalCores
+	base := task.Base.Bytes()
+	for _, w := range fleet {
+		cnt := remaining * uint64(w.cores) / uint64(remainingCores)
+		remainingCores -= w.cores
+		if remainingCores == 0 {
+			cnt = remaining
+		}
+		if cnt == 0 {
+			continue
+		}
+		c.mu.Lock()
+		c.nextJob++
+		id := c.nextJob
+		c.mu.Unlock()
+		ch := make(chan *doneMsg, 1)
+		w.mu.Lock()
+		w.pending[id] = ch
+		gone := w.gone
+		w.mu.Unlock()
+		if gone {
+			return false, u256.Zero, 0, errors.New("cluster: worker disconnected during assignment")
+		}
+		job := &jobMsg{
+			ID:            id,
+			Base:          base,
+			Alg:           int(c.Alg),
+			Target:        task.Target.Bytes(),
+			Distance:      d,
+			Method:        int(task.Method),
+			StartRank:     startRank,
+			Count:         cnt,
+			CheckInterval: task.CheckInterval,
+			Exhaustive:    task.Exhaustive,
+		}
+		if err := w.send(kindJob, job); err != nil {
+			return false, u256.Zero, 0, fmt.Errorf("cluster: dispatch to %s: %w", w.name, err)
+		}
+		assignments = append(assignments, assignment{wc: w, id: id, ch: ch, cnt: cnt})
+		startRank += cnt
+		remaining -= cnt
+	}
+
+	// Collect results; first FOUND cancels the rest of the fleet.
+	var (
+		found     bool
+		foundSeed u256.Uint256
+		covered   uint64
+		firstErr  error
+	)
+	outstanding := len(assignments)
+	cases := make(chan *doneMsg, outstanding)
+	for _, a := range assignments {
+		go func(a assignment) { cases <- <-a.ch }(a)
+	}
+	for outstanding > 0 {
+		done := <-cases
+		outstanding--
+		if done.Err != "" && firstErr == nil {
+			firstErr = errors.New(done.Err)
+		}
+		covered += done.Covered
+		if done.Found && !found {
+			found = true
+			foundSeed = u256.FromBytes(done.Seed)
+			if !task.Exhaustive {
+				for _, a := range assignments {
+					_ = a.wc.send(kindCancel, &cancelMsg{ID: a.id})
+				}
+			}
+		}
+	}
+	if firstErr != nil && !found {
+		return false, u256.Zero, covered, firstErr
+	}
+	return found, foundSeed, covered, nil
+}

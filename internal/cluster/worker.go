@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+// Worker executes shell ranges for a coordinator using this machine's
+// cores.
+type Worker struct {
+	// Cores advertises capacity for weighted partitioning; 0 means
+	// GOMAXPROCS.
+	Cores int
+	// Name labels the worker in coordinator logs.
+	Name string
+
+	mu      sync.Mutex
+	cancels map[uint64]*atomic.Bool
+}
+
+// Run connects to the coordinator and serves jobs until the connection
+// closes. It returns nil on orderly shutdown.
+func (w *Worker) Run(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker dial: %w", err)
+	}
+	defer conn.Close()
+	return w.Serve(conn)
+}
+
+// Serve runs the worker protocol over an established connection.
+func (w *Worker) Serve(conn net.Conn) error {
+	cores := w.Cores
+	if cores <= 0 {
+		cores = runtime.GOMAXPROCS(0)
+	}
+	if err := writeMsg(conn, kindHello, &helloMsg{Cores: cores, Name: w.Name}); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.cancels = make(map[uint64]*atomic.Bool)
+	w.mu.Unlock()
+
+	var writeMu sync.Mutex
+	send := func(kind byte, v any) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeMsg(conn, kind, v)
+	}
+
+	for {
+		kind, msg, err := readMsg(conn)
+		if err != nil {
+			return nil // connection closed: orderly shutdown
+		}
+		switch kind {
+		case kindJob:
+			job := msg.(*jobMsg)
+			flag := &atomic.Bool{}
+			w.mu.Lock()
+			w.cancels[job.ID] = flag
+			w.mu.Unlock()
+			go func() {
+				done := w.run(job, cores, flag)
+				w.mu.Lock()
+				delete(w.cancels, job.ID)
+				w.mu.Unlock()
+				_ = send(kindDone, done)
+			}()
+		case kindCancel:
+			c := msg.(*cancelMsg)
+			w.mu.Lock()
+			if flag, ok := w.cancels[c.ID]; ok {
+				flag.Store(true)
+			}
+			w.mu.Unlock()
+		default:
+			return fmt.Errorf("cluster: worker got unexpected message kind %d", kind)
+		}
+	}
+}
+
+// run executes one job in ChunkSeeds slices, polling the cancel flag
+// between slices.
+func (w *Worker) run(job *jobMsg, cores int, cancel *atomic.Bool) *doneMsg {
+	base := u256.FromBytes(job.Base)
+	target, err := core.DigestFromBytes(core.HashAlg(job.Alg), job.Target)
+	if err != nil {
+		return &doneMsg{ID: job.ID, Err: err.Error()}
+	}
+	alg := core.HashAlg(job.Alg)
+	match := func(candidate u256.Uint256) bool {
+		return core.HashSeed(alg, candidate).Equal(target)
+	}
+
+	out := &doneMsg{ID: job.ID}
+	for off := uint64(0); off < job.Count; off += ChunkSeeds {
+		if cancel.Load() && !job.Exhaustive {
+			break
+		}
+		chunk := min64(ChunkSeeds, job.Count-off)
+		found, seed, covered, err := searchRange(
+			base, job.Distance, iterseq.Method(job.Method),
+			job.StartRank+off, chunk, cores, job.CheckInterval,
+			job.Exhaustive, match)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Covered += covered
+		if found && !out.Found {
+			out.Found = true
+			out.Seed = seed.Bytes()
+			if !job.Exhaustive {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// searchRange covers [startRank, startRank+count) of one shell with the
+// same real execution loop as the single-node engine, split over the
+// worker's cores.
+func searchRange(base u256.Uint256, d int, method iterseq.Method, startRank, count uint64, cores, checkInterval int, exhaustive bool, match func(u256.Uint256) bool) (bool, u256.Uint256, uint64, error) {
+	if count == 0 {
+		return false, u256.Zero, 0, nil
+	}
+	parts := cores
+	if uint64(parts) > count {
+		parts = int(count)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		stop    atomic.Bool
+		covered atomic.Uint64
+	)
+	var foundSeed u256.Uint256
+	found := false
+	if checkInterval < 1 {
+		checkInterval = 1
+	}
+
+	share := count / uint64(parts)
+	extra := count % uint64(parts)
+	offset := startRank
+	var firstErr error
+	for p := 0; p < parts; p++ {
+		length := share
+		if uint64(p) < extra {
+			length++
+		}
+		start := offset
+		offset += length
+		if length == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(start, length uint64) {
+			defer wg.Done()
+			it, err := iterseq.New(method, 256, d, start, int64(length))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			c := make([]int, d)
+			local := uint64(0)
+			since := 0
+			for it.Next(c) {
+				candidate := iterseq.ApplySeed(base, c)
+				local++
+				if match(candidate) {
+					mu.Lock()
+					if !found {
+						found = true
+						foundSeed = candidate
+					}
+					mu.Unlock()
+					if !exhaustive {
+						stop.Store(true)
+						break
+					}
+				}
+				since++
+				if since >= checkInterval {
+					since = 0
+					if !exhaustive && stop.Load() {
+						break
+					}
+				}
+			}
+			covered.Add(local)
+		}(start, length)
+	}
+	wg.Wait()
+	return found, foundSeed, covered.Load(), firstErr
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunWorkerUntil keeps a worker connected, retrying until stop closes.
+// It is a convenience for long-lived worker processes.
+func RunWorkerUntil(addr string, w *Worker, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		_ = w.Run(addr)
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package combin
+
+import "fmt"
+
+// Colexicographic order sorts combinations by the numeric value of their
+// bit masks, which is exactly the order Gosper's hack enumerates. Ranking
+// in colex order therefore lets a parallel search partition Gosper's
+// sequence without enumerating it.
+
+// RankColex returns the 0-based colexicographic rank of the combination c
+// (strictly increasing positions in [0, n)): rank = sum C(c_i, i+1).
+func RankColex(n int, c []int) (uint64, error) {
+	if err := validate(n, c); err != nil {
+		return 0, err
+	}
+	rank := uint64(0)
+	for i, ci := range c {
+		v, ok := Binomial64(ci, i+1)
+		if !ok {
+			return 0, fmt.Errorf("combin: colex rank overflows uint64 at C(%d,%d)", ci, i+1)
+		}
+		rank += v
+	}
+	return rank, nil
+}
+
+// UnrankColex writes into c the combination with the given 0-based
+// colexicographic rank among k-subsets of [0, n), where k = len(c).
+func UnrankColex(n int, rank uint64, c []int) error {
+	k := len(c)
+	if k < 0 || k > n {
+		return fmt.Errorf("combin: invalid k=%d for n=%d", k, n)
+	}
+	total, ok := Binomial64(n, k)
+	if !ok {
+		return fmt.Errorf("combin: C(%d,%d) overflows uint64", n, k)
+	}
+	if rank >= total {
+		return fmt.Errorf("combin: rank %d out of range [0,%d)", rank, total)
+	}
+	// Choose positions from the top: the largest position p is the
+	// greatest value with C(p, k) <= rank remaining.
+	for i := k; i >= 1; i-- {
+		p := i - 1 // smallest legal position for element i
+		for {
+			v, _ := Binomial64(p+1, i)
+			if v > rank {
+				break
+			}
+			p++
+		}
+		v, _ := Binomial64(p, i)
+		rank -= v
+		c[i-1] = p
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package combin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestColexRoundTripExhaustive(t *testing.T) {
+	n, k := 9, 4
+	total, _ := Binomial64(n, k)
+	for r := uint64(0); r < total; r++ {
+		c := make([]int, k)
+		if err := UnrankColex(n, r, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := RankColex(n, c)
+		if err != nil || got != r {
+			t.Fatalf("RankColex(UnrankColex(%d)) = %d, %v", r, got, err)
+		}
+	}
+}
+
+// TestColexMatchesNumericOrder verifies the defining property: colex order
+// of combinations equals numeric order of their bit masks, i.e. the order
+// Gosper's hack produces.
+func TestColexMatchesNumericOrder(t *testing.T) {
+	n, k := 10, 3
+	total, _ := Binomial64(n, k)
+	prevMask := uint64(0)
+	c := make([]int, k)
+	for r := uint64(0); r < total; r++ {
+		if err := UnrankColex(n, r, c); err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(0)
+		for _, p := range c {
+			mask |= 1 << uint(p)
+		}
+		if r > 0 && mask <= prevMask {
+			t.Fatalf("rank %d: mask %#x not greater than previous %#x", r, mask, prevMask)
+		}
+		prevMask = mask
+	}
+	// First combination must be the numerically smallest mask (low k bits).
+	if err := UnrankColex(n, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c {
+		if v != i {
+			t.Fatalf("rank 0 = %v", c)
+		}
+	}
+}
+
+func TestColexRandom256(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for k := 1; k <= 8; k++ {
+		total, _ := Binomial64(256, k)
+		for trial := 0; trial < 100; trial++ {
+			rank := r.Uint64() % total
+			c := make([]int, k)
+			if err := UnrankColex(256, rank, c); err != nil {
+				t.Fatal(err)
+			}
+			got, err := RankColex(256, c)
+			if err != nil || got != rank {
+				t.Fatalf("k=%d rank %d -> %v -> %d (%v)", k, rank, c, got, err)
+			}
+		}
+	}
+}
+
+func TestColexErrors(t *testing.T) {
+	if err := UnrankColex(8, 56, make([]int, 3)); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := RankColex(8, []int{2, 2}); err == nil {
+		t.Error("expected error for invalid combination")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/puf"
+)
+
+func testIssuer(validity time.Duration, now time.Time) *Issuer {
+	iss := NewIssuer([32]byte{0xCA})
+	if validity > 0 {
+		iss.Validity = validity
+	}
+	if !now.IsZero() {
+		iss.now = func() time.Time { return now }
+	}
+	return iss
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	iss := testIssuer(0, time.Time{})
+	cert, err := iss.Issue("alice", "AES-128", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(iss.PublicKey(), time.Now()); err != nil {
+		t.Errorf("fresh certificate invalid: %v", err)
+	}
+}
+
+func TestIssueRejectsEmptyKey(t *testing.T) {
+	iss := testIssuer(0, time.Time{})
+	if _, err := iss.Issue("alice", "AES-128", nil); err == nil {
+		t.Error("empty key certified")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	iss := testIssuer(0, time.Time{})
+	cert, _ := iss.Issue("alice", "AES-128", []byte{1, 2, 3})
+	caKey := iss.PublicKey()
+
+	tests := []func(c *Certificate){
+		func(c *Certificate) { c.ClientID = "mallory" },
+		func(c *Certificate) { c.KeyAlgorithm = "Dilithium3" },
+		func(c *Certificate) { c.PublicKey = []byte{9, 9, 9} },
+		func(c *Certificate) { c.ExpiresAt = c.ExpiresAt.Add(time.Hour) },
+		func(c *Certificate) { c.Signature[0] ^= 1 },
+		func(c *Certificate) { c.Signature = c.Signature[:10] },
+	}
+	for i, mutate := range tests {
+		bad := *cert
+		bad.PublicKey = append([]byte(nil), cert.PublicKey...)
+		bad.Signature = append([]byte(nil), cert.Signature...)
+		mutate(&bad)
+		if err := bad.Verify(caKey, time.Now()); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongCA(t *testing.T) {
+	iss := testIssuer(0, time.Time{})
+	other := NewIssuer([32]byte{0xFE})
+	cert, _ := iss.Issue("alice", "AES-128", []byte{1})
+	if err := cert.Verify(other.PublicKey(), time.Now()); err == nil {
+		t.Error("foreign CA key accepted")
+	}
+}
+
+func TestCertificateLifetime(t *testing.T) {
+	issued := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	iss := testIssuer(5*time.Minute, issued)
+	cert, _ := iss.Issue("alice", "AES-128", []byte{1})
+	caKey := iss.PublicKey()
+
+	if err := cert.Verify(caKey, issued.Add(time.Minute)); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+	if err := cert.Verify(caKey, issued.Add(-time.Minute)); err == nil {
+		t.Error("not-yet-valid certificate accepted")
+	}
+	if err := cert.Verify(caKey, issued.Add(6*time.Minute)); err == nil {
+		t.Error("expired certificate accepted")
+	}
+}
+
+func TestSigningBytesInjective(t *testing.T) {
+	// The length-prefixed encoding must distinguish field boundaries:
+	// ("ab", "c") vs ("a", "bc") must not collide.
+	a := &Certificate{ClientID: "ab", KeyAlgorithm: "c", PublicKey: []byte{1}}
+	b := &Certificate{ClientID: "a", KeyAlgorithm: "bc", PublicKey: []byte{1}}
+	if string(a.signingBytes()) == string(b.signingBytes()) {
+		t.Error("signing encoding is ambiguous")
+	}
+}
+
+func TestCAIssuesCertificates(t *testing.T) {
+	profile := puf.Profile{BaseError: 0.5 / 256.0}
+	ca, ra, _ := newTestCA(t, SHA3)
+	iss := NewIssuer([32]byte{0xCA, 0xFE})
+	ca.UseIssuer(iss)
+	client := enrollTestClient(t, ca, "alice", 311, profile)
+
+	ch, err := ca.BeginHandshake("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := client.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authenticated || res.Certificate == nil {
+		t.Fatalf("no certificate issued: %+v", res)
+	}
+	if err := res.Certificate.Verify(iss.PublicKey(), time.Now()); err != nil {
+		t.Errorf("issued certificate invalid: %v", err)
+	}
+	if res.Certificate.KeyAlgorithm != (&aeskg.Generator{}).Name() {
+		t.Errorf("certificate names algorithm %q", res.Certificate.KeyAlgorithm)
+	}
+	// The RA must hold the same binding, and returned copies must be
+	// independent.
+	raCert, ok := ra.Certificate("alice")
+	if !ok {
+		t.Fatal("RA has no certificate")
+	}
+	if string(raCert.PublicKey) != string(res.PublicKey) {
+		t.Error("RA certificate key mismatch")
+	}
+	raCert.ClientID = "mallory"
+	again, _ := ra.Certificate("alice")
+	if again.ClientID != "alice" {
+		t.Error("RA exposes internal certificate storage")
+	}
+}
+
+func TestRACertificateMissing(t *testing.T) {
+	ra := NewRA()
+	if _, ok := ra.Certificate("nobody"); ok {
+		t.Error("empty RA returned a certificate")
+	}
+}

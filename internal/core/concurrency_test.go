@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/puf"
+)
+
+// TestConcurrentAuthentications drives many clients through the CA at
+// once: the per-session state (challenges, store, RA) must be safe under
+// concurrency and every genuine client must authenticate. Run with
+// -race in CI.
+func TestConcurrentAuthentications(t *testing.T) {
+	store, err := NewImageStore([32]byte{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewRA()
+	ca, err := NewCA(store, &echoBackend{alg: SHA3}, &aeskg.Generator{}, ra, CAConfig{
+		Alg:         SHA3,
+		MaxDistance: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	devices := make([]*puf.Device, clients)
+	profile := puf.Profile{BaseError: 0.5 / 256.0}
+	for i := range devices {
+		dev, err := puf.NewDevice(uint64(500+i), 1024, profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := puf.Enroll(dev, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ca.Enroll(ClientID(fmt.Sprintf("client-%d", i)), im); err != nil {
+			t.Fatal(err)
+		}
+		devices[i] = dev
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ClientID(fmt.Sprintf("client-%d", i))
+			client := &Client{ID: id, Device: devices[i]}
+			ch, err := ca.BeginHandshake(id)
+			if err != nil {
+				errs <- fmt.Errorf("%s handshake: %w", id, err)
+				return
+			}
+			m1, err := client.Respond(ch)
+			if err != nil {
+				errs <- fmt.Errorf("%s respond: %w", id, err)
+				return
+			}
+			res, err := ca.Authenticate(id, ch.Nonce, m1)
+			if err != nil {
+				errs <- fmt.Errorf("%s authenticate: %w", id, err)
+				return
+			}
+			if !res.Authenticated {
+				errs <- fmt.Errorf("%s not authenticated", id)
+				return
+			}
+			if _, ok := ra.PublicKey(id); !ok {
+				errs <- fmt.Errorf("%s missing from RA", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if store.Len() != clients {
+		t.Errorf("store has %d clients, want %d", store.Len(), clients)
+	}
+}
+
+// TestInterleavedSessionsSameClient verifies that a new handshake
+// supersedes the previous session for the same client.
+func TestInterleavedSessionsSameClient(t *testing.T) {
+	store, _ := NewImageStore([32]byte{8})
+	ca, err := NewCA(store, &echoBackend{alg: SHA3}, &aeskg.Generator{}, NewRA(), CAConfig{
+		Alg: SHA3, MaxDistance: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := puf.NewDevice(900, 1024, puf.Profile{BaseError: 0.5 / 256.0})
+	im, _ := puf.Enroll(dev, 31)
+	ca.Enroll("alice", im)
+	client := &Client{ID: "alice", Device: dev}
+
+	ch1, err := ca.BeginHandshake("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := ca.BeginHandshake("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stale challenge must be rejected; the fresh one must work.
+	m1, _ := client.Respond(ch1)
+	if _, err := ca.Authenticate("alice", ch1.Nonce, m1); err == nil {
+		t.Error("stale challenge accepted")
+	}
+	m2, _ := client.Respond(ch2)
+	res, err := ca.Authenticate("alice", ch2.Nonce, m2)
+	if err != nil || !res.Authenticated {
+		t.Errorf("fresh challenge failed: %v", err)
+	}
+}

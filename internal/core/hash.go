@@ -1,0 +1,103 @@
+// Package core implements RBC-SALTED, the paper's contribution: a
+// response-based-cryptography protocol whose server-side search brute
+// forces the Hamming ball around an enrolled PUF image by *hashing*
+// candidate seeds, making the search agnostic to the public-key algorithm
+// that is applied - once, after salting - to the recovered seed.
+//
+// The package defines the protocol roles (client, certificate authority,
+// registration authority), the search task/result types, and the Backend
+// interface that the CPU, GPU-simulator and APU-simulator engines
+// implement.
+package core
+
+import (
+	"fmt"
+
+	"rbcsalted/internal/keccak"
+	"rbcsalted/internal/sha1"
+	"rbcsalted/internal/u256"
+)
+
+// HashAlg selects the hash used by the RBC-SALTED search.
+type HashAlg int
+
+const (
+	// SHA3 is SHA3-256, the NIST-standardized choice and the zero-value
+	// default.
+	SHA3 HashAlg = iota
+	// SHA1 is included for cross-platform performance comparison only;
+	// it is cryptographically broken (paper §4.2).
+	SHA1
+)
+
+// String returns the algorithm's display name.
+func (a HashAlg) String() string {
+	switch a {
+	case SHA1:
+		return "SHA-1"
+	case SHA3:
+		return "SHA-3"
+	default:
+		return fmt.Sprintf("HashAlg(%d)", int(a))
+	}
+}
+
+// HashAlgs lists the supported algorithms in display order.
+func HashAlgs() []HashAlg { return []HashAlg{SHA1, SHA3} }
+
+// DigestSize returns the digest length in bytes.
+func (a HashAlg) DigestSize() int {
+	switch a {
+	case SHA1:
+		return sha1.Size
+	case SHA3:
+		return 32
+	}
+	panic(fmt.Sprintf("core: unknown hash algorithm %d", int(a)))
+}
+
+// Digest is a message digest of up to 32 bytes, tagged with its algorithm.
+type Digest struct {
+	Alg HashAlg
+	b   [32]byte
+}
+
+// Bytes returns the digest value.
+func (d Digest) Bytes() []byte { return d.b[:d.Alg.DigestSize()] }
+
+// Equal reports whether two digests share algorithm and value.
+func (d Digest) Equal(other Digest) bool {
+	return d.Alg == other.Alg && d.b == other.b
+}
+
+// String renders the digest as hex.
+func (d Digest) String() string { return fmt.Sprintf("%x", d.Bytes()) }
+
+// DigestFromBytes rebuilds a Digest from a wire-format value.
+func DigestFromBytes(alg HashAlg, b []byte) (Digest, error) {
+	if len(b) != alg.DigestSize() {
+		return Digest{}, fmt.Errorf("core: %s digest must be %d bytes, got %d",
+			alg, alg.DigestSize(), len(b))
+	}
+	d := Digest{Alg: alg}
+	copy(d.b[:], b)
+	return d, nil
+}
+
+// HashSeed hashes a 256-bit seed with the fixed-padding fast path
+// (paper §3.2.2). This is the operation the search performs billions of
+// times.
+func HashSeed(alg HashAlg, seed u256.Uint256) Digest {
+	raw := seed.Bytes()
+	d := Digest{Alg: alg}
+	switch alg {
+	case SHA1:
+		sum := sha1.SumSeed(&raw)
+		copy(d.b[:], sum[:])
+	case SHA3:
+		d.b = keccak.Sum256Seed(&raw)
+	default:
+		panic(fmt.Sprintf("core: unknown hash algorithm %d", int(alg)))
+	}
+	return d
+}

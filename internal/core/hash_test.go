@@ -1,0 +1,98 @@
+package core
+
+import (
+	stdsha1 "crypto/sha1"
+	"crypto/sha3"
+	"testing"
+	"testing/quick"
+
+	"rbcsalted/internal/u256"
+)
+
+func TestHashSeedMatchesReference(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		seed := u256.New(a, b, c, d)
+		raw := seed.Bytes()
+		got1 := HashSeed(SHA1, seed)
+		want1 := stdsha1.Sum(raw[:])
+		if string(got1.Bytes()) != string(want1[:]) {
+			return false
+		}
+		got3 := HashSeed(SHA3, seed)
+		want3 := sha3.Sum256(raw[:])
+		return string(got3.Bytes()) == string(want3[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestSizes(t *testing.T) {
+	if SHA1.DigestSize() != 20 || SHA3.DigestSize() != 32 {
+		t.Error("digest sizes wrong")
+	}
+	if SHA1.String() != "SHA-1" || SHA3.String() != "SHA-3" {
+		t.Error("names wrong")
+	}
+	if HashAlg(9).String() == "" {
+		t.Error("unknown alg must still format")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown alg DigestSize")
+		}
+	}()
+	HashAlg(9).DigestSize()
+}
+
+func TestDigestEqual(t *testing.T) {
+	s := u256.FromUint64(7)
+	a := HashSeed(SHA3, s)
+	b := HashSeed(SHA3, s)
+	c := HashSeed(SHA3, u256.FromUint64(8))
+	d1 := HashSeed(SHA1, s)
+	if !a.Equal(b) {
+		t.Error("equal digests not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different seeds Equal")
+	}
+	if a.Equal(d1) {
+		t.Error("different algorithms Equal")
+	}
+	if a.String() == "" || len(a.String()) != 64 {
+		t.Errorf("SHA3 digest hex = %q", a.String())
+	}
+	if len(d1.String()) != 40 {
+		t.Errorf("SHA1 digest hex = %q", d1.String())
+	}
+}
+
+func TestDigestFromBytesRoundTrip(t *testing.T) {
+	orig := HashSeed(SHA1, u256.FromUint64(99))
+	got, err := DigestFromBytes(SHA1, orig.Bytes())
+	if err != nil || !got.Equal(orig) {
+		t.Errorf("round trip failed: %v", err)
+	}
+	if _, err := DigestFromBytes(SHA1, make([]byte, 32)); err == nil {
+		t.Error("expected size error for 32-byte SHA-1 digest")
+	}
+	if _, err := DigestFromBytes(SHA3, make([]byte, 20)); err == nil {
+		t.Error("expected size error for 20-byte SHA-3 digest")
+	}
+}
+
+func TestSaltSeedBreaksDigestCorrespondence(t *testing.T) {
+	seed := u256.FromUint64(0xABCDEF)
+	salted := SaltSeed(seed, DefaultSaltRotation)
+	if salted.Equal(seed) {
+		t.Error("salt is a no-op")
+	}
+	if HashSeed(SHA3, salted).Equal(HashSeed(SHA3, seed)) {
+		t.Error("salted seed hashes identically")
+	}
+	// Salting must be deterministic and shared: same rotation, same result.
+	if !SaltSeed(seed, DefaultSaltRotation).Equal(salted) {
+		t.Error("salt not deterministic")
+	}
+}

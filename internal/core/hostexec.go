@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+// SearchShellHost covers one Hamming-distance shell on the host with real
+// execution: `workers` goroutines over disjoint subranges, each evaluating
+// the match predicate and polling a shared early-exit flag every
+// checkEvery candidates. It is the execution engine behind the real CPU
+// backend and the validation paths of the device simulators.
+func SearchShellHost(base u256.Uint256, d int, method iterseq.Method, workers, checkEvery int, exhaustive bool, deadline time.Time, match func(u256.Uint256) bool) (found bool, seed u256.Uint256, covered uint64, timedOut bool, err error) {
+	ranges, err := iterseq.Partition(256, d, workers)
+	if err != nil {
+		return false, u256.Zero, 0, false, err
+	}
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+
+	var (
+		stop       atomic.Bool
+		timeout    atomic.Bool
+		totalSeeds atomic.Uint64
+		mu         sync.Mutex
+		wg         sync.WaitGroup
+	)
+	foundSeeds := make([]u256.Uint256, 0, 1)
+
+	for _, r := range ranges {
+		if r.Count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r iterseq.Range) {
+			defer wg.Done()
+			it, iterErr := iterseq.New(method, 256, d, r.Start, int64(r.Count))
+			if iterErr != nil {
+				// Construction is validated by Partition; treat as a bug.
+				panic(iterErr)
+			}
+			c := make([]int, d)
+			local := uint64(0)
+			sinceCheck := 0
+			for it.Next(c) {
+				candidate := iterseq.ApplySeed(base, c)
+				local++
+				if match(candidate) {
+					mu.Lock()
+					foundSeeds = append(foundSeeds, candidate)
+					mu.Unlock()
+					if !exhaustive {
+						stop.Store(true)
+						break
+					}
+				}
+				sinceCheck++
+				if sinceCheck >= checkEvery {
+					sinceCheck = 0
+					if !exhaustive && stop.Load() {
+						break
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						timeout.Store(true)
+						stop.Store(true)
+						break
+					}
+					if timeout.Load() {
+						break
+					}
+				}
+			}
+			totalSeeds.Add(local)
+		}(r)
+	}
+	wg.Wait()
+
+	covered = totalSeeds.Load()
+	if len(foundSeeds) > 0 {
+		found = true
+		seed = foundSeeds[0]
+	}
+	return found, seed, covered, timeout.Load(), nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+func TestPlanShellsLocatesMatch(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, method := range iterseq.Methods() {
+		base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+		oracle := base.FlipBit(3).FlipBit(77).FlipBit(200)
+		task := Task{Base: base, MaxDistance: 5, Method: method, Oracle: &oracle}
+		plans, err := PlanShells(task, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if len(plans) != 5 {
+			t.Fatalf("%v: %d plans", method, len(plans))
+		}
+		for _, p := range plans {
+			if p.Distance == 3 {
+				if !p.HasMatch {
+					t.Fatalf("%v: match not planned in shell 3", method)
+				}
+				if p.MatchLocal == 0 || p.MatchLocal > p.PerWorkerMax {
+					t.Errorf("%v: MatchLocal %d outside (0, %d]", method, p.MatchLocal, p.PerWorkerMax)
+				}
+			} else if p.HasMatch {
+				t.Errorf("%v: spurious match in shell %d", method, p.Distance)
+			}
+		}
+	}
+}
+
+// TestPlanMatchesRealIteration cross-validates the analytic match rank
+// against actually walking the iterator: the worker and local offset the
+// plan predicts must be exactly where the matching combination appears.
+func TestPlanMatchesRealIteration(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	oracle := base.FlipBit(9).FlipBit(41)
+	const workers = 5
+	for _, method := range iterseq.Methods() {
+		task := Task{Base: base, MaxDistance: 2, Method: method, Oracle: &oracle}
+		plans, err := PlanShells(task, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := plans[1] // shell d=2
+		if !p.HasMatch {
+			t.Fatalf("%v: no match planned", method)
+		}
+		// Walk the full order and find the true global rank.
+		it, err := iterseq.New(method, 256, 2, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := make([]int, 2)
+		rank := uint64(0)
+		found := false
+		for it.Next(c) {
+			if iterseq.ApplySeed(base, c).Equal(oracle) {
+				found = true
+				break
+			}
+			rank++
+		}
+		if !found {
+			t.Fatalf("%v: oracle not reachable", method)
+		}
+		if rank != p.MatchRank {
+			t.Errorf("%v: true rank %d, planned %d", method, rank, p.MatchRank)
+		}
+	}
+}
+
+func TestCoveredAtExit(t *testing.T) {
+	p := ShellPlan{Distance: 2, Size: 1000, PerWorkerMax: 100, HasMatch: true, MatchLocal: 10}
+	// 10 workers in lockstep: finder covers 10, others cover ~10 each.
+	got := p.CoveredAtExit(10, 1)
+	if got != 10+9*10 {
+		t.Errorf("CoveredAtExit = %d, want 100", got)
+	}
+	// Large check interval adds lag, capped by per-worker share.
+	got = p.CoveredAtExit(10, 1000)
+	if got != 10+9*100 {
+		t.Errorf("CoveredAtExit with lag = %d, want 910", got)
+	}
+	// No match: full shell.
+	p.HasMatch = false
+	if p.CoveredAtExit(10, 1) != 1000 {
+		t.Error("no-match shell must cover everything")
+	}
+	// Coverage can never exceed the shell.
+	p.HasMatch = true
+	p.MatchLocal = 100
+	if p.CoveredAtExit(100, 64) > 1000 {
+		t.Error("coverage exceeded shell size")
+	}
+}
+
+func TestPlanShellsNoOracle(t *testing.T) {
+	task := Task{Base: u256.FromUint64(1), MaxDistance: 3, Method: iterseq.GrayCode}
+	plans, err := PlanShells(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, p := range plans {
+		if p.HasMatch {
+			t.Error("match without oracle")
+		}
+		total += p.Size
+	}
+	want := combin.ExhaustiveSeeds(256, 3).Uint64() - 1 // shells exclude d=0
+	if total != want {
+		t.Errorf("plans cover %d seeds, want %d", total, want)
+	}
+}
+
+func TestPlanShellsOracleBeyondRadius(t *testing.T) {
+	base := u256.FromUint64(0)
+	oracle := base.FlipBit(1).FlipBit(2).FlipBit(3).FlipBit(4)
+	task := Task{Base: base, MaxDistance: 3, Method: iterseq.GrayCode, Oracle: &oracle}
+	plans, err := PlanShells(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.HasMatch {
+			t.Error("oracle beyond radius must not plan a match")
+		}
+	}
+}
+
+func TestPlanShellsErrors(t *testing.T) {
+	if _, err := PlanShells(Task{MaxDistance: 3}, 0); err == nil {
+		t.Error("expected workers error")
+	}
+	if _, err := PlanShells(Task{MaxDistance: 11}, 4); err == nil {
+		t.Error("expected distance error")
+	}
+}
+
+func TestMatchShell(t *testing.T) {
+	base := u256.FromUint64(0)
+	if MatchShell(base, base) != 0 {
+		t.Error("distance to self != 0")
+	}
+	if MatchShell(base, base.FlipBit(5).FlipBit(100)) != 2 {
+		t.Error("distance wrong")
+	}
+}

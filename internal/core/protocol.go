@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rbcsalted/internal/cryptoalg"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+// ClientID identifies an enrolled client device.
+type ClientID string
+
+// DefaultSaltRotation is the shared salt applied to a recovered seed
+// before key generation: a fixed bit rotation, so there is no computable
+// correspondence between the hashed seed and the key-generation input
+// (paper §3, step 7).
+const DefaultSaltRotation = 113
+
+// DefaultTimeLimit is the authentication threshold T = 20 s used
+// throughout the paper.
+const DefaultTimeLimit = 20 * time.Second
+
+// SaltSeed applies the shared salt to a recovered seed.
+func SaltSeed(seed u256.Uint256, rotation int) u256.Uint256 {
+	return seed.RotateLeft(rotation)
+}
+
+// Challenge is the CA's half of the handshake: which PUF cells the client
+// must read for this session, and how to digest them.
+type Challenge struct {
+	Nonce      uint64
+	AddressMap []int
+	Alg        HashAlg
+}
+
+// RA is the registration authority: the registry of authenticated client
+// public keys (and their CA certificates) that the CA updates after each
+// successful RBC search and relying parties query.
+type RA struct {
+	mu    sync.RWMutex
+	keys  map[ClientID][]byte
+	certs map[ClientID]*Certificate
+}
+
+// NewRA returns an empty registry.
+func NewRA() *RA {
+	return &RA{
+		keys:  make(map[ClientID][]byte),
+		certs: make(map[ClientID]*Certificate),
+	}
+}
+
+// Update records the client's current public key.
+func (ra *RA) Update(id ClientID, publicKey []byte) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	ra.keys[id] = append([]byte(nil), publicKey...)
+}
+
+// UpdateCertificate records the client's current certificate.
+func (ra *RA) UpdateCertificate(id ClientID, cert *Certificate) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	copied := *cert
+	ra.certs[id] = &copied
+}
+
+// Certificate returns the registered certificate for a client, if any.
+func (ra *RA) Certificate(id ClientID) (*Certificate, bool) {
+	ra.mu.RLock()
+	defer ra.mu.RUnlock()
+	c, ok := ra.certs[id]
+	if !ok {
+		return nil, false
+	}
+	copied := *c
+	return &copied, true
+}
+
+// PublicKey returns the registered key for a client, if any.
+func (ra *RA) PublicKey(id ClientID) ([]byte, bool) {
+	ra.mu.RLock()
+	defer ra.mu.RUnlock()
+	k, ok := ra.keys[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), k...), true
+}
+
+// CAConfig collects the CA's tunable policy.
+type CAConfig struct {
+	// Alg is the search hash (default SHA3).
+	Alg HashAlg
+	// MaxDistance bounds the search (default 5, the paper's nominal PUF
+	// error budget).
+	MaxDistance int
+	// Method is the seed iterator (default GrayCode, the fastest).
+	Method iterseq.Method
+	// TimeLimit is the authentication threshold T (default 20 s).
+	TimeLimit time.Duration
+	// TAPKIThreshold masks enrollment cells whose observed instability is
+	// at or above this value (default 0.2).
+	TAPKIThreshold float64
+	// SaltRotation is the shared salt (default DefaultSaltRotation).
+	SaltRotation int
+}
+
+func (c CAConfig) withDefaults() CAConfig {
+	if c.MaxDistance == 0 {
+		c.MaxDistance = 5
+	}
+	if c.TimeLimit == 0 {
+		c.TimeLimit = DefaultTimeLimit
+	}
+	if c.TAPKIThreshold == 0 {
+		c.TAPKIThreshold = 0.2
+	}
+	if c.SaltRotation == 0 {
+		c.SaltRotation = DefaultSaltRotation
+	}
+	return c
+}
+
+// CA is the certificate authority: it holds the encrypted PUF-image
+// database, runs the RBC-SALTED search on its backend, and updates the RA
+// with the public key generated from the recovered, salted seed.
+type CA struct {
+	cfg     CAConfig
+	store   *ImageStore
+	backend Backend
+	keygen  cryptoalg.KeyGenerator
+	ra      *RA
+	issuer  *Issuer
+
+	mu       sync.Mutex
+	sessions map[ClientID]Challenge
+	nonce    uint64
+}
+
+// NewCA assembles a certificate authority.
+func NewCA(store *ImageStore, backend Backend, keygen cryptoalg.KeyGenerator, ra *RA, cfg CAConfig) (*CA, error) {
+	if store == nil || backend == nil || keygen == nil || ra == nil {
+		return nil, errors.New("core: CA requires store, backend, keygen and RA")
+	}
+	return &CA{
+		cfg:      cfg.withDefaults(),
+		store:    store,
+		backend:  backend,
+		keygen:   keygen,
+		ra:       ra,
+		sessions: make(map[ClientID]Challenge),
+	}, nil
+}
+
+// UseIssuer makes the CA issue signed certificates for authenticated
+// clients (see Certificate). Without an issuer, the CA still registers
+// raw public keys with the RA.
+func (ca *CA) UseIssuer(issuer *Issuer) {
+	ca.mu.Lock()
+	ca.issuer = issuer
+	ca.mu.Unlock()
+}
+
+// Enroll stores a client's PUF image, captured in the secure enrollment
+// facility.
+func (ca *CA) Enroll(id ClientID, im *puf.Image) error {
+	return ca.store.Put(id, im)
+}
+
+// BeginHandshake opens an authentication session: the CA picks a fresh
+// PUF address map from the client's TAPKI-stable cells and sends it as the
+// challenge (Figure 1, "handshake").
+func (ca *CA) BeginHandshake(id ClientID) (Challenge, error) {
+	im, err := ca.store.Get(id)
+	if err != nil {
+		return Challenge{}, fmt.Errorf("core: handshake: %w", err)
+	}
+	ca.mu.Lock()
+	ca.nonce++
+	nonce := ca.nonce
+	ca.mu.Unlock()
+
+	addr, err := im.SelectAddressMap(ca.cfg.TAPKIThreshold, nonce)
+	if err != nil {
+		return Challenge{}, fmt.Errorf("core: handshake: %w", err)
+	}
+	ch := Challenge{Nonce: nonce, AddressMap: addr, Alg: ca.cfg.Alg}
+	ca.mu.Lock()
+	ca.sessions[id] = ch
+	ca.mu.Unlock()
+	return ch, nil
+}
+
+// AuthResult is the outcome of an authentication attempt.
+type AuthResult struct {
+	// Authenticated reports whether the RBC search recovered the client's
+	// seed within the time threshold.
+	Authenticated bool
+	// TimedOut reports that the search hit the threshold T; per the
+	// protocol the CA would issue a new challenge and retry.
+	TimedOut bool
+	// PublicKey is the client's fresh public key, generated from the
+	// salted seed, when authenticated.
+	PublicKey []byte
+	// Certificate is the CA-signed binding of ClientID to PublicKey,
+	// present when the CA has an issuer configured.
+	Certificate *Certificate
+	// Search carries the full search telemetry.
+	Search Result
+}
+
+// Authenticate runs the RBC-SALTED search for the digest the client sent
+// (Figure 1 steps 1-9). On success the recovered seed is salted, the
+// public key generated, and the RA updated.
+func (ca *CA) Authenticate(id ClientID, nonce uint64, m1 Digest) (AuthResult, error) {
+	ca.mu.Lock()
+	ch, ok := ca.sessions[id]
+	ca.mu.Unlock()
+	if !ok || ch.Nonce != nonce {
+		return AuthResult{}, fmt.Errorf("core: no open session for %q with nonce %d", id, nonce)
+	}
+	if m1.Alg != ca.cfg.Alg {
+		return AuthResult{}, fmt.Errorf("core: digest algorithm %v does not match CA policy %v", m1.Alg, ca.cfg.Alg)
+	}
+	im, err := ca.store.Get(id)
+	if err != nil {
+		return AuthResult{}, err
+	}
+	base, err := im.Seed(ch.AddressMap)
+	if err != nil {
+		return AuthResult{}, err
+	}
+
+	res, err := ca.backend.Search(Task{
+		Base:        base,
+		Target:      m1,
+		MaxDistance: ca.cfg.MaxDistance,
+		Method:      ca.cfg.Method,
+		TimeLimit:   ca.cfg.TimeLimit,
+	})
+	if err != nil {
+		return AuthResult{}, err
+	}
+
+	out := AuthResult{Search: res, TimedOut: res.TimedOut}
+	if res.Found && !res.TimedOut {
+		salted := SaltSeed(res.Seed, ca.cfg.SaltRotation).Bytes()
+		out.PublicKey = ca.keygen.PublicKey(salted)
+		out.Authenticated = true
+		ca.ra.Update(id, out.PublicKey)
+		ca.mu.Lock()
+		issuer := ca.issuer
+		ca.mu.Unlock()
+		if issuer != nil {
+			cert, certErr := issuer.Issue(id, ca.keygen.Name(), out.PublicKey)
+			if certErr != nil {
+				return AuthResult{}, certErr
+			}
+			out.Certificate = cert
+			ca.ra.UpdateCertificate(id, cert)
+		}
+	}
+	// Single-use challenge either way.
+	ca.mu.Lock()
+	delete(ca.sessions, id)
+	ca.mu.Unlock()
+	return out, nil
+}
+
+// Client is the device-side participant: it reads its PUF at the
+// challenged address and responds with the digest M_1.
+type Client struct {
+	ID     ClientID
+	Device *puf.Device
+	// NoiseBits deliberately flips this many additional seed bits before
+	// hashing (paper §4.1 noise injection; §5 suggests it as a security
+	// knob). Zero means respond with the raw PUF read.
+	NoiseBits int
+	// noiseRng drives deliberate noise injection; lazily seeded from the
+	// challenge nonce for reproducibility.
+	noiseSeed uint64
+}
+
+// Respond reads the PUF at the challenged addresses and returns the
+// digest of the (optionally noise-injected) seed.
+func (c *Client) Respond(ch Challenge) (Digest, error) {
+	seed, err := c.ReadSeed(ch)
+	if err != nil {
+		return Digest{}, err
+	}
+	return HashSeed(ch.Alg, seed), nil
+}
+
+// ReadSeed returns the raw (noise-injected) seed the client would hash.
+// It is exposed so simulations can use it as a search oracle.
+func (c *Client) ReadSeed(ch Challenge) (u256.Uint256, error) {
+	if c.Device == nil {
+		return u256.Zero, errors.New("core: client has no PUF device")
+	}
+	seed, err := c.Device.ReadSeed(ch.AddressMap)
+	if err != nil {
+		return u256.Zero, err
+	}
+	if c.NoiseBits > 0 {
+		state := ch.Nonce ^ c.noiseSeed ^ 0x6A09E667F3BCC908
+		used := make(map[int]bool, c.NoiseBits)
+		for len(used) < c.NoiseBits {
+			state = splitmix64(state)
+			bit := int(state % 256)
+			if used[bit] {
+				continue
+			}
+			used[bit] = true
+			seed = seed.FlipBit(bit)
+		}
+	}
+	return seed, nil
+}
+
+// splitmix64 is the standard 64-bit mixing step, used for cheap
+// deterministic noise placement.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"rbcsalted/internal/puf"
+)
+
+// ImageStore is the CA's PUF-image database. Images are the protocol's
+// crown jewels - whoever holds them can impersonate clients - so the
+// paper keeps them "stored in an encrypted database": each image is
+// serialized and sealed with AES-256-GCM under the store's master key
+// before it touches the in-memory map.
+type ImageStore struct {
+	aead cipher.AEAD
+
+	mu    sync.RWMutex
+	blobs map[ClientID][]byte
+}
+
+// NewImageStore opens a store sealed under the 32-byte master key.
+func NewImageStore(masterKey [32]byte) (*ImageStore, error) {
+	block, err := aes.NewCipher(masterKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("core: image store: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("core: image store: %w", err)
+	}
+	return &ImageStore{aead: aead, blobs: make(map[ClientID][]byte)}, nil
+}
+
+// Put seals and stores a client's enrollment image, replacing any
+// previous image.
+func (s *ImageStore) Put(id ClientID, im *puf.Image) error {
+	if im == nil {
+		return fmt.Errorf("core: nil image for %q", id)
+	}
+	var plain bytes.Buffer
+	if err := gob.NewEncoder(&plain).Encode(im); err != nil {
+		return fmt.Errorf("core: encode image: %w", err)
+	}
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("core: nonce: %w", err)
+	}
+	sealed := s.aead.Seal(nonce, nonce, plain.Bytes(), []byte(id))
+	s.mu.Lock()
+	s.blobs[id] = sealed
+	s.mu.Unlock()
+	return nil
+}
+
+// Get opens and decodes a client's enrollment image.
+func (s *ImageStore) Get(id ClientID) (*puf.Image, error) {
+	s.mu.RLock()
+	sealed, ok := s.blobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: client %q not enrolled", id)
+	}
+	ns := s.aead.NonceSize()
+	if len(sealed) < ns {
+		return nil, fmt.Errorf("core: corrupt image blob for %q", id)
+	}
+	plain, err := s.aead.Open(nil, sealed[:ns], sealed[ns:], []byte(id))
+	if err != nil {
+		return nil, fmt.Errorf("core: unseal image for %q: %w", id, err)
+	}
+	var im puf.Image
+	if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&im); err != nil {
+		return nil, fmt.Errorf("core: decode image: %w", err)
+	}
+	return &im, nil
+}
+
+// Delete removes a client's image (device revocation).
+func (s *ImageStore) Delete(id ClientID) {
+	s.mu.Lock()
+	delete(s.blobs, id)
+	s.mu.Unlock()
+}
+
+// Save writes the store to w. Blobs are persisted exactly as sealed in
+// memory, so the file never contains plaintext PUF images and can only be
+// opened again with the same master key.
+func (s *ImageStore) Save(w io.Writer) error {
+	s.mu.RLock()
+	snapshot := make(map[ClientID][]byte, len(s.blobs))
+	for id, blob := range s.blobs {
+		snapshot[id] = append([]byte(nil), blob...)
+	}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snapshot); err != nil {
+		return fmt.Errorf("core: save image store: %w", err)
+	}
+	return nil
+}
+
+// LoadImageStore reads a store saved by Save. The master key must match
+// the one the store was sealed under; a wrong key surfaces on the first
+// Get.
+func LoadImageStore(masterKey [32]byte, r io.Reader) (*ImageStore, error) {
+	s, err := NewImageStore(masterKey)
+	if err != nil {
+		return nil, err
+	}
+	var snapshot map[ClientID][]byte
+	if err := gob.NewDecoder(r).Decode(&snapshot); err != nil {
+		return nil, fmt.Errorf("core: load image store: %w", err)
+	}
+	s.mu.Lock()
+	s.blobs = snapshot
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Len returns the number of enrolled clients.
+func (s *ImageStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}

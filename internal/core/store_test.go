@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rbcsalted/internal/puf"
+)
+
+func testImage(t *testing.T) *puf.Image {
+	t.Helper()
+	dev, err := puf.NewDevice(31, 512, puf.DefaultProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := puf.Enroll(dev, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestImageStoreRoundTrip(t *testing.T) {
+	store, err := NewImageStore([32]byte{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := testImage(t)
+	if err := store.Put("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Values {
+		if got.Values[i] != im.Values[i] || got.Instability[i] != im.Instability[i] {
+			t.Fatalf("image corrupted at cell %d", i)
+		}
+	}
+	if store.Len() != 1 {
+		t.Errorf("Len = %d", store.Len())
+	}
+}
+
+func TestImageStoreMissingAndDelete(t *testing.T) {
+	store, _ := NewImageStore([32]byte{})
+	if _, err := store.Get("nobody"); err == nil {
+		t.Error("missing client returned an image")
+	}
+	if err := store.Put("x", nil); err == nil {
+		t.Error("nil image accepted")
+	}
+	store.Put("x", testImage(t))
+	store.Delete("x")
+	if _, err := store.Get("x"); err == nil {
+		t.Error("deleted client still readable")
+	}
+}
+
+func TestImageStoreIsActuallyEncrypted(t *testing.T) {
+	store, _ := NewImageStore([32]byte{1})
+	im := testImage(t)
+	store.Put("alice", im)
+	// Reach into the sealed blob: it must not contain the plaintext
+	// serialization prefix.
+	store.mu.RLock()
+	blob := store.blobs["alice"]
+	store.mu.RUnlock()
+	if len(blob) == 0 {
+		t.Fatal("no blob stored")
+	}
+	// gob streams of puf.Image start with a type descriptor containing the
+	// struct name; a sealed blob must not leak it.
+	if containsSubslice(blob, []byte("Image")) || containsSubslice(blob, []byte("Instability")) {
+		t.Error("stored blob leaks plaintext structure")
+	}
+}
+
+func TestImageStoreBlobTamperDetected(t *testing.T) {
+	store, _ := NewImageStore([32]byte{1})
+	store.Put("alice", testImage(t))
+	store.mu.Lock()
+	store.blobs["alice"][len(store.blobs["alice"])-1] ^= 0xFF
+	store.mu.Unlock()
+	if _, err := store.Get("alice"); err == nil {
+		t.Error("tampered blob accepted")
+	}
+	// Truncated blob shorter than a nonce.
+	store.mu.Lock()
+	store.blobs["bob"] = []byte{1, 2}
+	store.mu.Unlock()
+	if _, err := store.Get("bob"); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func TestImageStoreKeyBinding(t *testing.T) {
+	// A blob sealed for one client id must not open under another
+	// (additional authenticated data binds identity).
+	store, _ := NewImageStore([32]byte{1})
+	store.Put("alice", testImage(t))
+	store.mu.Lock()
+	store.blobs["eve"] = store.blobs["alice"]
+	store.mu.Unlock()
+	if _, err := store.Get("eve"); err == nil {
+		t.Error("blob replayed under a different identity")
+	}
+}
+
+func containsSubslice(haystack, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if string(haystack[i:i+len(needle)]) == string(needle) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestImageStoreSaveLoadRoundTrip(t *testing.T) {
+	key := [32]byte{3, 1, 4}
+	store, _ := NewImageStore(key)
+	im := testImage(t)
+	if err := store.Put("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The persisted form must not leak plaintext either.
+	if containsSubslice(buf.Bytes(), []byte("Instability")) {
+		t.Error("saved store leaks plaintext structure")
+	}
+	loaded, err := LoadImageStore(key, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Values {
+		if got.Values[i] != im.Values[i] {
+			t.Fatalf("image corrupted at cell %d", i)
+		}
+	}
+}
+
+func TestImageStoreLoadWrongKey(t *testing.T) {
+	store, _ := NewImageStore([32]byte{1})
+	store.Put("alice", testImage(t))
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadImageStore([32]byte{2}, &buf)
+	if err != nil {
+		t.Fatal(err) // load succeeds; decryption must fail
+	}
+	if _, err := loaded.Get("alice"); err == nil {
+		t.Error("wrong master key opened a sealed image")
+	}
+}
+
+func TestImageStoreLoadGarbage(t *testing.T) {
+	if _, err := LoadImageStore([32]byte{}, bytes.NewReader([]byte("not a store"))); err == nil {
+		t.Error("garbage accepted as a store")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+// Task describes one RBC search: recover the seed whose digest matches the
+// client's within a Hamming ball around the enrolled image.
+type Task struct {
+	// Base is S_init, derived from the server's PUF image.
+	Base u256.Uint256
+	// Target is M_1, the digest the client sent.
+	Target Digest
+	// MaxDistance is the largest Hamming distance searched (inclusive).
+	// All shells 0..MaxDistance are covered, in order.
+	MaxDistance int
+	// Method selects the seed-iteration algorithm (paper §3.2.1).
+	Method iterseq.Method
+	// Exhaustive disables the early exit: every shell up to MaxDistance is
+	// fully covered even after a match, giving the upper-bound timing of
+	// Equation 1. The match is still reported.
+	Exhaustive bool
+	// CheckInterval is the number of seeds a worker hashes between polls
+	// of the early-exit flag (paper §4.4). Zero means 1.
+	CheckInterval int
+	// TimeLimit is the authentication threshold T. Zero means no limit.
+	// Backends stop and report !Found when modelled time exceeds it.
+	TimeLimit time.Duration
+	// Oracle optionally carries the ground-truth client seed for
+	// event-driven simulators: it lets a modelled device locate the match
+	// analytically instead of hashing billions of candidates on the host.
+	// Backends must verify (by hashing) any match the oracle suggests,
+	// and must never report a match that hashing does not confirm.
+	Oracle *u256.Uint256
+}
+
+// Result reports the outcome and cost of one RBC search.
+type Result struct {
+	// Found reports whether a seed hashing to Target was located.
+	Found bool
+	// Seed is the recovered seed when Found.
+	Seed u256.Uint256
+	// Distance is the Hamming distance at which the seed was found.
+	Distance int
+	// SeedsCovered counts the candidate seeds the search accounts for.
+	// For exhaustive searches this is u(MaxDistance); for early-exit
+	// searches it is the number of seeds covered before termination.
+	SeedsCovered uint64
+	// HashesExecuted counts digests actually computed on the host. Real
+	// backends hash everything they cover; modelled backends hash a
+	// validation sample plus the verified match.
+	HashesExecuted uint64
+	// DeviceSeconds is the modelled search-only time on the backend's
+	// device. For real backends it equals the measured wall time.
+	DeviceSeconds float64
+	// WallSeconds is host wall-clock time actually spent.
+	WallSeconds float64
+	// EnergyJoules and PeakWatts report the device power model's
+	// accounting; zero when the backend has no power model.
+	EnergyJoules float64
+	PeakWatts    float64
+	// TimedOut reports that the search stopped at TimeLimit.
+	TimedOut bool
+	// Shells breaks the search down per Hamming distance, in the order
+	// the shells were processed (the distance-0 probe is not included).
+	Shells []ShellStat
+}
+
+// ShellStat is one Hamming shell's contribution to a search.
+type ShellStat struct {
+	// Distance is the shell's Hamming distance.
+	Distance int
+	// SeedsCovered is the number of candidates accounted for in this
+	// shell.
+	SeedsCovered uint64
+	// DeviceSeconds is the modelled (or, for real backends, measured)
+	// time spent in this shell.
+	DeviceSeconds float64
+}
+
+// Backend is a search engine bound to a hash algorithm and a hardware
+// platform (real or modelled).
+type Backend interface {
+	// Name identifies the engine and platform for reports.
+	Name() string
+	// Search runs one RBC search to completion or timeout.
+	Search(task Task) (Result, error)
+}

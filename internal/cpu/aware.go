@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cryptoalg"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+// AwareBackend implements the ORIGINAL, algorithm-aware RBC search the
+// paper improves on (§3): every candidate seed is run through public-key
+// generation and the resulting key compared to the client's. It exists as
+// the Table 7 baseline - key generation per seed is why the prior-work
+// engines are dramatically slower than RBC-SALTED for PQC algorithms.
+type AwareBackend struct {
+	// Keygen generates the per-candidate public keys.
+	Keygen cryptoalg.KeyGenerator
+	// Workers is the thread count; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// AwareTask describes one algorithm-aware RBC search.
+type AwareTask struct {
+	// Base is S_init from the server's PUF image.
+	Base u256.Uint256
+	// TargetKey is the public key received from the client.
+	TargetKey []byte
+	// MaxDistance, Method, Exhaustive, CheckInterval and TimeLimit have
+	// the same meaning as in core.Task.
+	MaxDistance   int
+	Method        iterseq.Method
+	Exhaustive    bool
+	CheckInterval int
+	TimeLimit     time.Duration
+}
+
+// Name identifies the engine.
+func (b *AwareBackend) Name() string {
+	return fmt.Sprintf("RBC-%s(p=%d)", b.Keygen.Name(), b.workers())
+}
+
+func (b *AwareBackend) workers() int {
+	w := (&Backend{Workers: b.Workers}).workers()
+	return w
+}
+
+// Search runs the algorithm-aware search, generating a key per candidate.
+// Result.HashesExecuted counts key generations.
+func (b *AwareBackend) Search(task AwareTask) (core.Result, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Result{}, fmt.Errorf("cpu: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	if len(task.TargetKey) == 0 {
+		return core.Result{}, fmt.Errorf("cpu: aware search needs a target key")
+	}
+	start := time.Now()
+	var res core.Result
+
+	match := func(candidate u256.Uint256) bool {
+		key := b.Keygen.PublicKey(candidate.Bytes())
+		return bytes.Equal(key, task.TargetKey)
+	}
+
+	res.HashesExecuted++
+	res.SeedsCovered++
+	if match(task.Base) {
+		res.Found = true
+		res.Seed = task.Base
+		res.Distance = 0
+		if !task.Exhaustive {
+			res.WallSeconds = time.Since(start).Seconds()
+			res.DeviceSeconds = res.WallSeconds
+			return res, nil
+		}
+	}
+
+	deadline := time.Time{}
+	if task.TimeLimit > 0 {
+		deadline = start.Add(task.TimeLimit)
+	}
+	for d := 1; d <= task.MaxDistance; d++ {
+		found, seed, covered, timedOut, err := core.SearchShellHost(
+			task.Base, d, task.Method, b.workers(), task.CheckInterval,
+			task.Exhaustive, deadline, match)
+		if err != nil {
+			return core.Result{}, err
+		}
+		res.SeedsCovered += covered
+		res.HashesExecuted += covered
+		if found && !res.Found {
+			res.Found = true
+			res.Seed = seed
+			res.Distance = d
+		}
+		if timedOut {
+			res.TimedOut = true
+			break
+		}
+		if res.Found && !task.Exhaustive {
+			break
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.DeviceSeconds = res.WallSeconds
+	return res, nil
+}

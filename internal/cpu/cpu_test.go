@@ -1,0 +1,343 @@
+package cpu
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+func randSeed(r *rand.Rand) u256.Uint256 {
+	return u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+}
+
+func taskFor(alg core.HashAlg, base, client u256.Uint256, maxD int, method iterseq.Method) core.Task {
+	oracle := client
+	return core.Task{
+		Base:        base,
+		Target:      core.HashSeed(alg, client),
+		MaxDistance: maxD,
+		Method:      method,
+		Oracle:      &oracle,
+	}
+}
+
+func TestSearchFindsSeedAtEachDistance(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, alg := range core.HashAlgs() {
+		for d := 0; d <= 2; d++ {
+			base := randSeed(r)
+			client := base
+			client = puf.InjectNoise(client, base, d, r)
+			b := &Backend{Alg: alg, Workers: 4}
+			res, err := b.Search(taskFor(alg, base, client, 2, iterseq.GrayCode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found || !res.Seed.Equal(client) || res.Distance != d {
+				t.Errorf("%s d=%d: found=%v seed ok=%v distance=%d",
+					alg, d, res.Found, res.Seed.Equal(client), res.Distance)
+			}
+			if res.HashesExecuted != res.SeedsCovered {
+				t.Errorf("real backend must hash everything it covers: %d != %d",
+					res.HashesExecuted, res.SeedsCovered)
+			}
+		}
+	}
+}
+
+func TestSearchAllMethodsAgree(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 2, r)
+	for _, method := range iterseq.Methods() {
+		b := &Backend{Alg: core.SHA3, Workers: 3}
+		res, err := b.Search(taskFor(core.SHA3, base, client, 3, method))
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if !res.Found || !res.Seed.Equal(client) || res.Distance != 2 {
+			t.Errorf("%v: wrong result %+v", method, res)
+		}
+	}
+}
+
+func TestSearchNotFoundBeyondRadius(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 3, r)
+	b := &Backend{Alg: core.SHA3, Workers: 4}
+	res, err := b.Search(taskFor(core.SHA3, base, client, 2, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("found a seed that lies outside the search radius")
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("covered %d seeds, want u(2)=%d", res.SeedsCovered, want)
+	}
+}
+
+func TestExhaustiveCoversEverythingAndStillFinds(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 1, r)
+	task := taskFor(core.SHA3, base, client, 2, iterseq.GrayCode)
+	task.Exhaustive = true
+	b := &Backend{Alg: core.SHA3, Workers: 4}
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Distance != 1 {
+		t.Errorf("exhaustive search lost the match: %+v", res)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("exhaustive covered %d, want %d", res.SeedsCovered, want)
+	}
+}
+
+func TestEarlyExitSavesWork(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 2, r)
+	b := &Backend{Alg: core.SHA1, Workers: 4}
+
+	early, err := b.Search(taskFor(core.SHA1, base, client, 2, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := taskFor(core.SHA1, base, client, 2, iterseq.GrayCode)
+	task.Exhaustive = true
+	exhaustive, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.SeedsCovered >= exhaustive.SeedsCovered {
+		t.Errorf("early exit covered %d >= exhaustive %d",
+			early.SeedsCovered, exhaustive.SeedsCovered)
+	}
+}
+
+func TestCheckIntervalDoesNotChangeResult(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 12))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 2, r)
+	for _, interval := range []int{0, 1, 7, 64} {
+		task := taskFor(core.SHA3, base, client, 2, iterseq.Alg515)
+		task.CheckInterval = interval
+		b := &Backend{Alg: core.SHA3, Workers: 5}
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			t.Errorf("interval %d: lost match", interval)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	r := rand.New(rand.NewPCG(13, 14))
+	base := randSeed(r)
+	// No match anywhere: search d=3 (2.8M seeds) with a tiny time limit.
+	task := core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, randSeed(r)),
+		MaxDistance: 3,
+		Method:      iterseq.GrayCode,
+		TimeLimit:   time.Millisecond,
+	}
+	b := &Backend{Alg: core.SHA3, Workers: 2}
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Found {
+		t.Errorf("expected timeout without match, got %+v", res)
+	}
+}
+
+func TestWorkerCountsEquivalent(t *testing.T) {
+	r := rand.New(rand.NewPCG(15, 16))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 2, r)
+	for _, workers := range []int{1, 2, 16, 100} {
+		b := &Backend{Alg: core.SHA3, Workers: workers}
+		res, err := b.Search(taskFor(core.SHA3, base, client, 2, iterseq.GrayCode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			t.Errorf("workers=%d: lost match", workers)
+		}
+	}
+}
+
+func TestInvalidMaxDistance(t *testing.T) {
+	b := &Backend{Alg: core.SHA3}
+	if _, err := b.Search(core.Task{MaxDistance: 11}); err == nil {
+		t.Error("expected error for MaxDistance 11")
+	}
+	if _, err := b.Search(core.Task{MaxDistance: -1}); err == nil {
+		t.Error("expected error for negative MaxDistance")
+	}
+}
+
+func TestName(t *testing.T) {
+	b := &Backend{Alg: core.SHA1, Workers: 8}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+	m := &ModelBackend{Alg: core.SHA3}
+	if m.Name() == "" {
+		t.Error("empty model name")
+	}
+}
+
+// --- ModelBackend ---
+
+func TestModelMatchesAnchorExhaustive(t *testing.T) {
+	r := rand.New(rand.NewPCG(17, 18))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	for _, alg := range core.HashAlgs() {
+		task := taskFor(alg, base, client, 5, iterseq.GrayCode)
+		task.Exhaustive = true
+		m := &ModelBackend{Alg: alg}
+		res, err := m.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Distance != 5 {
+			t.Fatalf("%s: model lost the match: %+v", alg, res)
+		}
+		want := anchorSeconds(alg)
+		if rel(res.DeviceSeconds, want) > 0.02 {
+			t.Errorf("%s: modelled %0.2fs, anchor %0.2fs", alg, res.DeviceSeconds, want)
+		}
+	}
+}
+
+func TestModelEarlyExitFasterThanExhaustive(t *testing.T) {
+	r := rand.New(rand.NewPCG(19, 20))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	m := &ModelBackend{Alg: core.SHA3}
+	early, err := m.Search(taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
+	task.Exhaustive = true
+	exh, err := m.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(early.DeviceSeconds < exh.DeviceSeconds) {
+		t.Errorf("early %0.2fs not faster than exhaustive %0.2fs",
+			early.DeviceSeconds, exh.DeviceSeconds)
+	}
+	if early.HashesExecuted >= 1000 {
+		t.Errorf("model hashed %d seeds; it should only verify", early.HashesExecuted)
+	}
+}
+
+func TestModelAgreesWithRealBackendAtSmallScale(t *testing.T) {
+	// The model and the real engine must find the same seed at the same
+	// distance (times differ: one is modelled EPYC, one is this host).
+	r := rand.New(rand.NewPCG(21, 22))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 2, r)
+	task := taskFor(core.SHA3, base, client, 3, iterseq.Gosper)
+	real := &Backend{Alg: core.SHA3, Workers: 4}
+	model := &ModelBackend{Alg: core.SHA3}
+	rr, err := real.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := model.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Found != mr.Found || !rr.Seed.Equal(mr.Seed) || rr.Distance != mr.Distance {
+		t.Errorf("real %+v vs model %+v disagree", rr, mr)
+	}
+}
+
+func TestModelRejectsWrongOracle(t *testing.T) {
+	// An oracle whose digest does not match must not be reported found.
+	r := rand.New(rand.NewPCG(23, 24))
+	base := randSeed(r)
+	liar := puf.InjectNoise(base, base, 3, r)
+	task := core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, randSeed(r)), // unrelated digest
+		MaxDistance: 5,
+		Method:      iterseq.GrayCode,
+		Oracle:      &liar,
+	}
+	m := &ModelBackend{Alg: core.SHA3}
+	res, err := m.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("model trusted an unverified oracle")
+	}
+}
+
+func TestModelTimeLimit(t *testing.T) {
+	r := rand.New(rand.NewPCG(25, 26))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
+	task.Exhaustive = true
+	task.TimeLimit = 20 * time.Second
+	m := &ModelBackend{Alg: core.SHA3}
+	res, err := m.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: SALTED-CPU with SHA-3 does not authenticate within T=20s.
+	if !res.TimedOut {
+		t.Errorf("expected timeout: modelled %0.2fs vs T=20s", res.DeviceSeconds)
+	}
+}
+
+func TestSpeedupCalibration(t *testing.T) {
+	if s := Speedup(core.SHA1, 64); rel(s, 59) > 0.01 {
+		t.Errorf("SHA-1 speedup(64) = %0.2f, want 59", s)
+	}
+	if s := Speedup(core.SHA3, 64); rel(s, 63) > 0.01 {
+		t.Errorf("SHA-3 speedup(64) = %0.2f, want 63", s)
+	}
+	if s := Speedup(core.SHA3, 1); rel(s, 1) > 1e-9 {
+		t.Errorf("speedup(1) = %f, want 1", s)
+	}
+	// Monotone in p.
+	prev := 0.0
+	for p := 1; p <= 64; p *= 2 {
+		s := Speedup(core.SHA1, p)
+		if s <= prev {
+			t.Errorf("speedup not monotone at p=%d", p)
+		}
+		prev = s
+	}
+}
+
+func rel(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}

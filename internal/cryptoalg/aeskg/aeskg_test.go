@@ -1,0 +1,69 @@
+package aeskg
+
+import (
+	"bytes"
+	"crypto/aes"
+	"testing"
+
+	"rbcsalted/internal/cryptoalg"
+)
+
+var _ cryptoalg.KeyGenerator = (*Generator)(nil)
+
+func TestDeterministicAndSized(t *testing.T) {
+	g := &Generator{}
+	seed := [32]byte{1}
+	k1 := g.PublicKey(seed)
+	k2 := g.PublicKey(seed)
+	if len(k1) != 32 {
+		t.Fatalf("response size %d, want 32", len(k1))
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("not deterministic")
+	}
+}
+
+func TestMatchesDirectAES(t *testing.T) {
+	g := &Generator{Plaintext: [16]byte{0xAA}}
+	seed := [32]byte{3, 1, 4, 1, 5, 9, 2, 6}
+	got := g.PublicKey(seed)
+	block, err := aes.NewCipher(seed[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 32)
+	block.Encrypt(want[:16], g.Plaintext[:])
+	second := g.Plaintext
+	second[15] ^= 1
+	block.Encrypt(want[16:], second[:])
+	if !bytes.Equal(got, want) {
+		t.Error("response differs from direct AES computation")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	g := &Generator{}
+	a := g.PublicKey([32]byte{1})
+	b := g.PublicKey([32]byte{2})
+	if bytes.Equal(a, b) {
+		t.Error("different seeds gave identical responses")
+	}
+	// Only the first 16 seed bytes key the cipher.
+	c1 := [32]byte{1}
+	c2 := [32]byte{1}
+	c2[20] = 99
+	if !bytes.Equal(g.PublicKey(c1), g.PublicKey(c2)) {
+		t.Error("bytes beyond the key length changed the response")
+	}
+}
+
+func BenchmarkKeyGen(b *testing.B) {
+	g := &Generator{}
+	var seed [32]byte
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sink = g.PublicKey(seed)
+	}
+}
+
+var sink []byte

@@ -1,0 +1,20 @@
+// Package cryptoalg defines the public-key-generation interface that
+// RBC-SALTED applies once to the recovered, salted seed - the step that
+// makes the protocol algorithm-agnostic - and that the original,
+// algorithm-aware RBC baseline applies to every candidate seed.
+//
+// Implementations live in subpackages: aeskg (the AES-128 engine of prior
+// RBC work), saber (LightSaber key generation) and dilithium (Dilithium3
+// key generation), all deterministic functions of the 32-byte seed.
+package cryptoalg
+
+// KeyGenerator deterministically derives a public key from a 32-byte seed.
+// The private half is never materialized outside the call, matching the
+// RBC property that client private keys are never stored.
+type KeyGenerator interface {
+	// Name identifies the algorithm for reports.
+	Name() string
+	// PublicKey derives the public key bytes for the seed. The same seed
+	// always yields the same key.
+	PublicKey(seed [32]byte) []byte
+}

@@ -1,0 +1,149 @@
+package dilithium
+
+import "rbcsalted/internal/keccak"
+
+// Dilithium3 parameters.
+const (
+	K   = 6  // rows of A / length of t
+	L   = 5  // columns of A / length of s1
+	Eta = 4  // secret coefficient bound
+	D   = 13 // dropped bits in Power2Round
+
+	// PublicKeySize = rho (32) + K polys of N 10-bit t1 coefficients.
+	PublicKeySize = 32 + K*N*10/8
+)
+
+// Generator derives Dilithium3 public keys from seeds. It implements
+// cryptoalg.KeyGenerator. The zero value is ready to use.
+type Generator struct{}
+
+// Name implements cryptoalg.KeyGenerator.
+func (Generator) Name() string { return "Dilithium3" }
+
+// PublicKey implements cryptoalg.KeyGenerator.
+//
+// KeyGen: (rho, rho') = H(seed); A = ExpandA(rho) in the NTT domain;
+// (s1, s2) = ExpandS(rho'); t = A s1 + s2; (t1, t0) = Power2Round(t, d);
+// pk = rho || pack_10(t1).
+func (Generator) PublicKey(seed [32]byte) []byte {
+	h := keccak.NewSHAKE256()
+	h.Write(seed[:])
+	h.Write([]byte{K, L}) // domain separation per parameter set
+	var rho [32]byte
+	var rhoPrime [64]byte
+	h.Read(rho[:])
+	h.Read(rhoPrime[:])
+
+	// A is sampled directly in the NTT domain, as in the specification.
+	var a [K][L]Poly
+	for i := 0; i < K; i++ {
+		for j := 0; j < L; j++ {
+			a[i][j] = expandA(rho[:], uint8(i), uint8(j))
+		}
+	}
+
+	var s1 [L]Poly
+	for j := 0; j < L; j++ {
+		s1[j] = sampleEta(rhoPrime[:], uint16(j))
+	}
+	var s2 [K]Poly
+	for i := 0; i < K; i++ {
+		s2[i] = sampleEta(rhoPrime[:], uint16(L+i))
+	}
+
+	// t = A s1 + s2 via the NTT.
+	var s1Hat [L]Poly
+	for j := 0; j < L; j++ {
+		s1Hat[j] = s1[j]
+		s1Hat[j].NTT()
+	}
+	out := make([]byte, 0, PublicKeySize)
+	out = append(out, rho[:]...)
+	for i := 0; i < K; i++ {
+		var acc Poly
+		for j := 0; j < L; j++ {
+			prod := PointwiseMul(&a[i][j], &s1Hat[j])
+			acc = Add(&acc, &prod)
+		}
+		acc.InvNTT()
+		t := Add(&acc, &s2[i])
+		// Power2Round: t1 = round(t / 2^d).
+		var t1 [N]uint16
+		for n := 0; n < N; n++ {
+			t1[n] = power2RoundHigh(t[n])
+		}
+		out = appendPacked10(out, &t1)
+	}
+	return out
+}
+
+// expandA samples one matrix polynomial from SHAKE-128(rho || j || i)
+// with rejection sampling of 23-bit candidates below q.
+func expandA(rho []byte, i, j uint8) Poly {
+	s := keccak.NewSHAKE128()
+	s.Write(rho)
+	s.Write([]byte{j, i})
+	var p Poly
+	var buf [3]byte
+	for n := 0; n < N; {
+		s.Read(buf[:])
+		v := uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])&0x7F<<16
+		if v < Q {
+			p[n] = v
+			n++
+		}
+	}
+	return p
+}
+
+// sampleEta samples a secret polynomial with coefficients in [-eta, eta]
+// from SHAKE-256(rho' || nonce), rejecting nibbles >= 9 (eta = 4).
+func sampleEta(rhoPrime []byte, nonce uint16) Poly {
+	s := keccak.NewSHAKE256()
+	s.Write(rhoPrime)
+	s.Write([]byte{byte(nonce), byte(nonce >> 8)})
+	var p Poly
+	var buf [1]byte
+	n := 0
+	for n < N {
+		s.Read(buf[:])
+		for _, nib := range []byte{buf[0] & 0x0F, buf[0] >> 4} {
+			if nib < 9 && n < N {
+				// eta - nib in [-4, 4], lifted mod q.
+				v := int32(Eta) - int32(nib)
+				if v < 0 {
+					v += Q
+				}
+				p[n] = uint32(v)
+				n++
+			}
+		}
+	}
+	return p
+}
+
+// power2RoundHigh returns t1 from Power2Round: the high bits of r with
+// the low d bits rounded to the centered remainder.
+func power2RoundHigh(r uint32) uint16 {
+	const half = 1 << (D - 1)
+	return uint16((r + half - 1) >> D)
+}
+
+// appendPacked10 packs 256 10-bit values little-endian into 320 bytes.
+func appendPacked10(dst []byte, t1 *[N]uint16) []byte {
+	var acc uint32
+	var bits uint
+	for _, c := range t1 {
+		acc |= uint32(c&0x3FF) << bits
+		bits += 10
+		for bits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			bits -= 8
+		}
+	}
+	if bits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}

@@ -1,0 +1,180 @@
+package dilithium
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbcsalted/internal/cryptoalg"
+)
+
+var _ cryptoalg.KeyGenerator = Generator{}
+
+func randPoly(r *rand.Rand) Poly {
+	var p Poly
+	for i := range p {
+		p[i] = uint32(r.Intn(Q))
+	}
+	return p
+}
+
+// TestNTTRoundTrip: InvNTT(NTT(p)) == p.
+func TestNTTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := randPoly(r)
+		q := p
+		q.NTT()
+		q.InvNTT()
+		if p != q {
+			t.Fatalf("NTT round trip failed at trial %d", trial)
+		}
+	}
+}
+
+// TestNTTMulMatchesSchoolbook is the key validation: the NTT-based
+// negacyclic product must equal the O(n^2) reference for random inputs.
+func TestNTTMulMatchesSchoolbook(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randPoly(r)
+		b := randPoly(r)
+		want := MulSchoolbook(&a, &b)
+		na, nb := a, b
+		na.NTT()
+		nb.NTT()
+		got := PointwiseMul(&na, &nb)
+		got.InvNTT()
+		if got != want {
+			t.Fatalf("NTT product differs from schoolbook at trial %d", trial)
+		}
+	}
+}
+
+func TestNTTLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, b := randPoly(r), randPoly(r)
+	sum := Add(&a, &b)
+	sum.NTT()
+	a.NTT()
+	b.NTT()
+	want := Add(&a, &b)
+	if sum != want {
+		t.Error("NTT not linear")
+	}
+}
+
+func TestZetasAreRootsOfUnity(t *testing.T) {
+	// Every twiddle is a power of the 512th root: zeta^512 == 1, and the
+	// generator itself has exact order 512.
+	for i, z := range zetas {
+		if powMod(z, 512) != 1 {
+			t.Fatalf("zetas[%d]^512 != 1", i)
+		}
+	}
+	if powMod(RootOfUnity, 256) == 1 {
+		t.Error("root of unity has order <= 256")
+	}
+	if powMod(RootOfUnity, 512) != 1 {
+		t.Error("root of unity does not have order 512")
+	}
+	if mulMod(invN, N) != 1 {
+		t.Error("invN wrong")
+	}
+}
+
+func TestPublicKeySizeAndDeterminism(t *testing.T) {
+	var g Generator
+	seed := [32]byte{9}
+	pk1 := g.PublicKey(seed)
+	pk2 := g.PublicKey(seed)
+	if len(pk1) != PublicKeySize || PublicKeySize != 1952 {
+		t.Fatalf("public key size %d, want 1952", len(pk1))
+	}
+	if !bytes.Equal(pk1, pk2) {
+		t.Error("keygen not deterministic")
+	}
+}
+
+func TestDistinctSeedsDistinctKeys(t *testing.T) {
+	var g Generator
+	f := func(a, b [32]byte) bool {
+		if a == b {
+			return true
+		}
+		return !bytes.Equal(g.PublicKey(a), g.PublicKey(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleEtaRange(t *testing.T) {
+	p := sampleEta([]byte("rho prime material for testing!"), 3)
+	for i, c := range p {
+		v := int64(c)
+		if v > Q/2 {
+			v -= Q
+		}
+		if v < -Eta || v > Eta {
+			t.Fatalf("coefficient %d = %d outside [-4, 4]", i, v)
+		}
+	}
+	// Distinct nonces give distinct polynomials.
+	if sampleEta([]byte("rho prime material for testing!"), 4) == p {
+		t.Error("nonce ignored")
+	}
+}
+
+func TestExpandARange(t *testing.T) {
+	p := expandA([]byte("rho material"), 2, 3)
+	for i, c := range p {
+		if c >= Q {
+			t.Fatalf("A coefficient %d = %d >= q", i, c)
+		}
+	}
+	if expandA([]byte("rho material"), 3, 2) == p {
+		t.Error("matrix position ignored in expansion")
+	}
+}
+
+func TestPower2Round(t *testing.T) {
+	// t1 must reconstruct r within +/- 2^(d-1).
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 1000; trial++ {
+		v := uint32(r.Intn(Q))
+		t1 := power2RoundHigh(v)
+		recon := int64(t1) << D
+		diff := recon - int64(v)
+		if diff < -(1<<(D-1)) || diff > 1<<(D-1) {
+			t.Fatalf("Power2Round residual %d for %d", diff, v)
+		}
+	}
+}
+
+func BenchmarkKeyGen(b *testing.B) {
+	var g Generator
+	var seed [32]byte
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sink = g.PublicKey(seed)
+	}
+}
+
+var sink []byte
+
+// TestGoldenDigest pins the exact keygen output: any refactor that
+// changes the derivation (NTT, sampling, Power2Round, packing) must fail
+// here rather than silently producing different keys.
+func TestGoldenDigest(t *testing.T) {
+	var g Generator
+	pk := g.PublicKey([32]byte{1, 2, 3, 4})
+	got := sha256.Sum256(pk)
+	const want = "3ed34223a9e0b9309401c5ce4559ed35d04d1134c2e3e31d397f5896c7ace542"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("keygen output changed: sha256 = %x, want %s", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+// Package dilithium implements CRYSTALS-Dilithium3 key generation
+// (Ducas et al.): the lattice signature scheme whose keygen cost anchors
+// the paper's slowest Table 7 prior-work baseline (Dilithium-GPU, Wright
+// et al.).
+//
+// Only key generation is implemented - the operation the algorithm-aware
+// RBC search performs per candidate seed. It follows the Dilithium3
+// parameter set (k=6, l=5, eta=4, q=8380417, d=13) with SHAKE-based
+// expansion, NTT arithmetic over Z_q, rejection sampling, Power2Round and
+// 1952-byte public keys; deterministic from a 32-byte seed, with no claim
+// of byte compatibility with the NIST reference vectors.
+package dilithium
+
+// Ring parameters.
+const (
+	N = 256
+	Q = 8380417
+	// RootOfUnity is the canonical 512th primitive root of unity mod Q.
+	RootOfUnity = 1753
+)
+
+// zetas[i] = RootOfUnity^bitrev8(i) mod Q, the twiddle factors of the
+// decimation-in-time NTT, computed at init rather than transcribed.
+var zetas [N]uint32
+
+// invN = N^{-1} mod Q, for the inverse transform's final scaling.
+var invN uint32
+
+func init() {
+	for i := 0; i < N; i++ {
+		zetas[i] = powMod(RootOfUnity, uint32(bitrev8(uint8(i))))
+	}
+	invN = powMod(N, Q-2)
+}
+
+func bitrev8(v uint8) uint8 {
+	v = v>>4 | v<<4
+	v = (v&0xCC)>>2 | (v&0x33)<<2
+	v = (v&0xAA)>>1 | (v&0x55)<<1
+	return v
+}
+
+func powMod(base, exp uint32) uint32 {
+	result := uint64(1)
+	b := uint64(base) % Q
+	for e := exp; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = result * b % Q
+		}
+		b = b * b % Q
+	}
+	return uint32(result)
+}
+
+// Poly is a polynomial in Z_q[x]/(x^256+1), coefficients in [0, Q).
+type Poly [N]uint32
+
+func mulMod(a, b uint32) uint32 {
+	return uint32(uint64(a) * uint64(b) % Q)
+}
+
+func addMod(a, b uint32) uint32 {
+	s := a + b
+	if s >= Q {
+		s -= Q
+	}
+	return s
+}
+
+func subMod(a, b uint32) uint32 {
+	if a >= b {
+		return a - b
+	}
+	return a + Q - b
+}
+
+// NTT transforms p in place to the number-theoretic domain
+// (decimation-in-time, bit-reversed twiddles).
+func (p *Poly) NTT() {
+	k := 0
+	for length := 128; length >= 1; length >>= 1 {
+		for start := 0; start < N; start += 2 * length {
+			k++
+			zeta := zetas[k]
+			for j := start; j < start+length; j++ {
+				t := mulMod(zeta, p[j+length])
+				p[j+length] = subMod(p[j], t)
+				p[j] = addMod(p[j], t)
+			}
+		}
+	}
+}
+
+// InvNTT transforms p back from the NTT domain, including the 1/N
+// scaling.
+func (p *Poly) InvNTT() {
+	k := N
+	for length := 1; length < N; length <<= 1 {
+		for start := 0; start < N; start += 2 * length {
+			k--
+			// Inverse butterflies consume the twiddles in reverse, negated.
+			zeta := Q - zetas[k]
+			for j := start; j < start+length; j++ {
+				t := p[j]
+				p[j] = addMod(t, p[j+length])
+				p[j+length] = mulMod(zeta, subMod(t, p[j+length]))
+			}
+		}
+	}
+	for i := range p {
+		p[i] = mulMod(p[i], invN)
+	}
+}
+
+// PointwiseMul returns the coefficient-wise product (valid in the NTT
+// domain).
+func PointwiseMul(a, b *Poly) Poly {
+	var out Poly
+	for i := range out {
+		out[i] = mulMod(a[i], b[i])
+	}
+	return out
+}
+
+// Add returns a + b mod q.
+func Add(a, b *Poly) Poly {
+	var out Poly
+	for i := range out {
+		out[i] = addMod(a[i], b[i])
+	}
+	return out
+}
+
+// MulSchoolbook is the reference negacyclic product used to validate the
+// NTT path in tests.
+func MulSchoolbook(a, b *Poly) Poly {
+	var out Poly
+	for i := 0; i < N; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < N; j++ {
+			k := i + j
+			prod := mulMod(a[i], b[j])
+			if k < N {
+				out[k] = addMod(out[k], prod)
+			} else {
+				out[k-N] = subMod(out[k-N], prod)
+			}
+		}
+	}
+	return out
+}

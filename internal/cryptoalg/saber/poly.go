@@ -1,0 +1,134 @@
+// Package saber implements LightSaber key generation (D'Anvers et al.,
+// AFRICACRYPT 2018): the module-LWR scheme whose keygen cost anchors one
+// of the paper's Table 7 prior-work baselines (SABER-GPU, Lee et al.).
+//
+// Only key generation is implemented - it is the operation the
+// algorithm-aware RBC search performs per candidate seed. The
+// implementation follows the LightSaber parameter set (l=2, n=256,
+// q=2^13, p=2^10, mu=10) and is deterministic from a 32-byte seed. It is
+// structurally faithful (SHAKE-based expansion, centered-binomial
+// secrets, power-of-two rounding, 672-byte public keys) but makes no
+// claim of byte compatibility with the NIST reference vectors.
+package saber
+
+import "rbcsalted/internal/keccak"
+
+// LightSaber parameters.
+const (
+	N    = 256  // polynomial degree
+	L    = 2    // module rank
+	EpsQ = 13   // log2 q
+	EpsP = 10   // log2 p
+	Q    = 8192 // 2^13
+	P    = 1024 // 2^10
+	Mu   = 10   // binomial parameter (two halves of 5 bits)
+
+	// PublicKeySize = seed_A (32) + L polys of N 10-bit coefficients.
+	PublicKeySize = 32 + L*N*EpsP/8
+)
+
+// Poly is a polynomial in R_q = Z_q[x] / (x^256 + 1), coefficients kept
+// in [0, Q).
+type Poly [N]uint16
+
+// add returns a + b mod q.
+func (a *Poly) add(b *Poly) Poly {
+	var out Poly
+	for i := range a {
+		out[i] = (a[i] + b[i]) & (Q - 1)
+	}
+	return out
+}
+
+// mulNegacyclic returns a * b in R_q by schoolbook multiplication with
+// the x^256 = -1 wraparound. 65k multiply-accumulates per call: this is
+// precisely the work the original RBC protocol pays per candidate seed.
+func mulNegacyclic(a, b *Poly) Poly {
+	var acc [N]uint32
+	for i := 0; i < N; i++ {
+		ai := uint32(a[i])
+		if ai == 0 {
+			continue
+		}
+		for j := 0; j < N; j++ {
+			k := i + j
+			prod := ai * uint32(b[j])
+			if k < N {
+				acc[k] += prod
+			} else {
+				// x^256 = -1: subtract, keeping the accumulator in range
+				// by adding a multiple of Q.
+				acc[k-N] += uint32(Q)*uint32(Q) - prod
+			}
+		}
+	}
+	var out Poly
+	for i := range out {
+		out[i] = uint16(acc[i] & (Q - 1))
+	}
+	return out
+}
+
+// genMatrix expands seed_A into the public matrix A in R_q^{l x l} by
+// squeezing 13-bit coefficients from SHAKE-128.
+func genMatrix(seedA []byte) [L][L]Poly {
+	s := keccak.NewSHAKE128()
+	s.Write(seedA)
+	br := bitReader{src: s}
+	var a [L][L]Poly
+	for i := 0; i < L; i++ {
+		for j := 0; j < L; j++ {
+			for k := 0; k < N; k++ {
+				a[i][j][k] = uint16(br.take(EpsQ))
+			}
+		}
+	}
+	return a
+}
+
+// sampleSecret draws the secret vector s in R_q^l with centered-binomial
+// coefficients beta_mu (popcount difference of two 5-bit halves), reduced
+// mod q.
+func sampleSecret(seedS []byte) [L]Poly {
+	s := keccak.NewSHAKE256()
+	s.Write(seedS)
+	br := bitReader{src: s}
+	var out [L]Poly
+	for i := 0; i < L; i++ {
+		for k := 0; k < N; k++ {
+			x := popcount5(br.take(Mu / 2))
+			y := popcount5(br.take(Mu / 2))
+			out[i][k] = uint16((x - y) & (Q - 1))
+		}
+	}
+	return out
+}
+
+func popcount5(v uint32) int {
+	c := 0
+	for ; v != 0; v >>= 1 {
+		c += int(v & 1)
+	}
+	return c
+}
+
+// bitReader pulls fixed-width little-endian bit fields from a SHAKE
+// stream.
+type bitReader struct {
+	src interface{ Read([]byte) (int, error) }
+	acc uint64
+	n   uint
+}
+
+func (r *bitReader) take(bits int) uint32 {
+	for r.n < uint(bits) {
+		var b [1]byte
+		r.src.Read(b[:])
+		r.acc |= uint64(b[0]) << r.n
+		r.n += 8
+	}
+	v := uint32(r.acc & ((1 << bits) - 1))
+	r.acc >>= uint(bits)
+	r.n -= uint(bits)
+	return v
+}

@@ -1,0 +1,69 @@
+package saber
+
+import "rbcsalted/internal/keccak"
+
+// Generator derives LightSaber public keys from seeds. It implements
+// cryptoalg.KeyGenerator. The zero value is ready to use.
+type Generator struct{}
+
+// Name implements cryptoalg.KeyGenerator.
+func (Generator) Name() string { return "LightSaber" }
+
+// PublicKey implements cryptoalg.KeyGenerator.
+//
+// KeyGen: the 32-byte input expands (via SHAKE-256 domain separation)
+// into seed_A and seed_s; A = gen(seed_A); s = beta_mu(seed_s);
+// b = round_p(A^T s); pk = seed_A || pack_10(b).
+func (Generator) PublicKey(seed [32]byte) []byte {
+	// Domain-separated sub-seeds.
+	exp := keccak.NewSHAKE256()
+	exp.Write(seed[:])
+	exp.Write([]byte("saber-keygen"))
+	var seedA, seedS [32]byte
+	exp.Read(seedA[:])
+	exp.Read(seedS[:])
+
+	a := genMatrix(seedA[:])
+	s := sampleSecret(seedS[:])
+
+	// b = ((A^T s + h) mod q) >> (eps_q - eps_p), h = 2^(eps_q-eps_p-1).
+	const h = 1 << (EpsQ - EpsP - 1)
+	var b [L]Poly
+	for j := 0; j < L; j++ {
+		var acc Poly
+		for i := 0; i < L; i++ {
+			prod := mulNegacyclic(&a[i][j], &s[i])
+			acc = acc.add(&prod)
+		}
+		for k := 0; k < N; k++ {
+			b[j][k] = (acc[k] + h) >> (EpsQ - EpsP) & (P - 1)
+		}
+	}
+
+	out := make([]byte, 0, PublicKeySize)
+	out = append(out, seedA[:]...)
+	for j := 0; j < L; j++ {
+		out = appendPacked10(out, &b[j])
+	}
+	return out
+}
+
+// appendPacked10 packs 256 10-bit coefficients little-endian into 320
+// bytes.
+func appendPacked10(dst []byte, p *Poly) []byte {
+	var acc uint32
+	var bits uint
+	for _, c := range p {
+		acc |= uint32(c) << bits
+		bits += EpsP
+		for bits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			bits -= 8
+		}
+	}
+	if bits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}

@@ -1,0 +1,179 @@
+package saber
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"rbcsalted/internal/cryptoalg"
+)
+
+var _ cryptoalg.KeyGenerator = Generator{}
+
+func TestPublicKeySizeAndDeterminism(t *testing.T) {
+	var g Generator
+	seed := [32]byte{1, 2, 3}
+	pk1 := g.PublicKey(seed)
+	pk2 := g.PublicKey(seed)
+	if len(pk1) != PublicKeySize || PublicKeySize != 672 {
+		t.Fatalf("public key size %d, want 672", len(pk1))
+	}
+	if !bytes.Equal(pk1, pk2) {
+		t.Error("keygen not deterministic")
+	}
+}
+
+func TestDistinctSeedsDistinctKeys(t *testing.T) {
+	var g Generator
+	f := func(a, b [32]byte) bool {
+		if a == b {
+			return true
+		}
+		return !bytes.Equal(g.PublicKey(a), g.PublicKey(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedAvalanche(t *testing.T) {
+	// Flipping one seed bit must change the key body, not just a prefix.
+	var g Generator
+	seed := [32]byte{7}
+	pk1 := g.PublicKey(seed)
+	seed[31] ^= 0x80
+	pk2 := g.PublicKey(seed)
+	diff := 0
+	for i := range pk1 {
+		if pk1[i] != pk2[i] {
+			diff++
+		}
+	}
+	if diff < len(pk1)/2 {
+		t.Errorf("only %d/%d bytes changed after a 1-bit seed flip", diff, len(pk1))
+	}
+}
+
+func TestMulNegacyclicProperties(t *testing.T) {
+	// x * 1 == x.
+	var one Poly
+	one[0] = 1
+	var x Poly
+	for i := range x {
+		x[i] = uint16((i * 31) & (Q - 1))
+	}
+	if got := mulNegacyclic(&x, &one); got != x {
+		t.Error("multiplying by 1 changed the polynomial")
+	}
+	// x * X (shift by one with negacyclic wrap): coefficient i of x*X is
+	// x[i-1], and coefficient 0 is -x[255].
+	var shiftOne Poly
+	shiftOne[1] = 1
+	got := mulNegacyclic(&x, &shiftOne)
+	if got[0] != (Q-x[N-1])&(Q-1) {
+		t.Errorf("negacyclic wrap wrong: got[0]=%d want %d", got[0], (Q-x[N-1])&(Q-1))
+	}
+	for i := 1; i < N; i++ {
+		if got[i] != x[i-1] {
+			t.Fatalf("shift wrong at %d", i)
+		}
+	}
+	// Commutativity.
+	var y Poly
+	for i := range y {
+		y[i] = uint16((i*i + 5) & (Q - 1))
+	}
+	if mulNegacyclic(&x, &y) != mulNegacyclic(&y, &x) {
+		t.Error("multiplication not commutative")
+	}
+}
+
+func TestSampleSecretRange(t *testing.T) {
+	s := sampleSecret([]byte("secret seed"))
+	for i := range s {
+		for k, c := range s[i] {
+			// Centered binomial with mu=10: values in [-5, 5] mod q.
+			v := int(c)
+			if v > Q/2 {
+				v -= Q
+			}
+			if v < -5 || v > 5 {
+				t.Fatalf("s[%d][%d] = %d outside [-5,5]", i, k, v)
+			}
+		}
+	}
+}
+
+func TestGenMatrixRange(t *testing.T) {
+	a := genMatrix([]byte("matrix seed"))
+	for i := range a {
+		for j := range a[i] {
+			for k, c := range a[i][j] {
+				if c >= Q {
+					t.Fatalf("A[%d][%d][%d] = %d >= q", i, j, k, c)
+				}
+			}
+		}
+	}
+	// Different seeds, different matrices.
+	b := genMatrix([]byte("other seed"))
+	if a == b {
+		t.Error("distinct seeds produced identical matrices")
+	}
+}
+
+func TestPack10RoundTrip(t *testing.T) {
+	var p Poly
+	for i := range p {
+		p[i] = uint16((i * 7) & (P - 1))
+	}
+	packed := appendPacked10(nil, &p)
+	if len(packed) != N*EpsP/8 {
+		t.Fatalf("packed length %d", len(packed))
+	}
+	// Unpack and compare.
+	var acc uint32
+	var bits uint
+	idx := 0
+	for _, b := range packed {
+		acc |= uint32(b) << bits
+		bits += 8
+		for bits >= EpsP && idx < N {
+			if uint16(acc&(P-1)) != p[idx] {
+				t.Fatalf("coefficient %d corrupted", idx)
+			}
+			acc >>= EpsP
+			bits -= EpsP
+			idx++
+		}
+	}
+	if idx != N {
+		t.Fatalf("only %d coefficients unpacked", idx)
+	}
+}
+
+func BenchmarkKeyGen(b *testing.B) {
+	var g Generator
+	var seed [32]byte
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sink = g.PublicKey(seed)
+	}
+}
+
+var sink []byte
+
+// TestGoldenDigest pins the exact keygen output: any refactor that
+// changes the derivation (expansion order, packing, rounding) must fail
+// here rather than silently producing different keys.
+func TestGoldenDigest(t *testing.T) {
+	var g Generator
+	pk := g.PublicKey([32]byte{1, 2, 3, 4})
+	got := sha256.Sum256(pk)
+	const want = "4b1dc16495f0a321a5453e8ee33ed63a6039d2aa0656f45ea2b348c84748d49a"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("keygen output changed: sha256 = %x, want %s", got, want)
+	}
+}

@@ -1,0 +1,182 @@
+package device
+
+import (
+	"sync"
+	"time"
+
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/keccak"
+	"rbcsalted/internal/sha1"
+	"rbcsalted/internal/u256"
+)
+
+// HostCosts holds per-operation costs measured on the host running this
+// process. The simulators consume only *ratios* of these numbers (SHA-1
+// vs SHA-3, Chase-class vs Gosper vs Algorithm 515); the absolute scale of
+// each modelled device comes from the paper anchors below.
+type HostCosts struct {
+	// SHA1Ns and SHA3Ns are nanoseconds per fixed-padding 32-byte seed hash.
+	SHA1Ns float64
+	SHA3Ns float64
+	// IterNs is nanoseconds per seed iteration (combination generation +
+	// seed application) at d=5, indexed by iterseq.Method.
+	IterNs map[iterseq.Method]float64
+}
+
+var (
+	calibOnce sync.Once
+	calib     HostCosts
+)
+
+// MeasureHostCosts measures and caches the host cost table. The first call
+// takes on the order of a hundred milliseconds; subsequent calls are free.
+//
+// Robustness: the simulators consume these numbers as *ratios*, so the
+// measurement must survive a loaded host (e.g. `go test ./...` running
+// several test binaries on few cores). All operations are measured in
+// interleaved rounds - one short window per op per round, minimum across
+// rounds - so a contention epoch inflates every operation together
+// instead of poisoning whichever op it happened to land on.
+func MeasureHostCosts() HostCosts {
+	calibOnce.Do(func() {
+		type probe struct {
+			op  func(n int)
+			n   int
+			ns  float64
+			set func(v float64)
+		}
+		calib.IterNs = map[iterseq.Method]float64{}
+
+		probes := []*probe{
+			{
+				op: func(n int) {
+					var seed [32]byte
+					for i := 0; i < n; i++ {
+						seed[0] = byte(i)
+						hashSink1 = sha1.SumSeed(&seed)
+					}
+				},
+				set: func(v float64) { calib.SHA1Ns = v },
+			},
+			{
+				op: func(n int) {
+					var seed [32]byte
+					for i := 0; i < n; i++ {
+						seed[0] = byte(i)
+						hashSink3 = keccak.Sum256Seed(&seed)
+					}
+				},
+				set: func(v float64) { calib.SHA3Ns = v },
+			},
+		}
+		base := u256.FromUint64(0x1234)
+		for _, m := range iterseq.Methods() {
+			method := m
+			it, err := iterseq.New(method, 256, 5, 0, -1)
+			if err != nil {
+				panic(err)
+			}
+			c := make([]int, 5)
+			probes = append(probes, &probe{
+				op: func(n int) {
+					for i := 0; i < n; i++ {
+						if !it.Next(c) {
+							it, _ = iterseq.New(method, 256, 5, 0, -1)
+							it.Next(c)
+						}
+						seedSink = iterseq.ApplySeed(base, c)
+					}
+				},
+				set: func(v float64) { calib.IterNs[method] = v },
+			})
+		}
+
+		// Size each probe's batch to a ~2 ms window.
+		for _, p := range probes {
+			p.n = 1024
+			p.ns = float64(1<<63 - 1)
+			for {
+				start := time.Now()
+				p.op(p.n)
+				if time.Since(start) >= 2*time.Millisecond {
+					break
+				}
+				p.n *= 4
+			}
+		}
+		// Interleaved rounds, minimum per probe.
+		for round := 0; round < 7; round++ {
+			for _, p := range probes {
+				start := time.Now()
+				p.op(p.n)
+				if v := float64(time.Since(start).Nanoseconds()) / float64(p.n); v < p.ns {
+					p.ns = v
+				}
+			}
+		}
+		for _, p := range probes {
+			p.set(p.ns)
+		}
+	})
+	return calib
+}
+
+var (
+	hashSink1 [20]byte
+	hashSink3 [32]byte
+	seedSink  u256.Uint256
+)
+
+// Paper anchors: measured throughputs and power draws from the paper's
+// evaluation, used to pin the absolute scale of each modelled device.
+// Search-only times are Table 5 exhaustive rows over u(5) = 8,987,138,113
+// seeds; power draws are Table 6.
+const (
+	// ExhaustiveSeedsD5 is u(5), the seed count behind every d=5
+	// exhaustive anchor.
+	ExhaustiveSeedsD5 = 8987138113.0
+
+	// AnchorGPUSHA3Seconds and AnchorGPUSHA1Seconds are the A100
+	// exhaustive d=5 search times with the best iterator (Tables 4/5),
+	// pinning the GPU model's absolute scale per hash. Two anchors are
+	// needed because the host's SHA-3:SHA-1 cost ratio (portable Go on
+	// this machine) does not transfer to CUDA on an A100.
+	AnchorGPUSHA3Seconds = 4.67
+	AnchorGPUSHA1Seconds = 1.56
+
+	// AnchorGPUAlg515Seconds is Table 4's Algorithm 515 row (SHA-3,
+	// exhaustive d=5): it calibrates how host-measured per-seed iterator
+	// costs translate to A100 cycles. The Gosper row (6.04 s) is then a
+	// *prediction* of the model, not an input.
+	AnchorGPUAlg515Seconds = 7.53
+
+	// AnchorAPUSHA1Seconds and AnchorAPUSHA3Seconds pin the APU scale per
+	// hash. Two constants are needed because SHA-3's working set exceeds
+	// the per-PE state memory and pays row-spill cycles that SHA-1 does
+	// not; the gate-count model captures the compute ratio and these
+	// anchors absorb the memory-system difference.
+	AnchorAPUSHA1Seconds = 1.62
+	AnchorAPUSHA3Seconds = 13.95
+
+	// AnchorCPUSHA1Seconds and AnchorCPUSHA3Seconds pin the 64-core EPYC
+	// scale per hash (the authors' AVX C code has a different SHA-1:SHA-3
+	// ratio than portable Go).
+	AnchorCPUSHA1Seconds = 12.09
+	AnchorCPUSHA3Seconds = 60.68
+)
+
+// Power models calibrated from Table 6 (average active watts = joules /
+// search seconds; idle and peak watts as reported).
+var (
+	PowerGPUSHA1 = PowerModel{IdleWatts: 31.53, ActiveWatts: 317.20 / 1.56}
+	PowerGPUSHA3 = PowerModel{IdleWatts: 31.53, ActiveWatts: 946.55 / 4.67}
+	PowerAPUSHA1 = PowerModel{IdleWatts: 22.10, ActiveWatts: 124.43 / 1.62}
+	PowerAPUSHA3 = PowerModel{IdleWatts: 22.10, ActiveWatts: 974.06 / 13.95}
+
+	// PeakGPUSHA1 etc. are the maximum draws from Table 6, reported
+	// alongside energy.
+	PeakGPUSHA1 = 253.43
+	PeakGPUSHA3 = 258.29
+	PeakAPUSHA1 = 83.81
+	PeakAPUSHA3 = 83.63
+)

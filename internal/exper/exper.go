@@ -1,0 +1,156 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (§4): each experiment returns a Table holding our measured or
+// modelled values side by side with the paper's published numbers, so the
+// reproduction quality is visible row by row. cmd/rbc-bench is the CLI
+// front end, and EXPERIMENTS.md is generated from these tables.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string // e.g. "table5", "figure4"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, line(t.Headers))
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV (headers + rows).
+func (t *Table) RenderCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// secs formats seconds to two decimals.
+func secs(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Scenario is a reproducible authentication instance: the server's
+// enrolled seed and the client's noisy read at an exact Hamming distance.
+type Scenario struct {
+	Base   u256.Uint256
+	Client u256.Uint256
+}
+
+// NewScenario builds a deterministic scenario at the given distance.
+func NewScenario(rngSeed uint64, distance int) Scenario {
+	r := rand.New(rand.NewPCG(rngSeed, 0xC0FFEE))
+	base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	client := puf.InjectNoise(base, base, distance, r)
+	return Scenario{Base: base, Client: client}
+}
+
+// Task builds the core.Task for a scenario.
+func (s Scenario) Task(alg core.HashAlg, maxD int, exhaustive bool) core.Task {
+	oracle := s.Client
+	return core.Task{
+		Base:        s.Base,
+		Target:      core.HashSeed(alg, s.Client),
+		MaxDistance: maxD,
+		Method:      defaultMethod,
+		Exhaustive:  exhaustive,
+		Oracle:      &oracle,
+	}
+}
+
+// timeOp measures nanoseconds per op for the Table 7 key-generation cost
+// comparison, taking the minimum over several windows so transient host
+// load cannot contaminate the measurement.
+func timeOp(op func()) float64 {
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			op()
+		}
+		if time.Since(start) >= 5*time.Millisecond {
+			break
+		}
+		n *= 4
+	}
+	best := float64(1<<63 - 1)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			op()
+		}
+		if v := float64(time.Since(start).Nanoseconds()) / float64(n); v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,378 @@
+package gpusim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+func randSeed(r *rand.Rand) u256.Uint256 {
+	return u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+}
+
+func taskFor(alg core.HashAlg, base, client u256.Uint256, maxD int, method iterseq.Method) core.Task {
+	oracle := client
+	return core.Task{
+		Base:        base,
+		Target:      core.HashSeed(alg, client),
+		MaxDistance: maxD,
+		Method:      method,
+		Oracle:      &oracle,
+	}
+}
+
+func rel(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func TestSearchFindsSeedRealExecution(t *testing.T) {
+	// d <= 2 shells are far below ExecBudget: the kernel really runs.
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, alg := range core.HashAlgs() {
+		base := randSeed(r)
+		client := puf.InjectNoise(base, base, 2, r)
+		b := NewBackend(Config{Alg: alg, SharedMemoryState: true})
+		task := taskFor(alg, base, client, 2, iterseq.GrayCode)
+		task.Oracle = nil // real execution must not need the oracle
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || !res.Seed.Equal(client) || res.Distance != 2 {
+			t.Errorf("%s: %+v", alg, res)
+		}
+		if res.HashesExecuted < 1000 {
+			t.Errorf("%s: expected real execution, hashed only %d", alg, res.HashesExecuted)
+		}
+	}
+}
+
+func TestSearchFindsSeedPlannedD5(t *testing.T) {
+	// d=5 exceeds the exec budget: the oracle locates, hashing verifies.
+	r := rand.New(rand.NewPCG(2, 2))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
+	res, err := b.Search(taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) || res.Distance != 5 {
+		t.Fatalf("planned search failed: %+v", res)
+	}
+	if res.WallSeconds > 30 {
+		t.Errorf("planned d=5 search took %.1fs wall; planning is broken", res.WallSeconds)
+	}
+}
+
+func TestAnchorExhaustiveD5(t *testing.T) {
+	// The calibrated model must land near the paper's Table 5 GPU rows.
+	r := rand.New(rand.NewPCG(3, 3))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	cases := []struct {
+		alg  core.HashAlg
+		want float64
+	}{
+		{core.SHA3, 4.67},
+		{core.SHA1, 1.56},
+	}
+	for _, c := range cases {
+		b := NewBackend(Config{Alg: c.alg, SharedMemoryState: true})
+		task := taskFor(c.alg, base, client, 5, iterseq.GrayCode)
+		task.Exhaustive = true
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel(res.DeviceSeconds, c.want) > 0.05 {
+			t.Errorf("%s exhaustive d=5: modelled %.2fs, paper %.2fs",
+				c.alg, res.DeviceSeconds, c.want)
+		}
+		t.Logf("%s exhaustive d=5: modelled %.2fs (paper %.2fs), energy %.0f J",
+			c.alg, res.DeviceSeconds, c.want, res.EnergyJoules)
+	}
+}
+
+func TestTable4IteratorOrdering(t *testing.T) {
+	// Chase-class < Gosper < Alg515 for SHA-3 exhaustive d=5 (Table 4).
+	r := rand.New(rand.NewPCG(4, 4))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	times := map[iterseq.Method]float64{}
+	for _, m := range []iterseq.Method{iterseq.GrayCode, iterseq.Gosper, iterseq.Alg515} {
+		b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
+		task := taskFor(core.SHA3, base, client, 5, m)
+		task.Exhaustive = true
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[m] = res.DeviceSeconds
+	}
+	t.Logf("iterator times: gray=%.2f gosper=%.2f alg515=%.2f (paper: 4.67 / 6.04 / 7.53)",
+		times[iterseq.GrayCode], times[iterseq.Gosper], times[iterseq.Alg515])
+	if !(times[iterseq.GrayCode] < times[iterseq.Gosper] &&
+		times[iterseq.Gosper] < times[iterseq.Alg515]) {
+		t.Errorf("iterator ordering broken: %v", times)
+	}
+}
+
+func TestFigure3BowlShape(t *testing.T) {
+	// The (n, b) tuning surface must be a bowl: the paper's optimum
+	// (n=100, b=128) beats extreme corners.
+	m := NewModel()
+	const shell = uint64(8809549056) // C(256,5)
+	at := func(n, b int) float64 {
+		return m.shellSeconds(shell, core.SHA3, iterseq.GrayCode,
+			KernelParams{SeedsPerThread: n, ThreadsPerBlock: b}, true, 1)
+	}
+	best := at(100, 128)
+	corners := map[string]float64{
+		"n=1,b=128":    at(1, 128),
+		"n=1e6,b=128":  at(1000000, 128),
+		"n=100,b=1024": at(100, 1024),
+	}
+	for name, v := range corners {
+		if v <= best {
+			t.Errorf("corner %s (%.2fs) not worse than optimum (%.2fs)", name, v, best)
+		}
+	}
+	t.Logf("optimum %.2fs; corners: %v", best, corners)
+}
+
+func TestFlagCheckIntervalNoImpact(t *testing.T) {
+	// Paper §4.4: polling the exit flag every seed vs every 64 seeds makes
+	// no measurable difference.
+	m := NewModel()
+	const shell = uint64(8809549056)
+	t1 := m.shellSeconds(shell, core.SHA3, iterseq.GrayCode, DefaultParams, true, 1)
+	t64 := m.shellSeconds(shell, core.SHA3, iterseq.GrayCode, DefaultParams, true, 64)
+	if rel(t1, t64) > 0.01 {
+		t.Errorf("check interval changed time by %.1f%%", 100*rel(t1, t64))
+	}
+}
+
+func TestSharedMemoryStateSpeedup(t *testing.T) {
+	// Paper §3.2.3: shared-memory state gives 1.20x for SHA-1 and ~1.01x
+	// for SHA-3.
+	m := NewModel()
+	const shell = uint64(8809549056)
+	ratio := func(alg core.HashAlg) float64 {
+		with := m.shellSeconds(shell, alg, iterseq.GrayCode, DefaultParams, true, 1)
+		without := m.shellSeconds(shell, alg, iterseq.GrayCode, DefaultParams, false, 1)
+		return without / with
+	}
+	r1, r3 := ratio(core.SHA1), ratio(core.SHA3)
+	t.Logf("shared-memory speedup: SHA-1 %.2fx (paper 1.20), SHA-3 %.2fx (paper 1.01)", r1, r3)
+	if rel(r1, 1.20) > 0.02 {
+		t.Errorf("SHA-1 shared-memory speedup %.3f, want ~1.20", r1)
+	}
+	if r3 < 1.0 || r3 > 1.15 {
+		t.Errorf("SHA-3 shared-memory speedup %.3f, want small (~1.01)", r3)
+	}
+	// Random-access iterators carry no state: toggling must be a no-op.
+	w := m.shellSeconds(shell, core.SHA3, iterseq.Alg515, DefaultParams, true, 1)
+	wo := m.shellSeconds(shell, core.SHA3, iterseq.Alg515, DefaultParams, false, 1)
+	if w != wo {
+		t.Error("shared-memory toggle affected a stateless iterator")
+	}
+}
+
+func TestMultiGPUScaling(t *testing.T) {
+	// Figure 4: exhaustive SHA-3 speedup ~2.87x on 3 GPUs, early-exit
+	// lower (~2.66x), SHA-1 lower than SHA-3 for the same search type.
+	r := rand.New(rand.NewPCG(5, 5))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+
+	speedup := func(alg core.HashAlg, exhaustive bool, devices int) float64 {
+		run := func(g int) float64 {
+			b := NewBackend(Config{Alg: alg, Devices: g, SharedMemoryState: true})
+			task := taskFor(alg, base, client, 5, iterseq.GrayCode)
+			task.Exhaustive = exhaustive
+			res, err := b.Search(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.DeviceSeconds
+		}
+		return run(1) / run(devices)
+	}
+
+	exh3 := speedup(core.SHA3, true, 3)
+	ee3 := speedup(core.SHA3, false, 3)
+	exh1 := speedup(core.SHA1, true, 3)
+	ee1 := speedup(core.SHA1, false, 3)
+	t.Logf("3xA100 speedups: SHA3 exh %.2f (paper 2.87), SHA3 ee %.2f (paper 2.66), SHA1 exh %.2f, SHA1 ee %.2f",
+		exh3, ee3, exh1, ee1)
+	if rel(exh3, 2.87) > 0.03 {
+		t.Errorf("SHA-3 exhaustive 3-GPU speedup %.2f, paper 2.87", exh3)
+	}
+	if !(ee3 < exh3) {
+		t.Error("early-exit speedup should trail exhaustive")
+	}
+	if !(exh1 < exh3) || !(ee1 < ee3) {
+		t.Error("SHA-1 should scale worse than SHA-3")
+	}
+	if ee3 < 2.2 || ee3 > 2.9 {
+		t.Errorf("SHA-3 early-exit speedup %.2f far from paper's 2.66", ee3)
+	}
+	// 2-GPU points must sit between 1x and the 3-GPU speedup.
+	two := speedup(core.SHA3, true, 2)
+	if two <= 1 || two >= exh3 {
+		t.Errorf("2-GPU speedup %.2f not between 1 and %.2f", two, exh3)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
+	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
+	task.Exhaustive = true
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 6: 946.55 J for the SHA-3 exhaustive search.
+	if rel(res.EnergyJoules, 946.55) > 0.06 {
+		t.Errorf("energy %.1f J, paper 946.55 J", res.EnergyJoules)
+	}
+	if res.PeakWatts != 258.29 {
+		t.Errorf("peak %.2f W, paper 258.29 W", res.PeakWatts)
+	}
+}
+
+func TestNotFoundBeyondRadius(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 4, r)
+	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
+	res, err := b.Search(taskFor(core.SHA3, base, client, 3, iterseq.GrayCode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("found a match outside the radius")
+	}
+}
+
+func TestOracleIsVerifiedNotTrusted(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 8))
+	base := randSeed(r)
+	liar := puf.InjectNoise(base, base, 5, r)
+	task := core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, randSeed(r)),
+		MaxDistance: 5,
+		Method:      iterseq.GrayCode,
+		Oracle:      &liar,
+	}
+	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("backend trusted a lying oracle")
+	}
+}
+
+func TestDefaultsAndName(t *testing.T) {
+	b := NewBackend(Config{Alg: core.SHA3})
+	if b.cfg.Devices != 1 || b.cfg.Params != DefaultParams || b.cfg.ExecBudget != DefaultExecBudget {
+		t.Errorf("defaults not applied: %+v", b.cfg)
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+	if _, err := b.Search(core.Task{MaxDistance: 99}); err == nil {
+		t.Error("expected distance error")
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	base := randSeed(r)
+	// Unfindable target with a limit below the d=5 exhaustive time.
+	task := core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, randSeed(r)),
+		MaxDistance: 5,
+		Method:      iterseq.GrayCode,
+		TimeLimit:   2 * 1e9, // 2s in time.Duration units
+	}
+	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Errorf("expected timeout at 2s with modelled %.2fs", res.DeviceSeconds)
+	}
+}
+
+func TestMultiGPUWithAlternativeIterator(t *testing.T) {
+	// Devices x non-default iterator must still find the seed and charge
+	// more time than the minimal-change method.
+	r := rand.New(rand.NewPCG(31, 31))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 5, r)
+	run := func(m iterseq.Method) float64 {
+		b := NewBackend(Config{Alg: core.SHA3, Devices: 2, SharedMemoryState: true})
+		task := taskFor(core.SHA3, base, client, 5, m)
+		task.Exhaustive = true
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			t.Fatalf("%v on 2 GPUs lost the match", m)
+		}
+		return res.DeviceSeconds
+	}
+	if gray, alg := run(iterseq.GrayCode), run(iterseq.Alg515); alg <= gray {
+		t.Errorf("Alg515 (%.2fs) not slower than minimal-change (%.2fs) on 2 GPUs", alg, gray)
+	}
+}
+
+func TestExecBudgetBoundary(t *testing.T) {
+	// A shell exactly at the budget runs for real; one above is planned.
+	r := rand.New(rand.NewPCG(32, 32))
+	base := randSeed(r)
+	client := puf.InjectNoise(base, base, 2, r)
+	// d=2 shell is 32640 seeds. Budget below that forces planning, which
+	// without an oracle must fall back to the validation sample only.
+	b := NewBackend(Config{Alg: core.SHA1, ExecBudget: 1000, SharedMemoryState: true})
+	task := taskFor(core.SHA1, base, client, 2, iterseq.GrayCode)
+	task.Oracle = nil
+	res, err := b.Search(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the oracle and with the match outside the sample prefix,
+	// the planned path may legitimately miss it - but it must never
+	// report a false positive or hash the whole shell.
+	if res.Found && !res.Seed.Equal(client) {
+		t.Error("false positive")
+	}
+	if res.HashesExecuted > 5000 {
+		t.Errorf("planned path hashed %d seeds", res.HashesExecuted)
+	}
+	// With the oracle it must always find it.
+	task.Oracle = &client
+	res, err = b.Search(task)
+	if err != nil || !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("oracle-backed planned search failed: %+v (%v)", res, err)
+	}
+}

@@ -1,0 +1,102 @@
+package gpusim
+
+import (
+	"testing"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/iterseq"
+)
+
+func TestCyclesPerSeedOrdering(t *testing.T) {
+	m := NewModel()
+	// SHA-3 costs more than SHA-1, and every iterator costs at least the
+	// minimal-change baseline.
+	if !(m.cyclesPerSeed(core.SHA1, iterseq.GrayCode) < m.cyclesPerSeed(core.SHA3, iterseq.GrayCode)) {
+		t.Error("SHA-1 not cheaper than SHA-3")
+	}
+	base := m.cyclesPerSeed(core.SHA3, iterseq.GrayCode)
+	for _, method := range iterseq.Methods() {
+		if c := m.cyclesPerSeed(core.SHA3, method); c < base {
+			t.Errorf("%v cheaper than the minimal-change baseline", method)
+		}
+	}
+}
+
+func TestShellSecondsMonotoneInSeeds(t *testing.T) {
+	// Below lane saturation, time is flat at one thread's serial runtime
+	// (all threads run concurrently); past saturation it grows with the
+	// workload. Non-decreasing overall.
+	m := NewModel()
+	prev := 0.0
+	for _, seeds := range []uint64{1, 1000, 1e6, 1e8, 8809549056} {
+		v := m.shellSeconds(seeds, core.SHA3, iterseq.GrayCode, DefaultParams, true, 1)
+		if v < prev {
+			t.Errorf("shell time decreased at %d seeds: %g < %g", seeds, v, prev)
+		}
+		prev = v
+	}
+	// The saturated region must grow strictly.
+	a := m.shellSeconds(1e8, core.SHA3, iterseq.GrayCode, DefaultParams, true, 1)
+	b := m.shellSeconds(1e9, core.SHA3, iterseq.GrayCode, DefaultParams, true, 1)
+	if b <= a {
+		t.Errorf("saturated shell time not increasing: %g <= %g", b, a)
+	}
+	// Zero seeds still costs a launch.
+	if v := m.shellSeconds(0, core.SHA3, iterseq.GrayCode, DefaultParams, true, 1); v != m.kernelLaunchSeconds {
+		t.Errorf("empty shell = %g, want launch cost", v)
+	}
+}
+
+func TestTinyKernelsAreNegligibleVsAnchor(t *testing.T) {
+	// With the fixed (n=100, b=128) configuration a tiny shell costs one
+	// thread's serial runtime (~3 ms) - real but negligible against the
+	// 4.67 s d=5 shell.
+	m := NewModel()
+	for _, seeds := range []uint64{256, 32640} {
+		v := m.shellSeconds(seeds, core.SHA3, iterseq.GrayCode, DefaultParams, true, 1)
+		if v > 10e-3 {
+			t.Errorf("%d-seed kernel priced at %g s", seeds, v)
+		}
+	}
+}
+
+func TestSchedEfficiencyPeaksNear128(t *testing.T) {
+	best := schedEfficiency(128)
+	for _, b := range []int{32, 64, 256, 512, 1024} {
+		if schedEfficiency(b) > best {
+			t.Errorf("b=%d more efficient than b=128", b)
+		}
+	}
+	// The basin is flat: 64..256 within 1%.
+	for _, b := range []int{64, 256} {
+		if best-schedEfficiency(b) > 0.01 {
+			t.Errorf("b=%d too far below the optimum", b)
+		}
+	}
+}
+
+func TestDefaultParamsAreTheModelOptimum(t *testing.T) {
+	m := NewModel()
+	best := m.ExhaustiveD5SecondsAt(core.SHA3, iterseq.GrayCode, DefaultParams, true, 1)
+	for _, n := range []int{1, 10, 1000, 10000, 100000} {
+		for _, b := range []int{32, 64, 256, 512, 1024} {
+			v := m.ExhaustiveD5SecondsAt(core.SHA3, iterseq.GrayCode,
+				KernelParams{SeedsPerThread: n, ThreadsPerBlock: b}, true, 1)
+			if v < best {
+				t.Errorf("(n=%d, b=%d) = %.3fs beats the paper's optimum %.3fs", n, b, v, best)
+			}
+		}
+	}
+}
+
+func TestAnchorCalibrationConverged(t *testing.T) {
+	m := NewModel()
+	got := m.exhaustiveD5Seconds(core.SHA3, iterseq.GrayCode)
+	if rel(got, 4.67) > 0.001 {
+		t.Errorf("SHA-3 anchor calibration residual: %.4fs vs 4.67s", got)
+	}
+	got = m.exhaustiveD5Seconds(core.SHA1, iterseq.GrayCode)
+	if rel(got, 1.56) > 0.001 {
+		t.Errorf("SHA-1 anchor calibration residual: %.4fs vs 1.56s", got)
+	}
+}

@@ -1,0 +1,72 @@
+package iterseq
+
+import (
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/u256"
+)
+
+// gosperIter enumerates k-bit masks in increasing numeric order using
+// Gosper's hack on 256-bit arithmetic. This is the iterator prior RBC work
+// used; at 256 bits every step pays for multi-limb negation, addition,
+// variable shift and division-by-power-of-two, which is exactly the
+// overhead the paper measures against.
+type gosperIter struct {
+	n, k      int
+	mask      u256.Uint256
+	remaining int64
+	scratch   []int
+}
+
+func newGosper(n, k int, startRank uint64, count int64) (*gosperIter, error) {
+	it := &gosperIter{n: n, k: k, remaining: count, scratch: make([]int, k)}
+	if count == 0 {
+		return it, nil
+	}
+	// Gosper order == colex order, so the start mask comes from a colex
+	// unrank. This is how the parallel search jumps each thread to its
+	// own disjoint subrange.
+	if err := combin.UnrankColex(n, startRank, it.scratch); err != nil {
+		return nil, err
+	}
+	it.mask = u256.Zero
+	for _, pos := range it.scratch {
+		it.mask = it.mask.SetBit(pos, 1)
+	}
+	return it, nil
+}
+
+func (it *gosperIter) Next(c []int) bool {
+	if it.remaining <= 0 {
+		return false
+	}
+	it.remaining--
+	maskToCombination(it.mask, c)
+	if it.remaining > 0 {
+		it.mask = gosperNext(it.mask)
+	}
+	return true
+}
+
+// gosperNext computes the next-higher integer with the same popcount:
+//
+//	u = x & -x
+//	v = x + u
+//	next = v | (((v ^ x) / u) >> 2)
+func gosperNext(x u256.Uint256) u256.Uint256 {
+	u := x.And(x.Neg())
+	v := x.Add(u)
+	w := v.Xor(x).Shr(uint(u.TrailingZeros())).Shr(2)
+	return v.Or(w)
+}
+
+// maskToCombination extracts the set bit positions of mask in ascending
+// order into c.
+func maskToCombination(mask u256.Uint256, c []int) {
+	idx := 0
+	for idx < len(c) {
+		tz := mask.TrailingZeros()
+		c[idx] = tz
+		idx++
+		mask = mask.SetBit(tz, 0)
+	}
+}

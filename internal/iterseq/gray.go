@@ -1,0 +1,227 @@
+package iterseq
+
+import (
+	"fmt"
+
+	"rbcsalted/internal/combin"
+)
+
+// grayIter enumerates k-combinations in revolving-door Gray-code order:
+// successive combinations differ by exactly one element removed and one
+// added (two seed bits flipped). This fills the paper's "Chase Algorithm
+// 382" slot: a non-recursive minimal-change sequence with tiny per-thread
+// state. Unlike Chase's formulation, the revolving-door order has a cheap
+// exact ranking, so parallel threads seek directly to their subrange
+// instead of loading checkpoint states precomputed by a full enumeration
+// (the paper's approach, which it excludes from timing; EnumerateStates
+// reproduces it for comparison).
+//
+// The order R(m, j) over {0..m-1} is defined by the classic recursion
+// R(m, j) = R(m-1, j) ++ reverse(R(m-1, j-1)) x {m-1}, with
+// first(R(m, j)) = {0..j-1} and last(R(m, j)) = {0..j-2, m-1}.
+type grayIter struct {
+	n, k      int
+	cur       []int
+	remaining int64
+}
+
+func newGray(n, k int, startRank uint64, count int64) (*grayIter, error) {
+	it := &grayIter{n: n, k: k, cur: make([]int, k), remaining: count}
+	if count == 0 {
+		return it, nil
+	}
+	if err := GrayUnrank(n, startRank, it.cur); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (it *grayIter) Next(c []int) bool {
+	if it.remaining <= 0 {
+		return false
+	}
+	it.remaining--
+	copy(c, it.cur)
+	if it.remaining > 0 {
+		if !graySuccessor(it.n, it.cur) {
+			// The range length was validated at construction, so running
+			// off the sequence is a bug, not an input error.
+			panic("iterseq: gray successor exhausted before range end")
+		}
+	}
+	return true
+}
+
+// GrayRank returns the 0-based rank of combination c (strictly increasing
+// positions in [0, n)) in revolving-door order. Each selected maximum
+// element flips the orientation of the remaining subsequence, hence the
+// alternating sign.
+func GrayRank(n int, c []int) (uint64, error) {
+	if len(c) > 0 && (c[len(c)-1] >= n || c[0] < 0) {
+		return 0, fmt.Errorf("iterseq: combination %v out of range [0,%d)", c, n)
+	}
+	acc := int64(0)
+	sign := int64(1)
+	for j := len(c); j > 0; j-- {
+		top := c[j-1]
+		cj, ok1 := combin.Binomial64(top, j)
+		cj1, ok2 := combin.Binomial64(top, j-1)
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("iterseq: gray rank overflows uint64")
+		}
+		acc += sign * (int64(cj) + int64(cj1) - 1)
+		sign = -sign
+	}
+	if acc < 0 {
+		return 0, fmt.Errorf("iterseq: invalid combination %v", c)
+	}
+	return uint64(acc), nil
+}
+
+// GrayUnrank writes into c the combination at the given rank in
+// revolving-door order over k-subsets of [0, n), k = len(c).
+func GrayUnrank(n int, rank uint64, c []int) error {
+	k := len(c)
+	total, ok := combin.Binomial64(n, k)
+	if !ok {
+		return fmt.Errorf("iterseq: C(%d,%d) overflows uint64", n, k)
+	}
+	if rank >= total {
+		return fmt.Errorf("iterseq: rank %d out of range [0,%d)", rank, total)
+	}
+	r := rank
+	j := k
+	for m := n; j > 0; m-- {
+		cm1j, _ := combin.Binomial64(m-1, j)
+		if r >= cm1j {
+			cm1j1, _ := combin.Binomial64(m-1, j-1)
+			c[j-1] = m - 1
+			// Entering the reversed second part: re-express r in the
+			// forward orientation of R(m-1, j-1).
+			r = cm1j + cm1j1 - 1 - r
+			j--
+		}
+	}
+	return nil
+}
+
+// graySuccessor advances c to the next combination in revolving-door
+// order over [0, n), in place. It returns false if c is the last
+// combination. The walk descends the defining recursion iteratively,
+// alternating direction whenever it enters a reversed second part; the
+// two boundary cases produce the answer directly from the closed forms of
+// first() and last().
+func graySuccessor(n int, c []int) bool {
+	j := len(c)
+	if j == 0 {
+		return false
+	}
+	m := n
+	forward := true
+	for {
+		if j == 0 {
+			// Asked to move within R(m, 0) = [empty set]: no neighbours.
+			return false
+		}
+		top := c[j-1]
+		if forward {
+			if top == m-1 {
+				// Second part, forward = backward within R(m-1, j-1).
+				forward = false
+				m--
+				j--
+				continue
+			}
+			// First part. The only boundary is last(R(m-1,j)) =
+			// {0..j-2, m-2}, so jump straight to m = top+2.
+			m = top + 2
+			if prefixConsecutive(c, j-1) {
+				// Cross into the second part:
+				// {0..j-2, m-2} -> {0..j-3, m-2, m-1}.
+				if j >= 2 {
+					c[j-2] = m - 2
+				}
+				c[j-1] = m - 1
+				return true
+			}
+			// Not at the boundary; the next level down is the second part.
+			m--
+		} else {
+			if top == m-1 {
+				if j == m {
+					// c is the sole element of R(m, m): no predecessor,
+					// which means the enclosing sequence is exhausted.
+					return false
+				}
+				// Second part, backward: the element visited before
+				// c' + {m-1} is either within the reversed part (next of
+				// c' in R(m-1, j-1)) or, at the part boundary
+				// c' == last(R(m-1, j-1)) = {0..j-3, m-2}, the final
+				// element of the first part, last(R(m-1,j)) = {0..j-2, m-2}.
+				atBoundary := j == 1 || (c[j-2] == m-2 && prefixConsecutive(c, j-2))
+				if atBoundary {
+					for i := 0; i < j-1; i++ {
+						c[i] = i
+					}
+					c[j-1] = m - 2
+					return true
+				}
+				forward = true
+				m--
+				j--
+				continue
+			}
+			// First part, backward: predecessor within R(m-1, j) unless c
+			// is first(R(m, j)) = {0..j-1}, the global start.
+			if prefixConsecutive(c, j) {
+				return false
+			}
+			m = top + 1
+		}
+	}
+}
+
+// prefixConsecutive reports whether c[0..upto-1] == {0, 1, ..., upto-1}.
+func prefixConsecutive(c []int, upto int) bool {
+	for i := 0; i < upto; i++ {
+		if c[i] != i {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateStates reproduces the paper's checkpointing strategy for
+// sequential iterators: walk the full Gray sequence once and record the
+// combination at the start of each of parts equal shares. The paper
+// performs this offline and excludes it from timing; with GrayUnrank
+// available it exists mainly to cross-validate the ranking.
+func EnumerateStates(n, k, parts int) ([][]int, error) {
+	ranges, err := Partition(n, k, parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, 0, parts)
+	cur := make([]int, k)
+	for i := range cur {
+		cur[i] = i
+	}
+	next := 0
+	for rank := uint64(0); next < len(ranges); rank++ {
+		for next < len(ranges) && ranges[next].Start == rank {
+			if ranges[next].Count > 0 {
+				out = append(out, append([]int(nil), cur...))
+			} else {
+				out = append(out, nil) // more parts than combinations
+			}
+			next++
+		}
+		if next == len(ranges) || !graySuccessor(n, cur) {
+			break
+		}
+	}
+	for len(out) < parts {
+		out = append(out, nil)
+	}
+	return out, nil
+}

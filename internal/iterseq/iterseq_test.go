@@ -1,0 +1,300 @@
+package iterseq
+
+import (
+	"fmt"
+	"testing"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/u256"
+)
+
+// collect drains an iterator into a list of combination keys.
+func collect(t *testing.T, it Iter, k int) []string {
+	t.Helper()
+	var out []string
+	c := make([]int, k)
+	for it.Next(c) {
+		prev := -1
+		for _, v := range c {
+			if v <= prev {
+				t.Fatalf("combination %v not strictly increasing", c)
+			}
+			prev = v
+		}
+		out = append(out, fmt.Sprint(c))
+	}
+	return out
+}
+
+// TestAllMethodsEnumerateExactly verifies, for every method and a sweep of
+// small (n, k), that the full sequence visits every k-subset exactly once.
+func TestAllMethodsEnumerateExactly(t *testing.T) {
+	for _, method := range Methods() {
+		for n := 1; n <= 10; n++ {
+			for k := 1; k <= n; k++ {
+				it, err := New(method, n, k, 0, -1)
+				if err != nil {
+					t.Fatalf("%v n=%d k=%d: %v", method, n, k, err)
+				}
+				seen := map[string]bool{}
+				for _, key := range collect(t, it, k) {
+					if seen[key] {
+						t.Fatalf("%v n=%d k=%d: repeated %s", method, n, k, key)
+					}
+					seen[key] = true
+				}
+				total, _ := combin.Binomial64(n, k)
+				if uint64(len(seen)) != total {
+					t.Fatalf("%v n=%d k=%d: %d combinations, want %d",
+						method, n, k, len(seen), total)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedRangesCoverSequence verifies the property the parallel
+// search depends on: splitting [0, C(n,k)) into ranges and running one
+// iterator per range reproduces the full sequence in order.
+func TestPartitionedRangesCoverSequence(t *testing.T) {
+	n, k, parts := 12, 4, 7
+	for _, method := range Methods() {
+		whole, err := New(method, n, k, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := collect(t, whole, k)
+
+		ranges, err := Partition(n, k, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, r := range ranges {
+			it, err := New(method, n, k, r.Start, int64(r.Count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, collect(t, it, k)...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: partitioned total %d, want %d", method, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: position %d: %s != %s", method, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGrayMinimalChange verifies the revolving-door property: successive
+// combinations differ by exactly one element out and one element in
+// (Hamming distance 2 between masks).
+func TestGrayMinimalChange(t *testing.T) {
+	for n := 2; n <= 11; n++ {
+		for k := 1; k < n; k++ {
+			it, _ := New(GrayCode, n, k, 0, -1)
+			c := make([]int, k)
+			var prev u256.Uint256
+			first := true
+			for it.Next(c) {
+				mask := ApplySeed(u256.Zero, c)
+				if !first {
+					if d := mask.HammingDistance(prev); d != 2 {
+						t.Fatalf("n=%d k=%d: step changed %d bits, want 2", n, k, d)
+					}
+				}
+				first = false
+				prev = mask
+			}
+		}
+	}
+}
+
+func TestGrayRankUnrankRoundTrip(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for k := 1; k <= n; k++ {
+			total, _ := combin.Binomial64(n, k)
+			c := make([]int, k)
+			for r := uint64(0); r < total; r++ {
+				if err := GrayUnrank(n, r, c); err != nil {
+					t.Fatal(err)
+				}
+				got, err := GrayRank(n, c)
+				if err != nil || got != r {
+					t.Fatalf("n=%d k=%d: rank(unrank(%d)) = %d, %v", n, k, r, got, err)
+				}
+			}
+		}
+	}
+}
+
+// TestGraySuccessorMatchesUnrank walks the sequence with the successor and
+// checks it against direct unranking at every rank - this pins the whole
+// state machine.
+func TestGraySuccessorMatchesUnrank(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for k := 1; k <= n; k++ {
+			total, _ := combin.Binomial64(n, k)
+			cur := make([]int, k)
+			for i := range cur {
+				cur[i] = i
+			}
+			want := make([]int, k)
+			for r := uint64(0); r < total; r++ {
+				if err := GrayUnrank(n, r, want); err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(cur) != fmt.Sprint(want) {
+					t.Fatalf("n=%d k=%d rank %d: successor %v, unrank %v", n, k, r, cur, want)
+				}
+				ok := graySuccessor(n, cur)
+				if ok != (r+1 < total) {
+					t.Fatalf("n=%d k=%d rank %d: successor continue=%v", n, k, r, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestGraySuccessor256(t *testing.T) {
+	// Spot-check at full width: successor then rank must increment.
+	for k := 1; k <= 5; k++ {
+		total, _ := combin.Binomial64(256, k)
+		for _, r := range []uint64{0, 1, total / 3, total / 2, total - 2} {
+			c := make([]int, k)
+			if err := GrayUnrank(256, r, c); err != nil {
+				t.Fatal(err)
+			}
+			if !graySuccessor(256, c) {
+				t.Fatalf("k=%d rank %d: unexpected end", k, r)
+			}
+			got, err := GrayRank(256, c)
+			if err != nil || got != r+1 {
+				t.Fatalf("k=%d: rank after successor = %d, want %d (%v)", k, got, r+1, err)
+			}
+		}
+	}
+}
+
+func TestEnumerateStatesMatchesUnrank(t *testing.T) {
+	n, k, parts := 12, 3, 8
+	states, err := EnumerateStates(n, k, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, _ := Partition(n, k, parts)
+	if len(states) != parts {
+		t.Fatalf("got %d states, want %d", len(states), parts)
+	}
+	want := make([]int, k)
+	for i, r := range ranges {
+		if r.Count == 0 {
+			if states[i] != nil {
+				t.Errorf("part %d: expected nil state for empty range", i)
+			}
+			continue
+		}
+		if err := GrayUnrank(n, r.Start, want); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(states[i]) != fmt.Sprint(want) {
+			t.Errorf("part %d: state %v, unrank %v", i, states[i], want)
+		}
+	}
+}
+
+func TestEnumerateStatesMorePartsThanCombos(t *testing.T) {
+	states, err := EnumerateStates(4, 3, 10) // C(4,3) = 4 < 10 parts
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 10 {
+		t.Fatalf("got %d states", len(states))
+	}
+	nonNil := 0
+	for _, s := range states {
+		if s != nil {
+			nonNil++
+		}
+	}
+	if nonNil != 4 {
+		t.Errorf("%d non-nil states, want 4", nonNil)
+	}
+}
+
+func TestApplySeed(t *testing.T) {
+	base := u256.FromUint64(0)
+	seed := ApplySeed(base, []int{0, 7, 255})
+	if seed.OnesCount() != 3 || seed.Bit(0) != 1 || seed.Bit(7) != 1 || seed.Bit(255) != 1 {
+		t.Errorf("ApplySeed wrong: %v", seed)
+	}
+	// Flipping set bits clears them.
+	if got := ApplySeed(seed, []int{7}); got.Bit(7) != 0 || got.OnesCount() != 2 {
+		t.Errorf("ApplySeed flip-down wrong: %v", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(GrayCode, 256, 128, 0, -1); err == nil {
+		t.Error("expected overflow error for C(256,128)")
+	}
+	if _, err := New(GrayCode, 8, 3, 100, -1); err == nil {
+		t.Error("expected start-rank error")
+	}
+	if _, err := New(Method(99), 8, 3, 0, -1); err == nil {
+		t.Error("expected unknown-method error")
+	}
+	if _, err := Partition(8, 3, 0); err == nil {
+		t.Error("expected parts error")
+	}
+}
+
+func TestCountZeroYieldsNothing(t *testing.T) {
+	for _, method := range Methods() {
+		it, err := New(method, 8, 3, 5, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if it.Next(make([]int, 3)) {
+			t.Errorf("%v: Next produced a combination with count 0", method)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if GrayCode.String() != "graycode" || Method(99).String() != "Method(99)" {
+		t.Error("Method.String wrong")
+	}
+}
+
+// Per-seed iteration cost benchmarks: these measured ratios feed the GPU
+// and APU timing models (Table 4's shape).
+func benchMethod(b *testing.B, method Method) {
+	total, _ := combin.Binomial64(256, 5)
+	c := make([]int, 5)
+	it, err := New(method, 256, 5, 0, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int64(0)
+	for i := 0; i < b.N; i++ {
+		if !it.Next(c) {
+			it, _ = New(method, 256, 5, 0, -1)
+			it.Next(c)
+		}
+		n++
+		if uint64(n) == total {
+			n = 0
+		}
+	}
+	sinkInt = c[0]
+}
+
+var sinkInt int
+
+func BenchmarkIterGray256of5(b *testing.B)    { benchMethod(b, GrayCode) }
+func BenchmarkIterAlg515_256of5(b *testing.B) { benchMethod(b, Alg515) }
+func BenchmarkIterGosper256of5(b *testing.B)  { benchMethod(b, Gosper) }
+func BenchmarkIterMifsud256of5(b *testing.B)  { benchMethod(b, Mifsud154) }

@@ -1,0 +1,52 @@
+package iterseq
+
+import "rbcsalted/internal/combin"
+
+// mifsudIter is the lexicographic-successor iterator in the style of ACM
+// Algorithm 154 (Mifsud, 1963): find the rightmost position that can
+// advance, increment it, and reset the tail to the minimal run. This is
+// the historical baseline the paper's related work begins from; the
+// transition is amortized O(1) but can touch up to k positions.
+type mifsudIter struct {
+	n, k      int
+	cur       []int
+	remaining int64
+}
+
+func newMifsud(n, k int, startRank uint64, count int64) (*mifsudIter, error) {
+	it := &mifsudIter{n: n, k: k, cur: make([]int, k), remaining: count}
+	if count == 0 {
+		return it, nil
+	}
+	if err := combin.UnrankLex(n, startRank, it.cur); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (it *mifsudIter) Next(c []int) bool {
+	if it.remaining <= 0 {
+		return false
+	}
+	it.remaining--
+	copy(c, it.cur)
+	if it.remaining > 0 {
+		it.advance()
+	}
+	return true
+}
+
+func (it *mifsudIter) advance() {
+	k := it.k
+	// Rightmost position that can move up: cur[i] < limit(i).
+	for i := k - 1; i >= 0; i-- {
+		limit := it.n - (k - i) // highest value position i may take
+		if it.cur[i] < limit {
+			it.cur[i]++
+			for j := i + 1; j < k; j++ {
+				it.cur[j] = it.cur[j-1] + 1
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package keccak
+
+import (
+	"bytes"
+	stdsha3 "crypto/sha3"
+	"testing"
+)
+
+// FuzzSum256VsStdlib differentially tests the from-scratch SHA3-256
+// against the standard library on arbitrary inputs.
+func FuzzSum256VsStdlib(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("abc"))
+	f.Add(bytes.Repeat([]byte{0x13}, 136)) // exact rate block
+	f.Add(bytes.Repeat([]byte{0x5A}, 137))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if Sum256(data) != stdsha3.Sum256(data) {
+			t.Fatalf("SHA3-256 mismatch for %d bytes", len(data))
+		}
+	})
+}
+
+// FuzzSHAKE128VsStdlib covers the XOF path, including the squeeze length.
+func FuzzSHAKE128VsStdlib(f *testing.F) {
+	f.Add([]byte("seed"), uint16(32))
+	f.Add([]byte{}, uint16(1))
+	f.Add(bytes.Repeat([]byte{9}, 200), uint16(400))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		length := int(n%512) + 1
+		got := SumSHAKE128(data, length)
+		want := stdsha3.SumSHAKE128(data, length)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("SHAKE128 mismatch: %d in, %d out", len(data), length)
+		}
+	})
+}

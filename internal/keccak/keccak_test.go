@@ -1,0 +1,187 @@
+package keccak
+
+import (
+	"bytes"
+	stdsha3 "crypto/sha3"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSHA3KnownAnswers(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+		{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	}
+	for _, c := range cases {
+		got := Sum256([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA3-256(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSHAKEKnownAnswers(t *testing.T) {
+	if got := hex.EncodeToString(SumSHAKE128(nil, 16)); got != "7f9c2ba4e88f827d616045507605853e" {
+		t.Errorf("SHAKE128(\"\") = %s", got)
+	}
+	if got := hex.EncodeToString(SumSHAKE256(nil, 16)); got != "46b9dd2b0ba88d13233b3feb743eeb24" {
+		t.Errorf("SHAKE256(\"\") = %s", got)
+	}
+}
+
+func TestSum256AgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum256(data) == stdsha3.Sum256(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSum512AgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum512(data) == stdsha3.Sum512(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSHAKEAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, r.Intn(400))
+		r.Read(data)
+		n := 1 + r.Intn(500)
+		if !bytes.Equal(SumSHAKE128(data, n), stdsha3.SumSHAKE128(data, n)) {
+			t.Fatalf("SHAKE128 mismatch len=%d n=%d", len(data), n)
+		}
+		if !bytes.Equal(SumSHAKE256(data, n), stdsha3.SumSHAKE256(data, n)) {
+			t.Fatalf("SHAKE256 mismatch len=%d n=%d", len(data), n)
+		}
+	}
+}
+
+func TestLengthSweepAgainstStdlib(t *testing.T) {
+	// Cross every rate boundary for both SHA-3 variants: rates are 136
+	// and 72 bytes, so 0..300 covers multiple blocks and exact-fit pads.
+	r := rand.New(rand.NewSource(12))
+	for n := 0; n <= 300; n++ {
+		data := make([]byte, n)
+		r.Read(data)
+		if Sum256(data) != stdsha3.Sum256(data) {
+			t.Fatalf("SHA3-256 mismatch at length %d", n)
+		}
+		if Sum512(data) != stdsha3.Sum512(data) {
+			t.Fatalf("SHA3-512 mismatch at length %d", n)
+		}
+	}
+}
+
+func TestStreamingWriteSplits(t *testing.T) {
+	data := make([]byte, 500)
+	rand.New(rand.NewSource(13)).Read(data)
+	want := Sum256(data)
+	for _, split := range []int{1, 9, 135, 136, 137, 272} {
+		s := NewSHA3_256()
+		for i := 0; i < len(data); i += split {
+			end := min(i+split, len(data))
+			s.Write(data[i:end])
+		}
+		var got [32]byte
+		s.Read(got[:])
+		if got != want {
+			t.Errorf("split %d: mismatch", split)
+		}
+	}
+}
+
+func TestIncrementalSqueeze(t *testing.T) {
+	// Squeezing in odd-sized chunks must equal one big squeeze.
+	want := SumSHAKE128([]byte("seed material"), 333)
+	s := NewSHAKE128()
+	s.Write([]byte("seed material"))
+	var got []byte
+	buf := make([]byte, 7)
+	for len(got) < 333 {
+		take := min(7, 333-len(got))
+		s.Read(buf[:take])
+		got = append(got, buf[:take]...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("incremental squeeze differs from bulk squeeze")
+	}
+}
+
+func TestWriteAfterReadPanics(t *testing.T) {
+	s := NewSHAKE128()
+	s.Write([]byte("x"))
+	s.Read(make([]byte, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on Write after Read")
+		}
+	}()
+	s.Write([]byte("y"))
+}
+
+func TestReset(t *testing.T) {
+	s := NewSHA3_256()
+	s.Write([]byte("garbage"))
+	s.Read(make([]byte, 32))
+	s.Reset()
+	s.Write([]byte("abc"))
+	var got [32]byte
+	s.Read(got[:])
+	if got != Sum256([]byte("abc")) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestSum256SeedMatchesGeneric(t *testing.T) {
+	f := func(seed [32]byte) bool {
+		return Sum256Seed(&seed) == Sum256(seed[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteKnownState(t *testing.T) {
+	// Keccak-f[1600] applied to the zero state: first lane of the result
+	// is a fixed, well-known constant (from the Keccak reference KATs).
+	var a [25]uint64
+	Permute(&a)
+	if a[0] != 0xf1258f7940e1dde7 {
+		t.Errorf("permute(0)[0] = %#x, want 0xf1258f7940e1dde7", a[0])
+	}
+}
+
+func BenchmarkSum256Seed(b *testing.B) {
+	var seed [32]byte
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sinkDigest = Sum256Seed(&seed)
+	}
+}
+
+func BenchmarkSum256Generic32(b *testing.B) {
+	seed := make([]byte, 32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sinkDigest = Sum256(seed)
+	}
+}
+
+func BenchmarkPermute(b *testing.B) {
+	var a [25]uint64
+	for i := 0; i < b.N; i++ {
+		Permute(&a)
+	}
+}
+
+var sinkDigest [32]byte

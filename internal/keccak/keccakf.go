@@ -1,0 +1,91 @@
+// Package keccak is a from-scratch implementation of the Keccak sponge
+// family (FIPS 202): the Keccak-f[1600] permutation, SHA3-256 and SHA3-512
+// fixed-output hashes, and the SHAKE128/SHAKE256 extendable-output
+// functions.
+//
+// SHA-3 is the hash the paper standardizes on for the RBC-SALTED search,
+// and SHAKE is the expansion primitive required by the LightSaber and
+// Dilithium baselines. The package also provides Sum256Seed, the paper's
+// §3.2.2 optimization: for the fixed 32-byte seeds hashed billions of
+// times per search, padding is precomputed and the digest collapses to a
+// single permutation call with no buffering or conditionals.
+package keccak
+
+import "math/bits"
+
+// rounds is the number of rounds of Keccak-f[1600].
+const rounds = 24
+
+// roundConstants are the iota-step constants RC[0..23].
+var roundConstants = [rounds]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotc[x][y] is the rho-step rotation offset for lane (x, y).
+var rotc = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// permute applies Keccak-f[1600] in place. The state is indexed as
+// a[x + 5y] holding lane (x, y), per the FIPS 202 convention.
+func permute(a *[25]uint64) {
+	for round := 0; round < rounds; round++ {
+		// theta
+		var c [5]uint64
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d := c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+			for y := 0; y < 25; y += 5 {
+				a[x+y] ^= d
+			}
+		}
+
+		// rho and pi
+		var b [25]uint64
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], int(rotc[x][y]))
+			}
+		}
+
+		// chi
+		for y := 0; y < 25; y += 5 {
+			for x := 0; x < 5; x++ {
+				a[x+y] = b[x+y] ^ (^b[(x+1)%5+y] & b[(x+2)%5+y])
+			}
+		}
+
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// Permute exposes Keccak-f[1600] for the bit-sliced cross-validation tests
+// and the APU execution engine.
+func Permute(a *[25]uint64) { permute(a) }
+
+// Rounds is the number of rounds of Keccak-f[1600].
+const Rounds = rounds
+
+// RoundConstant returns the iota-step constant RC[i] for round i.
+func RoundConstant(i int) uint64 { return roundConstants[i] }
+
+// RotationOffset returns the rho-step rotation for lane (x, y).
+func RotationOffset(x, y int) uint { return rotc[x][y] }
+
+// DomainSHA3 is the SHA-3 domain-separation suffix, exported for
+// fixed-padding implementations outside this package.
+const DomainSHA3 = dsSHA3

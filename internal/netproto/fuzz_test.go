@@ -1,0 +1,69 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must reject
+// or parse, never panic, and any parsed frame must re-encode losslessly.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	WriteFrame(&good, MsgHello, []byte("alice"))
+	f.Add(good.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgType, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, msgType, payload); err != nil {
+			t.Fatalf("parsed frame failed to re-encode: %v", err)
+		}
+		msgType2, payload2, err := ReadFrame(&out)
+		if err != nil || msgType2 != msgType || !bytes.Equal(payload2, payload) {
+			t.Fatal("re-encoded frame does not round trip")
+		}
+	})
+}
+
+// FuzzDecodeChallenge must never panic on hostile payloads.
+func FuzzDecodeChallenge(f *testing.F) {
+	addr := make([]int, 256)
+	for i := range addr {
+		addr[i] = i
+	}
+	good, _ := EncodeChallenge(Challenge{Nonce: 1, Alg: 1, AddressMap: addr})
+	f.Add(good)
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := DecodeChallenge(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeChallenge(ch)
+		if err != nil || !bytes.Equal(re, data) {
+			t.Fatal("challenge does not round trip")
+		}
+	})
+}
+
+// FuzzDecodeResult and digest decoding must be total functions.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(Result{Authenticated: true, SearchSeconds: 1.5, PublicKey: []byte{1}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeResult(data); err == nil {
+			_ = EncodeResult(r)
+		}
+		if d, err := DecodeDigest(data); err == nil {
+			_ = EncodeDigest(d)
+		}
+		if h, err := DecodeHello(data); err == nil {
+			_ = EncodeHello(h)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package netproto
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/puf"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello world")
+	if err := WriteFrame(&buf, MsgHello, payload); err != nil {
+		t.Fatal(err)
+	}
+	msgType, got, err := ReadFrame(&buf)
+	if err != nil || msgType != MsgHello || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: %v %d %q", err, msgType, got)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgHello, make([]byte, maxFrame)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Corrupt length header.
+	bad := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	if _, _, err := ReadFrame(bad); err == nil {
+		t.Error("oversized incoming frame accepted")
+	}
+	zero := bytes.NewReader([]byte{0, 0, 0, 0})
+	if _, _, err := ReadFrame(zero); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	// Truncated payload.
+	trunc := bytes.NewReader([]byte{0, 0, 0, 5, 1, 2})
+	if _, _, err := ReadFrame(trunc); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestChallengeCodec(t *testing.T) {
+	addr := make([]int, 256)
+	for i := range addr {
+		addr[i] = i * 3
+	}
+	enc, err := EncodeChallenge(Challenge{Nonce: 42, Alg: 1, AddressMap: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeChallenge(enc)
+	if err != nil || dec.Nonce != 42 || dec.Alg != 1 {
+		t.Fatalf("decode failed: %+v, %v", dec, err)
+	}
+	for i := range addr {
+		if dec.AddressMap[i] != addr[i] {
+			t.Fatalf("address %d corrupted", i)
+		}
+	}
+	if _, err := EncodeChallenge(Challenge{AddressMap: make([]int, 10)}); err == nil {
+		t.Error("short address map accepted")
+	}
+	addr[0] = 1 << 20
+	if _, err := EncodeChallenge(Challenge{AddressMap: addr}); err == nil {
+		t.Error("oversized cell index accepted")
+	}
+	if _, err := DecodeChallenge(make([]byte, 5)); err == nil {
+		t.Error("short challenge accepted")
+	}
+}
+
+func TestDigestAndResultCodecs(t *testing.T) {
+	d := DigestMsg{Nonce: 7, Digest: bytes.Repeat([]byte{0xAB}, 32)}
+	got, err := DecodeDigest(EncodeDigest(d))
+	if err != nil || got.Nonce != 7 || !bytes.Equal(got.Digest, d.Digest) {
+		t.Fatalf("digest codec: %+v %v", got, err)
+	}
+	if _, err := DecodeDigest(make([]byte, 10)); err == nil {
+		t.Error("short digest accepted")
+	}
+
+	r := Result{Authenticated: true, TimedOut: false, SearchSeconds: 1.25, PublicKey: []byte{1, 2, 3}}
+	rd, err := DecodeResult(EncodeResult(r))
+	if err != nil || !rd.Authenticated || rd.TimedOut || rd.SearchSeconds != 1.25 ||
+		!bytes.Equal(rd.PublicKey, r.PublicKey) {
+		t.Fatalf("result codec: %+v %v", rd, err)
+	}
+	if _, err := DecodeResult(make([]byte, 3)); err == nil {
+		t.Error("short result accepted")
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	if _, err := DecodeHello(nil); err == nil {
+		t.Error("empty hello accepted")
+	}
+	if _, err := DecodeHello(make([]byte, 300)); err == nil {
+		t.Error("oversized hello accepted")
+	}
+}
+
+// newServer assembles a CA on the real CPU backend with a low-noise PUF.
+func newServer(t *testing.T) (*Server, *core.Client, *core.RA) {
+	t.Helper()
+	store, err := core.NewImageStore([32]byte{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := core.NewRA()
+	backend := &cpu.Backend{Alg: core.SHA3, Workers: 2}
+	ca, err := core.NewCA(store, backend, &aeskg.Generator{}, ra, core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := puf.NewDevice(101, 1024, puf.Profile{BaseError: 0.5 / 256.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := puf.Enroll(dev, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Enroll("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	return &Server{CA: ca}, &core.Client{ID: "alice", Device: dev}, ra
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	server, client, ra := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	res, err := Authenticate(conn, client, Latency{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authenticated {
+		t.Fatalf("authentication failed: %+v", res)
+	}
+	if len(res.PublicKey) == 0 {
+		t.Error("no public key returned")
+	}
+	raKey, ok := ra.PublicKey("alice")
+	if !ok || !bytes.Equal(raKey, res.PublicKey) {
+		t.Error("RA key does not match wire key")
+	}
+}
+
+func TestUnknownClientRejected(t *testing.T) {
+	server, client, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ghost := &core.Client{ID: "ghost", Device: client.Device}
+	if _, err := Authenticate(conn, ghost, Latency{}); err == nil ||
+		!strings.Contains(err.Error(), "not enrolled") {
+		t.Errorf("expected enrollment error, got %v", err)
+	}
+}
+
+func TestGarbageConnection(t *testing.T) {
+	server, _, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a digest before a hello.
+	WriteFrame(conn, MsgDigest, EncodeDigest(DigestMsg{Nonce: 1, Digest: make([]byte, 32)}))
+	msgType, payload, err := ReadFrame(conn)
+	if err != nil || msgType != MsgError {
+		t.Errorf("expected error frame, got type %d (%v)", msgType, err)
+	}
+	if len(payload) == 0 {
+		t.Error("empty error message")
+	}
+}
+
+func TestPaperLatencyConstant(t *testing.T) {
+	if got := PaperLatency.CommSeconds(); got != 0.9 {
+		t.Errorf("paper latency = %.3fs, want 0.90s", got)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	server, client, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	lat := Latency{PUFRead: 50 * time.Millisecond, RTT: 20 * time.Millisecond}
+	start := time.Now()
+	res, err := Authenticate(conn, client, lat)
+	if err != nil || !res.Authenticated {
+		t.Fatalf("auth failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("latency injection missing: %v", elapsed)
+	}
+}

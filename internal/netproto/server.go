@@ -1,0 +1,201 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rbcsalted/internal/core"
+)
+
+// Latency injects the paper's modelled communication costs: the PUF USB
+// read on the client and the WAN round-trip. Zero values mean measure the
+// real transport only.
+type Latency struct {
+	PUFRead time.Duration
+	RTT     time.Duration
+}
+
+// PaperLatency reproduces the 0.90 s communication constant of Table 5:
+// the protocol makes three traversals (hello/challenge, digest, result)
+// plus the client's USB PUF read.
+var PaperLatency = Latency{PUFRead: 300 * time.Millisecond, RTT: 400 * time.Millisecond}
+
+// CommSeconds returns the end-to-end communication time the latency model
+// adds to one authentication (1.5 RTT spread over the three messages plus
+// the PUF read).
+func (l Latency) CommSeconds() float64 {
+	return (l.PUFRead + l.RTT + l.RTT/2).Seconds()
+}
+
+// Server serves the RBC-SALTED protocol for one certificate authority.
+type Server struct {
+	CA *core.CA
+	// IdleTimeout bounds each read; zero means 30 s.
+	IdleTimeout time.Duration
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) idle() time.Duration {
+	if s.IdleTimeout > 0 {
+		return s.IdleTimeout
+	}
+	return 30 * time.Second
+}
+
+// handle runs one authentication session over the connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	fail := func(msg string) {
+		_ = WriteFrame(conn, MsgError, []byte(msg))
+	}
+
+	conn.SetDeadline(time.Now().Add(s.idle()))
+	msgType, payload, err := ReadFrame(conn)
+	if err != nil || msgType != MsgHello {
+		fail("expected hello")
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	ch, err := s.CA.BeginHandshake(core.ClientID(hello.ClientID))
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	encoded, err := EncodeChallenge(Challenge{
+		Nonce:      ch.Nonce,
+		Alg:        byte(ch.Alg),
+		AddressMap: ch.AddressMap,
+	})
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if err := WriteFrame(conn, MsgChallenge, encoded); err != nil {
+		return
+	}
+
+	conn.SetDeadline(time.Now().Add(s.idle()))
+	msgType, payload, err = ReadFrame(conn)
+	if err != nil || msgType != MsgDigest {
+		fail("expected digest")
+		return
+	}
+	dm, err := DecodeDigest(payload)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	digest, err := core.DigestFromBytes(ch.Alg, dm.Digest)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	auth, err := s.CA.Authenticate(core.ClientID(hello.ClientID), dm.Nonce, digest)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	conn.SetDeadline(time.Now().Add(s.idle()))
+	_ = WriteFrame(conn, MsgResult, EncodeResult(Result{
+		Authenticated: auth.Authenticated,
+		TimedOut:      auth.TimedOut,
+		SearchSeconds: auth.Search.DeviceSeconds,
+		PublicKey:     auth.PublicKey,
+	}))
+}
+
+// Authenticate runs the full client side of the protocol over conn:
+// hello, challenge, PUF read, digest, result.
+func Authenticate(conn net.Conn, client *core.Client, lat Latency) (Result, error) {
+	if err := WriteFrame(conn, MsgHello, EncodeHello(Hello{ClientID: string(client.ID)})); err != nil {
+		return Result{}, fmt.Errorf("netproto: hello: %w", err)
+	}
+	msgType, payload, err := ReadFrame(conn)
+	if err != nil {
+		return Result{}, fmt.Errorf("netproto: challenge: %w", err)
+	}
+	if msgType == MsgError {
+		return Result{}, fmt.Errorf("netproto: server: %s", payload)
+	}
+	if msgType != MsgChallenge {
+		return Result{}, fmt.Errorf("netproto: unexpected message type %d", msgType)
+	}
+	wire, err := DecodeChallenge(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	ch := core.Challenge{
+		Nonce:      wire.Nonce,
+		AddressMap: wire.AddressMap,
+		Alg:        core.HashAlg(wire.Alg),
+	}
+
+	// The PUF read happens here on real hardware; the latency model
+	// charges it explicitly.
+	if lat.PUFRead > 0 {
+		time.Sleep(lat.PUFRead)
+	}
+	m1, err := client.Respond(ch)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := WriteFrame(conn, MsgDigest, EncodeDigest(DigestMsg{
+		Nonce:  ch.Nonce,
+		Digest: m1.Bytes(),
+	})); err != nil {
+		return Result{}, fmt.Errorf("netproto: digest: %w", err)
+	}
+
+	msgType, payload, err = ReadFrame(conn)
+	if err != nil {
+		return Result{}, fmt.Errorf("netproto: result: %w", err)
+	}
+	if msgType == MsgError {
+		return Result{}, fmt.Errorf("netproto: server: %s", payload)
+	}
+	if msgType != MsgResult {
+		return Result{}, fmt.Errorf("netproto: unexpected message type %d", msgType)
+	}
+	if lat.RTT > 0 {
+		time.Sleep(lat.RTT / 2)
+	}
+	return DecodeResult(payload)
+}

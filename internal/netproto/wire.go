@@ -1,0 +1,185 @@
+// Package netproto carries the RBC-SALTED protocol (Figure 1) over TCP:
+// a length-prefixed binary framing for the handshake, challenge, digest
+// and result messages, plus a server wrapping a certificate authority and
+// a client wrapping a PUF device.
+//
+// The paper's end-to-end numbers separate a measured 0.90 s communication
+// constant (PUF USB read + WAN round trips) from search time; the Latency
+// type injects that constant for end-to-end experiments, while loopback
+// use measures real transport cost.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Message types.
+const (
+	MsgHello byte = iota + 1
+	MsgChallenge
+	MsgDigest
+	MsgResult
+	MsgError
+)
+
+// Frame limits: the largest legitimate message is a challenge
+// (256 x 2-byte cell addresses + header); anything bigger is an attack or
+// corruption.
+const maxFrame = 1 << 16
+
+// WriteFrame sends one framed message: u32 length, u8 type, payload.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("netproto: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one framed message.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("netproto: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Hello is the client's opening message.
+type Hello struct {
+	ClientID string
+}
+
+// EncodeHello serializes a Hello.
+func EncodeHello(h Hello) []byte {
+	return []byte(h.ClientID)
+}
+
+// DecodeHello parses a Hello.
+func DecodeHello(p []byte) (Hello, error) {
+	if len(p) == 0 || len(p) > 255 {
+		return Hello{}, errors.New("netproto: invalid client id length")
+	}
+	return Hello{ClientID: string(p)}, nil
+}
+
+// Challenge mirrors core.Challenge on the wire.
+type Challenge struct {
+	Nonce      uint64
+	Alg        byte
+	AddressMap []int
+}
+
+// EncodeChallenge serializes a Challenge.
+func EncodeChallenge(c Challenge) ([]byte, error) {
+	if len(c.AddressMap) != 256 {
+		return nil, fmt.Errorf("netproto: address map has %d cells, want 256", len(c.AddressMap))
+	}
+	out := make([]byte, 9+2*len(c.AddressMap))
+	binary.BigEndian.PutUint64(out[:8], c.Nonce)
+	out[8] = c.Alg
+	for i, cell := range c.AddressMap {
+		if cell < 0 || cell > 0xFFFF {
+			return nil, fmt.Errorf("netproto: cell index %d out of range", cell)
+		}
+		binary.BigEndian.PutUint16(out[9+2*i:], uint16(cell))
+	}
+	return out, nil
+}
+
+// DecodeChallenge parses a Challenge.
+func DecodeChallenge(p []byte) (Challenge, error) {
+	if len(p) != 9+2*256 {
+		return Challenge{}, fmt.Errorf("netproto: challenge payload %d bytes", len(p))
+	}
+	c := Challenge{
+		Nonce:      binary.BigEndian.Uint64(p[:8]),
+		Alg:        p[8],
+		AddressMap: make([]int, 256),
+	}
+	for i := range c.AddressMap {
+		c.AddressMap[i] = int(binary.BigEndian.Uint16(p[9+2*i:]))
+	}
+	return c, nil
+}
+
+// DigestMsg is the client's response digest M_1.
+type DigestMsg struct {
+	Nonce  uint64
+	Digest []byte
+}
+
+// EncodeDigest serializes a DigestMsg.
+func EncodeDigest(d DigestMsg) []byte {
+	out := make([]byte, 8+len(d.Digest))
+	binary.BigEndian.PutUint64(out[:8], d.Nonce)
+	copy(out[8:], d.Digest)
+	return out
+}
+
+// DecodeDigest parses a DigestMsg.
+func DecodeDigest(p []byte) (DigestMsg, error) {
+	if len(p) < 8+20 || len(p) > 8+64 {
+		return DigestMsg{}, fmt.Errorf("netproto: digest payload %d bytes", len(p))
+	}
+	return DigestMsg{
+		Nonce:  binary.BigEndian.Uint64(p[:8]),
+		Digest: append([]byte(nil), p[8:]...),
+	}, nil
+}
+
+// Result is the server's verdict.
+type Result struct {
+	Authenticated bool
+	TimedOut      bool
+	SearchSeconds float64
+	PublicKey     []byte
+}
+
+// EncodeResult serializes a Result.
+func EncodeResult(r Result) []byte {
+	out := make([]byte, 10+len(r.PublicKey))
+	if r.Authenticated {
+		out[0] = 1
+	}
+	if r.TimedOut {
+		out[1] = 1
+	}
+	binary.BigEndian.PutUint64(out[2:10], math.Float64bits(r.SearchSeconds))
+	copy(out[10:], r.PublicKey)
+	return out
+}
+
+// DecodeResult parses a Result.
+func DecodeResult(p []byte) (Result, error) {
+	if len(p) < 10 {
+		return Result{}, fmt.Errorf("netproto: result payload %d bytes", len(p))
+	}
+	r := Result{
+		Authenticated: p[0] == 1,
+		TimedOut:      p[1] == 1,
+		SearchSeconds: math.Float64frombits(binary.BigEndian.Uint64(p[2:10])),
+	}
+	if len(p) > 10 {
+		r.PublicKey = append([]byte(nil), p[10:]...)
+	}
+	return r, nil
+}

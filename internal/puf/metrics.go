@@ -1,0 +1,83 @@
+package puf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Standard PUF quality metrics from the hardware-security literature.
+// They quantify exactly the properties the RBC protocol depends on:
+// uniqueness makes impostor searches intractable (Equation 2), and
+// reliability bounds the Hamming distance the server must cover
+// (Equation 1). TAPKI's job is to raise effective reliability by masking
+// the worst cells.
+
+// Uniformity returns the fraction of one-bits in an enrollment image;
+// ideal is 0.5.
+func Uniformity(im *Image) float64 {
+	if len(im.Values) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, v := range im.Values {
+		if v {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(im.Values))
+}
+
+// Reliability measures intra-device stability: the mean fraction of bits
+// that match the enrollment image over `reads` fresh reads of the cells
+// in addressMap. Ideal is 1.0; (1 - reliability) x 256 estimates the
+// Hamming distance an RBC search must absorb.
+func Reliability(d *Device, im *Image, addressMap []int, reads int) (float64, error) {
+	if reads < 1 {
+		return 0, errors.New("puf: reliability needs at least one read")
+	}
+	enrolled, err := im.Seed(addressMap)
+	if err != nil {
+		return 0, err
+	}
+	totalMatch := 0
+	for r := 0; r < reads; r++ {
+		readSeed, err := d.ReadSeed(addressMap)
+		if err != nil {
+			return 0, err
+		}
+		totalMatch += SeedBits - enrolled.HammingDistance(readSeed)
+	}
+	return float64(totalMatch) / float64(reads*SeedBits), nil
+}
+
+// Uniqueness measures inter-device distinguishability: the mean pairwise
+// fractional Hamming distance between the devices' enrollment values over
+// the same cells. Ideal is 0.5 - each pair of PUFs disagrees on half
+// their bits, which is what makes Equation 2's opponent search a full
+// 2^256 space.
+func Uniqueness(images []*Image) (float64, error) {
+	if len(images) < 2 {
+		return 0, errors.New("puf: uniqueness needs at least two devices")
+	}
+	cells := len(images[0].Values)
+	for i, im := range images {
+		if len(im.Values) != cells {
+			return 0, fmt.Errorf("puf: image %d has %d cells, want %d", i, len(im.Values), cells)
+		}
+	}
+	sum := 0.0
+	pairs := 0
+	for i := 0; i < len(images); i++ {
+		for j := i + 1; j < len(images); j++ {
+			diff := 0
+			for k := 0; k < cells; k++ {
+				if images[i].Values[k] != images[j].Values[k] {
+					diff++
+				}
+			}
+			sum += float64(diff) / float64(cells)
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}

@@ -1,0 +1,122 @@
+package puf
+
+import "testing"
+
+func TestUniformityNearHalf(t *testing.T) {
+	d := mustDevice(t, 101, 2048, Profile{})
+	im, err := Enroll(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Uniformity(im)
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("uniformity %.3f, expected near 0.5", u)
+	}
+	if Uniformity(&Image{}) != 0 {
+		t.Error("empty image uniformity should be 0")
+	}
+}
+
+func TestReliabilityTracksErrorRate(t *testing.T) {
+	for _, tc := range []struct {
+		rate   float64
+		minRel float64
+		maxRel float64
+	}{
+		{0.0, 0.9999, 1.0},
+		{5.0 / 256.0, 0.96, 0.995},
+		{0.2, 0.75, 0.85},
+	} {
+		d := mustDevice(t, 103, 512, Profile{BaseError: tc.rate})
+		im, err := Enroll(d, 101)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := im.SelectAddressMap(0.6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Reliability(d, im, addr, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel < tc.minRel || rel > tc.maxRel {
+			t.Errorf("rate %.3f: reliability %.4f outside [%.3f, %.3f]",
+				tc.rate, rel, tc.minRel, tc.maxRel)
+		}
+	}
+}
+
+func TestReliabilityErrors(t *testing.T) {
+	d := mustDevice(t, 105, 512, Profile{})
+	im, _ := Enroll(d, 3)
+	addr, _ := im.SelectAddressMap(0.5, 1)
+	if _, err := Reliability(d, im, addr, 0); err == nil {
+		t.Error("zero reads accepted")
+	}
+	if _, err := Reliability(d, im, addr[:10], 1); err == nil {
+		t.Error("short address map accepted")
+	}
+}
+
+func TestTAPKIImprovesReliability(t *testing.T) {
+	// The protocol-level point of TAPKI: masking unstable cells raises
+	// effective reliability.
+	p := Profile{BaseError: 0.01, FlakyFraction: 0.25, FlakyError: 0.4}
+	d := mustDevice(t, 107, 2048, p)
+	im, err := Enroll(d, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := im.SelectAddressMap(0.1, 3) // TAPKI on
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmasked, err := im.SelectAddressMap(0.999, 3) // effectively no mask
+	if err != nil {
+		t.Fatal(err)
+	}
+	relMasked, err := Reliability(d, im, masked, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relUnmasked, err := Reliability(d, im, unmasked, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relMasked <= relUnmasked {
+		t.Errorf("TAPKI did not help: masked %.4f <= unmasked %.4f", relMasked, relUnmasked)
+	}
+}
+
+func TestUniquenessNearHalf(t *testing.T) {
+	images := make([]*Image, 6)
+	for i := range images {
+		d := mustDevice(t, uint64(200+i), 512, Profile{})
+		im, err := Enroll(d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = im
+	}
+	u, err := Uniqueness(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("uniqueness %.3f, expected near 0.5", u)
+	}
+}
+
+func TestUniquenessErrors(t *testing.T) {
+	if _, err := Uniqueness(nil); err == nil {
+		t.Error("no devices accepted")
+	}
+	d1 := mustDevice(t, 301, 512, Profile{})
+	d2 := mustDevice(t, 302, 300, Profile{})
+	im1, _ := Enroll(d1, 3)
+	im2, _ := Enroll(d2, 3)
+	if _, err := Uniqueness([]*Image{im1, im2}); err == nil {
+		t.Error("mismatched cell counts accepted")
+	}
+}

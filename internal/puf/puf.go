@@ -1,0 +1,209 @@
+// Package puf models Physical Unclonable Functions as the RBC protocol
+// consumes them: a client-side device whose cells produce slightly erratic
+// bits, a server-side enrollment image captured in a secure facility, and
+// the TAPKI ternary masking that hides high-error cells so the RBC search
+// stays tractable.
+//
+// The protocol is agnostic to the underlying PUF hardware (paper §2.1);
+// what matters is the statistical behaviour - which bits flip and how
+// often - so the model is parameterized by a per-cell error-rate profile.
+// All randomness is drawn from an explicit seeded generator, making every
+// experiment reproducible.
+package puf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"rbcsalted/internal/u256"
+)
+
+// SeedBits is the width of the bit stream the protocol hashes.
+const SeedBits = 256
+
+// Cell is one PUF cell: a stable underlying value plus the probability
+// that a read returns the flipped value.
+type Cell struct {
+	Value   bool
+	ErrRate float64
+}
+
+// Profile describes the statistical quality of a PUF's cells.
+type Profile struct {
+	// BaseError is the per-read flip probability of a typical cell.
+	BaseError float64
+	// FlakyFraction is the fraction of cells that are unstable.
+	FlakyFraction float64
+	// FlakyError is the per-read flip probability of an unstable cell.
+	FlakyError float64
+}
+
+// DefaultProfile mirrors the paper's working assumption: a typical read
+// differs from the enrollment image by about 5 bits out of 256
+// (BaseError ~ 5/256), with a minority of clearly bad cells that TAPKI
+// must mask out.
+var DefaultProfile = Profile{
+	BaseError:     5.0 / 256.0,
+	FlakyFraction: 0.05,
+	FlakyError:    0.35,
+}
+
+// Device is a client-side PUF: an array of cells read with noise.
+type Device struct {
+	cells []Cell
+	rng   *rand.Rand
+}
+
+// NewDevice manufactures a PUF with numCells cells under the given
+// profile. The seed determines both the cell values and all subsequent
+// read noise, so a device is fully reproducible.
+func NewDevice(seed uint64, numCells int, p Profile) (*Device, error) {
+	if numCells < SeedBits {
+		return nil, fmt.Errorf("puf: device needs at least %d cells, got %d", SeedBits, numCells)
+	}
+	if p.BaseError < 0 || p.BaseError >= 0.5 || p.FlakyError < 0 || p.FlakyError >= 0.5 ||
+		p.FlakyFraction < 0 || p.FlakyFraction > 1 {
+		return nil, errors.New("puf: profile rates must be in [0, 0.5) and fraction in [0, 1]")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))
+	cells := make([]Cell, numCells)
+	for i := range cells {
+		cells[i].Value = rng.Uint64()&1 == 1
+		if rng.Float64() < p.FlakyFraction {
+			cells[i].ErrRate = p.FlakyError
+		} else {
+			cells[i].ErrRate = p.BaseError
+		}
+	}
+	return &Device{cells: cells, rng: rng}, nil
+}
+
+// NumCells returns the number of cells in the device.
+func (d *Device) NumCells() int { return len(d.cells) }
+
+// ReadCell returns one noisy read of cell i.
+func (d *Device) ReadCell(i int) bool {
+	c := d.cells[i]
+	if d.rng.Float64() < c.ErrRate {
+		return !c.Value
+	}
+	return c.Value
+}
+
+// ReadSeed reads the 256 cells named by addressMap (in order) and packs
+// them into a candidate seed, bit j holding cell addressMap[j]. This is
+// the client-side operation of Figure 1: read the PUF at the address
+// specified by the CA.
+func (d *Device) ReadSeed(addressMap []int) (u256.Uint256, error) {
+	if len(addressMap) != SeedBits {
+		return u256.Zero, fmt.Errorf("puf: address map has %d cells, want %d", len(addressMap), SeedBits)
+	}
+	seed := u256.Zero
+	for j, cell := range addressMap {
+		if cell < 0 || cell >= len(d.cells) {
+			return u256.Zero, fmt.Errorf("puf: cell index %d out of range", cell)
+		}
+		if d.ReadCell(cell) {
+			seed = seed.SetBit(j, 1)
+		}
+	}
+	return seed, nil
+}
+
+// Image is the server-side enrollment record of one device: the majority
+// value of each cell and its observed instability, captured over repeated
+// reads in the secure enrollment facility.
+type Image struct {
+	Values      []bool
+	Instability []float64 // observed flip fraction per cell
+}
+
+// Enroll reads every cell of the device `reads` times and records the
+// majority value and flip fraction. RBC enrollment happens once, in a
+// secure facility, before the device is deployed.
+func Enroll(d *Device, reads int) (*Image, error) {
+	if reads < 1 {
+		return nil, errors.New("puf: enrollment needs at least one read")
+	}
+	im := &Image{
+		Values:      make([]bool, d.NumCells()),
+		Instability: make([]float64, d.NumCells()),
+	}
+	for i := range d.cells {
+		ones := 0
+		for r := 0; r < reads; r++ {
+			if d.ReadCell(i) {
+				ones++
+			}
+		}
+		im.Values[i] = ones*2 >= reads
+		minority := ones
+		if im.Values[i] {
+			minority = reads - ones
+		}
+		im.Instability[i] = float64(minority) / float64(reads)
+	}
+	return im, nil
+}
+
+// TernaryMask returns the TAPKI address map: the indices of cells whose
+// observed instability is below threshold, in ascending order. Cells above
+// the threshold are the "ternary" cells masked out of key material.
+func (im *Image) TernaryMask(threshold float64) []int {
+	var stable []int
+	for i, inst := range im.Instability {
+		if inst < threshold {
+			stable = append(stable, i)
+		}
+	}
+	return stable
+}
+
+// SelectAddressMap picks 256 stable cells for a session, pseudo-randomly
+// from the TAPKI-stable set using the session nonce, so each handshake can
+// use a fresh PUF address (the one-time-key property of §2.1). It fails if
+// fewer than 256 stable cells exist.
+func (im *Image) SelectAddressMap(threshold float64, nonce uint64) ([]int, error) {
+	stable := im.TernaryMask(threshold)
+	if len(stable) < SeedBits {
+		return nil, fmt.Errorf("puf: only %d stable cells, need %d", len(stable), SeedBits)
+	}
+	rng := rand.New(rand.NewPCG(nonce, 0xD1B54A32D192ED03))
+	rng.Shuffle(len(stable), func(i, j int) { stable[i], stable[j] = stable[j], stable[i] })
+	out := stable[:SeedBits]
+	return out, nil
+}
+
+// Seed packs the enrolled values of the cells in addressMap into the
+// server-side S_init used to anchor the RBC search.
+func (im *Image) Seed(addressMap []int) (u256.Uint256, error) {
+	if len(addressMap) != SeedBits {
+		return u256.Zero, fmt.Errorf("puf: address map has %d cells, want %d", len(addressMap), SeedBits)
+	}
+	seed := u256.Zero
+	for j, cell := range addressMap {
+		if cell < 0 || cell >= len(im.Values) {
+			return u256.Zero, fmt.Errorf("puf: cell index %d out of range", cell)
+		}
+		if im.Values[cell] {
+			seed = seed.SetBit(j, 1)
+		}
+	}
+	return seed, nil
+}
+
+// InjectNoise flips additional uniformly chosen bits of clientSeed until
+// it sits at exactly target Hamming distance from serverSeed, reproducing
+// the paper's §4.1 procedure ("if the error rate is lower, we perform
+// noise injection on the client to ensure that we have flipped 5 bits").
+// If the distance already exceeds target, the seed is returned unchanged.
+func InjectNoise(clientSeed, serverSeed u256.Uint256, target int, rng *rand.Rand) u256.Uint256 {
+	for clientSeed.HammingDistance(serverSeed) < target {
+		bit := rng.IntN(SeedBits)
+		if clientSeed.Bit(bit) == serverSeed.Bit(bit) {
+			clientSeed = clientSeed.FlipBit(bit)
+		}
+	}
+	return clientSeed
+}

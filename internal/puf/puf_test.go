@@ -1,0 +1,214 @@
+package puf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rbcsalted/internal/u256"
+)
+
+func mustDevice(t *testing.T, seed uint64, cells int, p Profile) *Device {
+	t.Helper()
+	d, err := NewDevice(seed, cells, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(1, 100, DefaultProfile); err == nil {
+		t.Error("expected error for too few cells")
+	}
+	bad := []Profile{
+		{BaseError: -0.1},
+		{BaseError: 0.6},
+		{FlakyError: 0.7},
+		{FlakyFraction: 1.5},
+	}
+	for _, p := range bad {
+		if _, err := NewDevice(1, 512, p); err == nil {
+			t.Errorf("expected error for profile %+v", p)
+		}
+	}
+}
+
+func TestDeviceDeterministic(t *testing.T) {
+	a := mustDevice(t, 42, 512, DefaultProfile)
+	b := mustDevice(t, 42, 512, DefaultProfile)
+	for i := 0; i < a.NumCells(); i++ {
+		for r := 0; r < 3; r++ {
+			if a.ReadCell(i) != b.ReadCell(i) {
+				t.Fatalf("same-seed devices diverge at cell %d read %d", i, r)
+			}
+		}
+	}
+}
+
+func TestDevicesAreUnique(t *testing.T) {
+	// Different manufacturing seeds must give different fingerprints.
+	a := mustDevice(t, 1, 512, Profile{})
+	b := mustDevice(t, 2, 512, Profile{})
+	same := 0
+	for i := 0; i < 512; i++ {
+		if a.ReadCell(i) == b.ReadCell(i) {
+			same++
+		}
+	}
+	if same > 330 || same < 180 {
+		t.Errorf("devices agree on %d/512 noiseless cells; expected ~256", same)
+	}
+}
+
+func TestEnrollmentMatchesNoiselessDevice(t *testing.T) {
+	d := mustDevice(t, 7, 512, Profile{}) // zero error: every read is truth
+	im, err := Enroll(d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Values {
+		if im.Values[i] != d.ReadCell(i) {
+			t.Fatalf("enrolled value differs from device at cell %d", i)
+		}
+		if im.Instability[i] != 0 {
+			t.Fatalf("noiseless cell %d has instability %f", i, im.Instability[i])
+		}
+	}
+	if _, err := Enroll(d, 0); err == nil {
+		t.Error("expected error for zero reads")
+	}
+}
+
+func TestTernaryMaskDropsFlakyCells(t *testing.T) {
+	p := Profile{BaseError: 0.01, FlakyFraction: 0.2, FlakyError: 0.4}
+	d := mustDevice(t, 11, 1024, p)
+	im, err := Enroll(d, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := im.TernaryMask(0.15)
+	if len(stable) < 256 {
+		t.Fatalf("only %d stable cells", len(stable))
+	}
+	// The mask must have dropped roughly the flaky fraction.
+	dropped := 1024 - len(stable)
+	if dropped < 100 || dropped > 320 {
+		t.Errorf("dropped %d cells; expected roughly 20%% of 1024", dropped)
+	}
+	// Reads over masked cells should be far more reliable than over all.
+	for _, idx := range stable {
+		if im.Instability[idx] >= 0.15 {
+			t.Fatalf("stable cell %d has instability %f", idx, im.Instability[idx])
+		}
+	}
+}
+
+func TestSelectAddressMapAndSeeds(t *testing.T) {
+	d := mustDevice(t, 13, 1024, DefaultProfile)
+	im, err := Enroll(d, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := im.SelectAddressMap(0.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addr) != SeedBits {
+		t.Fatalf("address map has %d cells", len(addr))
+	}
+	// Distinct nonces must give distinct maps (one-time addresses).
+	addr2, err := im.SelectAddressMap(0.2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range addr {
+		if addr[i] != addr2[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different nonces produced identical address maps")
+	}
+
+	serverSeed, err := im.Seed(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientSeed, err := d.ReadSeed(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := serverSeed.HammingDistance(clientSeed)
+	// With masked stable cells at ~2% error the distance should be small.
+	if dist > 20 {
+		t.Errorf("client/server Hamming distance %d unexpectedly large", dist)
+	}
+}
+
+func TestSeedErrors(t *testing.T) {
+	d := mustDevice(t, 17, 512, DefaultProfile)
+	im, _ := Enroll(d, 11)
+	if _, err := im.Seed(make([]int, 100)); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]int, SeedBits)
+	bad[0] = 99999
+	if _, err := im.Seed(bad); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := d.ReadSeed(make([]int, 5)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := d.ReadSeed(bad); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestSelectAddressMapInsufficientCells(t *testing.T) {
+	p := Profile{BaseError: 0.4, FlakyFraction: 0, FlakyError: 0}
+	d := mustDevice(t, 19, 300, p)
+	im, _ := Enroll(d, 101)
+	if _, err := im.SelectAddressMap(0.05, 1); err == nil {
+		t.Error("expected error: nearly every cell is unstable")
+	}
+}
+
+func TestInjectNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	server := u256.FromUint64(0xDEADBEEF)
+	client := server // distance 0
+	for _, target := range []int{1, 3, 5} {
+		got := InjectNoise(client, server, target, rng)
+		if d := got.HammingDistance(server); d != target {
+			t.Errorf("target %d: distance %d", target, d)
+		}
+	}
+	// Already beyond target: unchanged.
+	far := server.Xor(u256.New(0xFF, 0xFF, 0, 0))
+	if got := InjectNoise(far, server, 3, rng); !got.Equal(far) {
+		t.Error("InjectNoise modified a seed already beyond target")
+	}
+}
+
+func TestAverageReadDistanceMatchesProfile(t *testing.T) {
+	// Statistical check: with BaseError = 5/256 over 256 stable-ish cells,
+	// the mean read distance should be near 5.
+	d := mustDevice(t, 23, 512, Profile{BaseError: 5.0 / 256.0})
+	im, _ := Enroll(d, 101)
+	addr, err := im.SelectAddressMap(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, _ := im.Seed(addr)
+	sum := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		client, _ := d.ReadSeed(addr)
+		sum += server.HammingDistance(client)
+	}
+	mean := float64(sum) / trials
+	if mean < 3.0 || mean > 7.5 {
+		t.Errorf("mean read distance %.2f, expected near 5", mean)
+	}
+}

@@ -1,0 +1,179 @@
+// Package sha1 is a from-scratch implementation of the SHA-1 hash function
+// (FIPS 180-1). The RBC-SALTED search hashes billions of fixed-size 256-bit
+// seeds, so alongside the generic streaming digest this package provides
+// SumSeed, a single-compression fast path with the padding for 32-byte
+// messages baked in - the fixed-padding optimization of paper §3.2.2
+// applied to SHA-1.
+//
+// SHA-1 is cryptographically broken and is included, exactly as in the
+// paper, only to widen the cross-platform performance comparison.
+package sha1
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Size is the size of a SHA-1 digest in bytes.
+const Size = 20
+
+// BlockSize is the SHA-1 block size in bytes.
+const BlockSize = 64
+
+// SeedSize is the fixed message size of the RBC fast path.
+const SeedSize = 32
+
+const (
+	init0 = 0x67452301
+	init1 = 0xEFCDAB89
+	init2 = 0x98BADCFE
+	init3 = 0x10325476
+	init4 = 0xC3D2E1F0
+
+	k0 = 0x5A827999
+	k1 = 0x6ED9EBA1
+	k2 = 0x8F1BBCDC
+	k3 = 0xCA62C1D6
+)
+
+// Digest is a streaming SHA-1 computation. The zero value is not valid;
+// use New.
+type Digest struct {
+	h   [5]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns a reset SHA-1 digest.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset restores the digest to its initial state.
+func (d *Digest) Reset() {
+	d.h = [5]uint32{init0, init1, init2, init3, init4}
+	d.nx = 0
+	d.len = 0
+}
+
+// Write absorbs p into the digest. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			block(&d.h, d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		block(&d.h, p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the current digest to b and returns it. The digest state is
+// not modified, so more data can be written afterwards.
+func (d *Digest) Sum(b []byte) []byte {
+	dd := *d // finalize a copy
+	var tmp [BlockSize + 8]byte
+	tmp[0] = 0x80
+	padLen := 56 - int(dd.len%64)
+	if padLen <= 0 {
+		padLen += 64
+	}
+	binary.BigEndian.PutUint64(tmp[padLen:], dd.len<<3)
+	dd.Write(tmp[:padLen+8])
+	var out [Size]byte
+	for i, v := range dd.h {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return append(b, out[:]...)
+}
+
+// Sum20 returns the SHA-1 digest of data.
+func Sum20(data []byte) [Size]byte {
+	d := New()
+	d.Write(data)
+	var out [Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// SumSeed returns the SHA-1 digest of a 32-byte seed using a single
+// compression with fixed padding: byte 32 is 0x80, bytes 33..55 are zero,
+// and the length field is the constant 256 bits. This removes the padding
+// branches and buffer management from the per-seed hot loop.
+func SumSeed(seed *[SeedSize]byte) [Size]byte {
+	var blk [BlockSize]byte
+	copy(blk[:SeedSize], seed[:])
+	blk[SeedSize] = 0x80
+	blk[62] = 0x01 // length = 256 = 0x100 bits, big endian in bytes 56..63
+	h := [5]uint32{init0, init1, init2, init3, init4}
+	block(&h, blk[:])
+	var out [Size]byte
+	for i, v := range h {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// block applies the SHA-1 compression function to one 64-byte block.
+func block(h *[5]uint32, p []byte) {
+	var w [16]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+
+	i := 0
+	for ; i < 16; i++ {
+		f := b&c | (^b)&d
+		t := bits.RotateLeft32(a, 5) + f + e + w[i&0xf] + k0
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for ; i < 20; i++ {
+		tmp := w[(i-3)&0xf] ^ w[(i-8)&0xf] ^ w[(i-14)&0xf] ^ w[i&0xf]
+		w[i&0xf] = bits.RotateLeft32(tmp, 1)
+		f := b&c | (^b)&d
+		t := bits.RotateLeft32(a, 5) + f + e + w[i&0xf] + k0
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for ; i < 40; i++ {
+		tmp := w[(i-3)&0xf] ^ w[(i-8)&0xf] ^ w[(i-14)&0xf] ^ w[i&0xf]
+		w[i&0xf] = bits.RotateLeft32(tmp, 1)
+		f := b ^ c ^ d
+		t := bits.RotateLeft32(a, 5) + f + e + w[i&0xf] + k1
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for ; i < 60; i++ {
+		tmp := w[(i-3)&0xf] ^ w[(i-8)&0xf] ^ w[(i-14)&0xf] ^ w[i&0xf]
+		w[i&0xf] = bits.RotateLeft32(tmp, 1)
+		f := b&c | b&d | c&d
+		t := bits.RotateLeft32(a, 5) + f + e + w[i&0xf] + k2
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+	for ; i < 80; i++ {
+		tmp := w[(i-3)&0xf] ^ w[(i-8)&0xf] ^ w[(i-14)&0xf] ^ w[i&0xf]
+		w[i&0xf] = bits.RotateLeft32(tmp, 1)
+		f := b ^ c ^ d
+		t := bits.RotateLeft32(a, 5) + f + e + w[i&0xf] + k3
+		a, b, c, d, e = t, a, bits.RotateLeft32(b, 30), c, d
+	}
+
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
+	h[4] += e
+}

@@ -1,0 +1,125 @@
+package sha1
+
+import (
+	"bytes"
+	stdsha1 "crypto/sha1"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownAnswers(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+	}
+	for _, c := range cases {
+		got := Sum20([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA1(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		got := Sum20(data)
+		want := stdsha1.Sum(data)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgainstStdlibLengthSweep(t *testing.T) {
+	// Hit every padding boundary: lengths 0..130 cover one-, two- and
+	// three-block finalizations.
+	r := rand.New(rand.NewSource(3))
+	for n := 0; n <= 130; n++ {
+		data := make([]byte, n)
+		r.Read(data)
+		got := Sum20(data)
+		want := stdsha1.Sum(data)
+		if got != want {
+			t.Fatalf("length %d: got %x want %x", n, got, want)
+		}
+	}
+}
+
+func TestStreamingWriteSplits(t *testing.T) {
+	data := make([]byte, 257)
+	rand.New(rand.NewSource(4)).Read(data)
+	want := Sum20(data)
+	for _, split := range []int{1, 7, 63, 64, 65, 128, 256} {
+		d := New()
+		for i := 0; i < len(data); i += split {
+			end := i + split
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[i:end])
+		}
+		if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Errorf("split %d: got %x want %x", split, got, want)
+		}
+	}
+}
+
+func TestSumDoesNotConsumeState(t *testing.T) {
+	d := New()
+	d.Write([]byte("ab"))
+	first := d.Sum(nil)
+	second := d.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("Sum modified digest state")
+	}
+	d.Write([]byte("c"))
+	want := Sum20([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("continued write after Sum: got %x want %x", got, want)
+	}
+}
+
+func TestSumSeedMatchesGeneric(t *testing.T) {
+	f := func(seed [32]byte) bool {
+		return SumSeed(&seed) == Sum20(seed[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum20([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func BenchmarkSumSeed(b *testing.B) {
+	var seed [32]byte
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sink1 = SumSeed(&seed)
+	}
+}
+
+func BenchmarkSumGeneric32(b *testing.B) {
+	seed := make([]byte, 32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		seed[0] = byte(i)
+		sink1 = Sum20(seed)
+	}
+}
+
+var sink1 [20]byte

@@ -1,0 +1,50 @@
+package u256
+
+import "testing"
+
+// FuzzFromHex must reject or parse arbitrary strings without panicking,
+// and parsed values must round trip through String.
+func FuzzFromHex(f *testing.F) {
+	f.Add("0x0")
+	f.Add("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")
+	f.Add("")
+	f.Add("0xzz")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := FromHex(s)
+		if err != nil {
+			return
+		}
+		back, err := FromHex(v.String())
+		if err != nil || !back.Equal(v) {
+			t.Fatalf("String round trip failed for %q", s)
+		}
+	})
+}
+
+// FuzzArithmetic cross-checks composite operations against math/big on
+// arbitrary limb patterns.
+func FuzzArithmetic(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3, b0, b1, b2, b3 uint64) {
+		x := New(a0, a1, a2, a3)
+		y := New(b0, b1, b2, b3)
+		// (x - y) + y == x mod 2^256.
+		if !x.Sub(y).Add(y).Equal(x) {
+			t.Fatal("sub/add inverse broken")
+		}
+		// x ^ y ^ y == x.
+		if !x.Xor(y).Xor(y).Equal(x) {
+			t.Fatal("xor involution broken")
+		}
+		// De Morgan: ^(x & y) == ^x | ^y.
+		if !x.And(y).Not().Equal(x.Not().Or(y.Not())) {
+			t.Fatal("De Morgan broken")
+		}
+		// Popcount splits across AND/XOR: pop(x)+pop(y) ==
+		// 2*pop(x&y) + pop(x^y).
+		if x.OnesCount()+y.OnesCount() != 2*x.And(y).OnesCount()+x.Xor(y).OnesCount() {
+			t.Fatal("popcount identity broken")
+		}
+	})
+}

@@ -1,0 +1,359 @@
+// Package u256 implements 256-bit unsigned integer arithmetic.
+//
+// RBC seeds are 256-bit bit streams, and the seed-iteration algorithms
+// (notably Gosper's hack, as used in prior RBC work) require full-width
+// integer arithmetic: two's-complement negation, addition with carry
+// propagation, shifts, and bit scans. GPUs and CPUs have no native 256-bit
+// type, which is precisely the performance problem the paper identifies
+// with Gosper's hack at this width; this package is the faithful software
+// equivalent.
+//
+// A Uint256 is represented as four 64-bit limbs in little-endian limb
+// order: limb 0 holds bits 0..63, limb 3 holds bits 192..255. The zero
+// value is the number 0 and is ready to use. All methods treat the receiver
+// and operands as immutable values; arithmetic returns new values, which
+// the compiler keeps in registers for the sizes involved here.
+package u256
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Uint256 is an unsigned 256-bit integer, stored as little-endian limbs.
+type Uint256 struct {
+	limbs [4]uint64
+}
+
+// Zero is the number 0.
+var Zero = Uint256{}
+
+// One is the number 1.
+var One = Uint256{limbs: [4]uint64{1, 0, 0, 0}}
+
+// Max is 2^256 - 1.
+var Max = Uint256{limbs: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+
+// New returns a Uint256 holding the four little-endian limbs.
+func New(l0, l1, l2, l3 uint64) Uint256 {
+	return Uint256{limbs: [4]uint64{l0, l1, l2, l3}}
+}
+
+// FromUint64 returns a Uint256 holding v.
+func FromUint64(v uint64) Uint256 {
+	return Uint256{limbs: [4]uint64{v, 0, 0, 0}}
+}
+
+// Limb returns limb i (0 = least significant). It panics if i is out of range.
+func (x Uint256) Limb(i int) uint64 { return x.limbs[i] }
+
+// Uint64 returns the low 64 bits of x.
+func (x Uint256) Uint64() uint64 { return x.limbs[0] }
+
+// IsUint64 reports whether x fits in a uint64.
+func (x Uint256) IsUint64() bool {
+	return x.limbs[1]|x.limbs[2]|x.limbs[3] == 0
+}
+
+// IsZero reports whether x == 0.
+func (x Uint256) IsZero() bool {
+	return x.limbs[0]|x.limbs[1]|x.limbs[2]|x.limbs[3] == 0
+}
+
+// Cmp returns -1, 0 or +1 depending on whether x < y, x == y, or x > y.
+func (x Uint256) Cmp(y Uint256) int {
+	for i := 3; i >= 0; i-- {
+		switch {
+		case x.limbs[i] < y.limbs[i]:
+			return -1
+		case x.limbs[i] > y.limbs[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether x == y.
+func (x Uint256) Equal(y Uint256) bool {
+	return x.limbs == y.limbs
+}
+
+// Add returns x + y mod 2^256.
+func (x Uint256) Add(y Uint256) Uint256 {
+	var z Uint256
+	var c uint64
+	z.limbs[0], c = bits.Add64(x.limbs[0], y.limbs[0], 0)
+	z.limbs[1], c = bits.Add64(x.limbs[1], y.limbs[1], c)
+	z.limbs[2], c = bits.Add64(x.limbs[2], y.limbs[2], c)
+	z.limbs[3], _ = bits.Add64(x.limbs[3], y.limbs[3], c)
+	return z
+}
+
+// AddUint64 returns x + v mod 2^256.
+func (x Uint256) AddUint64(v uint64) Uint256 {
+	return x.Add(FromUint64(v))
+}
+
+// Sub returns x - y mod 2^256.
+func (x Uint256) Sub(y Uint256) Uint256 {
+	var z Uint256
+	var b uint64
+	z.limbs[0], b = bits.Sub64(x.limbs[0], y.limbs[0], 0)
+	z.limbs[1], b = bits.Sub64(x.limbs[1], y.limbs[1], b)
+	z.limbs[2], b = bits.Sub64(x.limbs[2], y.limbs[2], b)
+	z.limbs[3], _ = bits.Sub64(x.limbs[3], y.limbs[3], b)
+	return z
+}
+
+// Neg returns -x mod 2^256 (two's complement).
+func (x Uint256) Neg() Uint256 {
+	return Zero.Sub(x)
+}
+
+// And returns x & y.
+func (x Uint256) And(y Uint256) Uint256 {
+	return Uint256{limbs: [4]uint64{
+		x.limbs[0] & y.limbs[0],
+		x.limbs[1] & y.limbs[1],
+		x.limbs[2] & y.limbs[2],
+		x.limbs[3] & y.limbs[3],
+	}}
+}
+
+// Or returns x | y.
+func (x Uint256) Or(y Uint256) Uint256 {
+	return Uint256{limbs: [4]uint64{
+		x.limbs[0] | y.limbs[0],
+		x.limbs[1] | y.limbs[1],
+		x.limbs[2] | y.limbs[2],
+		x.limbs[3] | y.limbs[3],
+	}}
+}
+
+// Xor returns x ^ y.
+func (x Uint256) Xor(y Uint256) Uint256 {
+	return Uint256{limbs: [4]uint64{
+		x.limbs[0] ^ y.limbs[0],
+		x.limbs[1] ^ y.limbs[1],
+		x.limbs[2] ^ y.limbs[2],
+		x.limbs[3] ^ y.limbs[3],
+	}}
+}
+
+// Not returns ^x.
+func (x Uint256) Not() Uint256 {
+	return Uint256{limbs: [4]uint64{
+		^x.limbs[0], ^x.limbs[1], ^x.limbs[2], ^x.limbs[3],
+	}}
+}
+
+// Shl returns x << n mod 2^256. Shifts of 256 or more return zero.
+func (x Uint256) Shl(n uint) Uint256 {
+	if n >= 256 {
+		return Zero
+	}
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	var z Uint256
+	for i := 3; i >= limbShift; i-- {
+		z.limbs[i] = x.limbs[i-limbShift] << bitShift
+		if bitShift > 0 && i-limbShift-1 >= 0 {
+			z.limbs[i] |= x.limbs[i-limbShift-1] >> (64 - bitShift)
+		}
+	}
+	return z
+}
+
+// Shr returns x >> n. Shifts of 256 or more return zero.
+func (x Uint256) Shr(n uint) Uint256 {
+	if n >= 256 {
+		return Zero
+	}
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	var z Uint256
+	for i := 0; i+limbShift <= 3; i++ {
+		z.limbs[i] = x.limbs[i+limbShift] >> bitShift
+		if bitShift > 0 && i+limbShift+1 <= 3 {
+			z.limbs[i] |= x.limbs[i+limbShift+1] << (64 - bitShift)
+		}
+	}
+	return z
+}
+
+// RotateLeft returns x rotated left by n bits (mod 256). Negative n rotates
+// right. Rotation is the salting primitive used by the RBC-SALTED protocol.
+func (x Uint256) RotateLeft(n int) Uint256 {
+	n %= 256
+	if n < 0 {
+		n += 256
+	}
+	if n == 0 {
+		return x
+	}
+	return x.Shl(uint(n)).Or(x.Shr(uint(256 - n)))
+}
+
+// Bit returns bit i of x (0 or 1). It panics if i is outside [0, 255].
+func (x Uint256) Bit(i int) uint {
+	if i < 0 || i > 255 {
+		panic(fmt.Sprintf("u256: bit index %d out of range", i))
+	}
+	return uint(x.limbs[i/64]>>(i%64)) & 1
+}
+
+// SetBit returns x with bit i set to b (0 or 1). It panics if i is outside
+// [0, 255] or b is not 0 or 1.
+func (x Uint256) SetBit(i int, b uint) Uint256 {
+	if i < 0 || i > 255 {
+		panic(fmt.Sprintf("u256: bit index %d out of range", i))
+	}
+	switch b {
+	case 0:
+		x.limbs[i/64] &^= 1 << (i % 64)
+	case 1:
+		x.limbs[i/64] |= 1 << (i % 64)
+	default:
+		panic(fmt.Sprintf("u256: invalid bit value %d", b))
+	}
+	return x
+}
+
+// FlipBit returns x with bit i inverted. It panics if i is outside [0, 255].
+func (x Uint256) FlipBit(i int) Uint256 {
+	if i < 0 || i > 255 {
+		panic(fmt.Sprintf("u256: bit index %d out of range", i))
+	}
+	x.limbs[i/64] ^= 1 << (i % 64)
+	return x
+}
+
+// OnesCount returns the number of one bits (population count) in x.
+func (x Uint256) OnesCount() int {
+	return bits.OnesCount64(x.limbs[0]) +
+		bits.OnesCount64(x.limbs[1]) +
+		bits.OnesCount64(x.limbs[2]) +
+		bits.OnesCount64(x.limbs[3])
+}
+
+// TrailingZeros returns the number of trailing zero bits in x; it returns
+// 256 for x == 0.
+func (x Uint256) TrailingZeros() int {
+	for i := 0; i < 4; i++ {
+		if x.limbs[i] != 0 {
+			return i*64 + bits.TrailingZeros64(x.limbs[i])
+		}
+	}
+	return 256
+}
+
+// LeadingZeros returns the number of leading zero bits in x; it returns 256
+// for x == 0.
+func (x Uint256) LeadingZeros() int {
+	for i := 3; i >= 0; i-- {
+		if x.limbs[i] != 0 {
+			return (3-i)*64 + bits.LeadingZeros64(x.limbs[i])
+		}
+	}
+	return 256
+}
+
+// BitLen returns the number of bits required to represent x; the bit length
+// of 0 is 0.
+func (x Uint256) BitLen() int {
+	return 256 - x.LeadingZeros()
+}
+
+// HammingDistance returns the number of bit positions at which x and y differ.
+func (x Uint256) HammingDistance(y Uint256) int {
+	return x.Xor(y).OnesCount()
+}
+
+// Bytes returns x as a 32-byte big-endian array, matching the byte order in
+// which a 256-bit PUF response is transmitted and hashed.
+func (x Uint256) Bytes() [32]byte {
+	var out [32]byte
+	binary.BigEndian.PutUint64(out[0:8], x.limbs[3])
+	binary.BigEndian.PutUint64(out[8:16], x.limbs[2])
+	binary.BigEndian.PutUint64(out[16:24], x.limbs[1])
+	binary.BigEndian.PutUint64(out[24:32], x.limbs[0])
+	return out
+}
+
+// FromBytes builds a Uint256 from a 32-byte big-endian array.
+func FromBytes(b [32]byte) Uint256 {
+	return Uint256{limbs: [4]uint64{
+		binary.BigEndian.Uint64(b[24:32]),
+		binary.BigEndian.Uint64(b[16:24]),
+		binary.BigEndian.Uint64(b[8:16]),
+		binary.BigEndian.Uint64(b[0:8]),
+	}}
+}
+
+// FromByteSlice builds a Uint256 from a big-endian byte slice of at most 32
+// bytes. It returns an error if the slice is longer than 32 bytes.
+func FromByteSlice(b []byte) (Uint256, error) {
+	if len(b) > 32 {
+		return Zero, errors.New("u256: byte slice longer than 32 bytes")
+	}
+	var buf [32]byte
+	copy(buf[32-len(b):], b)
+	return FromBytes(buf), nil
+}
+
+// ToBig returns x as a math/big integer.
+func (x Uint256) ToBig() *big.Int {
+	b := x.Bytes()
+	return new(big.Int).SetBytes(b[:])
+}
+
+// FromBig converts a big integer to a Uint256. It returns an error if v is
+// negative or does not fit in 256 bits.
+func FromBig(v *big.Int) (Uint256, error) {
+	if v.Sign() < 0 {
+		return Zero, errors.New("u256: negative value")
+	}
+	if v.BitLen() > 256 {
+		return Zero, errors.New("u256: value exceeds 256 bits")
+	}
+	var buf [32]byte
+	v.FillBytes(buf[:])
+	return FromBytes(buf), nil
+}
+
+// String returns x as a 0x-prefixed, zero-padded, 64-digit hex string.
+func (x Uint256) String() string {
+	return fmt.Sprintf("0x%016x%016x%016x%016x",
+		x.limbs[3], x.limbs[2], x.limbs[1], x.limbs[0])
+}
+
+// FromHex parses a hex string (with or without 0x prefix) of at most 64
+// digits into a Uint256.
+func FromHex(s string) (Uint256, error) {
+	if len(s) >= 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	if len(s) == 0 || len(s) > 64 {
+		return Zero, fmt.Errorf("u256: invalid hex length %d", len(s))
+	}
+	var x Uint256
+	for _, c := range []byte(s) {
+		var nib uint64
+		switch {
+		case c >= '0' && c <= '9':
+			nib = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			nib = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			nib = uint64(c-'A') + 10
+		default:
+			return Zero, fmt.Errorf("u256: invalid hex digit %q", c)
+		}
+		x = x.Shl(4)
+		x.limbs[0] |= nib
+	}
+	return x, nil
+}

@@ -1,0 +1,298 @@
+package u256
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func randUint256(r *rand.Rand) Uint256 {
+	return New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+}
+
+// Generate makes Uint256 usable with testing/quick, drawing uniformly
+// random 256-bit values.
+func (Uint256) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randUint256(r))
+}
+
+func TestZeroOneMax(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if One.Uint64() != 1 || !One.IsUint64() {
+		t.Errorf("One = %v", One)
+	}
+	if Max.OnesCount() != 256 {
+		t.Errorf("Max.OnesCount() = %d, want 256", Max.OnesCount())
+	}
+	if got := Max.Add(One); !got.IsZero() {
+		t.Errorf("Max+1 = %v, want 0", got)
+	}
+}
+
+func TestAddSubAgainstBig(t *testing.T) {
+	f := func(x, y Uint256) bool {
+		sum := x.Add(y)
+		want := new(big.Int).Add(x.ToBig(), y.ToBig())
+		want.Mod(want, two256)
+		if sum.ToBig().Cmp(want) != 0 {
+			return false
+		}
+		diff := x.Sub(y)
+		want = new(big.Int).Sub(x.ToBig(), y.ToBig())
+		want.Mod(want, two256)
+		return diff.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegIsTwosComplement(t *testing.T) {
+	f := func(x Uint256) bool {
+		// -x == ^x + 1 and x + (-x) == 0.
+		if !x.Neg().Equal(x.Not().Add(One)) {
+			return false
+		}
+		return x.Add(x.Neg()).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitwiseAgainstBig(t *testing.T) {
+	f := func(x, y Uint256) bool {
+		if x.And(y).ToBig().Cmp(new(big.Int).And(x.ToBig(), y.ToBig())) != 0 {
+			return false
+		}
+		if x.Or(y).ToBig().Cmp(new(big.Int).Or(x.ToBig(), y.ToBig())) != 0 {
+			return false
+		}
+		if x.Xor(y).ToBig().Cmp(new(big.Int).Xor(x.ToBig(), y.ToBig())) != 0 {
+			return false
+		}
+		notWant := new(big.Int).Sub(two256, big.NewInt(1))
+		notWant.Xor(notWant, x.ToBig())
+		return x.Not().ToBig().Cmp(notWant) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftsAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := randUint256(r)
+		n := uint(r.Intn(300)) // deliberately include shifts >= 256
+		wantL := new(big.Int).Lsh(x.ToBig(), n)
+		wantL.Mod(wantL, two256)
+		if got := x.Shl(n); got.ToBig().Cmp(wantL) != 0 {
+			t.Fatalf("Shl(%v, %d) = %v, want %v", x, n, got, wantL)
+		}
+		wantR := new(big.Int).Rsh(x.ToBig(), n)
+		if got := x.Shr(n); got.ToBig().Cmp(wantR) != 0 {
+			t.Fatalf("Shr(%v, %d) = %v, want %v", x, n, got, wantR)
+		}
+	}
+}
+
+func TestRotateLeft(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		x := randUint256(r)
+		n := r.Intn(512) - 256
+		got := x.RotateLeft(n)
+		if got.OnesCount() != x.OnesCount() {
+			t.Fatalf("RotateLeft changed popcount: %v -> %v", x, got)
+		}
+		// Rotating back must restore the original value.
+		if !got.RotateLeft(-n).Equal(x) {
+			t.Fatalf("RotateLeft(%d) not invertible for %v", n, x)
+		}
+	}
+	if !One.RotateLeft(255).Equal(New(0, 0, 0, 1<<63)) {
+		t.Error("RotateLeft(1, 255) wrong")
+	}
+	if !New(0, 0, 0, 1<<63).RotateLeft(1).Equal(One) {
+		t.Error("RotateLeft wraparound wrong")
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	x := Zero
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 200, 255} {
+		x = x.SetBit(i, 1)
+		if x.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if x.OnesCount() != 8 {
+		t.Errorf("OnesCount = %d, want 8", x.OnesCount())
+	}
+	for _, i := range []int{0, 255} {
+		x = x.FlipBit(i)
+		if x.Bit(i) != 0 {
+			t.Errorf("bit %d not cleared by flip", i)
+		}
+	}
+	x = x.SetBit(100, 1).SetBit(100, 0)
+	if x.Bit(100) != 0 {
+		t.Error("SetBit(100, 0) did not clear")
+	}
+}
+
+func TestBitPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Zero.Bit(-1) },
+		func() { Zero.Bit(256) },
+		func() { Zero.SetBit(256, 1) },
+		func() { Zero.SetBit(0, 2) },
+		func() { Zero.FlipBit(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCountsAgainstBig(t *testing.T) {
+	f := func(x Uint256) bool {
+		b := x.ToBig()
+		if x.BitLen() != b.BitLen() {
+			return false
+		}
+		pop := 0
+		for i := 0; i < b.BitLen(); i++ {
+			pop += int(b.Bit(i))
+		}
+		if x.OnesCount() != pop {
+			return false
+		}
+		tz := 256
+		for i := 0; i < 256; i++ {
+			if b.Bit(i) == 1 {
+				tz = i
+				break
+			}
+		}
+		return x.TrailingZeros() == tz && x.LeadingZeros() == 256-b.BitLen()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	f := func(x, y Uint256) bool {
+		return x.Cmp(y) == x.ToBig().Cmp(y.ToBig()) &&
+			x.Equal(y) == (x.Cmp(y) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(x Uint256) bool {
+		return FromBytes(x.Bytes()).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromByteSlice(t *testing.T) {
+	got, err := FromByteSlice([]byte{0x01, 0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint64() != 0x0102 {
+		t.Errorf("FromByteSlice short = %v", got)
+	}
+	if _, err := FromByteSlice(make([]byte, 33)); err == nil {
+		t.Error("expected error for 33-byte slice")
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	f := func(x Uint256) bool {
+		y, err := FromBig(x.ToBig())
+		return err == nil && y.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromBig(big.NewInt(-1)); err == nil {
+		t.Error("expected error for negative")
+	}
+	if _, err := FromBig(two256); err == nil {
+		t.Error("expected error for 2^256")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(x Uint256) bool {
+		y, err := FromHex(x.String())
+		return err == nil && y.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []string{"", "0x", "zz", "0x" + string(make([]byte, 65))} {
+		if _, err := FromHex(bad); err == nil {
+			t.Errorf("FromHex(%q): expected error", bad)
+		}
+	}
+	got, err := FromHex("0xFF")
+	if err != nil || got.Uint64() != 255 {
+		t.Errorf("FromHex(0xFF) = %v, %v", got, err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	f := func(x, y Uint256) bool {
+		d := x.HammingDistance(y)
+		return d == y.HammingDistance(x) && d == x.Xor(y).OnesCount() &&
+			x.HammingDistance(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// gosperStep performs one Gosper's hack iteration; used here to verify that
+// the primitive operations compose correctly at 256 bits before iterseq
+// builds on them.
+func gosperStep(x Uint256) Uint256 {
+	u := x.And(x.Neg())  // lowest set bit
+	v := x.Add(u)        // ripple the carry
+	w := v.Xor(x).Shr(2) // ones to move to the bottom, pre-division
+	return v.Or(w.Shr(uint(u.TrailingZeros())))
+}
+
+func TestGosperStepPreservesPopcount(t *testing.T) {
+	x := New(0b111, 0, 0, 0)
+	seen := map[Uint256]bool{}
+	for i := 0; i < 1000; i++ {
+		if x.OnesCount() != 3 {
+			t.Fatalf("popcount drifted to %d at step %d", x.OnesCount(), i)
+		}
+		if seen[x] {
+			t.Fatalf("combination repeated at step %d", i)
+		}
+		seen[x] = true
+		x = gosperStep(x)
+	}
+}

@@ -1,0 +1,213 @@
+// Package rbc is the public API of this repository: a Go implementation
+// of RBC-SALTED, the hash-based Response-Based Cryptography protocol of
+// "Evaluating Accelerators for a High-Throughput Hash-Based Security
+// Protocol" (ICPP-W 2023), together with the search engines it was
+// evaluated on.
+//
+// Response-Based Cryptography authenticates a client whose PUF (Physical
+// Unclonable Function) produces a slightly erratic 256-bit seed: the
+// server searches the Hamming ball around its enrolled image of the PUF
+// until it finds the seed whose digest matches the one the client sent,
+// then salts the seed and generates the session's public key from it.
+//
+// # Quick start
+//
+//	dev, _ := rbc.NewPUFDevice(1234, 1024, rbc.DefaultPUFProfile)
+//	image, _ := rbc.EnrollPUF(dev, 31)
+//
+//	store, _ := rbc.NewImageStore(masterKey)
+//	ca, _ := rbc.NewCA(store, &rbc.CPUBackend{Alg: rbc.SHA3}, &rbc.AESKeyGenerator{}, rbc.NewRA(), rbc.CAConfig{})
+//	ca.Enroll("alice", image)
+//
+//	client := &rbc.Client{ID: "alice", Device: dev}
+//	ch, _ := ca.BeginHandshake("alice")
+//	m1, _ := client.Respond(ch)
+//	result, _ := ca.Authenticate("alice", ch.Nonce, m1)
+//
+// # Search engines
+//
+// Three interchangeable core.Backend implementations are exposed:
+//
+//   - CPUBackend: real multicore execution on this machine (SALTED-CPU).
+//   - NewGPUBackend: a calibrated NVIDIA A100 simulator (SALTED-GPU),
+//     including multi-GPU scaling.
+//   - NewAPUBackend: a calibrated GSI Gemini associative-processor
+//     simulator (SALTED-APU) whose compute runs through a real bit-sliced
+//     gate-level engine.
+//
+// See DESIGN.md for the modelling and calibration methodology and
+// EXPERIMENTS.md for the paper-versus-reproduction numbers.
+package rbc
+
+import (
+	"rbcsalted/internal/apusim"
+	"rbcsalted/internal/cluster"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/cryptoalg"
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/cryptoalg/dilithium"
+	"rbcsalted/internal/cryptoalg/saber"
+	"rbcsalted/internal/gpusim"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/netproto"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+// Core protocol types.
+type (
+	// Seed is a 256-bit PUF seed.
+	Seed = u256.Uint256
+	// HashAlg selects the search hash (SHA1 or SHA3).
+	HashAlg = core.HashAlg
+	// Digest is an algorithm-tagged message digest.
+	Digest = core.Digest
+	// Task describes one RBC search.
+	Task = core.Task
+	// Result reports a search outcome and its cost accounting.
+	Result = core.Result
+	// Backend is a search engine bound to a platform.
+	Backend = core.Backend
+	// ClientID names an enrolled client.
+	ClientID = core.ClientID
+	// Challenge is the CA's session challenge.
+	Challenge = core.Challenge
+	// CA is the certificate authority.
+	CA = core.CA
+	// CAConfig is the CA's policy knobs.
+	CAConfig = core.CAConfig
+	// RA is the registration authority (public-key registry).
+	RA = core.RA
+	// AuthResult is an authentication outcome.
+	AuthResult = core.AuthResult
+	// Client is the PUF-equipped device-side participant.
+	Client = core.Client
+	// ImageStore is the CA's encrypted PUF-image database.
+	ImageStore = core.ImageStore
+	// Certificate is the CA-signed binding of a client to a session key.
+	Certificate = core.Certificate
+	// Issuer signs certificates on behalf of the CA.
+	Issuer = core.Issuer
+	// ShellStat is one Hamming shell's contribution to a search.
+	ShellStat = core.ShellStat
+)
+
+// Hash algorithm constants.
+const (
+	SHA1 = core.SHA1
+	SHA3 = core.SHA3
+)
+
+// IterMethod selects a seed-iteration algorithm (paper §3.2.1).
+type IterMethod = iterseq.Method
+
+// Seed-iteration methods.
+const (
+	// IterGray is the minimal-change revolving-door sequence (the
+	// paper's Chase Algorithm 382 slot) - the fastest method.
+	IterGray = iterseq.GrayCode
+	// IterAlg515 is Buckles-Lybanon lexicographic unranking.
+	IterAlg515 = iterseq.Alg515
+	// IterGosper is Gosper's hack at 256 bits, as used by prior work.
+	IterGosper = iterseq.Gosper
+	// IterMifsud is the lexicographic-successor baseline.
+	IterMifsud = iterseq.Mifsud154
+)
+
+// PUF modelling.
+type (
+	// PUFDevice is a client-side physical unclonable function.
+	PUFDevice = puf.Device
+	// PUFImage is the server-side enrollment record.
+	PUFImage = puf.Image
+	// PUFProfile describes cell error statistics.
+	PUFProfile = puf.Profile
+)
+
+// DefaultPUFProfile mirrors the paper's nominal 5-bits-in-256 error rate.
+var DefaultPUFProfile = puf.DefaultProfile
+
+// NewPUFDevice manufactures a reproducible simulated PUF.
+func NewPUFDevice(seed uint64, numCells int, p PUFProfile) (*PUFDevice, error) {
+	return puf.NewDevice(seed, numCells, p)
+}
+
+// EnrollPUF captures a device's enrollment image over repeated reads.
+func EnrollPUF(d *PUFDevice, reads int) (*PUFImage, error) {
+	return puf.Enroll(d, reads)
+}
+
+// Protocol constructors.
+var (
+	// NewRA returns an empty registration authority.
+	NewRA = core.NewRA
+	// NewCA assembles a certificate authority.
+	NewCA = core.NewCA
+	// NewImageStore opens an encrypted PUF-image store.
+	NewImageStore = core.NewImageStore
+	// HashSeed digests a seed with the fixed-padding fast path.
+	HashSeed = core.HashSeed
+	// SaltSeed applies the shared salt to a recovered seed.
+	SaltSeed = core.SaltSeed
+	// NewIssuer creates a certificate issuer from a 32-byte seed.
+	NewIssuer = core.NewIssuer
+	// LoadImageStore reopens a store written by ImageStore.Save.
+	LoadImageStore = core.LoadImageStore
+)
+
+// Search backends.
+type (
+	// CPUBackend is the real multicore engine (SALTED-CPU).
+	CPUBackend = cpu.Backend
+	// CPUModelBackend models the paper's 64-core EPYC platform.
+	CPUModelBackend = cpu.ModelBackend
+	// GPUConfig configures the A100 simulator.
+	GPUConfig = gpusim.Config
+	// APUConfig configures the Gemini simulator.
+	APUConfig = apusim.Config
+)
+
+// NewGPUBackend builds a SALTED-GPU engine (simulated A100s).
+func NewGPUBackend(cfg GPUConfig) Backend { return gpusim.NewBackend(cfg) }
+
+// NewAPUBackend builds a SALTED-APU engine (simulated GSI Gemini).
+func NewAPUBackend(cfg APUConfig) Backend { return apusim.NewBackend(cfg) }
+
+// Key generation for the salted seed (and the algorithm-aware baseline).
+type (
+	// KeyGenerator derives a public key from a 32-byte seed.
+	KeyGenerator = cryptoalg.KeyGenerator
+	// AESKeyGenerator is the AES-128 response engine of prior RBC work.
+	AESKeyGenerator = aeskg.Generator
+	// SaberKeyGenerator is from-scratch LightSaber key generation.
+	SaberKeyGenerator = saber.Generator
+	// DilithiumKeyGenerator is from-scratch Dilithium3 key generation.
+	DilithiumKeyGenerator = dilithium.Generator
+)
+
+// Distributed search (paper §5 future work): a coordinator implementing
+// Backend plus TCP-connected workers.
+type (
+	// ClusterCoordinator fans shells out over worker nodes.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterWorker serves shell ranges with this machine's cores.
+	ClusterWorker = cluster.Worker
+)
+
+// Networked protocol (Figure 1 over TCP).
+type (
+	// Server serves the protocol for a CA.
+	Server = netproto.Server
+	// Latency injects modelled communication costs.
+	Latency = netproto.Latency
+	// WireResult is the server's verdict as received by the client.
+	WireResult = netproto.Result
+)
+
+// PaperLatency reproduces the paper's 0.90 s communication constant.
+var PaperLatency = netproto.PaperLatency
+
+// Authenticate runs the full client side of the protocol over a
+// connection.
+var Authenticate = netproto.Authenticate

@@ -1,0 +1,194 @@
+package rbc
+
+// Integration tests exercising the public façade exactly as a downstream
+// user would: full protocol flows across all three search engines.
+
+import (
+	"net"
+	"testing"
+)
+
+func demoProfile() PUFProfile {
+	return PUFProfile{BaseError: 0.5 / 256.0, FlakyFraction: 0.05, FlakyError: 0.35}
+}
+
+func TestPublicAPIProtocolRoundTrip(t *testing.T) {
+	dev, err := NewPUFDevice(1, 1024, demoProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, err := EnrollPUF(dev, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewImageStore([32]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewCA(store, &CPUBackend{Alg: SHA3}, &AESKeyGenerator{}, NewRA(),
+		CAConfig{MaxDistance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Enroll("alice", image); err != nil {
+		t.Fatal(err)
+	}
+	client := &Client{ID: "alice", Device: dev}
+	ch, err := ca.BeginHandshake("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := client.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authenticated {
+		t.Fatalf("authentication failed: %+v", res.Search)
+	}
+}
+
+func TestPublicAPIBackendsAgree(t *testing.T) {
+	base, client := scenario(21, 2)
+	oracle := client
+	task := Task{
+		Base:        base,
+		Target:      HashSeed(SHA3, client),
+		MaxDistance: 2,
+		Oracle:      &oracle,
+	}
+	backends := []Backend{
+		&CPUBackend{Alg: SHA3},
+		&CPUModelBackend{Alg: SHA3},
+		NewGPUBackend(GPUConfig{Alg: SHA3, SharedMemoryState: true}),
+		NewAPUBackend(APUConfig{Alg: SHA3}),
+	}
+	for _, b := range backends {
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if !res.Found || !res.Seed.Equal(client) || res.Distance != 2 {
+			t.Errorf("%s: found=%v distance=%d", b.Name(), res.Found, res.Distance)
+		}
+	}
+}
+
+func TestPublicAPIKeyGenerators(t *testing.T) {
+	seed := [32]byte{42}
+	gens := []KeyGenerator{&AESKeyGenerator{}, SaberKeyGenerator{}, DilithiumKeyGenerator{}}
+	sizes := []int{32, 672, 1952}
+	for i, g := range gens {
+		pk := g.PublicKey(seed)
+		if len(pk) != sizes[i] {
+			t.Errorf("%s: key size %d, want %d", g.Name(), len(pk), sizes[i])
+		}
+	}
+}
+
+func TestPublicAPISalting(t *testing.T) {
+	base, _ := scenario(31, 1)
+	salted := SaltSeed(base, 113)
+	if salted.Equal(base) {
+		t.Error("salt is a no-op")
+	}
+	if HashSeed(SHA3, salted).Equal(HashSeed(SHA3, base)) {
+		t.Error("salted digest equals raw digest")
+	}
+}
+
+func TestPublicAPINetworkedFlow(t *testing.T) {
+	dev, err := NewPUFDevice(5, 1024, demoProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, err := EnrollPUF(dev, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewImageStore([32]byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewCA(store, &CPUBackend{Alg: SHA3}, &AESKeyGenerator{}, NewRA(),
+		CAConfig{MaxDistance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Enroll("bob", image); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := &Server{CA: ca}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := Authenticate(conn, &Client{ID: "bob", Device: dev}, Latency{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authenticated {
+		t.Fatalf("networked authentication failed: %+v", res)
+	}
+}
+
+func TestPaperLatencyExported(t *testing.T) {
+	if PaperLatency.CommSeconds() != 0.90 {
+		t.Errorf("PaperLatency = %.2fs", PaperLatency.CommSeconds())
+	}
+}
+
+func TestShellStatsConsistent(t *testing.T) {
+	base, client := scenario(77, 2)
+	oracle := client
+	task := Task{
+		Base:        base,
+		Target:      HashSeed(SHA3, client),
+		MaxDistance: 3,
+		Exhaustive:  true,
+		Oracle:      &oracle,
+	}
+	backends := []Backend{
+		&CPUBackend{Alg: SHA3, Workers: 2},
+		&CPUModelBackend{Alg: SHA3},
+		NewGPUBackend(GPUConfig{Alg: SHA3, SharedMemoryState: true}),
+		NewAPUBackend(APUConfig{Alg: SHA3}),
+	}
+	for _, b := range backends {
+		res, err := b.Search(task)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(res.Shells) != 3 {
+			t.Errorf("%s: %d shell stats, want 3", b.Name(), len(res.Shells))
+			continue
+		}
+		var covered uint64
+		var seconds float64
+		for i, sh := range res.Shells {
+			if sh.Distance != i+1 {
+				t.Errorf("%s: shell %d has distance %d", b.Name(), i, sh.Distance)
+			}
+			covered += sh.SeedsCovered
+			seconds += sh.DeviceSeconds
+		}
+		// Shells plus the distance-0 probe account for all coverage.
+		if covered+1 != res.SeedsCovered {
+			t.Errorf("%s: shells cover %d, result says %d", b.Name(), covered+1, res.SeedsCovered)
+		}
+		if seconds > res.DeviceSeconds+1e-9 {
+			t.Errorf("%s: shell seconds %.4f exceed total %.4f", b.Name(), seconds, res.DeviceSeconds)
+		}
+	}
+}
