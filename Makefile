@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the CI gate: compile everything, vet, then run the full test
+# suite with the race detector (the scheduler and backend-cancellation
+# tests are concurrency tests and only count when raced).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -7,6 +7,7 @@ package rbc
 // produces the full formatted tables.
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -29,7 +30,7 @@ func searchOnce(b *testing.B, backend Backend, alg HashAlg, maxD int, exhaustive
 	b.Helper()
 	base, client := scenario(uint64(b.N)%97+1, maxD)
 	oracle := client
-	res, err := backend.Search(Task{
+	res, err := backend.Search(context.Background(), Task{
 		Base:        base,
 		Target:      HashSeed(alg, client),
 		MaxDistance: maxD,
@@ -75,7 +76,7 @@ func BenchmarkTable4(b *testing.B) {
 			base, client := scenario(3, 5)
 			oracle := client
 			for i := 0; i < b.N; i++ {
-				res, err := backend.Search(Task{
+				res, err := backend.Search(context.Background(), Task{
 					Base:        base,
 					Target:      HashSeed(SHA3, client),
 					MaxDistance: 5,
@@ -176,7 +177,7 @@ func BenchmarkCPUScaling(b *testing.B) {
 	backend := &CPUBackend{Alg: SHA3}
 	base, client := scenario(11, 2)
 	for i := 0; i < b.N; i++ {
-		res, err := backend.Search(Task{
+		res, err := backend.Search(context.Background(), Task{
 			Base:        base,
 			Target:      HashSeed(SHA3, client),
 			MaxDistance: 2,
@@ -196,7 +197,7 @@ func BenchmarkFlagInterval(b *testing.B) {
 			backend := &CPUBackend{Alg: SHA1}
 			base, client := scenario(13, 2)
 			for i := 0; i < b.N; i++ {
-				res, err := backend.Search(Task{
+				res, err := backend.Search(context.Background(), Task{
 					Base:          base,
 					Target:        HashSeed(SHA1, client),
 					MaxDistance:   2,

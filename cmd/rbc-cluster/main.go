@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -64,7 +65,7 @@ func main() {
 		base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
 		client := puf.InjectNoise(base, base, *distance, r)
 		start := time.Now()
-		res, err := coord.Search(core.Task{
+		res, err := coord.Search(context.Background(), core.Task{
 			Base:        base,
 			Target:      core.HashSeed(core.SHA3, client),
 			MaxDistance: *maxD,

@@ -4,9 +4,13 @@
 // (deterministic from -enrollseed) and prints the device seeds so
 // rbc-client instances can be pointed at them.
 //
+// Searches run through a bounded scheduler (-sched-workers concurrent
+// searches, -sched-queue waiting) so a burst of clients degrades into
+// fast "overloaded" rejections instead of an unbounded goroutine pile-up.
+//
 // Usage:
 //
-//	rbc-server -listen :7443 -clients alice,bob -maxd 3
+//	rbc-server -listen :7443 -clients alice,bob -maxd 3 -sched-workers 4
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/netproto"
 	"rbcsalted/internal/puf"
+	"rbcsalted/internal/sched"
 )
 
 func main() {
@@ -33,6 +38,8 @@ func main() {
 	maxD := flag.Int("maxd", 3, "maximum Hamming distance searched")
 	timeLimit := flag.Duration("timelimit", 20*time.Second, "authentication threshold T")
 	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS)")
+	schedWorkers := flag.Int("sched-workers", sched.DefaultWorkers, "concurrent searches admitted by the scheduler")
+	schedQueue := flag.Int("sched-queue", sched.DefaultQueueDepth, "scheduler admission-queue depth")
 	storePath := flag.String("store", "", "load an rbc-enroll image store instead of self-enrolling")
 	keyHex := flag.String("key", strings.Repeat("00", 32), "master key for -store (64 hex chars)")
 	flag.Parse()
@@ -53,7 +60,9 @@ func main() {
 		}
 	}
 	ra := core.NewRA()
-	backend := &cpu.Backend{Alg: core.SHA3, Workers: *workers}
+	engine := &cpu.Backend{Alg: core.SHA3, Workers: *workers}
+	backend := sched.New(engine, sched.Config{Workers: *schedWorkers, QueueDepth: *schedQueue})
+	defer backend.Close()
 	ca, err := core.NewCA(store, backend, &aeskg.Generator{}, ra, core.CAConfig{
 		Alg:         core.SHA3,
 		MaxDistance: *maxD,

@@ -2,6 +2,10 @@
 // a CA server with an encrypted image store on one side, a noisy
 // PUF-equipped client on the other, including an impostor attempt and a
 // deliberately noise-injected session.
+//
+// The CA searches through rbc.NewScheduler, the bounded admission pool a
+// serving deployment would use; the run ends with its queue-wait and
+// service-time statistics.
 package main
 
 import (
@@ -27,7 +31,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ca, err := rbc.NewCA(store, &rbc.CPUBackend{Alg: rbc.SHA3}, &rbc.AESKeyGenerator{},
+	// The scheduler bounds concurrent searches (it is itself a Backend);
+	// beyond Workers running and QueueDepth waiting, authentications are
+	// shed with rbc.ErrOverloaded -> wire status "overloaded".
+	pool := rbc.NewScheduler(&rbc.CPUBackend{Alg: rbc.SHA3},
+		rbc.SchedulerConfig{Workers: 2, QueueDepth: 8})
+	defer pool.Close()
+	ca, err := rbc.NewCA(store, pool, &rbc.AESKeyGenerator{},
 		rbc.NewRA(), rbc.CAConfig{MaxDistance: 2})
 	if err != nil {
 		log.Fatal(err)
@@ -74,4 +84,10 @@ func main() {
 		log.Fatal(err)
 	}
 	authenticate("mallory (wrong PUF):", &rbc.Client{ID: "alice", Device: malloryDev})
+
+	st := pool.Stats()
+	fmt.Printf("\nscheduler: %d submitted, %d completed, %d rejected\n",
+		st.Submitted, st.Completed, st.Rejected)
+	fmt.Printf("           avg queue wait %s, avg service %s (max %s)\n",
+		st.AvgQueueWait(), st.AvgService(), st.ServiceMax)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -28,7 +29,7 @@ func main() {
 		}
 		for i, b := range backends {
 			oracle := client
-			res, err := b.Search(rbc.Task{
+			res, err := b.Search(context.Background(), rbc.Task{
 				Base:        base,
 				Target:      rbc.HashSeed(alg, client),
 				MaxDistance: 5,

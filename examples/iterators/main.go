@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -35,7 +36,7 @@ func main() {
 	backend := &rbc.CPUBackend{Alg: rbc.SHA3}
 	for _, m := range methods {
 		start := time.Now()
-		res, err := backend.Search(rbc.Task{
+		res, err := backend.Search(context.Background(), rbc.Task{
 			Base:        base,
 			Target:      target,
 			MaxDistance: 2,

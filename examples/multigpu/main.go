@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -53,7 +54,7 @@ func meanSeconds(alg rbc.HashAlg, devices int, exhaustive bool, trials int) floa
 		base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
 		client := puf.InjectNoise(base, base, 5, r)
 		oracle := client
-		res, err := backend.Search(rbc.Task{
+		res, err := backend.Search(context.Background(), rbc.Task{
 			Base:        base,
 			Target:      rbc.HashSeed(alg, client),
 			MaxDistance: 5,

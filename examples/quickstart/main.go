@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 
 	// 4. The CA brute-forces the Hamming ball until a candidate seed
 	//    hashes to M1, then salts it and generates the session key.
-	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,6 +17,8 @@
 package apusim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -139,10 +141,16 @@ func (b *Backend) powerModel() (device.PowerModel, float64) {
 	return device.PowerAPUSHA3, device.PeakAPUSHA3
 }
 
-// Search implements core.Backend.
-func (b *Backend) Search(task core.Task) (core.Result, error) {
+// Search implements core.Backend. Cancellation is polled at 256-seed
+// batch boundaries in the bit-sliced execution paths — the same places
+// the hardware checks its early-exit flag — and between shells in the
+// analytic planner.
+func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("apusim: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	var res core.Result
@@ -159,10 +167,20 @@ func (b *Backend) Search(task core.Task) (core.Result, error) {
 
 	if !(res.Found && !task.Exhaustive) {
 		for d := 1; d <= task.MaxDistance; d++ {
+			if ctx.Err() != nil {
+				res.DeviceSeconds = clock.Seconds()
+				res.WallSeconds = time.Since(start).Seconds()
+				return res, ctx.Err()
+			}
 			before := clock.Seconds()
 			coveredBefore := res.SeedsCovered
-			done, err := b.searchShell(task, d, &res, &clock)
+			done, err := b.searchShell(ctx, task, d, &res, &clock)
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					res.DeviceSeconds = clock.Seconds()
+					res.WallSeconds = time.Since(start).Seconds()
+					return res, err
+				}
 				return core.Result{}, err
 			}
 			res.Shells = append(res.Shells, core.ShellStat{
@@ -191,7 +209,7 @@ func (b *Backend) Search(task core.Task) (core.Result, error) {
 	return res, nil
 }
 
-func (b *Backend) searchShell(task core.Task, d int, res *core.Result, clock *device.VirtualClock) (bool, error) {
+func (b *Backend) searchShell(ctx context.Context, task core.Task, d int, res *core.Result, clock *device.VirtualClock) (bool, error) {
 	size, ok := combin.Binomial64(256, d)
 	if !ok {
 		return false, fmt.Errorf("apusim: C(256,%d) overflows uint64", d)
@@ -201,11 +219,12 @@ func (b *Backend) searchShell(task core.Task, d int, res *core.Result, clock *de
 	var seed u256.Uint256
 
 	if size <= b.cfg.ExecBudget {
-		f, s, hashed, err := b.executeShellBitsliced(task, d)
+		f, s, hashed, err := b.executeShellBitsliced(ctx, task, d)
+		res.HashesExecuted += hashed
 		if err != nil {
+			res.SeedsCovered += hashed
 			return false, err
 		}
-		res.HashesExecuted += hashed
 		matched, seed = f, s
 	} else {
 		// Analytic planning: verify the oracle by hashing, plus execute a
@@ -275,7 +294,8 @@ func (b *Backend) searchShell(task core.Task, d int, res *core.Result, clock *de
 
 // executeShellBitsliced covers the whole shell with real bit-sliced
 // batches across host goroutines, honouring batch-boundary early exit.
-func (b *Backend) executeShellBitsliced(task core.Task, d int) (bool, u256.Uint256, uint64, error) {
+// ctx is polled at the same batch boundaries as the exit flag.
+func (b *Backend) executeShellBitsliced(ctx context.Context, task core.Task, d int) (bool, u256.Uint256, uint64, error) {
 	workers := b.cfg.HostWorkers
 	if workers <= 0 {
 		workers = 4
@@ -285,13 +305,15 @@ func (b *Backend) executeShellBitsliced(task core.Task, d int) (bool, u256.Uint2
 		return false, u256.Zero, 0, err
 	}
 	var (
-		stop   atomic.Bool
-		hashed atomic.Uint64
-		mu     sync.Mutex
-		wg     sync.WaitGroup
+		stop      atomic.Bool
+		cancelled atomic.Bool
+		hashed    atomic.Uint64
+		mu        sync.Mutex
+		wg        sync.WaitGroup
 	)
 	var foundSeed u256.Uint256
 	var found bool
+	done := ctx.Done()
 
 	for _, r := range ranges {
 		if r.Count == 0 {
@@ -353,14 +375,25 @@ func (b *Backend) executeShellBitsliced(task core.Task, d int) (bool, u256.Uint2
 						return
 					}
 				}
-				// Batch-boundary early-exit check, as on hardware.
-				if !task.Exhaustive && stop.Load() {
+				// Batch-boundary early-exit and cancellation checks, as on
+				// hardware.
+				select {
+				case <-done:
+					cancelled.Store(true)
+					stop.Store(true)
+					return
+				default:
+				}
+				if stop.Load() && (!task.Exhaustive || cancelled.Load()) {
 					return
 				}
 			}
 		}(r)
 	}
 	wg.Wait()
+	if cancelled.Load() && !found {
+		return false, u256.Zero, hashed.Load(), ctx.Err()
+	}
 	return found, foundSeed, hashed.Load(), nil
 }
 

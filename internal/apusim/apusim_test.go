@@ -1,6 +1,7 @@
 package apusim
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -73,7 +74,7 @@ func TestSearchFindsSeedBitslicedExecution(t *testing.T) {
 		b := NewBackend(Config{Alg: alg})
 		task := taskFor(alg, base, client, 2, iterseq.GrayCode)
 		task.Oracle = nil // real execution must not need the oracle
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func TestSearchFindsSeedPlannedD5(t *testing.T) {
 	base := randSeed(r)
 	client := puf.InjectNoise(base, base, 5, r)
 	b := NewBackend(Config{Alg: core.SHA3})
-	res, err := b.Search(taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
+	res, err := b.Search(context.Background(), taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestAnchorExhaustiveD5(t *testing.T) {
 		b := NewBackend(Config{Alg: c.alg})
 		task := taskFor(c.alg, base, client, 5, iterseq.GrayCode)
 		task.Exhaustive = true
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestEnergyMatchesTable6(t *testing.T) {
 		b := NewBackend(Config{Alg: c.alg})
 		task := taskFor(c.alg, base, client, 5, iterseq.GrayCode)
 		task.Exhaustive = true
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func TestEarlyExitBatchBoundary(t *testing.T) {
 	base := randSeed(r)
 	client := puf.InjectNoise(base, base, 5, r)
 	b := NewBackend(Config{Alg: core.SHA1})
-	res, err := b.Search(taskFor(core.SHA1, base, client, 5, iterseq.GrayCode))
+	res, err := b.Search(context.Background(), taskFor(core.SHA1, base, client, 5, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestEarlyExitBatchBoundary(t *testing.T) {
 	}
 	exh := taskFor(core.SHA1, base, client, 5, iterseq.GrayCode)
 	exh.Exhaustive = true
-	eres, err := b.Search(exh)
+	eres, err := b.Search(context.Background(), exh)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestOracleIsVerifiedNotTrusted(t *testing.T) {
 		Oracle:      &liar,
 	}
 	b := NewBackend(Config{Alg: core.SHA3})
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestNameAndValidation(t *testing.T) {
 	if b.Name() == "" {
 		t.Error("empty name")
 	}
-	if _, err := b.Search(core.Task{MaxDistance: 11}); err == nil {
+	if _, err := b.Search(context.Background(), core.Task{MaxDistance: 11}); err == nil {
 		t.Error("expected distance error")
 	}
 }
@@ -242,7 +243,7 @@ func TestMultiAPUScaling(t *testing.T) {
 		b := NewBackend(Config{Alg: core.SHA3, Devices: devices})
 		task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
 		task.Exhaustive = exhaustive
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -277,7 +278,7 @@ func TestMultiAPUScaling(t *testing.T) {
 	b8 := NewBackend(Config{Alg: core.SHA3, Devices: 8})
 	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
 	task.Exhaustive = true
-	res8, err := b8.Search(task)
+	res8, err := b8.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestTimeLimit(t *testing.T) {
 		TimeLimit:   5 * 1e9, // 5s < the 13.95s full search
 	}
 	b := NewBackend(Config{Alg: core.SHA3})
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}

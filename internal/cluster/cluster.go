@@ -63,9 +63,12 @@ type doneMsg struct {
 	Err     string
 }
 
-// cancelMsg aborts a job.
+// cancelMsg aborts a job. Hard distinguishes a context cancellation
+// (stop unconditionally, even exhaustive jobs) from the FOUND broadcast
+// (early-exit semantics: exhaustive jobs keep covering their range).
 type cancelMsg struct {
-	ID uint64
+	ID   uint64
+	Hard bool
 }
 
 // writeMsg frames and sends one gob-encoded message.

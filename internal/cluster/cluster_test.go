@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math/rand/v2"
 	"net"
 	"testing"
@@ -56,7 +57,7 @@ func TestClusterFindsSeed(t *testing.T) {
 	coord, stop := startCluster(t, core.SHA3, []int{1, 2, 1})
 	defer stop()
 	task, client := clusterTask(core.SHA3, 1, 2, 2)
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +70,12 @@ func TestClusterMatchesLocalBackend(t *testing.T) {
 	coord, stop := startCluster(t, core.SHA1, []int{2, 2})
 	defer stop()
 	task, client := clusterTask(core.SHA1, 2, 2, 3)
-	cres, err := coord.Search(task)
+	cres, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
 	local := &cpu.Backend{Alg: core.SHA1, Workers: 2}
-	lres, err := local.Search(task)
+	lres, err := local.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestClusterExhaustiveCoverage(t *testing.T) {
 	defer stop()
 	task, _ := clusterTask(core.SHA3, 3, 1, 2)
 	task.Exhaustive = true
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestClusterEarlyExitCancelsFleet(t *testing.T) {
 	// Match early in the shell: the fleet must stop well short of full
 	// coverage (chunked cancellation bounds overshoot).
 	task, _ := clusterTask(core.SHA3, 4, 2, 2)
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestClusterNotFound(t *testing.T) {
 	coord, stop := startCluster(t, core.SHA3, []int{2})
 	defer stop()
 	task, _ := clusterTask(core.SHA3, 5, 3, 2) // seed beyond radius
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestClusterNotFound(t *testing.T) {
 func TestClusterNoWorkers(t *testing.T) {
 	coord := &Coordinator{Alg: core.SHA3}
 	task, _ := clusterTask(core.SHA3, 6, 1, 1)
-	if _, err := coord.Search(task); err == nil {
+	if _, err := coord.Search(context.Background(), task); err == nil {
 		t.Error("search without workers succeeded")
 	}
 }
@@ -151,7 +152,7 @@ func TestClusterWeightedPartition(t *testing.T) {
 	defer stop()
 	task, _ := clusterTask(core.SHA3, 7, 2, 2)
 	task.Exhaustive = true
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestClusterWorkerDisconnectSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	task, _ := clusterTask(core.SHA3, 8, 1, 1)
-	if _, err := coord.Search(task); err == nil {
+	if _, err := coord.Search(context.Background(), task); err == nil {
 		t.Error("expected an error after worker death")
 	}
 }
@@ -210,7 +211,7 @@ func TestClusterCheckIntervalPassthrough(t *testing.T) {
 	defer stop()
 	task, client := clusterTask(core.SHA3, 9, 2, 2)
 	task.CheckInterval = 64
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestClusterShellStats(t *testing.T) {
 	defer stop()
 	task, _ := clusterTask(core.SHA3, 10, 1, 2)
 	task.Exhaustive = true
-	res, err := coord.Search(task)
+	res, err := coord.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}

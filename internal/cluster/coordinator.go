@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -167,10 +168,16 @@ func (c *Coordinator) Name() string {
 	return fmt.Sprintf("SALTED-CLUSTER(%s, %d workers, %d cores)", c.Alg, n, cores)
 }
 
-// Search implements core.Backend: the real distributed search.
-func (c *Coordinator) Search(task core.Task) (core.Result, error) {
+// Search implements core.Backend: the real distributed search. A ctx
+// cancellation is forwarded to every remote worker as a hard cancel
+// message, so the whole fleet stops within one ChunkSeeds slice; the
+// partial Result is returned with ctx.Err().
+func (c *Coordinator) Search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("cluster: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	var res core.Result
@@ -189,11 +196,13 @@ func (c *Coordinator) Search(task core.Task) (core.Result, error) {
 	}
 
 	for d := 1; d <= task.MaxDistance; d++ {
-		shellStart := time.Now()
-		found, seed, covered, err := c.searchShell(task, d)
-		if err != nil {
-			return core.Result{}, err
+		if ctx.Err() != nil {
+			res.WallSeconds = time.Since(start).Seconds()
+			res.DeviceSeconds = res.WallSeconds
+			return res, ctx.Err()
 		}
+		shellStart := time.Now()
+		found, seed, covered, err := c.searchShell(ctx, task, d)
 		res.Shells = append(res.Shells, core.ShellStat{
 			Distance:      d,
 			SeedsCovered:  covered,
@@ -205,6 +214,14 @@ func (c *Coordinator) Search(task core.Task) (core.Result, error) {
 			res.Found = true
 			res.Seed = seed
 			res.Distance = d
+		}
+		if err != nil {
+			res.WallSeconds = time.Since(start).Seconds()
+			res.DeviceSeconds = res.WallSeconds
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return res, err
+			}
+			return core.Result{}, err
 		}
 		if res.Found && !task.Exhaustive {
 			break
@@ -220,7 +237,7 @@ func (c *Coordinator) Search(task core.Task) (core.Result, error) {
 }
 
 // searchShell fans one Hamming shell out over the fleet.
-func (c *Coordinator) searchShell(task core.Task, d int) (bool, u256.Uint256, uint64, error) {
+func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (bool, u256.Uint256, uint64, error) {
 	c.mu.Lock()
 	fleet := append([]*workerConn(nil), c.workers...)
 	c.mu.Unlock()
@@ -290,34 +307,51 @@ func (c *Coordinator) searchShell(task core.Task, d int) (bool, u256.Uint256, ui
 		remaining -= cnt
 	}
 
-	// Collect results; first FOUND cancels the rest of the fleet.
+	// Collect results; first FOUND cancels the rest of the fleet, and a
+	// context cancellation hard-cancels it (workers still report their
+	// partial coverage before the shell returns).
 	var (
 		found     bool
 		foundSeed u256.Uint256
 		covered   uint64
 		firstErr  error
+		cancelled bool
 	)
 	outstanding := len(assignments)
 	cases := make(chan *doneMsg, outstanding)
 	for _, a := range assignments {
 		go func(a assignment) { cases <- <-a.ch }(a)
 	}
+	ctxDone := ctx.Done()
 	for outstanding > 0 {
-		done := <-cases
-		outstanding--
-		if done.Err != "" && firstErr == nil {
-			firstErr = errors.New(done.Err)
-		}
-		covered += done.Covered
-		if done.Found && !found {
-			found = true
-			foundSeed = u256.FromBytes(done.Seed)
-			if !task.Exhaustive {
-				for _, a := range assignments {
-					_ = a.wc.send(kindCancel, &cancelMsg{ID: a.id})
+		select {
+		case done := <-cases:
+			outstanding--
+			if done.Err != "" && firstErr == nil {
+				firstErr = errors.New(done.Err)
+			}
+			covered += done.Covered
+			if done.Found && !found {
+				found = true
+				foundSeed = u256.FromBytes(done.Seed)
+				if !task.Exhaustive {
+					for _, a := range assignments {
+						_ = a.wc.send(kindCancel, &cancelMsg{ID: a.id})
+					}
 				}
 			}
+		case <-ctxDone:
+			if !cancelled {
+				cancelled = true
+				for _, a := range assignments {
+					_ = a.wc.send(kindCancel, &cancelMsg{ID: a.id, Hard: true})
+				}
+			}
+			ctxDone = nil // broadcast once; keep draining done messages
 		}
+	}
+	if cancelled && !found {
+		return false, u256.Zero, covered, ctx.Err()
 	}
 	if firstErr != nil && !found {
 		return false, u256.Zero, covered, firstErr

@@ -23,7 +23,15 @@ type Worker struct {
 	Name string
 
 	mu      sync.Mutex
-	cancels map[uint64]*atomic.Bool
+	cancels map[uint64]*cancelState
+}
+
+// cancelState carries a job's two stop conditions: soft is the FOUND
+// broadcast (early-exit semantics), hard is a coordinator-side context
+// cancellation that stops even exhaustive jobs.
+type cancelState struct {
+	soft atomic.Bool
+	hard atomic.Bool
 }
 
 // Run connects to the coordinator and serves jobs until the connection
@@ -47,7 +55,7 @@ func (w *Worker) Serve(conn net.Conn) error {
 		return err
 	}
 	w.mu.Lock()
-	w.cancels = make(map[uint64]*atomic.Bool)
+	w.cancels = make(map[uint64]*cancelState)
 	w.mu.Unlock()
 
 	var writeMu sync.Mutex
@@ -65,12 +73,12 @@ func (w *Worker) Serve(conn net.Conn) error {
 		switch kind {
 		case kindJob:
 			job := msg.(*jobMsg)
-			flag := &atomic.Bool{}
+			ctl := &cancelState{}
 			w.mu.Lock()
-			w.cancels[job.ID] = flag
+			w.cancels[job.ID] = ctl
 			w.mu.Unlock()
 			go func() {
-				done := w.run(job, cores, flag)
+				done := w.run(job, cores, ctl)
 				w.mu.Lock()
 				delete(w.cancels, job.ID)
 				w.mu.Unlock()
@@ -79,8 +87,11 @@ func (w *Worker) Serve(conn net.Conn) error {
 		case kindCancel:
 			c := msg.(*cancelMsg)
 			w.mu.Lock()
-			if flag, ok := w.cancels[c.ID]; ok {
-				flag.Store(true)
+			if ctl, ok := w.cancels[c.ID]; ok {
+				ctl.soft.Store(true)
+				if c.Hard {
+					ctl.hard.Store(true)
+				}
 			}
 			w.mu.Unlock()
 		default:
@@ -89,9 +100,10 @@ func (w *Worker) Serve(conn net.Conn) error {
 	}
 }
 
-// run executes one job in ChunkSeeds slices, polling the cancel flag
-// between slices.
-func (w *Worker) run(job *jobMsg, cores int, cancel *atomic.Bool) *doneMsg {
+// run executes one job in ChunkSeeds slices, polling the cancel flags
+// between slices — a hard cancel bounds cluster-wide stop latency to one
+// chunk per worker.
+func (w *Worker) run(job *jobMsg, cores int, ctl *cancelState) *doneMsg {
 	base := u256.FromBytes(job.Base)
 	target, err := core.DigestFromBytes(core.HashAlg(job.Alg), job.Target)
 	if err != nil {
@@ -104,7 +116,7 @@ func (w *Worker) run(job *jobMsg, cores int, cancel *atomic.Bool) *doneMsg {
 
 	out := &doneMsg{ID: job.ID}
 	for off := uint64(0); off < job.Count; off += ChunkSeeds {
-		if cancel.Load() && !job.Exhaustive {
+		if ctl.hard.Load() || (ctl.soft.Load() && !job.Exhaustive) {
 			break
 		}
 		chunk := min64(ChunkSeeds, job.Count-off)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -112,7 +113,7 @@ func TestCAIssuesCertificates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -63,7 +64,7 @@ func TestConcurrentAuthentications(t *testing.T) {
 				errs <- fmt.Errorf("%s respond: %w", id, err)
 				return
 			}
-			res, err := ca.Authenticate(id, ch.Nonce, m1)
+			res, err := ca.Authenticate(context.Background(), id, ch.Nonce, m1)
 			if err != nil {
 				errs <- fmt.Errorf("%s authenticate: %w", id, err)
 				return
@@ -112,11 +113,11 @@ func TestInterleavedSessionsSameClient(t *testing.T) {
 	}
 	// The stale challenge must be rejected; the fresh one must work.
 	m1, _ := client.Respond(ch1)
-	if _, err := ca.Authenticate("alice", ch1.Nonce, m1); err == nil {
+	if _, err := ca.Authenticate(context.Background(), "alice", ch1.Nonce, m1); err == nil {
 		t.Error("stale challenge accepted")
 	}
 	m2, _ := client.Respond(ch2)
-	res, err := ca.Authenticate("alice", ch2.Nonce, m2)
+	res, err := ca.Authenticate(context.Background(), "alice", ch2.Nonce, m2)
 	if err != nil || !res.Authenticated {
 		t.Errorf("fresh challenge failed: %v", err)
 	}

@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors for protocol-level failures. They are wrapped with %w
+// by the functions that raise them, so callers classify outcomes with
+// errors.Is instead of matching message strings, and netproto maps them
+// to distinct wire status codes.
+var (
+	// ErrUnknownClient reports an operation against a client ID with no
+	// enrolled PUF image.
+	ErrUnknownClient = errors.New("core: unknown client")
+	// ErrNoSession reports an Authenticate call with no open handshake
+	// session for the (client, nonce) pair — including a replayed nonce,
+	// since challenges are strictly single-use.
+	ErrNoSession = errors.New("core: no open session")
+	// ErrAlgMismatch reports a client digest whose hash algorithm does
+	// not match the CA's policy.
+	ErrAlgMismatch = errors.New("core: digest algorithm mismatch")
+	// ErrBadConfig reports an invalid CAConfig at construction.
+	ErrBadConfig = errors.New("core: invalid CA config")
+)

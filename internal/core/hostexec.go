@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,7 +15,11 @@ import (
 // the match predicate and polling a shared early-exit flag every
 // checkEvery candidates. It is the execution engine behind the real CPU
 // backend and the validation paths of the device simulators.
-func SearchShellHost(base u256.Uint256, d int, method iterseq.Method, workers, checkEvery int, exhaustive bool, deadline time.Time, match func(u256.Uint256) bool) (found bool, seed u256.Uint256, covered uint64, timedOut bool, err error) {
+//
+// ctx is polled at the same checkEvery granularity as the early-exit
+// flag; on cancellation the shell stops within one interval per worker
+// and the partial covered count is returned alongside ctx.Err().
+func SearchShellHost(ctx context.Context, base u256.Uint256, d int, method iterseq.Method, workers, checkEvery int, exhaustive bool, deadline time.Time, match func(u256.Uint256) bool) (found bool, seed u256.Uint256, covered uint64, timedOut bool, err error) {
 	ranges, err := iterseq.Partition(256, d, workers)
 	if err != nil {
 		return false, u256.Zero, 0, false, err
@@ -26,11 +31,16 @@ func SearchShellHost(base u256.Uint256, d int, method iterseq.Method, workers, c
 	var (
 		stop       atomic.Bool
 		timeout    atomic.Bool
+		cancelled  atomic.Bool
 		totalSeeds atomic.Uint64
 		mu         sync.Mutex
 		wg         sync.WaitGroup
 	)
 	foundSeeds := make([]u256.Uint256, 0, 1)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 
 	for _, r := range ranges {
 		if r.Count == 0 {
@@ -65,12 +75,19 @@ func SearchShellHost(base u256.Uint256, d int, method iterseq.Method, workers, c
 					if !exhaustive && stop.Load() {
 						break
 					}
+					if done != nil {
+						select {
+						case <-done:
+							cancelled.Store(true)
+							stop.Store(true)
+						default:
+						}
+					}
 					if !deadline.IsZero() && time.Now().After(deadline) {
 						timeout.Store(true)
 						stop.Store(true)
-						break
 					}
-					if timeout.Load() {
+					if timeout.Load() || cancelled.Load() {
 						break
 					}
 				}
@@ -84,6 +101,9 @@ func SearchShellHost(base u256.Uint256, d int, method iterseq.Method, workers, c
 	if len(foundSeeds) > 0 {
 		found = true
 		seed = foundSeeds[0]
+	}
+	if cancelled.Load() && !found {
+		return false, u256.Zero, covered, timeout.Load(), ctx.Err()
 	}
 	return found, seed, covered, timeout.Load(), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -111,6 +112,33 @@ type CAConfig struct {
 	SaltRotation int
 }
 
+// Validate reports configuration errors that would otherwise only
+// surface mid-search: a negative search bound, an unknown seed iterator,
+// or a negative time limit. Zero values are valid — they select the
+// documented defaults. NewCA calls Validate, so misconfiguration fails
+// at construction.
+func (c CAConfig) Validate() error {
+	if c.MaxDistance < 0 {
+		return fmt.Errorf("%w: negative MaxDistance %d", ErrBadConfig, c.MaxDistance)
+	}
+	if c.MaxDistance > 10 {
+		return fmt.Errorf("%w: MaxDistance %d outside supported range [0,10]", ErrBadConfig, c.MaxDistance)
+	}
+	if !c.Method.Valid() {
+		return fmt.Errorf("%w: unknown iteration method %d", ErrBadConfig, int(c.Method))
+	}
+	if c.TimeLimit < 0 {
+		return fmt.Errorf("%w: negative TimeLimit %s (use zero for the default threshold)", ErrBadConfig, c.TimeLimit)
+	}
+	if c.TAPKIThreshold < 0 || c.TAPKIThreshold > 1 {
+		return fmt.Errorf("%w: TAPKIThreshold %v outside [0,1]", ErrBadConfig, c.TAPKIThreshold)
+	}
+	if c.SaltRotation < 0 || c.SaltRotation > 255 {
+		return fmt.Errorf("%w: SaltRotation %d outside [0,255]", ErrBadConfig, c.SaltRotation)
+	}
+	return nil
+}
+
 func (c CAConfig) withDefaults() CAConfig {
 	if c.MaxDistance == 0 {
 		c.MaxDistance = 5
@@ -147,6 +175,9 @@ type CA struct {
 func NewCA(store *ImageStore, backend Backend, keygen cryptoalg.KeyGenerator, ra *RA, cfg CAConfig) (*CA, error) {
 	if store == nil || backend == nil || keygen == nil || ra == nil {
 		return nil, errors.New("core: CA requires store, backend, keygen and RA")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &CA{
 		cfg:      cfg.withDefaults(),
@@ -218,15 +249,28 @@ type AuthResult struct {
 // Authenticate runs the RBC-SALTED search for the digest the client sent
 // (Figure 1 steps 1-9). On success the recovered seed is salted, the
 // public key generated, and the RA updated.
-func (ca *CA) Authenticate(id ClientID, nonce uint64, m1 Digest) (AuthResult, error) {
+//
+// ctx bounds the search: cancellation or deadline expiry propagates into
+// the backend's shell loops and surfaces as ctx.Err(). The challenge is
+// strictly single-use: once the (id, nonce) pair has been presented, the
+// session is consumed on every path — success, failure, policy error or
+// cancellation — so a failed attempt can never be replayed.
+func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Digest) (AuthResult, error) {
 	ca.mu.Lock()
 	ch, ok := ca.sessions[id]
 	ca.mu.Unlock()
 	if !ok || ch.Nonce != nonce {
-		return AuthResult{}, fmt.Errorf("core: no open session for %q with nonce %d", id, nonce)
+		return AuthResult{}, fmt.Errorf("%w for %q with nonce %d", ErrNoSession, id, nonce)
 	}
+	// The challenge is consumed now: any outcome below — including the
+	// early error returns — burns it.
+	defer func() {
+		ca.mu.Lock()
+		delete(ca.sessions, id)
+		ca.mu.Unlock()
+	}()
 	if m1.Alg != ca.cfg.Alg {
-		return AuthResult{}, fmt.Errorf("core: digest algorithm %v does not match CA policy %v", m1.Alg, ca.cfg.Alg)
+		return AuthResult{}, fmt.Errorf("%w: digest %v, CA policy %v", ErrAlgMismatch, m1.Alg, ca.cfg.Alg)
 	}
 	im, err := ca.store.Get(id)
 	if err != nil {
@@ -237,7 +281,7 @@ func (ca *CA) Authenticate(id ClientID, nonce uint64, m1 Digest) (AuthResult, er
 		return AuthResult{}, err
 	}
 
-	res, err := ca.backend.Search(Task{
+	res, err := ca.backend.Search(ctx, Task{
 		Base:        base,
 		Target:      m1,
 		MaxDistance: ca.cfg.MaxDistance,
@@ -245,7 +289,7 @@ func (ca *CA) Authenticate(id ClientID, nonce uint64, m1 Digest) (AuthResult, er
 		TimeLimit:   ca.cfg.TimeLimit,
 	})
 	if err != nil {
-		return AuthResult{}, err
+		return AuthResult{Search: res}, err
 	}
 
 	out := AuthResult{Search: res, TimedOut: res.TimedOut}
@@ -266,10 +310,6 @@ func (ca *CA) Authenticate(id ClientID, nonce uint64, m1 Digest) (AuthResult, er
 			ca.ra.UpdateCertificate(id, cert)
 		}
 	}
-	// Single-use challenge either way.
-	ca.mu.Lock()
-	delete(ca.sessions, id)
-	ca.mu.Unlock()
 	return out, nil
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/iterseq"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/u256"
 )
@@ -16,7 +19,7 @@ type echoBackend struct{ alg HashAlg }
 
 func (e *echoBackend) Name() string { return "echo" }
 
-func (e *echoBackend) Search(task Task) (Result, error) {
+func (e *echoBackend) Search(ctx context.Context, task Task) (Result, error) {
 	var res Result
 	try := func(s u256.Uint256, d int) bool {
 		res.HashesExecuted++
@@ -101,7 +104,7 @@ func TestFullProtocolAuthenticates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +141,7 @@ func TestAuthenticateRejectsImpostor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,10 +156,10 @@ func TestChallengeIsSingleUse(t *testing.T) {
 	client := enrollTestClient(t, ca, "alice", 79, profile)
 	ch, _ := ca.BeginHandshake("alice")
 	m1, _ := client.Respond(ch)
-	if _, err := ca.Authenticate("alice", ch.Nonce, m1); err != nil {
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ca.Authenticate("alice", ch.Nonce, m1); err == nil {
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1); err == nil {
 		t.Error("challenge replay accepted")
 	}
 }
@@ -169,14 +172,114 @@ func TestAuthenticateErrors(t *testing.T) {
 	profile := puf.Profile{BaseError: 0.5 / 256.0}
 	client := enrollTestClient(t, ca, "alice", 80, profile)
 	ch, _ := ca.BeginHandshake("alice")
-	if _, err := ca.Authenticate("alice", ch.Nonce+1, Digest{}); err == nil {
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce+1, Digest{}); err == nil {
 		t.Error("wrong nonce accepted")
 	}
 	// Wrong digest algorithm.
 	seed, _ := client.ReadSeed(ch)
 	wrongAlg := HashSeed(SHA1, seed)
-	if _, err := ca.Authenticate("alice", ch.Nonce, wrongAlg); err == nil {
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, wrongAlg); err == nil {
 		t.Error("wrong digest algorithm accepted")
+	}
+}
+
+// TestChallengeConsumedOnErrorPaths is the regression test for the
+// challenge leak: an Authenticate attempt that fails AFTER the session
+// lookup (here: digest algorithm mismatch) must still burn the
+// challenge, so the same nonce cannot be replayed with a corrected
+// digest.
+func TestChallengeConsumedOnErrorPaths(t *testing.T) {
+	profile := puf.Profile{BaseError: 0.5 / 256.0}
+	ca, _, _ := newTestCA(t, SHA3)
+	client := enrollTestClient(t, ca, "alice", 81, profile)
+
+	ch, err := ca.BeginHandshake("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := client.ReadSeed(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First attempt fails policy: wrong digest algorithm.
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, HashSeed(SHA1, seed)); !errors.Is(err, ErrAlgMismatch) {
+		t.Fatalf("expected ErrAlgMismatch, got %v", err)
+	}
+	// Second attempt fixes the digest — but the challenge must be gone.
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, HashSeed(SHA3, seed)); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("expected ErrNoSession after failed attempt, got %v", err)
+	}
+}
+
+// TestWrongNonceKeepsSession: a probe with the wrong nonce never
+// matches the open session, so it must NOT consume it — otherwise any
+// party that can reach the CA could void sessions it does not own.
+func TestWrongNonceKeepsSession(t *testing.T) {
+	profile := puf.Profile{BaseError: 0.5 / 256.0}
+	ca, _, _ := newTestCA(t, SHA3)
+	client := enrollTestClient(t, ca, "alice", 82, profile)
+
+	ch, err := ca.BeginHandshake("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := client.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce+1, m1); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("expected ErrNoSession for wrong nonce, got %v", err)
+	}
+	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	if err != nil {
+		t.Fatalf("session consumed by wrong-nonce probe: %v", err)
+	}
+	if !res.Authenticated {
+		t.Error("genuine attempt after wrong-nonce probe failed")
+	}
+}
+
+func TestBeginHandshakeUnknownClient(t *testing.T) {
+	ca, _, _ := newTestCA(t, SHA3)
+	if _, err := ca.BeginHandshake("ghost"); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("expected ErrUnknownClient, got %v", err)
+	}
+}
+
+func TestCAConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  CAConfig
+		ok   bool
+	}{
+		{"zero is valid", CAConfig{}, true},
+		{"paper nominal", CAConfig{Alg: SHA3, MaxDistance: 5, TimeLimit: 20 * time.Second}, true},
+		{"negative MaxDistance", CAConfig{MaxDistance: -1}, false},
+		{"MaxDistance too large", CAConfig{MaxDistance: 11}, false},
+		{"unknown method", CAConfig{Method: iterseq.Method(99)}, false},
+		{"negative TimeLimit", CAConfig{TimeLimit: -time.Second}, false},
+		{"zero TimeLimit is default", CAConfig{TimeLimit: 0}, true},
+		{"TAPKI threshold above 1", CAConfig{TAPKIThreshold: 1.5}, false},
+		{"negative TAPKI threshold", CAConfig{TAPKIThreshold: -0.1}, false},
+		{"salt rotation out of range", CAConfig{SaltRotation: 256}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: invalid config accepted", tc.name)
+			} else if !errors.Is(err, ErrBadConfig) {
+				t.Errorf("%s: error %v does not wrap ErrBadConfig", tc.name, err)
+			}
+		}
+	}
+	// NewCA runs Validate, so misconfiguration fails at construction.
+	store, _ := NewImageStore([32]byte{})
+	if _, err := NewCA(store, &echoBackend{}, &aeskg.Generator{}, NewRA(), CAConfig{MaxDistance: -3}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewCA accepted invalid config (err=%v)", err)
 	}
 }
 

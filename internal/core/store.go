@@ -65,7 +65,7 @@ func (s *ImageStore) Get(id ClientID) (*puf.Image, error) {
 	sealed, ok := s.blobs[id]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: client %q not enrolled", id)
+		return nil, fmt.Errorf("client %q not enrolled: %w", id, ErrUnknownClient)
 	}
 	ns := s.aead.NonceSize()
 	if len(sealed) < ns {

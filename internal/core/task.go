@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"rbcsalted/internal/iterseq"
@@ -86,6 +87,15 @@ type ShellStat struct {
 type Backend interface {
 	// Name identifies the engine and platform for reports.
 	Name() string
-	// Search runs one RBC search to completion or timeout.
-	Search(task Task) (Result, error)
+	// Search runs one RBC search to completion, timeout or cancellation.
+	//
+	// Cancellation contract: backends poll ctx cooperatively (at the same
+	// granularity as the early-exit flag, i.e. every CheckInterval seeds
+	// for real execution, between shells for modelled execution). When ctx
+	// is cancelled or its deadline passes mid-search, Search stops
+	// promptly and returns the partial Result accumulated so far together
+	// with ctx.Err() — callers that care about partial telemetry (e.g.
+	// the scheduler's accounting) may inspect the Result even when err is
+	// context.Canceled or context.DeadlineExceeded.
+	Search(ctx context.Context, task Task) (Result, error)
 }

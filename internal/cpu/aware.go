@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -49,13 +50,17 @@ func (b *AwareBackend) workers() int {
 }
 
 // Search runs the algorithm-aware search, generating a key per candidate.
-// Result.HashesExecuted counts key generations.
-func (b *AwareBackend) Search(task AwareTask) (core.Result, error) {
+// Result.HashesExecuted counts key generations. It follows the same
+// cancellation contract as core.Backend.Search.
+func (b *AwareBackend) Search(ctx context.Context, task AwareTask) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("cpu: MaxDistance %d outside supported range", task.MaxDistance)
 	}
 	if len(task.TargetKey) == 0 {
 		return core.Result{}, fmt.Errorf("cpu: aware search needs a target key")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	var res core.Result
@@ -84,17 +89,19 @@ func (b *AwareBackend) Search(task AwareTask) (core.Result, error) {
 	}
 	for d := 1; d <= task.MaxDistance; d++ {
 		found, seed, covered, timedOut, err := core.SearchShellHost(
-			task.Base, d, task.Method, b.workers(), task.CheckInterval,
+			ctx, task.Base, d, task.Method, b.workers(), task.CheckInterval,
 			task.Exhaustive, deadline, match)
-		if err != nil {
-			return core.Result{}, err
-		}
 		res.SeedsCovered += covered
 		res.HashesExecuted += covered
 		if found && !res.Found {
 			res.Found = true
 			res.Seed = seed
 			res.Distance = d
+		}
+		if err != nil {
+			res.WallSeconds = time.Since(start).Seconds()
+			res.DeviceSeconds = res.WallSeconds
+			return res, err
 		}
 		if timedOut {
 			res.TimedOut = true

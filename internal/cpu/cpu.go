@@ -12,6 +12,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -41,9 +42,14 @@ func (b *Backend) workers() int {
 }
 
 // Search implements core.Backend by actually hashing every covered seed.
-func (b *Backend) Search(task core.Task) (core.Result, error) {
+// Cancellation is polled in the shell loops every CheckInterval seeds;
+// on cancellation the partial Result is returned with ctx.Err().
+func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("cpu: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	var res core.Result
@@ -73,11 +79,8 @@ func (b *Backend) Search(task core.Task) (core.Result, error) {
 	for d := 1; d <= task.MaxDistance; d++ {
 		shellStart := time.Now()
 		found, seed, covered, timedOut, err := core.SearchShellHost(
-			task.Base, d, task.Method, b.workers(), task.CheckInterval,
+			ctx, task.Base, d, task.Method, b.workers(), task.CheckInterval,
 			task.Exhaustive, deadline, match)
-		if err != nil {
-			return core.Result{}, err
-		}
 		res.Shells = append(res.Shells, core.ShellStat{
 			Distance:      d,
 			SeedsCovered:  covered,
@@ -89,6 +92,11 @@ func (b *Backend) Search(task core.Task) (core.Result, error) {
 			res.Found = true
 			res.Seed = seed
 			res.Distance = d
+		}
+		if err != nil {
+			res.WallSeconds = time.Since(start).Seconds()
+			res.DeviceSeconds = res.WallSeconds
+			return res, err
 		}
 		if timedOut {
 			res.TimedOut = true

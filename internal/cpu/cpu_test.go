@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -35,7 +36,7 @@ func TestSearchFindsSeedAtEachDistance(t *testing.T) {
 			client := base
 			client = puf.InjectNoise(client, base, d, r)
 			b := &Backend{Alg: alg, Workers: 4}
-			res, err := b.Search(taskFor(alg, base, client, 2, iterseq.GrayCode))
+			res, err := b.Search(context.Background(), taskFor(alg, base, client, 2, iterseq.GrayCode))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -57,7 +58,7 @@ func TestSearchAllMethodsAgree(t *testing.T) {
 	client := puf.InjectNoise(base, base, 2, r)
 	for _, method := range iterseq.Methods() {
 		b := &Backend{Alg: core.SHA3, Workers: 3}
-		res, err := b.Search(taskFor(core.SHA3, base, client, 3, method))
+		res, err := b.Search(context.Background(), taskFor(core.SHA3, base, client, 3, method))
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -72,7 +73,7 @@ func TestSearchNotFoundBeyondRadius(t *testing.T) {
 	base := randSeed(r)
 	client := puf.InjectNoise(base, base, 3, r)
 	b := &Backend{Alg: core.SHA3, Workers: 4}
-	res, err := b.Search(taskFor(core.SHA3, base, client, 2, iterseq.GrayCode))
+	res, err := b.Search(context.Background(), taskFor(core.SHA3, base, client, 2, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestExhaustiveCoversEverythingAndStillFinds(t *testing.T) {
 	task := taskFor(core.SHA3, base, client, 2, iterseq.GrayCode)
 	task.Exhaustive = true
 	b := &Backend{Alg: core.SHA3, Workers: 4}
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,13 +112,13 @@ func TestEarlyExitSavesWork(t *testing.T) {
 	client := puf.InjectNoise(base, base, 2, r)
 	b := &Backend{Alg: core.SHA1, Workers: 4}
 
-	early, err := b.Search(taskFor(core.SHA1, base, client, 2, iterseq.GrayCode))
+	early, err := b.Search(context.Background(), taskFor(core.SHA1, base, client, 2, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
 	task := taskFor(core.SHA1, base, client, 2, iterseq.GrayCode)
 	task.Exhaustive = true
-	exhaustive, err := b.Search(task)
+	exhaustive, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestCheckIntervalDoesNotChangeResult(t *testing.T) {
 		task := taskFor(core.SHA3, base, client, 2, iterseq.Alg515)
 		task.CheckInterval = interval
 		b := &Backend{Alg: core.SHA3, Workers: 5}
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestTimeout(t *testing.T) {
 		TimeLimit:   time.Millisecond,
 	}
 	b := &Backend{Alg: core.SHA3, Workers: 2}
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestWorkerCountsEquivalent(t *testing.T) {
 	client := puf.InjectNoise(base, base, 2, r)
 	for _, workers := range []int{1, 2, 16, 100} {
 		b := &Backend{Alg: core.SHA3, Workers: workers}
-		res, err := b.Search(taskFor(core.SHA3, base, client, 2, iterseq.GrayCode))
+		res, err := b.Search(context.Background(), taskFor(core.SHA3, base, client, 2, iterseq.GrayCode))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,10 +185,10 @@ func TestWorkerCountsEquivalent(t *testing.T) {
 
 func TestInvalidMaxDistance(t *testing.T) {
 	b := &Backend{Alg: core.SHA3}
-	if _, err := b.Search(core.Task{MaxDistance: 11}); err == nil {
+	if _, err := b.Search(context.Background(), core.Task{MaxDistance: 11}); err == nil {
 		t.Error("expected error for MaxDistance 11")
 	}
-	if _, err := b.Search(core.Task{MaxDistance: -1}); err == nil {
+	if _, err := b.Search(context.Background(), core.Task{MaxDistance: -1}); err == nil {
 		t.Error("expected error for negative MaxDistance")
 	}
 }
@@ -213,7 +214,7 @@ func TestModelMatchesAnchorExhaustive(t *testing.T) {
 		task := taskFor(alg, base, client, 5, iterseq.GrayCode)
 		task.Exhaustive = true
 		m := &ModelBackend{Alg: alg}
-		res, err := m.Search(task)
+		res, err := m.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,13 +233,13 @@ func TestModelEarlyExitFasterThanExhaustive(t *testing.T) {
 	base := randSeed(r)
 	client := puf.InjectNoise(base, base, 5, r)
 	m := &ModelBackend{Alg: core.SHA3}
-	early, err := m.Search(taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
+	early, err := m.Search(context.Background(), taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
 	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
 	task.Exhaustive = true
-	exh, err := m.Search(task)
+	exh, err := m.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,11 +261,11 @@ func TestModelAgreesWithRealBackendAtSmallScale(t *testing.T) {
 	task := taskFor(core.SHA3, base, client, 3, iterseq.Gosper)
 	real := &Backend{Alg: core.SHA3, Workers: 4}
 	model := &ModelBackend{Alg: core.SHA3}
-	rr, err := real.Search(task)
+	rr, err := real.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mr, err := model.Search(task)
+	mr, err := model.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestModelRejectsWrongOracle(t *testing.T) {
 		Oracle:      &liar,
 	}
 	m := &ModelBackend{Alg: core.SHA3}
-	res, err := m.Search(task)
+	res, err := m.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestModelTimeLimit(t *testing.T) {
 	task.Exhaustive = true
 	task.TimeLimit = 20 * time.Second
 	m := &ModelBackend{Alg: core.SHA3}
-	res, err := m.Search(task)
+	res, err := m.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}

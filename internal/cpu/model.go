@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,8 +81,10 @@ func (m *ModelBackend) perSeedSeconds(method iterseq.Method) float64 {
 	return s * factor * float64(p) / Speedup(m.Alg, p)
 }
 
-// Search implements core.Backend with the event-driven model.
-func (m *ModelBackend) Search(task core.Task) (core.Result, error) {
+// Search implements core.Backend with the event-driven model. The model
+// spends no meaningful host time per shell, so cancellation is checked
+// between shells — the finest granularity the model distinguishes.
+func (m *ModelBackend) Search(ctx context.Context, task core.Task) (core.Result, error) {
 	workers := m.workers()
 	plans, err := core.PlanShells(task, workers)
 	if err != nil {
@@ -104,6 +107,11 @@ func (m *ModelBackend) Search(task core.Task) (core.Result, error) {
 
 	if !(res.Found && !task.Exhaustive) {
 		for _, p := range plans {
+			if ctx != nil && ctx.Err() != nil {
+				res.DeviceSeconds = deviceSeconds
+				res.WallSeconds = time.Since(start).Seconds()
+				return res, ctx.Err()
+			}
 			var shellSeconds float64
 			var shellCovered uint64
 			if p.HasMatch && !task.Exhaustive {

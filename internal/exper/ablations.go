@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -62,7 +63,7 @@ func AwareVsSalted(maxD int) *Table {
 	salted := &cpu.Backend{Alg: core.SHA3}
 	task := sc.Task(core.SHA3, maxD, false)
 	task.Oracle = nil
-	res, err := salted.Search(task)
+	res, err := salted.Search(context.Background(), task)
 	if err != nil {
 		panic(err)
 	}
@@ -73,7 +74,7 @@ func AwareVsSalted(maxD int) *Table {
 	for _, kg := range []cryptoalg.KeyGenerator{&aeskg.Generator{}, saber.Generator{}, dilithium.Generator{}} {
 		target := kg.PublicKey(sc.Client.Bytes())
 		aware := &cpu.AwareBackend{Keygen: kg}
-		ares, err := aware.Search(cpu.AwareTask{
+		ares, err := aware.Search(context.Background(), cpu.AwareTask{
 			Base:        sc.Base,
 			TargetKey:   target,
 			MaxDistance: maxD,

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"rbcsalted/internal/core"
@@ -95,7 +96,7 @@ func Figure4(trials int) *Table {
 func meanSearchSeconds(alg core.HashAlg, devices int, exhaustive bool, trials int) float64 {
 	b := gpusim.NewBackend(gpusim.Config{Alg: alg, Devices: devices, SharedMemoryState: true})
 	if exhaustive {
-		res, err := b.Search(NewScenario(81, 5).Task(alg, 5, true))
+		res, err := b.Search(context.Background(), NewScenario(81, 5).Task(alg, 5, true))
 		if err != nil {
 			panic(err)
 		}
@@ -104,7 +105,7 @@ func meanSearchSeconds(alg core.HashAlg, devices int, exhaustive bool, trials in
 	sum := 0.0
 	for trial := 0; trial < trials; trial++ {
 		sc := NewScenario(uint64(9000+trial), 5)
-		res, err := b.Search(sc.Task(alg, 5, false))
+		res, err := b.Search(context.Background(), sc.Task(alg, 5, false))
 		if err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"rbcsalted/internal/apusim"
@@ -23,7 +24,7 @@ func MultiAPU() *Table {
 	var gpuBase float64
 	for g := 1; g <= 3; g++ {
 		b := gpusim.NewBackend(gpusim.Config{Alg: core.SHA3, Devices: g, SharedMemoryState: true})
-		res, err := b.Search(sc.Task(core.SHA3, 5, true))
+		res, err := b.Search(context.Background(), sc.Task(core.SHA3, 5, true))
 		if err != nil {
 			panic(err)
 		}
@@ -39,7 +40,7 @@ func MultiAPU() *Table {
 	var apuBase float64
 	for _, g := range []int{1, 2, 4, 8} {
 		b := apusim.NewBackend(apusim.Config{Alg: core.SHA3, Devices: g})
-		res, err := b.Search(sc.Task(core.SHA3, 5, true))
+		res, err := b.Search(context.Background(), sc.Task(core.SHA3, 5, true))
 		if err != nil {
 			panic(err)
 		}
@@ -73,7 +74,7 @@ func NoiseSecurity() *Table {
 		times := make([]float64, 3)
 		backends := table5Backends(core.SHA3)
 		for i, b := range backends {
-			res, err := b.Search(sc.Task(core.SHA3, d, true))
+			res, err := b.Search(context.Background(), sc.Task(core.SHA3, d, true))
 			if err != nil {
 				panic(err)
 			}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -80,7 +81,7 @@ func Table4() *Table {
 		b := gpusim.NewBackend(gpusim.Config{Alg: core.SHA3, SharedMemoryState: true})
 		task := sc.Task(core.SHA3, 5, true)
 		task.Method = r.method
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			panic(err)
 		}
@@ -130,7 +131,7 @@ func Table5(trials int) *Table {
 		backends := table5Backends(alg)
 		for i, b := range backends {
 			// Exhaustive: one deterministic scenario, full coverage.
-			res, err := b.Search(NewScenario(51, 5).Task(alg, 5, true))
+			res, err := b.Search(context.Background(), NewScenario(51, 5).Task(alg, 5, true))
 			if err != nil {
 				panic(err)
 			}
@@ -145,7 +146,7 @@ func Table5(trials int) *Table {
 			sum := 0.0
 			for trial := 0; trial < trials; trial++ {
 				sc := NewScenario(uint64(1000+trial), 5)
-				res, err := b.Search(sc.Task(alg, 5, false))
+				res, err := b.Search(context.Background(), sc.Task(alg, 5, false))
 				if err != nil {
 					panic(err)
 				}
@@ -187,7 +188,7 @@ func Table6() *Table {
 		{apusim.NewBackend(apusim.Config{Alg: core.SHA3}), "SALTED-APU", core.SHA3, 22.10, "974.06", "83.63"},
 	}
 	for _, r := range rows {
-		res, err := r.backend.Search(NewScenario(61, 5).Task(r.alg, 5, true))
+		res, err := r.backend.Search(context.Background(), NewScenario(61, 5).Task(r.alg, 5, true))
 		if err != nil {
 			panic(err)
 		}
@@ -242,17 +243,17 @@ func Table7() *Table {
 	}
 	// This work: SHA-3 SALTED at d=5 on all three platforms.
 	sc := NewScenario(71, 5)
-	cpuRes, err := (&cpu.ModelBackend{Alg: core.SHA3}).Search(sc.Task(core.SHA3, 5, true))
+	cpuRes, err := (&cpu.ModelBackend{Alg: core.SHA3}).Search(context.Background(), sc.Task(core.SHA3, 5, true))
 	if err != nil {
 		panic(err)
 	}
 	gpuRes, err := gpusim.NewBackend(gpusim.Config{Alg: core.SHA3, SharedMemoryState: true}).
-		Search(sc.Task(core.SHA3, 5, true))
+		Search(context.Background(), sc.Task(core.SHA3, 5, true))
 	if err != nil {
 		panic(err)
 	}
 	apuRes, err := apusim.NewBackend(apusim.Config{Alg: core.SHA3}).
-		Search(sc.Task(core.SHA3, 5, true))
+		Search(context.Background(), sc.Task(core.SHA3, 5, true))
 	if err != nil {
 		panic(err)
 	}

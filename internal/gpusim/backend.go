@@ -1,6 +1,8 @@
 package gpusim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -82,10 +84,15 @@ func (b *Backend) powerModel() (device.PowerModel, float64) {
 	return device.PowerGPUSHA3, device.PeakGPUSHA3
 }
 
-// Search implements core.Backend.
-func (b *Backend) Search(task core.Task) (core.Result, error) {
+// Search implements core.Backend. Within-budget shells run real host
+// execution and poll ctx every CheckInterval seeds; analytically planned
+// shells check ctx at shell boundaries (the modelled kernel launches).
+func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("gpusim: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if task.CheckInterval == 0 {
 		task.CheckInterval = b.cfg.CheckInterval
@@ -106,10 +113,20 @@ func (b *Backend) Search(task core.Task) (core.Result, error) {
 
 	if !(res.Found && !task.Exhaustive) {
 		for d := 1; d <= task.MaxDistance; d++ {
+			if ctx.Err() != nil {
+				res.DeviceSeconds = clock.Seconds()
+				res.WallSeconds = time.Since(start).Seconds()
+				return res, ctx.Err()
+			}
 			before := clock.Seconds()
 			coveredBefore := res.SeedsCovered
-			done, err := b.searchShell(task, d, &res, &clock)
+			done, err := b.searchShell(ctx, task, d, &res, &clock)
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					res.DeviceSeconds = clock.Seconds()
+					res.WallSeconds = time.Since(start).Seconds()
+					return res, err
+				}
 				return core.Result{}, err
 			}
 			res.Shells = append(res.Shells, core.ShellStat{
@@ -140,7 +157,7 @@ func (b *Backend) Search(task core.Task) (core.Result, error) {
 
 // searchShell covers one Hamming shell, returning done=true if the search
 // should stop (match found in early-exit mode).
-func (b *Backend) searchShell(task core.Task, d int, res *core.Result, clock *device.VirtualClock) (bool, error) {
+func (b *Backend) searchShell(ctx context.Context, task core.Task, d int, res *core.Result, clock *device.VirtualClock) (bool, error) {
 	size, ok := combin.Binomial64(256, d)
 	if !ok {
 		return false, fmt.Errorf("gpusim: C(256,%d) overflows uint64", d)
@@ -149,15 +166,18 @@ func (b *Backend) searchShell(task core.Task, d int, res *core.Result, clock *de
 	if size <= b.cfg.ExecBudget {
 		// Real execution: the kernel's actual Go code runs on the host.
 		found, seed, covered, _, err := core.SearchShellHost(
-			task.Base, d, task.Method, hostWorkers(b.cfg.HostWorkers),
+			ctx, task.Base, d, task.Method, hostWorkers(b.cfg.HostWorkers),
 			task.CheckInterval, task.Exhaustive, time.Time{},
 			func(candidate u256.Uint256) bool {
 				return core.HashSeed(b.cfg.Alg, candidate).Equal(task.Target)
 			})
+		res.HashesExecuted += covered
 		if err != nil {
+			// Cancelled mid-kernel: account the partial coverage without a
+			// modelled charge (the kernel was aborted, not completed).
+			res.SeedsCovered += covered
 			return false, err
 		}
-		res.HashesExecuted += covered
 		// Charge modelled time by the match's analytic position (GPU
 		// blocks stream in rank order), not by the host goroutines'
 		// incidental progress.

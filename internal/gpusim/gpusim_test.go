@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestSearchFindsSeedRealExecution(t *testing.T) {
 		b := NewBackend(Config{Alg: alg, SharedMemoryState: true})
 		task := taskFor(alg, base, client, 2, iterseq.GrayCode)
 		task.Oracle = nil // real execution must not need the oracle
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestSearchFindsSeedPlannedD5(t *testing.T) {
 	base := randSeed(r)
 	client := puf.InjectNoise(base, base, 5, r)
 	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
-	res, err := b.Search(taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
+	res, err := b.Search(context.Background(), taskFor(core.SHA3, base, client, 5, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestAnchorExhaustiveD5(t *testing.T) {
 		b := NewBackend(Config{Alg: c.alg, SharedMemoryState: true})
 		task := taskFor(c.alg, base, client, 5, iterseq.GrayCode)
 		task.Exhaustive = true
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestTable4IteratorOrdering(t *testing.T) {
 		b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
 		task := taskFor(core.SHA3, base, client, 5, m)
 		task.Exhaustive = true
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func TestMultiGPUScaling(t *testing.T) {
 			b := NewBackend(Config{Alg: alg, Devices: g, SharedMemoryState: true})
 			task := taskFor(alg, base, client, 5, iterseq.GrayCode)
 			task.Exhaustive = exhaustive
-			res, err := b.Search(task)
+			res, err := b.Search(context.Background(), task)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -240,7 +241,7 @@ func TestEnergyAccounting(t *testing.T) {
 	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
 	task := taskFor(core.SHA3, base, client, 5, iterseq.GrayCode)
 	task.Exhaustive = true
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestNotFoundBeyondRadius(t *testing.T) {
 	base := randSeed(r)
 	client := puf.InjectNoise(base, base, 4, r)
 	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
-	res, err := b.Search(taskFor(core.SHA3, base, client, 3, iterseq.GrayCode))
+	res, err := b.Search(context.Background(), taskFor(core.SHA3, base, client, 3, iterseq.GrayCode))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestOracleIsVerifiedNotTrusted(t *testing.T) {
 		Oracle:      &liar,
 	}
 	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestDefaultsAndName(t *testing.T) {
 	if b.Name() == "" {
 		t.Error("empty name")
 	}
-	if _, err := b.Search(core.Task{MaxDistance: 99}); err == nil {
+	if _, err := b.Search(context.Background(), core.Task{MaxDistance: 99}); err == nil {
 		t.Error("expected distance error")
 	}
 }
@@ -313,7 +314,7 @@ func TestTimeLimit(t *testing.T) {
 		TimeLimit:   2 * 1e9, // 2s in time.Duration units
 	}
 	b := NewBackend(Config{Alg: core.SHA3, SharedMemoryState: true})
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestMultiGPUWithAlternativeIterator(t *testing.T) {
 		b := NewBackend(Config{Alg: core.SHA3, Devices: 2, SharedMemoryState: true})
 		task := taskFor(core.SHA3, base, client, 5, m)
 		task.Exhaustive = true
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +357,7 @@ func TestExecBudgetBoundary(t *testing.T) {
 	b := NewBackend(Config{Alg: core.SHA1, ExecBudget: 1000, SharedMemoryState: true})
 	task := taskFor(core.SHA1, base, client, 2, iterseq.GrayCode)
 	task.Oracle = nil
-	res, err := b.Search(task)
+	res, err := b.Search(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestExecBudgetBoundary(t *testing.T) {
 	}
 	// With the oracle it must always find it.
 	task.Oracle = &client
-	res, err = b.Search(task)
+	res, err = b.Search(context.Background(), task)
 	if err != nil || !res.Found || !res.Seed.Equal(client) {
 		t.Fatalf("oracle-backed planned search failed: %+v (%v)", res, err)
 	}

@@ -66,6 +66,12 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// Valid reports whether m names an implemented iteration method.
+func (m Method) Valid() bool {
+	_, ok := methodNames[m]
+	return ok
+}
+
 // Methods lists all implemented methods in display order.
 func Methods() []Method {
 	return []Method{GrayCode, Alg515, Gosper, Mifsud154}

@@ -2,6 +2,9 @@ package netproto
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -11,6 +14,7 @@ import (
 	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/puf"
+	"rbcsalted/internal/sched"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -210,6 +214,242 @@ func TestGarbageConnection(t *testing.T) {
 	}
 	if len(payload) == 0 {
 		t.Error("empty error message")
+	}
+}
+
+// TestStatusMapping pins the sentinel-error to wire-status translation,
+// including errors wrapped deeper in the chain.
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Status
+	}{
+		{core.ErrUnknownClient, StatusUnknownClient},
+		{fmt.Errorf("core: handshake: client %q not enrolled: %w", "x", core.ErrUnknownClient), StatusUnknownClient},
+		{core.ErrNoSession, StatusNoSession},
+		{fmt.Errorf("%w for %q", core.ErrNoSession, "x"), StatusNoSession},
+		{core.ErrAlgMismatch, StatusAlgMismatch},
+		{sched.ErrOverloaded, StatusOverloaded},
+		{context.Canceled, StatusCancelled},
+		{context.DeadlineExceeded, StatusCancelled},
+		{errors.New("disk on fire"), StatusInternal},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestErrorCodecRoundTrip(t *testing.T) {
+	for _, s := range []Status{StatusInternal, StatusOverloaded, StatusCancelled} {
+		status, msg := DecodeError(EncodeError(s, "why"))
+		if status != s || msg != "why" {
+			t.Errorf("round trip of %v: got (%v, %q)", s, status, msg)
+		}
+	}
+	if status, msg := DecodeError(nil); status != StatusInternal || msg == "" {
+		t.Errorf("empty payload: got (%v, %q)", status, msg)
+	}
+}
+
+// TestServerErrorCarriesWireStatus runs a failing authentication over
+// real TCP and checks the client receives a typed *ServerError with the
+// right status, not just an opaque string.
+func TestServerErrorCarriesWireStatus(t *testing.T) {
+	server, client, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ghost := &core.Client{ID: "ghost", Device: client.Device}
+	_, err = Authenticate(conn, ghost, Latency{})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *ServerError, got %T: %v", err, err)
+	}
+	if se.Status != StatusUnknownClient {
+		t.Errorf("Status = %v, want %v", se.Status, StatusUnknownClient)
+	}
+}
+
+// TestServerReportsOverloaded puts a zero-capacity scheduler behind the
+// CA and expects the wire to carry StatusOverloaded once the pool is
+// saturated.
+func TestServerReportsOverloaded(t *testing.T) {
+	store, err := core.NewImageStore([32]byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scheduler whose single worker is wedged by a backend that blocks
+	// until its context is cancelled: every queued slot fills and the
+	// next search is shed.
+	release := make(chan struct{})
+	wedge := blockedBackend{release: release}
+	pool := sched.New(wedge, sched.Config{Workers: 1, QueueDepth: 1})
+	defer close(release)
+	defer pool.Close()
+	ca, err := core.NewCA(store, pool, &aeskg.Generator{}, core.NewRA(), core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := puf.NewDevice(300, 1024, puf.Profile{BaseError: 0.5 / 256.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := puf.Enroll(dev, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Enroll("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	server := &Server{CA: ca}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	// Saturate: worker + queue slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go pool.Search(ctx, core.Task{})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduler never saturated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	client := &core.Client{ID: "alice", Device: dev}
+	_, err = Authenticate(conn, client, Latency{})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *ServerError, got %T: %v", err, err)
+	}
+	if se.Status != StatusOverloaded {
+		t.Errorf("Status = %v, want %v", se.Status, StatusOverloaded)
+	}
+}
+
+// TestClientDisconnectCancelsSearch: a client that vanishes mid-search
+// must not keep burning the backend — the server's connection watchdog
+// cancels the per-connection context, which propagates into Search.
+func TestClientDisconnectCancelsSearch(t *testing.T) {
+	store, err := core.NewImageStore([32]byte{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	cancelled := make(chan struct{}, 1)
+	bk := watchedBackend{entered: entered, cancelled: cancelled}
+	ca, err := core.NewCA(store, bk, &aeskg.Generator{}, core.NewRA(), core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := puf.NewDevice(400, 1024, puf.Profile{BaseError: 0.5 / 256.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := puf.Enroll(dev, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Enroll("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	server := &Server{CA: ca}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the protocol up to the digest, by hand.
+	if err := WriteFrame(conn, MsgHello, EncodeHello(Hello{ClientID: "alice"})); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := ReadFrame(conn)
+	if err != nil || msgType != MsgChallenge {
+		t.Fatalf("expected challenge, got type %d (%v)", msgType, err)
+	}
+	wire, err := DecodeChallenge(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, MsgDigest, EncodeDigest(DigestMsg{
+		Nonce:  wire.Nonce,
+		Digest: make([]byte, 32),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("search never started")
+	}
+	// The client walks away mid-search.
+	conn.Close()
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("search not cancelled after client disconnect")
+	}
+}
+
+// watchedBackend reports when a search starts and when its context
+// fires.
+type watchedBackend struct{ entered, cancelled chan struct{} }
+
+func (b watchedBackend) Name() string { return "watched" }
+
+func (b watchedBackend) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	b.entered <- struct{}{}
+	<-ctx.Done()
+	b.cancelled <- struct{}{}
+	return core.Result{}, ctx.Err()
+}
+
+// blockedBackend parks every search until release closes or ctx fires.
+type blockedBackend struct{ release chan struct{} }
+
+func (b blockedBackend) Name() string { return "blocked" }
+
+func (b blockedBackend) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	select {
+	case <-b.release:
+		return core.Result{}, nil
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
 	}
 }
 

@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"rbcsalted/internal/core"
+	"rbcsalted/internal/sched"
 )
 
 // Latency injects the paper's modelled communication costs: the PUF USB
@@ -31,10 +33,19 @@ func (l Latency) CommSeconds() float64 {
 }
 
 // Server serves the RBC-SALTED protocol for one certificate authority.
+//
+// Each connection gets its own context, cancelled when the session ends,
+// and the server threads it into CA.Authenticate — so a backend search
+// (or a scheduler queue slot) is released as soon as its session is torn
+// down. Protocol failures carry a wire Status (see statusFor) instead of
+// opaque strings.
 type Server struct {
 	CA *core.CA
 	// IdleTimeout bounds each read; zero means 30 s.
 	IdleTimeout time.Duration
+	// BaseContext, when set, parents every per-connection context;
+	// cancelling it aborts all in-flight searches. Nil means Background.
+	BaseContext context.Context
 
 	mu sync.Mutex
 	ln net.Listener
@@ -74,28 +85,57 @@ func (s *Server) idle() time.Duration {
 	return 30 * time.Second
 }
 
+// statusFor maps the sentinel errors of core and sched to wire status
+// codes; anything unrecognised is StatusInternal.
+func statusFor(err error) Status {
+	switch {
+	case errors.Is(err, core.ErrUnknownClient):
+		return StatusUnknownClient
+	case errors.Is(err, core.ErrNoSession):
+		return StatusNoSession
+	case errors.Is(err, core.ErrAlgMismatch):
+		return StatusAlgMismatch
+	case errors.Is(err, sched.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return StatusCancelled
+	default:
+		return StatusInternal
+	}
+}
+
 // handle runs one authentication session over the connection.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	fail := func(msg string) {
-		_ = WriteFrame(conn, MsgError, []byte(msg))
+	base := s.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	fail := func(status Status, msg string) {
+		_ = WriteFrame(conn, MsgError, EncodeError(status, msg))
+	}
+	failErr := func(err error) {
+		fail(statusFor(err), err.Error())
 	}
 
 	conn.SetDeadline(time.Now().Add(s.idle()))
 	msgType, payload, err := ReadFrame(conn)
 	if err != nil || msgType != MsgHello {
-		fail("expected hello")
+		fail(StatusBadRequest, "expected hello")
 		return
 	}
 	hello, err := DecodeHello(payload)
 	if err != nil {
-		fail(err.Error())
+		fail(StatusBadRequest, err.Error())
 		return
 	}
 
 	ch, err := s.CA.BeginHandshake(core.ClientID(hello.ClientID))
 	if err != nil {
-		fail(err.Error())
+		failErr(err)
 		return
 	}
 	encoded, err := EncodeChallenge(Challenge{
@@ -104,7 +144,7 @@ func (s *Server) handle(conn net.Conn) {
 		AddressMap: ch.AddressMap,
 	})
 	if err != nil {
-		fail(err.Error())
+		failErr(err)
 		return
 	}
 	if err := WriteFrame(conn, MsgChallenge, encoded); err != nil {
@@ -114,23 +154,34 @@ func (s *Server) handle(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(s.idle()))
 	msgType, payload, err = ReadFrame(conn)
 	if err != nil || msgType != MsgDigest {
-		fail("expected digest")
+		fail(StatusBadRequest, "expected digest")
 		return
 	}
 	dm, err := DecodeDigest(payload)
 	if err != nil {
-		fail(err.Error())
+		fail(StatusBadRequest, err.Error())
 		return
 	}
 	digest, err := core.DigestFromBytes(ch.Alg, dm.Digest)
 	if err != nil {
-		fail(err.Error())
+		fail(StatusBadRequest, err.Error())
 		return
 	}
 
-	auth, err := s.CA.Authenticate(core.ClientID(hello.ClientID), dm.Nonce, digest)
+	// The client sends nothing between the digest and the result, so a
+	// read completing here — EOF, reset, or protocol-violating bytes —
+	// means the session is gone: cancel the search and release the
+	// worker slot instead of finishing work nobody will read.
+	conn.SetReadDeadline(time.Time{})
+	go func() {
+		var one [1]byte
+		conn.Read(one[:])
+		cancel()
+	}()
+
+	auth, err := s.CA.Authenticate(ctx, core.ClientID(hello.ClientID), dm.Nonce, digest)
 	if err != nil {
-		fail(err.Error())
+		failErr(err)
 		return
 	}
 	conn.SetDeadline(time.Now().Add(s.idle()))
@@ -143,7 +194,8 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // Authenticate runs the full client side of the protocol over conn:
-// hello, challenge, PUF read, digest, result.
+// hello, challenge, PUF read, digest, result. Server-reported failures
+// are returned as *ServerError carrying the wire Status.
 func Authenticate(conn net.Conn, client *core.Client, lat Latency) (Result, error) {
 	if err := WriteFrame(conn, MsgHello, EncodeHello(Hello{ClientID: string(client.ID)})); err != nil {
 		return Result{}, fmt.Errorf("netproto: hello: %w", err)
@@ -153,7 +205,8 @@ func Authenticate(conn net.Conn, client *core.Client, lat Latency) (Result, erro
 		return Result{}, fmt.Errorf("netproto: challenge: %w", err)
 	}
 	if msgType == MsgError {
-		return Result{}, fmt.Errorf("netproto: server: %s", payload)
+		status, msg := DecodeError(payload)
+		return Result{}, &ServerError{Status: status, Msg: msg}
 	}
 	if msgType != MsgChallenge {
 		return Result{}, fmt.Errorf("netproto: unexpected message type %d", msgType)
@@ -189,7 +242,8 @@ func Authenticate(conn net.Conn, client *core.Client, lat Latency) (Result, erro
 		return Result{}, fmt.Errorf("netproto: result: %w", err)
 	}
 	if msgType == MsgError {
-		return Result{}, fmt.Errorf("netproto: server: %s", payload)
+		status, msg := DecodeError(payload)
+		return Result{}, &ServerError{Status: status, Msg: msg}
 	}
 	if msgType != MsgResult {
 		return Result{}, fmt.Errorf("netproto: unexpected message type %d", msgType)

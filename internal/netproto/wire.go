@@ -26,6 +26,79 @@ const (
 	MsgError
 )
 
+// Status classifies a server-reported failure so clients can react
+// without parsing message strings: an overloaded server invites retry
+// with backoff, an unknown client does not. Wire format: the first byte
+// of a MsgError payload.
+type Status byte
+
+// Wire status codes, mapped from the core and sched sentinel errors.
+const (
+	// StatusInternal is an unclassified server-side failure.
+	StatusInternal Status = iota
+	// StatusBadRequest reports a malformed or out-of-order message.
+	StatusBadRequest
+	// StatusUnknownClient maps core.ErrUnknownClient.
+	StatusUnknownClient
+	// StatusNoSession maps core.ErrNoSession (including replayed
+	// challenges — they are single-use).
+	StatusNoSession
+	// StatusAlgMismatch maps core.ErrAlgMismatch.
+	StatusAlgMismatch
+	// StatusOverloaded maps sched.ErrOverloaded: admission control shed
+	// the search. Retry with backoff.
+	StatusOverloaded
+	// StatusCancelled reports a search stopped by context cancellation
+	// or deadline expiry on the server.
+	StatusCancelled
+)
+
+// String names the status for logs and error text.
+func (s Status) String() string {
+	switch s {
+	case StatusInternal:
+		return "internal"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusUnknownClient:
+		return "unknown-client"
+	case StatusNoSession:
+		return "no-session"
+	case StatusAlgMismatch:
+		return "alg-mismatch"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("status-%d", byte(s))
+	}
+}
+
+// EncodeError serializes a MsgError payload: status byte + message.
+func EncodeError(s Status, msg string) []byte {
+	return append([]byte{byte(s)}, msg...)
+}
+
+// DecodeError parses a MsgError payload.
+func DecodeError(p []byte) (Status, string) {
+	if len(p) == 0 {
+		return StatusInternal, "unspecified server error"
+	}
+	return Status(p[0]), string(p[1:])
+}
+
+// ServerError is the client-side view of a server-reported failure.
+type ServerError struct {
+	Status Status
+	Msg    string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("netproto: server [%s]: %s", e.Status, e.Msg)
+}
+
 // Frame limits: the largest legitimate message is a challenge
 // (256 x 2-byte cell addresses + header); anything bigger is an attack or
 // corruption.

@@ -1,0 +1,348 @@
+// Package sched is the multi-tenant authentication scheduler: a bounded
+// worker pool over a core.Backend with a FIFO admission queue, per-search
+// deadline enforcement and cooperative cancellation.
+//
+// The paper's engines maximise the throughput of ONE Hamming-ball search;
+// a serving CA needs many independent searches in flight without letting
+// an unbounded goroutine pile-up destroy the latency of all of them. The
+// Scheduler provides the admission control layer: at most Workers
+// searches run concurrently, at most QueueDepth wait in FIFO order, and
+// anything beyond that is rejected immediately with ErrOverloaded so the
+// caller can shed load instead of queueing without bound.
+//
+// Scheduler itself implements core.Backend, so it composes with
+// everything that takes one: a CA can authenticate through a scheduled
+// CPU engine, a scheduled cluster coordinator, or even a scheduler over
+// another scheduler (e.g. a small high-priority pool in front of a large
+// shared one).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbcsalted/internal/core"
+)
+
+// Sentinel errors. Both are returned unwrapped from Search's admission
+// path, so errors.Is works without unwrapping.
+var (
+	// ErrOverloaded reports that the admission queue was full: the search
+	// was rejected without queueing. Callers should shed load or retry
+	// with backoff; netproto maps it to StatusOverloaded on the wire.
+	ErrOverloaded = errors.New("sched: admission queue full")
+	// ErrClosed reports a Search submitted after Close.
+	ErrClosed = errors.New("sched: scheduler closed")
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultWorkers is the default concurrent-search limit. Each search
+	// fans out internally over the backend's own worker goroutines, so
+	// the pool is deliberately small.
+	DefaultWorkers = 4
+	// DefaultQueueDepth is the default admission-queue capacity.
+	DefaultQueueDepth = 64
+)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the number of searches run concurrently; 0 means
+	// DefaultWorkers.
+	Workers int
+	// QueueDepth is the admission-queue capacity; 0 means
+	// DefaultQueueDepth. Searches arriving with Workers busy and
+	// QueueDepth waiting are rejected with ErrOverloaded.
+	QueueDepth int
+	// DeadlineGrace pads the wall-clock deadline derived from a task's
+	// TimeLimit, leaving backends room to report a modelled timeout as a
+	// TimedOut Result before the hard context deadline cuts the search
+	// off. 0 means DefaultDeadlineGrace; negative disables the derived
+	// deadline entirely (the caller's ctx still applies).
+	DeadlineGrace time.Duration
+}
+
+// DefaultDeadlineGrace is the default slack between a task's TimeLimit
+// and the enforced wall-clock deadline.
+const DefaultDeadlineGrace = 500 * time.Millisecond
+
+// Outcome classifies how a scheduled search ended.
+type Outcome int
+
+// Outcomes, in Stats order.
+const (
+	// OutcomeCompleted: the backend returned a Result (found or not).
+	OutcomeCompleted Outcome = iota
+	// OutcomeTimedOut: the backend returned a Result with TimedOut set.
+	OutcomeTimedOut
+	// OutcomeCancelled: the search's context was cancelled or its
+	// deadline passed, before or during the search.
+	OutcomeCancelled
+	// OutcomeFailed: the backend returned a non-context error.
+	OutcomeFailed
+)
+
+// Stats is a point-in-time snapshot of a Scheduler's counters.
+type Stats struct {
+	// Submitted counts searches admitted to the queue. Rejected counts
+	// searches refused with ErrOverloaded (not included in Submitted).
+	Submitted uint64
+	Rejected  uint64
+	// Completed / TimedOut / Cancelled / Failed partition the searches
+	// that left the queue, by outcome.
+	Completed uint64
+	TimedOut  uint64
+	Cancelled uint64
+	Failed    uint64
+	// QueueWaitTotal / QueueWaitMax aggregate the time searches spent
+	// queued before a worker picked them up.
+	QueueWaitTotal time.Duration
+	QueueWaitMax   time.Duration
+	// ServiceTotal / ServiceMax aggregate backend search time.
+	ServiceTotal time.Duration
+	ServiceMax   time.Duration
+	// InFlight and Queued are current gauges.
+	InFlight int
+	Queued   int
+}
+
+// Served returns the number of searches that left the queue.
+func (s Stats) Served() uint64 {
+	return s.Completed + s.TimedOut + s.Cancelled + s.Failed
+}
+
+// AvgQueueWait returns the mean queue wait over served searches.
+func (s Stats) AvgQueueWait() time.Duration {
+	if n := s.Served(); n > 0 {
+		return s.QueueWaitTotal / time.Duration(n)
+	}
+	return 0
+}
+
+// AvgService returns the mean backend service time over served searches.
+func (s Stats) AvgService() time.Duration {
+	if n := s.Served(); n > 0 {
+		return s.ServiceTotal / time.Duration(n)
+	}
+	return 0
+}
+
+// job is one queued search and its reply slot.
+type job struct {
+	ctx      context.Context
+	task     core.Task
+	enqueued time.Time
+	started  atomic.Bool
+	res      core.Result
+	err      error
+	done     chan struct{}
+}
+
+// Scheduler is a bounded worker pool over a backend. It implements
+// core.Backend. The zero value is not usable; construct with New.
+type Scheduler struct {
+	backend core.Backend
+	cfg     Config
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed and the enqueue-vs-Close race
+	closed bool
+
+	statsMu  sync.Mutex
+	stats    Stats
+	inFlight int
+}
+
+// New starts a scheduler over backend with cfg's pool geometry (zero
+// fields take the documented defaults). The returned Scheduler is
+// serving immediately; call Close to stop it.
+func New(backend core.Backend, cfg Config) *Scheduler {
+	if backend == nil {
+		panic("sched: nil backend")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.DeadlineGrace == 0 {
+		cfg.DeadlineGrace = DefaultDeadlineGrace
+	}
+	s := &Scheduler{
+		backend: backend,
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Name implements core.Backend.
+func (s *Scheduler) Name() string {
+	return fmt.Sprintf("sched(%s, workers=%d, depth=%d)",
+		s.backend.Name(), s.cfg.Workers, s.cfg.QueueDepth)
+}
+
+// Search implements core.Backend: admit the task, wait for a worker to
+// serve it, and return the backend's Result.
+//
+// Admission is non-blocking: with Workers searches running and
+// QueueDepth queued, Search returns ErrOverloaded immediately. If ctx is
+// cancelled while the task is still queued, Search returns ctx.Err()
+// without waiting for a worker (the worker discards the stale job when
+// it reaches it).
+func (s *Scheduler) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{ctx: ctx, task: task, enqueued: time.Now(), done: make(chan struct{})}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return core.Result{}, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.statsMu.Lock()
+		s.stats.Rejected++
+		s.statsMu.Unlock()
+		return core.Result{}, ErrOverloaded
+	}
+	s.statsMu.Lock()
+	s.stats.Submitted++
+	s.statsMu.Unlock()
+
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		if j.started.Load() {
+			// In flight: cancellation propagates into the backend's shell
+			// loops, which stop within one CheckInterval; wait for the
+			// partial Result so its telemetry reaches the caller.
+			<-j.done
+			return j.res, j.err
+		}
+		// Still queued: the worker discards the stale job when it
+		// reaches it; the caller gets out immediately.
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.statsMu.Lock()
+	snap := s.stats
+	snap.InFlight = s.inFlight
+	s.statsMu.Unlock()
+	snap.Queued = len(s.queue)
+	return snap
+}
+
+// Close stops admission, serves every already-queued search to
+// completion, and waits for the workers to drain. Safe to call more
+// than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker serves queued jobs until the queue closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.serve(j)
+	}
+}
+
+// serve runs one job against the backend and records its accounting.
+func (s *Scheduler) serve(j *job) {
+	wait := time.Since(j.enqueued)
+
+	if j.ctx.Err() != nil {
+		// Cancelled while queued: don't touch the backend. started stays
+		// false so the submitter returns without waiting on done.
+		j.err = j.ctx.Err()
+		s.record(OutcomeCancelled, wait, 0)
+		close(j.done)
+		return
+	}
+	j.started.Store(true)
+
+	ctx := j.ctx
+	if j.task.TimeLimit > 0 && s.cfg.DeadlineGrace >= 0 {
+		// Wall-clock backstop for the task's authentication threshold:
+		// backends normally report a modelled timeout themselves as a
+		// TimedOut Result; the padded context deadline guarantees the
+		// worker slot is reclaimed even from a backend that does not.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.task.TimeLimit+s.cfg.DeadlineGrace)
+		defer cancel()
+	}
+
+	s.statsMu.Lock()
+	s.inFlight++
+	s.statsMu.Unlock()
+	started := time.Now()
+	res, err := s.backend.Search(ctx, j.task)
+	service := time.Since(started)
+	s.statsMu.Lock()
+	s.inFlight--
+	s.statsMu.Unlock()
+
+	outcome := OutcomeCompleted
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = OutcomeCancelled
+	case err != nil:
+		outcome = OutcomeFailed
+	case res.TimedOut:
+		outcome = OutcomeTimedOut
+	}
+	s.record(outcome, wait, service)
+
+	j.res, j.err = res, err
+	close(j.done)
+}
+
+// record folds one served search into the counters.
+func (s *Scheduler) record(o Outcome, wait, service time.Duration) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	switch o {
+	case OutcomeCompleted:
+		s.stats.Completed++
+	case OutcomeTimedOut:
+		s.stats.TimedOut++
+	case OutcomeCancelled:
+		s.stats.Cancelled++
+	case OutcomeFailed:
+		s.stats.Failed++
+	}
+	s.stats.QueueWaitTotal += wait
+	if wait > s.stats.QueueWaitMax {
+		s.stats.QueueWaitMax = wait
+	}
+	s.stats.ServiceTotal += service
+	if service > s.stats.ServiceMax {
+		s.stats.ServiceMax = service
+	}
+}

@@ -1,0 +1,337 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/u256"
+)
+
+// Scheduler must itself satisfy the Backend contract it schedules.
+var _ core.Backend = (*Scheduler)(nil)
+
+// blockingBackend parks every Search until released (or ctx cancels),
+// so tests can hold worker slots and fill the queue deterministically.
+type blockingBackend struct {
+	entered chan struct{} // one tick per Search that starts
+	release chan struct{} // closed to let all searches finish
+}
+
+func (b *blockingBackend) Name() string { return "blocking" }
+
+func (b *blockingBackend) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	if b.entered != nil {
+		b.entered <- struct{}{}
+	}
+	select {
+	case <-b.release:
+		return core.Result{Found: true, SeedsCovered: 1}, nil
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// TestConcurrentAuthenticationsThroughScheduler drives 32 goroutines,
+// each a distinct enrolled client, through one CA whose backend is a
+// 4-worker scheduler over the real CPU engine. Run with -race.
+func TestConcurrentAuthenticationsThroughScheduler(t *testing.T) {
+	store, err := core.NewImageStore([32]byte{0x5C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := core.NewRA()
+	s := New(&cpu.Backend{Alg: core.SHA3, Workers: 2}, Config{Workers: 4, QueueDepth: 64})
+	defer s.Close()
+	ca, err := core.NewCA(store, s, &aeskg.Generator{}, ra, core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 32
+	devices := make([]*puf.Device, clients)
+	// Low-noise devices: reads stay within a couple of bits of the
+	// enrolled image, so every search succeeds inside MaxDistance.
+	profile := puf.Profile{BaseError: 0.1 / 256.0}
+	for i := range devices {
+		dev, err := puf.NewDevice(uint64(7000+i), 1024, profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := puf.Enroll(dev, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ca.Enroll(core.ClientID(fmt.Sprintf("client-%d", i)), im); err != nil {
+			t.Fatal(err)
+		}
+		devices[i] = dev
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := core.ClientID(fmt.Sprintf("client-%d", i))
+			client := &core.Client{ID: id, Device: devices[i]}
+			ch, err := ca.BeginHandshake(id)
+			if err != nil {
+				errs <- fmt.Errorf("%s handshake: %w", id, err)
+				return
+			}
+			m1, err := client.Respond(ch)
+			if err != nil {
+				errs <- fmt.Errorf("%s respond: %w", id, err)
+				return
+			}
+			res, err := ca.Authenticate(context.Background(), id, ch.Nonce, m1)
+			if err != nil {
+				errs <- fmt.Errorf("%s authenticate: %w", id, err)
+				return
+			}
+			if !res.Authenticated {
+				errs <- fmt.Errorf("%s not authenticated", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if st.Submitted != clients {
+		t.Errorf("Submitted = %d, want %d", st.Submitted, clients)
+	}
+	if st.Completed != clients {
+		t.Errorf("Completed = %d, want %d (stats: %+v)", st.Completed, clients, st)
+	}
+	if st.Served() != clients {
+		t.Errorf("Served = %d, want %d", st.Served(), clients)
+	}
+	if st.ServiceTotal <= 0 {
+		t.Errorf("ServiceTotal = %v, want > 0", st.ServiceTotal)
+	}
+	// 32 searches over 4 workers: at least 28 had to queue.
+	if st.QueueWaitTotal <= 0 {
+		t.Errorf("QueueWaitTotal = %v, want > 0", st.QueueWaitTotal)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("gauges not drained: inflight=%d queued=%d", st.InFlight, st.Queued)
+	}
+}
+
+// TestQueueFullRejectsWithErrOverloaded fills all worker slots and the
+// whole queue, then expects the next submission to be rejected
+// immediately.
+func TestQueueFullRejectsWithErrOverloaded(t *testing.T) {
+	bk := &blockingBackend{
+		entered: make(chan struct{}, 8),
+		release: make(chan struct{}),
+	}
+	s := New(bk, Config{Workers: 2, QueueDepth: 2})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	results := make(chan error, 4)
+	submit := func() {
+		defer wg.Done()
+		_, err := s.Search(context.Background(), core.Task{})
+		results <- err
+	}
+	// Two searches occupy the workers...
+	wg.Add(2)
+	go submit()
+	go submit()
+	<-bk.entered
+	<-bk.entered
+	// ...two more fill the queue...
+	wg.Add(2)
+	go submit()
+	go submit()
+	waitFor(t, func() bool { return s.Stats().Queued == 2 })
+
+	// ...and the fifth must bounce without blocking.
+	start := time.Now()
+	_, err := s.Search(context.Background(), core.Task{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("rejection took %v, want immediate", d)
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+
+	close(bk.release)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Errorf("admitted search failed: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 4 {
+		t.Errorf("Completed = %d, want 4", st.Completed)
+	}
+}
+
+// TestCancelStopsExhaustiveCPUSearch proves a context cancel terminates
+// a long exhaustive search on the real CPU engine promptly: the partial
+// Result must cover strictly fewer seeds than the exhaustive total.
+func TestCancelStopsExhaustiveCPUSearch(t *testing.T) {
+	s := New(&cpu.Backend{Alg: core.SHA3, Workers: 2}, Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	// A target no candidate matches, so the search would cover the whole
+	// d<=3 ball (~2.8M seeds) if left alone.
+	base := u256.New(1, 2, 3, 4)
+	task := core.Task{
+		Base:          base,
+		Target:        core.HashSeed(core.SHA3, u256.New(5, 6, 7, 8).FlipBit(0).FlipBit(9).FlipBit(200)),
+		MaxDistance:   3,
+		Method:        iterseq.GrayCode,
+		Exhaustive:    true,
+		CheckInterval: 64,
+	}
+	total := uint64(1)
+	for d := 1; d <= 3; d++ {
+		n, _ := combin.Binomial64(256, d)
+		total += n
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := s.Search(ctx, task)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if res.SeedsCovered == 0 {
+		t.Error("cancelled search reported no coverage at all")
+	}
+	if res.SeedsCovered >= total {
+		t.Errorf("SeedsCovered = %d, want strictly below exhaustive total %d", res.SeedsCovered, total)
+	}
+	// Cancellation latency is one CheckInterval per worker, not the full
+	// multi-second exhaustive search.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancel took %v, want prompt stop", elapsed)
+	}
+	if got := s.Stats().Cancelled; got != 1 {
+		t.Errorf("Cancelled = %d, want 1", got)
+	}
+}
+
+// TestCancelWhileQueuedReturnsImmediately cancels a search that never
+// reached a worker.
+func TestCancelWhileQueuedReturnsImmediately(t *testing.T) {
+	bk := &blockingBackend{
+		entered: make(chan struct{}, 2),
+		release: make(chan struct{}),
+	}
+	s := New(bk, Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Search(context.Background(), core.Task{})
+	}()
+	<-bk.entered // worker busy
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	queuedErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := s.Search(ctx, core.Task{})
+		queuedErr <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+	cancel()
+
+	select {
+	case err := <-queuedErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("expected context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued search did not return after cancel")
+	}
+	close(bk.release)
+	wg.Wait()
+}
+
+// TestSchedulerClosedRejects verifies submissions after Close fail fast
+// and already-queued work still completes.
+func TestSchedulerClosedRejects(t *testing.T) {
+	bk := &blockingBackend{release: make(chan struct{})}
+	close(bk.release) // never block
+	s := New(bk, Config{Workers: 1, QueueDepth: 1})
+	if _, err := s.Search(context.Background(), core.Task{}); err != nil {
+		t.Fatalf("search before close: %v", err)
+	}
+	s.Close()
+	if _, err := s.Search(context.Background(), core.Task{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	// Close is idempotent.
+	s.Close()
+}
+
+// TestDerivedDeadlineReclaimsWorker verifies the TimeLimit-derived
+// context deadline frees the worker slot even when the backend ignores
+// its TimeLimit.
+func TestDerivedDeadlineReclaimsWorker(t *testing.T) {
+	bk := &blockingBackend{release: make(chan struct{})} // blocks forever unless ctx fires
+	s := New(bk, Config{Workers: 1, QueueDepth: 1, DeadlineGrace: time.Millisecond})
+	defer s.Close()
+
+	start := time.Now()
+	_, err := s.Search(context.Background(), core.Task{TimeLimit: 20 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadline enforcement took %v", d)
+	}
+	if got := s.Stats().Cancelled; got != 1 {
+		t.Errorf("Cancelled = %d, want 1", got)
+	}
+}
+
+// waitFor polls cond until true or a generous deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -22,7 +22,7 @@
 //	client := &rbc.Client{ID: "alice", Device: dev}
 //	ch, _ := ca.BeginHandshake("alice")
 //	m1, _ := client.Respond(ch)
-//	result, _ := ca.Authenticate("alice", ch.Nonce, m1)
+//	result, _ := ca.Authenticate(ctx, "alice", ch.Nonce, m1)
 //
 // # Search engines
 //
@@ -34,6 +34,26 @@
 //   - NewAPUBackend: a calibrated GSI Gemini associative-processor
 //     simulator (SALTED-APU) whose compute runs through a real bit-sliced
 //     gate-level engine.
+//
+// Every backend implements Search(ctx, task): cancelling ctx stops the
+// shell loops cooperatively and returns the partial Result with
+// ctx.Err().
+//
+// # Serving many clients
+//
+// NewScheduler wraps any Backend in a bounded worker pool with a FIFO
+// admission queue — the serving-side counterpart of the paper's
+// throughput work. The scheduler is itself a Backend, so a CA (or a
+// netproto.Server) plugs it in unchanged:
+//
+//	s := rbc.NewScheduler(&rbc.CPUBackend{Alg: rbc.SHA3},
+//		rbc.SchedulerConfig{Workers: 4, QueueDepth: 64})
+//	defer s.Close()
+//	ca, _ := rbc.NewCA(store, s, &rbc.AESKeyGenerator{}, rbc.NewRA(), rbc.CAConfig{})
+//
+// When the queue is full, Search fails fast with ErrOverloaded (wire
+// status "overloaded"), and s.Stats() reports queue-wait and
+// service-time counters.
 //
 // See DESIGN.md for the modelling and calibration methodology and
 // EXPERIMENTS.md for the paper-versus-reproduction numbers.
@@ -52,6 +72,7 @@ import (
 	"rbcsalted/internal/iterseq"
 	"rbcsalted/internal/netproto"
 	"rbcsalted/internal/puf"
+	"rbcsalted/internal/sched"
 	"rbcsalted/internal/u256"
 )
 
@@ -98,6 +119,44 @@ const (
 	SHA1 = core.SHA1
 	SHA3 = core.SHA3
 )
+
+// Sentinel errors, for classification with errors.Is. netproto maps each
+// to a distinct wire status code.
+var (
+	// ErrUnknownClient: no PUF image enrolled for the client ID.
+	ErrUnknownClient = core.ErrUnknownClient
+	// ErrNoSession: no open handshake for the (client, nonce) pair;
+	// challenges are strictly single-use.
+	ErrNoSession = core.ErrNoSession
+	// ErrAlgMismatch: client digest algorithm differs from CA policy.
+	ErrAlgMismatch = core.ErrAlgMismatch
+	// ErrBadConfig: CAConfig.Validate rejected the configuration.
+	ErrBadConfig = core.ErrBadConfig
+	// ErrOverloaded: the scheduler's admission queue was full.
+	ErrOverloaded = sched.ErrOverloaded
+	// ErrSchedulerClosed: Search after Scheduler.Close.
+	ErrSchedulerClosed = sched.ErrClosed
+)
+
+// Authentication scheduler: a bounded worker pool over any Backend.
+type (
+	// Scheduler is the multi-tenant admission-controlled search pool; it
+	// implements Backend itself, so it composes with CA and Server.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig sizes the pool (Workers) and its FIFO admission
+	// queue (QueueDepth).
+	SchedulerConfig = sched.Config
+	// SchedulerStats is a snapshot of the scheduler's queue-wait,
+	// service-time and outcome counters.
+	SchedulerStats = sched.Stats
+)
+
+// NewScheduler starts a scheduler over backend. Zero config fields take
+// the sched package defaults (4 workers, depth 64). Call Close to stop
+// the pool.
+func NewScheduler(backend Backend, cfg SchedulerConfig) *Scheduler {
+	return sched.New(backend, cfg)
+}
 
 // IterMethod selects a seed-iteration algorithm (paper §3.2.1).
 type IterMethod = iterseq.Method
@@ -203,6 +262,21 @@ type (
 	Latency = netproto.Latency
 	// WireResult is the server's verdict as received by the client.
 	WireResult = netproto.Result
+	// WireStatus classifies server-reported failures on the wire.
+	WireStatus = netproto.Status
+	// ServerError is the client-side error carrying a WireStatus.
+	ServerError = netproto.ServerError
+)
+
+// Wire status codes (the first byte of an error frame).
+const (
+	StatusInternal      = netproto.StatusInternal
+	StatusBadRequest    = netproto.StatusBadRequest
+	StatusUnknownClient = netproto.StatusUnknownClient
+	StatusNoSession     = netproto.StatusNoSession
+	StatusAlgMismatch   = netproto.StatusAlgMismatch
+	StatusOverloaded    = netproto.StatusOverloaded
+	StatusCancelled     = netproto.StatusCancelled
 )
 
 // PaperLatency reproduces the paper's 0.90 s communication constant.

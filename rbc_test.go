@@ -4,6 +4,7 @@ package rbc
 // user would: full protocol flows across all three search engines.
 
 import (
+	"context"
 	"net"
 	"testing"
 )
@@ -42,7 +43,7 @@ func TestPublicAPIProtocolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate("alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestPublicAPIBackendsAgree(t *testing.T) {
 		NewAPUBackend(APUConfig{Alg: SHA3}),
 	}
 	for _, b := range backends {
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
@@ -166,7 +167,7 @@ func TestShellStatsConsistent(t *testing.T) {
 		NewAPUBackend(APUConfig{Alg: SHA3}),
 	}
 	for _, b := range backends {
-		res, err := b.Search(task)
+		res, err := b.Search(context.Background(), task)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
