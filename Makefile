@@ -1,11 +1,13 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race fuzz bench
 
-# check is the CI gate: compile everything, vet, then run the full test
-# suite with the race detector (the scheduler and backend-cancellation
-# tests are concurrency tests and only count when raced).
-check: build vet race
+# check is the CI gate: compile everything, vet, run the full test suite
+# with the race detector (the scheduler and backend-cancellation tests
+# are concurrency tests and only count when raced), then smoke the wire
+# fuzz targets.
+check: build vet race fuzz
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz smokes the netproto frame and error-payload fuzzers for FUZZTIME
+# each; -run='^$$' skips the unit tests so only fuzzing runs.
+fuzz:
+	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzDecodeError -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -8,9 +8,16 @@
 // searches, -sched-queue waiting) so a burst of clients degrades into
 // fast "overloaded" rejections instead of an unbounded goroutine pile-up.
 //
+// With -debug-addr set, a second listener serves operational endpoints:
+// /metrics (counters, latency histograms and live scheduler stats as
+// JSON), /trace (the most recent search trace events), /healthz, and
+// /debug/pprof. Keep it on loopback or a management network — it is
+// unauthenticated.
+//
 // Usage:
 //
-//	rbc-server -listen :7443 -clients alice,bob -maxd 3 -sched-workers 4
+//	rbc-server -listen :7443 -clients alice,bob -maxd 3 -sched-workers 4 \
+//	    -debug-addr 127.0.0.1:7444
 package main
 
 import (
@@ -27,12 +34,125 @@ import (
 	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/netproto"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/sched"
 )
 
+// options collects everything main reads from flags, so tests can build
+// the same stack without a command line.
+type options struct {
+	clients      []string
+	enrollSeed   uint64
+	maxD         int
+	timeLimit    time.Duration
+	workers      int
+	schedWorkers int
+	schedQueue   int
+	store        *core.ImageStore // nil = self-enroll demo store
+	traceDepth   int
+	// profile overrides the PUF noise profile for self-enrolled demo
+	// clients; nil means puf.DefaultProfile. Tests use a low-noise
+	// profile so authentication outcomes are deterministic.
+	profile *puf.Profile
+}
+
+// stack is the assembled serving path: scheduler-fronted backend, CA,
+// protocol server, and the observability plumbing that spans them.
+type stack struct {
+	CA     *core.CA
+	Pool   *sched.Scheduler
+	Server *netproto.Server
+	Reg    *obs.Registry
+	Ring   *obs.Ring
+}
+
+// buildStack wires the serving path. Every layer shares one registry and
+// one trace ring: the scheduler records queue/service histograms and
+// emits lifecycle events, backends emit per-shell search events through
+// the Task hook, and the protocol server counts connections and
+// statuses. Close the returned stack's Pool when done.
+func buildStack(opts options) (*stack, error) {
+	store := opts.store
+	if store == nil {
+		var err error
+		store, err = core.NewImageStore([32]byte{0x52, 0x42, 0x43}) // demo master key
+		if err != nil {
+			return nil, err
+		}
+	}
+	reg := obs.NewRegistry()
+	depth := opts.traceDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	ring := obs.NewRing(depth)
+
+	ra := core.NewRA()
+	engine := &cpu.Backend{Alg: core.SHA3, Workers: opts.workers}
+	pool := sched.New(engine, sched.Config{
+		Workers:    opts.schedWorkers,
+		QueueDepth: opts.schedQueue,
+		Trace:      ring,
+		Metrics:    reg,
+	})
+	ca, err := core.NewCA(store, pool, &aeskg.Generator{}, ra, core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: opts.maxD,
+		TimeLimit:   opts.timeLimit,
+		Trace:       ring,
+	})
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+
+	profile := puf.DefaultProfile
+	if opts.profile != nil {
+		profile = *opts.profile
+	}
+	for i, id := range opts.clients {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		devSeed := opts.enrollSeed + uint64(i)
+		dev, err := puf.NewDevice(devSeed, 1024, profile)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		im, err := puf.Enroll(dev, 31)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		if err := ca.Enroll(core.ClientID(id), im); err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+
+	// Live scheduler stats ride along in every /metrics snapshot, so the
+	// debug endpoint always agrees with sched.Stats().
+	reg.Func("sched", func() any { return pool.Stats() })
+
+	server := &netproto.Server{
+		CA:      ca,
+		Metrics: netproto.NewMetrics(reg),
+	}
+	return &stack{CA: ca, Pool: pool, Server: server, Reg: reg, Ring: ring}, nil
+}
+
+// DebugListener starts the stack's debug HTTP listener (the -debug-addr
+// surface) and returns it; close it to stop serving.
+func (s *stack) DebugListener(addr string) (net.Listener, error) {
+	return obs.Serve(addr, s.Reg, s.Ring)
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7443", "listen address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
 	clients := flag.String("clients", "alice,bob", "comma-separated client ids to enroll")
 	enrollSeed := flag.Uint64("enrollseed", 42, "deterministic enrollment seed base")
 	maxD := flag.Int("maxd", 3, "maximum Hamming distance searched")
@@ -40,57 +160,53 @@ func main() {
 	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS)")
 	schedWorkers := flag.Int("sched-workers", sched.DefaultWorkers, "concurrent searches admitted by the scheduler")
 	schedQueue := flag.Int("sched-queue", sched.DefaultQueueDepth, "scheduler admission-queue depth")
+	traceDepth := flag.Int("trace-depth", 1024, "trace ring capacity (events kept for /trace)")
 	storePath := flag.String("store", "", "load an rbc-enroll image store instead of self-enrolling")
 	keyHex := flag.String("key", strings.Repeat("00", 32), "master key for -store (64 hex chars)")
 	flag.Parse()
 
-	var store *core.ImageStore
-	var err error
+	opts := options{
+		clients:      strings.Split(*clients, ","),
+		enrollSeed:   *enrollSeed,
+		maxD:         *maxD,
+		timeLimit:    *timeLimit,
+		workers:      *workers,
+		schedWorkers: *schedWorkers,
+		schedQueue:   *schedQueue,
+		traceDepth:   *traceDepth,
+	}
 	if *storePath != "" {
-		store, err = loadStore(*storePath, *keyHex)
+		store, err := loadStore(*storePath, *keyHex)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("loaded %s: %d enrolled client(s)\n", *storePath, store.Len())
-		*clients = "" // images come from the store
-	} else {
-		store, err = core.NewImageStore([32]byte{0x52, 0x42, 0x43}) // demo master key
-		if err != nil {
-			log.Fatal(err)
-		}
+		opts.store = store
+		opts.clients = nil // images come from the store
 	}
-	ra := core.NewRA()
-	engine := &cpu.Backend{Alg: core.SHA3, Workers: *workers}
-	backend := sched.New(engine, sched.Config{Workers: *schedWorkers, QueueDepth: *schedQueue})
-	defer backend.Close()
-	ca, err := core.NewCA(store, backend, &aeskg.Generator{}, ra, core.CAConfig{
-		Alg:         core.SHA3,
-		MaxDistance: *maxD,
-		TimeLimit:   *timeLimit,
-	})
+
+	st, err := buildStack(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	for i, id := range strings.Split(*clients, ",") {
+	defer st.Pool.Close()
+	for i, id := range opts.clients {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
-		devSeed := *enrollSeed + uint64(i)
-		dev, err := puf.NewDevice(devSeed, 1024, puf.DefaultProfile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		im, err := puf.Enroll(dev, 31)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := ca.Enroll(core.ClientID(id), im); err != nil {
-			log.Fatal(err)
-		}
+		devSeed := opts.enrollSeed + uint64(i)
 		fmt.Printf("enrolled %q (device seed %d; run: rbc-client -id %s -devseed %d)\n",
 			id, devSeed, id, devSeed)
+	}
+
+	if *debugAddr != "" {
+		dln, err := st.DebugListener(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dln.Close()
+		fmt.Printf("rbc-server: debug endpoints on http://%s/metrics\n", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -98,9 +214,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("rbc-server: CA listening on %s (backend %s, d<=%d, T=%s)\n",
-		ln.Addr(), backend.Name(), *maxD, *timeLimit)
-	srv := &netproto.Server{CA: ca}
-	if err := srv.Serve(ln); err != nil {
+		ln.Addr(), st.Pool.Name(), *maxD, *timeLimit)
+	if err := st.Server.Serve(ln); err != nil {
 		log.Fatal(err)
 	}
 }

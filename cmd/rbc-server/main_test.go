@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/netproto"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/sched"
+)
+
+// quietProfile keeps PUF reads within a couple of bits of the enrolled
+// image, so every authentication in the burst lands inside MaxDistance
+// and the expected counter values are deterministic.
+var quietProfile = puf.Profile{BaseError: 0.1 / 256.0}
+
+func testStack(t *testing.T) *stack {
+	t.Helper()
+	st, err := buildStack(options{
+		clients:      []string{"c0", "c1", "c2", "c3", "c4", "c5"},
+		enrollSeed:   42,
+		maxD:         3,
+		timeLimit:    20 * time.Second,
+		workers:      2,
+		schedWorkers: 2,
+		schedQueue:   16,
+		traceDepth:   256,
+		profile:      &quietProfile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Pool.Close)
+	return st
+}
+
+// TestDebugEndpointMatchesSchedulerStats is the acceptance test for the
+// observability wiring: run a scripted burst of authentications against
+// a full rbc-server stack, then fetch /metrics from the debug listener
+// and require its search/queue counters to agree exactly with
+// sched.Stats().
+func TestDebugEndpointMatchesSchedulerStats(t *testing.T) {
+	st := testStack(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Server.Serve(ln)
+	defer st.Server.Close()
+
+	dln, err := st.DebugListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dln.Close()
+
+	// Scripted burst: 6 genuine sessions (distinct clients — each CA
+	// session is single-use per client — wider than the 2 scheduler
+	// workers so some searches queue) plus one unknown client that is
+	// rejected before any search.
+	const good = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, good)
+	for i := 0; i < good; i++ {
+		id, devSeed := fmt.Sprintf("c%d", i), 42+uint64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev, err := puf.NewDevice(devSeed, 1024, quietProfile)
+			if err != nil {
+				errs <- err
+				return
+			}
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			res, err := netproto.Authenticate(conn, &core.Client{ID: core.ClientID(id), Device: dev}, netproto.Latency{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Authenticated {
+				errs <- fmt.Errorf("%s: not authenticated", id)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = netproto.Authenticate(conn, &core.Client{ID: "ghost"}, netproto.Latency{})
+	conn.Close()
+	var se *netproto.ServerError
+	if !errors.As(err, &se) || se.Status != netproto.StatusUnknownClient {
+		t.Fatalf("ghost session: %v", err)
+	}
+
+	// Let the connection handlers finish tearing down, then snapshot.
+	waitFor(t, func() bool {
+		snap := st.Reg.Snapshot()
+		stats := st.Pool.Stats()
+		return snap["netproto.conns_active"] == int64(0) &&
+			stats.InFlight == 0 && stats.Queued == 0
+	})
+
+	var metrics struct {
+		Sched         sched.Stats `json:"sched"`
+		ConnsAccepted uint64      `json:"netproto.conns_accepted"`
+		AuthOK        uint64      `json:"netproto.auth_ok"`
+		ErrUnknown    uint64      `json:"netproto.errors.unknown-client"`
+		QueueWait     struct {
+			Count uint64 `json:"count"`
+		} `json:"sched.queue_wait_seconds"`
+	}
+	body := httpGet(t, "http://"+dln.Addr().String()+"/metrics")
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("decode /metrics: %v\n%s", err, body)
+	}
+
+	stats := st.Pool.Stats()
+	if metrics.Sched != stats {
+		t.Errorf("/metrics sched section diverges from Stats():\n  /metrics: %+v\n  Stats():  %+v", metrics.Sched, stats)
+	}
+	if stats.Submitted != good || stats.Completed != good {
+		t.Errorf("scheduler saw %d submitted / %d completed, want %d", stats.Submitted, stats.Completed, good)
+	}
+	if metrics.ConnsAccepted != good+1 {
+		t.Errorf("conns_accepted = %d, want %d", metrics.ConnsAccepted, good+1)
+	}
+	if metrics.AuthOK != good {
+		t.Errorf("auth_ok = %d, want %d", metrics.AuthOK, good)
+	}
+	if metrics.ErrUnknown != 1 {
+		t.Errorf("errors.unknown-client = %d, want 1", metrics.ErrUnknown)
+	}
+	if metrics.QueueWait.Count != good {
+		t.Errorf("queue-wait histogram count = %d, want %d", metrics.QueueWait.Count, good)
+	}
+
+	// The flight recorder saw the burst too: every admitted search leaves
+	// enqueue/dequeue/done plus backend start/end events.
+	events := st.Ring.Snapshot()
+	if len(events) == 0 {
+		t.Fatal("trace ring is empty after the burst")
+	}
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"sched.enqueue", "sched.dequeue", "sched.done", "search.start", "search.end"} {
+		if kinds[k] != good {
+			t.Errorf("trace ring has %d %q events, want %d", kinds[k], k, good)
+		}
+	}
+
+	// The debug mux also answers /healthz and /trace.
+	if got := string(httpGet(t, "http://"+dln.Addr().String()+"/healthz")); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+	var trace struct {
+		Total  uint64            `json:"total"`
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(httpGet(t, "http://"+dln.Addr().String()+"/trace"), &trace); err != nil {
+		t.Fatalf("decode /trace: %v", err)
+	}
+	if int(trace.Total) != len(events) || len(trace.Events) != len(events) {
+		t.Errorf("/trace reports %d/%d events, ring has %d", trace.Total, len(trace.Events), len(events))
+	}
+}
+
+// TestBuildStackRejectsBadStore exercises the constructor error path.
+func TestBuildStackUnknownClientSkipsBlankIDs(t *testing.T) {
+	st, err := buildStack(options{
+		clients:      []string{" ", "", "carol"},
+		enrollSeed:   7,
+		maxD:         1,
+		timeLimit:    time.Second,
+		schedWorkers: 1,
+		schedQueue:   1,
+		profile:      &quietProfile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Pool.Close()
+	if _, err := st.CA.BeginHandshake("carol"); err != nil {
+		t.Errorf("carol not enrolled: %v", err)
+	}
+	if _, err := st.CA.BeginHandshake(""); !errors.Is(err, core.ErrUnknownClient) {
+		t.Errorf("blank id enrolled: %v", err)
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

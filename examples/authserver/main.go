@@ -4,8 +4,11 @@
 // deliberately noise-injected session.
 //
 // The CA searches through rbc.NewScheduler, the bounded admission pool a
-// serving deployment would use; the run ends with its queue-wait and
-// service-time statistics.
+// serving deployment would use, and the whole stack is instrumented the
+// way rbc-server's -debug-addr surface is: a metrics registry shared by
+// the scheduler and the protocol server, plus a trace ring recording
+// each search's lifecycle. The run ends with the scheduler statistics,
+// the netproto counters, and the recorded trace of the impostor search.
 package main
 
 import (
@@ -34,11 +37,17 @@ func main() {
 	// The scheduler bounds concurrent searches (it is itself a Backend);
 	// beyond Workers running and QueueDepth waiting, authentications are
 	// shed with rbc.ErrOverloaded -> wire status "overloaded".
+	// One registry and one trace ring observe the whole serving path:
+	// the scheduler records queue/service histograms and lifecycle
+	// events, the backend adds per-shell search events, the protocol
+	// server counts connections and statuses.
+	reg := rbc.NewMetricsRegistry()
+	ring := rbc.NewTraceRing(256)
 	pool := rbc.NewScheduler(&rbc.CPUBackend{Alg: rbc.SHA3},
-		rbc.SchedulerConfig{Workers: 2, QueueDepth: 8})
+		rbc.SchedulerConfig{Workers: 2, QueueDepth: 8, Trace: ring, Metrics: reg})
 	defer pool.Close()
 	ca, err := rbc.NewCA(store, pool, &rbc.AESKeyGenerator{},
-		rbc.NewRA(), rbc.CAConfig{MaxDistance: 2})
+		rbc.NewRA(), rbc.CAConfig{MaxDistance: 2, Trace: ring})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := &rbc.Server{CA: ca}
+	server := &rbc.Server{CA: ca, Metrics: rbc.NewNetMetrics(reg)}
 	go server.Serve(ln)
 	defer server.Close()
 	fmt.Printf("CA listening on %s\n", ln.Addr())
@@ -90,4 +99,21 @@ func main() {
 		st.Submitted, st.Completed, st.Rejected)
 	fmt.Printf("           avg queue wait %s, avg service %s (max %s)\n",
 		st.AvgQueueWait(), st.AvgService(), st.ServiceMax)
+
+	snap := reg.Snapshot()
+	fmt.Printf("netproto:  %v conns, %v ok, %v denied\n",
+		snap["netproto.conns_accepted"], snap["netproto.auth_ok"], snap["netproto.auth_denied"])
+
+	// The trace ring is the flight recorder rbc-server serves at /trace.
+	// Replay the impostor's search: its exhausted shells are all there.
+	events := ring.Snapshot()
+	last := events[len(events)-1].Search
+	fmt.Println("\ntrace of the impostor search:")
+	for _, ev := range events {
+		if ev.Search != last {
+			continue
+		}
+		fmt.Printf("  %-13s backend=%q detail=%q d=%d n=%d\n",
+			ev.Kind, ev.Backend, ev.Detail, ev.Depth, ev.N)
+	}
 }

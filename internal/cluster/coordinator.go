@@ -173,6 +173,13 @@ func (c *Coordinator) Name() string {
 // message, so the whole fleet stops within one ChunkSeeds slice; the
 // partial Result is returned with ctx.Err().
 func (c *Coordinator) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	core.TraceSearchStart(task, c.Name())
+	res, err := c.search(ctx, task)
+	core.TraceSearchEnd(task, c.Name(), res, err)
+	return res, err
+}
+
+func (c *Coordinator) search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("cluster: MaxDistance %d outside supported range", task.MaxDistance)
 	}
@@ -203,11 +210,13 @@ func (c *Coordinator) Search(ctx context.Context, task core.Task) (core.Result, 
 		}
 		shellStart := time.Now()
 		found, seed, covered, err := c.searchShell(ctx, task, d)
-		res.Shells = append(res.Shells, core.ShellStat{
+		st := core.ShellStat{
 			Distance:      d,
 			SeedsCovered:  covered,
 			DeviceSeconds: time.Since(shellStart).Seconds(),
-		})
+		}
+		res.Shells = append(res.Shells, st)
+		core.TraceShell(task, c.Name(), st)
 		res.SeedsCovered += covered
 		res.HashesExecuted += covered
 		if found && !res.Found {

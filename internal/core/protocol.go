@@ -9,6 +9,7 @@ import (
 
 	"rbcsalted/internal/cryptoalg"
 	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/u256"
 )
@@ -110,6 +111,11 @@ type CAConfig struct {
 	TAPKIThreshold float64
 	// SaltRotation is the shared salt (default DefaultSaltRotation).
 	SaltRotation int
+	// Trace, when non-nil, is attached to every search Task the CA
+	// submits, so the scheduler and backend emit per-search trace events
+	// for served authentications (see internal/obs). Nil disables
+	// tracing.
+	Trace obs.TraceSink
 }
 
 // Validate reports configuration errors that would otherwise only
@@ -287,6 +293,7 @@ func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Di
 		MaxDistance: ca.cfg.MaxDistance,
 		Method:      ca.cfg.Method,
 		TimeLimit:   ca.cfg.TimeLimit,
+		Trace:       ca.cfg.Trace,
 	})
 	if err != nil {
 		return AuthResult{Search: res}, err

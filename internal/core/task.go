@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/u256"
 )
 
@@ -36,6 +37,15 @@ type Task struct {
 	// Backends must verify (by hashing) any match the oracle suggests,
 	// and must never report a match that hashing does not confirm.
 	Oracle *u256.Uint256
+	// Trace, when non-nil, receives this search's trace events: the
+	// scheduler's queue transitions plus every backend's start/end and
+	// per-shell progress (see the Trace* helpers). Nil disables tracing
+	// at near-zero cost.
+	Trace obs.TraceSink
+	// TraceID correlates this search's trace events. The scheduler
+	// stamps a unique ID onto tasks that arrive without one; direct
+	// backend callers may set their own.
+	TraceID uint64
 }
 
 // Result reports the outcome and cost of one RBC search.

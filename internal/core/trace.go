@@ -1,0 +1,63 @@
+package core
+
+import (
+	"time"
+
+	"rbcsalted/internal/obs"
+)
+
+// Canonical trace-event constructors: every backend emits the same event
+// shapes, so one consumer (the debug listener's /trace, a test, a log
+// forwarder) reads all four engines identically. All helpers are no-ops
+// when the task carries no sink.
+
+// TraceSearchStart reports that backend began executing the task.
+// Depth carries the search bound (MaxDistance).
+func TraceSearchStart(t Task, backend string) {
+	obs.Emit(t.Trace, obs.TraceEvent{
+		Kind:    obs.KindSearchStart,
+		Search:  t.TraceID,
+		Backend: backend,
+		Depth:   t.MaxDistance,
+	})
+}
+
+// TraceShell reports one finished Hamming shell: the distance, the seeds
+// the shell accounted for, and its modelled (or measured) device time.
+func TraceShell(t Task, backend string, st ShellStat) {
+	obs.Emit(t.Trace, obs.TraceEvent{
+		Kind:    obs.KindShell,
+		Search:  t.TraceID,
+		Backend: backend,
+		Depth:   st.Distance,
+		N:       st.SeedsCovered,
+		Dur:     time.Duration(st.DeviceSeconds * float64(time.Second)),
+	})
+}
+
+// TraceSearchEnd reports the search outcome: Detail is one of "found",
+// "not-found" or "timed-out"; Depth is the early-exit distance when
+// found; N counts the digests actually computed on the host; Dur is the
+// host wall time; Err carries the error (cancellation included).
+func TraceSearchEnd(t Task, backend string, res Result, err error) {
+	ev := obs.TraceEvent{
+		Kind:    obs.KindSearchEnd,
+		Search:  t.TraceID,
+		Backend: backend,
+		N:       res.HashesExecuted,
+		Dur:     time.Duration(res.WallSeconds * float64(time.Second)),
+	}
+	switch {
+	case res.Found:
+		ev.Detail = "found"
+		ev.Depth = res.Distance
+	case res.TimedOut:
+		ev.Detail = "timed-out"
+	default:
+		ev.Detail = "not-found"
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	obs.Emit(t.Trace, ev)
+}

@@ -45,6 +45,13 @@ func (b *Backend) workers() int {
 // Cancellation is polled in the shell loops every CheckInterval seeds;
 // on cancellation the partial Result is returned with ctx.Err().
 func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	core.TraceSearchStart(task, b.Name())
+	res, err := b.search(ctx, task)
+	core.TraceSearchEnd(task, b.Name(), res, err)
+	return res, err
+}
+
+func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("cpu: MaxDistance %d outside supported range", task.MaxDistance)
 	}
@@ -81,11 +88,13 @@ func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, erro
 		found, seed, covered, timedOut, err := core.SearchShellHost(
 			ctx, task.Base, d, task.Method, b.workers(), task.CheckInterval,
 			task.Exhaustive, deadline, match)
-		res.Shells = append(res.Shells, core.ShellStat{
+		st := core.ShellStat{
 			Distance:      d,
 			SeedsCovered:  covered,
 			DeviceSeconds: time.Since(shellStart).Seconds(),
-		})
+		}
+		res.Shells = append(res.Shells, st)
+		core.TraceShell(task, b.Name(), st)
 		res.SeedsCovered += covered
 		res.HashesExecuted += covered
 		if found && !res.Found {

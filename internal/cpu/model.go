@@ -85,6 +85,13 @@ func (m *ModelBackend) perSeedSeconds(method iterseq.Method) float64 {
 // spends no meaningful host time per shell, so cancellation is checked
 // between shells — the finest granularity the model distinguishes.
 func (m *ModelBackend) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	core.TraceSearchStart(task, m.Name())
+	res, err := m.search(ctx, task)
+	core.TraceSearchEnd(task, m.Name(), res, err)
+	return res, err
+}
+
+func (m *ModelBackend) search(ctx context.Context, task core.Task) (core.Result, error) {
 	workers := m.workers()
 	plans, err := core.PlanShells(task, workers)
 	if err != nil {
@@ -123,11 +130,13 @@ func (m *ModelBackend) Search(ctx context.Context, task core.Task) (core.Result,
 			}
 			deviceSeconds += shellSeconds
 			res.SeedsCovered += shellCovered
-			res.Shells = append(res.Shells, core.ShellStat{
+			st := core.ShellStat{
 				Distance:      p.Distance,
 				SeedsCovered:  shellCovered,
 				DeviceSeconds: shellSeconds,
-			})
+			}
+			res.Shells = append(res.Shells, st)
+			core.TraceShell(task, m.Name(), st)
 			if p.HasMatch && !res.Found {
 				// Verify the oracle's claim by hashing the candidate.
 				res.HashesExecuted++

@@ -88,6 +88,13 @@ func (b *Backend) powerModel() (device.PowerModel, float64) {
 // execution and poll ctx every CheckInterval seeds; analytically planned
 // shells check ctx at shell boundaries (the modelled kernel launches).
 func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	core.TraceSearchStart(task, b.Name())
+	res, err := b.search(ctx, task)
+	core.TraceSearchEnd(task, b.Name(), res, err)
+	return res, err
+}
+
+func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return core.Result{}, fmt.Errorf("gpusim: MaxDistance %d outside supported range", task.MaxDistance)
 	}
@@ -129,11 +136,13 @@ func (b *Backend) Search(ctx context.Context, task core.Task) (core.Result, erro
 				}
 				return core.Result{}, err
 			}
-			res.Shells = append(res.Shells, core.ShellStat{
+			st := core.ShellStat{
 				Distance:      d,
 				SeedsCovered:  res.SeedsCovered - coveredBefore,
 				DeviceSeconds: clock.Seconds() - before,
-			})
+			}
+			res.Shells = append(res.Shells, st)
+			core.TraceShell(task, b.Name(), st)
 			if done {
 				break
 			}

@@ -51,6 +51,31 @@ func FuzzDecodeChallenge(f *testing.F) {
 	})
 }
 
+// FuzzDecodeError: any payload decodes to some status + message, and
+// encoding that pair back always yields a frame WriteFrame accepts —
+// the status byte can never be lost to an oversized message.
+func FuzzDecodeError(f *testing.F) {
+	f.Add(EncodeError(StatusOverloaded, "queue full"))
+	f.Add([]byte{})
+	f.Add([]byte{byte(StatusCancelled)})
+	f.Add(bytes.Repeat([]byte{0xFF}, maxFrame))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		status, msg := DecodeError(data)
+		re := EncodeError(status, msg)
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, MsgError, re); err != nil {
+			t.Fatalf("re-encoded error frame rejected by WriteFrame: %v", err)
+		}
+		status2, msg2 := DecodeError(re)
+		if status2 != status {
+			t.Fatalf("status does not round trip: %v != %v", status2, status)
+		}
+		if len(msg) <= MaxErrorMsg && msg2 != msg {
+			t.Fatal("in-budget message does not round trip")
+		}
+	})
+}
+
 // FuzzDecodeResult and digest decoding must be total functions.
 func FuzzDecodeResult(f *testing.F) {
 	f.Add(EncodeResult(Result{Authenticated: true, SearchSeconds: 1.5, PublicKey: []byte{1}}))

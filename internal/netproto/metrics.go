@@ -1,0 +1,80 @@
+package netproto
+
+import (
+	"rbcsalted/internal/obs"
+)
+
+// Metrics aggregates the server's per-connection and per-status
+// counters. Construct with NewMetrics and attach to Server.Metrics; a
+// nil *Metrics (the default) disables collection — every recording
+// method is nil-receiver safe, so the handler code carries no checks.
+type Metrics struct {
+	// Accepted counts connections the listener accepted; Active is the
+	// number currently open.
+	Accepted *obs.Counter
+	Active   *obs.Gauge
+	// AuthOK / AuthDenied count MsgResult frames sent, split by verdict
+	// (a denied result is a completed search that did not authenticate,
+	// e.g. exhausted ball or modelled timeout).
+	AuthOK     *obs.Counter
+	AuthDenied *obs.Counter
+	// Errors counts MsgError frames sent, by wire status.
+	Errors [StatusCancelled + 1]*obs.Counter
+	// ErrorsOther counts error frames with a status outside the known
+	// range (future codes).
+	ErrorsOther *obs.Counter
+}
+
+// NewMetrics registers the server's counters in reg under "netproto.*"
+// and returns the bundle. Registration is get-or-create, so multiple
+// servers sharing one registry share counters.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Accepted:    reg.Counter("netproto.conns_accepted"),
+		Active:      reg.Gauge("netproto.conns_active"),
+		AuthOK:      reg.Counter("netproto.auth_ok"),
+		AuthDenied:  reg.Counter("netproto.auth_denied"),
+		ErrorsOther: reg.Counter("netproto.errors.other"),
+	}
+	for st := range m.Errors {
+		m.Errors[st] = reg.Counter("netproto.errors." + Status(st).String())
+	}
+	return m
+}
+
+func (m *Metrics) connOpened() {
+	if m == nil {
+		return
+	}
+	m.Accepted.Inc()
+	m.Active.Inc()
+}
+
+func (m *Metrics) connClosed() {
+	if m == nil {
+		return
+	}
+	m.Active.Dec()
+}
+
+func (m *Metrics) errorSent(s Status) {
+	if m == nil {
+		return
+	}
+	if int(s) < len(m.Errors) {
+		m.Errors[s].Inc()
+		return
+	}
+	m.ErrorsOther.Inc()
+}
+
+func (m *Metrics) resultSent(authenticated bool) {
+	if m == nil {
+		return
+	}
+	if authenticated {
+		m.AuthOK.Inc()
+	} else {
+		m.AuthDenied.Inc()
+	}
+}

@@ -46,6 +46,9 @@ type Server struct {
 	// BaseContext, when set, parents every per-connection context;
 	// cancelling it aborts all in-flight searches. Nil means Background.
 	BaseContext context.Context
+	// Metrics, when set, collects per-connection and per-status counters
+	// (see NewMetrics). Nil disables collection.
+	Metrics *Metrics
 
 	mu sync.Mutex
 	ln net.Listener
@@ -106,6 +109,8 @@ func statusFor(err error) Status {
 
 // handle runs one authentication session over the connection.
 func (s *Server) handle(conn net.Conn) {
+	s.Metrics.connOpened()
+	defer s.Metrics.connClosed()
 	defer conn.Close()
 	base := s.BaseContext
 	if base == nil {
@@ -115,6 +120,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer cancel()
 
 	fail := func(status Status, msg string) {
+		s.Metrics.errorSent(status)
 		_ = WriteFrame(conn, MsgError, EncodeError(status, msg))
 	}
 	failErr := func(err error) {
@@ -184,6 +190,7 @@ func (s *Server) handle(conn net.Conn) {
 		failErr(err)
 		return
 	}
+	s.Metrics.resultSent(auth.Authenticated)
 	conn.SetDeadline(time.Now().Add(s.idle()))
 	_ = WriteFrame(conn, MsgResult, EncodeResult(Result{
 		Authenticated: auth.Authenticated,

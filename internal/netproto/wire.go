@@ -75,8 +75,19 @@ func (s Status) String() string {
 	}
 }
 
+// MaxErrorMsg is the longest error message an error frame can carry:
+// the frame budget (maxFrame) minus the type and status bytes.
+const MaxErrorMsg = maxFrame - 2
+
 // EncodeError serializes a MsgError payload: status byte + message.
+// Messages longer than MaxErrorMsg are truncated so the frame always
+// fits WriteFrame's limit — an oversized message must never stop the
+// status byte from reaching the client (previously such a frame failed
+// to send and the client hung until EOF).
 func EncodeError(s Status, msg string) []byte {
+	if len(msg) > MaxErrorMsg {
+		msg = msg[:MaxErrorMsg]
+	}
 	return append([]byte{byte(s)}, msg...)
 }
 

@@ -1,0 +1,203 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/obs"
+)
+
+// TestReadFrameEdgeCases tables the hostile-input contract of the frame
+// reader: every malformed input is an error, every minimal valid frame
+// parses, and nothing panics.
+func TestReadFrameEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   []byte
+		wantErr bool
+		wantTyp byte
+		wantLen int
+	}{
+		{name: "empty input", input: nil, wantErr: true},
+		{name: "truncated header", input: []byte{0, 0}, wantErr: true},
+		{name: "zero-length frame", input: []byte{0, 0, 0, 0}, wantErr: true},
+		{name: "oversized length", input: []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}, wantErr: true},
+		{name: "length just over max", input: append([]byte{0, 1, 0, 1}, make([]byte, maxFrame+1)...), wantErr: true},
+		{name: "truncated payload", input: []byte{0, 0, 0, 5, MsgHello, 'a', 'b'}, wantErr: true},
+		{name: "header only, no body", input: []byte{0, 0, 0, 3}, wantErr: true},
+		{name: "minimal frame (type only)", input: []byte{0, 0, 0, 1, MsgResult}, wantTyp: MsgResult, wantLen: 0},
+		{name: "type plus payload", input: []byte{0, 0, 0, 3, MsgHello, 'h', 'i'}, wantTyp: MsgHello, wantLen: 2},
+		{name: "length exactly max", input: append([]byte{0, 1, 0, 0, MsgDigest}, make([]byte, maxFrame-1)...), wantTyp: MsgDigest, wantLen: maxFrame - 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			typ, payload, err := ReadFrame(bytes.NewReader(tc.input))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parsed as type %d with %d payload bytes, want error", typ, len(payload))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if typ != tc.wantTyp || len(payload) != tc.wantLen {
+				t.Errorf("got type %d len %d, want type %d len %d", typ, len(payload), tc.wantTyp, tc.wantLen)
+			}
+		})
+	}
+}
+
+// TestEncodeErrorTruncatesOversizedMessage is the regression test for
+// the error-frame bug: a server error message larger than one frame
+// used to make WriteFrame fail, so the client never saw the status byte
+// and hung until EOF. EncodeError must truncate so the frame always
+// ships.
+func TestEncodeErrorTruncatesOversizedMessage(t *testing.T) {
+	huge := strings.Repeat("x", maxFrame+1000)
+	payload := EncodeError(StatusOverloaded, huge)
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgError, payload); err != nil {
+		t.Fatalf("error frame with oversized message failed to write: %v", err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgError {
+		t.Fatalf("read back: type %d, err %v", typ, err)
+	}
+	status, msg := DecodeError(got)
+	if status != StatusOverloaded {
+		t.Errorf("status = %v, want overloaded", status)
+	}
+	if len(msg) != MaxErrorMsg {
+		t.Errorf("message length = %d, want truncated to %d", len(msg), MaxErrorMsg)
+	}
+	if !strings.HasPrefix(huge, msg) {
+		t.Error("truncated message is not a prefix of the original")
+	}
+
+	// Short messages are untouched.
+	status, msg = DecodeError(EncodeError(StatusNoSession, "gone"))
+	if status != StatusNoSession || msg != "gone" {
+		t.Errorf("short message mangled: %v %q", status, msg)
+	}
+}
+
+// TestClientReceivesStatusForOversizedServerError drives the client
+// codepath end to end: a server that reports a failure with a message
+// bigger than a frame must still deliver the status byte; the client
+// returns a *ServerError instead of hanging on a dead connection.
+func TestClientReceivesStatusForOversizedServerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, _, err := ReadFrame(conn); err != nil { // hello
+			return
+		}
+		_ = WriteFrame(conn, MsgError,
+			EncodeError(StatusUnknownClient, strings.Repeat("m", maxFrame*2)))
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// The server rejects at hello, so the client never reads its PUF —
+	// no device needed.
+	_, err = Authenticate(conn, &core.Client{ID: "alice"}, Latency{})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *ServerError, got %v", err)
+	}
+	if se.Status != StatusUnknownClient {
+		t.Errorf("status = %v, want unknown-client", se.Status)
+	}
+}
+
+// TestServerMetricsCounters runs one successful and one failed session
+// against an instrumented server and checks the netproto.* counters.
+func TestServerMetricsCounters(t *testing.T) {
+	server, client, _ := newServer(t)
+	reg := obs.NewRegistry()
+	server.Metrics = NewMetrics(reg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+
+	conn := dial()
+	res, err := Authenticate(conn, client, Latency{})
+	conn.Close()
+	if err != nil || !res.Authenticated {
+		t.Fatalf("good session: %+v %v", res, err)
+	}
+
+	conn = dial()
+	_, err = Authenticate(conn, &core.Client{ID: "ghost", Device: client.Device}, Latency{})
+	conn.Close()
+	var se *ServerError
+	if !errors.As(err, &se) || se.Status != StatusUnknownClient {
+		t.Fatalf("ghost session: %v", err)
+	}
+
+	waitForCounters(t, func() bool {
+		snap := reg.Snapshot()
+		return snap["netproto.conns_accepted"] == uint64(2) &&
+			snap["netproto.conns_active"] == int64(0)
+	})
+	snap := reg.Snapshot()
+	checks := map[string]any{
+		"netproto.conns_accepted":        uint64(2),
+		"netproto.conns_active":          int64(0),
+		"netproto.auth_ok":               uint64(1),
+		"netproto.auth_denied":           uint64(0),
+		"netproto.errors.unknown-client": uint64(1),
+		"netproto.errors.internal":       uint64(0),
+	}
+	for name, want := range checks {
+		if snap[name] != want {
+			t.Errorf("%s = %v, want %v", name, snap[name], want)
+		}
+	}
+}
+
+// waitForCounters polls for asynchronous handler teardown (connClosed
+// runs after the client sees its response).
+func waitForCounters(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("counters did not converge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

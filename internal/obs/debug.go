@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the debug surface for a registry:
+//
+//	/metrics        JSON snapshot of every registered metric
+//	/trace          the trace ring's retained events (404 when ring is nil)
+//	/healthz        liveness probe ("ok")
+//	/debug/pprof/   the standard net/http/pprof profiles
+//
+// The handler is read-only and unauthenticated; bind it to a loopback or
+// operator-only address, never the client-facing one.
+func Handler(reg *Registry, ring *Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if ring == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total  uint64       `json:"total"`
+			Events []TraceEvent `json:"events"`
+		}{ring.Total(), ring.Snapshot()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts Handler on addr in a background goroutine and returns
+// the listener (close it to stop). It is the one-call debug listener
+// behind rbc-server's -debug-addr flag.
+func Serve(addr string, reg *Registry, ring *Ring) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		_ = http.Serve(ln, Handler(reg, ring))
+	}()
+	return ln, nil
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"rbcsalted/internal/core"
+	"rbcsalted/internal/obs"
 )
 
 // Sentinel errors. Both are returned unwrapped from Search's admission
@@ -64,6 +65,16 @@ type Config struct {
 	// off. 0 means DefaultDeadlineGrace; negative disables the derived
 	// deadline entirely (the caller's ctx still applies).
 	DeadlineGrace time.Duration
+	// Trace, when non-nil, receives queue-lifecycle trace events
+	// (enqueue, dequeue, reject, discard, done) for every scheduled
+	// search, and is stamped onto tasks that arrive without their own
+	// sink so backend events share it.
+	Trace obs.TraceSink
+	// Metrics, when non-nil, publishes queue-wait and service-time
+	// latency histograms ("sched.queue_wait_seconds" and
+	// "sched.service_seconds") into the registry. The counter snapshot
+	// remains available through Stats.
+	Metrics *obs.Registry
 }
 
 // DefaultDeadlineGrace is the default slack between a task's TimeLimit
@@ -72,6 +83,22 @@ const DefaultDeadlineGrace = 500 * time.Millisecond
 
 // Outcome classifies how a scheduled search ended.
 type Outcome int
+
+// String names the outcome for trace events and logs.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeTimedOut:
+		return "timed-out"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome-%d", int(o))
+	}
+}
 
 // Outcomes, in Stats order.
 const (
@@ -99,7 +126,10 @@ type Stats struct {
 	Cancelled uint64
 	Failed    uint64
 	// QueueWaitTotal / QueueWaitMax aggregate the time searches spent
-	// queued before a worker picked them up.
+	// queued before a worker picked them up for service. Searches that
+	// never reached the backend — cancelled while queued, or failed with
+	// ErrClosed at shutdown — count toward Cancelled/Failed but
+	// contribute nothing here.
 	QueueWaitTotal time.Duration
 	QueueWaitMax   time.Duration
 	// ServiceTotal / ServiceMax aggregate backend search time.
@@ -156,6 +186,13 @@ type Scheduler struct {
 	statsMu  sync.Mutex
 	stats    Stats
 	inFlight int
+
+	// traceIDs hands out per-search trace correlation IDs.
+	traceIDs atomic.Uint64
+	// hQueueWait / hService are the optional latency histograms
+	// published into cfg.Metrics; nil without a registry.
+	hQueueWait *obs.Histogram
+	hService   *obs.Histogram
 }
 
 // New starts a scheduler over backend with cfg's pool geometry (zero
@@ -178,6 +215,10 @@ func New(backend core.Backend, cfg Config) *Scheduler {
 		backend: backend,
 		cfg:     cfg,
 		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.Metrics != nil {
+		s.hQueueWait = cfg.Metrics.Histogram("sched.queue_wait_seconds", obs.DefLatencyBuckets)
+		s.hService = cfg.Metrics.Histogram("sched.service_seconds", obs.DefLatencyBuckets)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -204,6 +245,12 @@ func (s *Scheduler) Search(ctx context.Context, task core.Task) (core.Result, er
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if task.Trace == nil {
+		task.Trace = s.cfg.Trace
+	}
+	if task.TraceID == 0 {
+		task.TraceID = s.traceIDs.Add(1)
+	}
 	j := &job{ctx: ctx, task: task, enqueued: time.Now(), done: make(chan struct{})}
 
 	s.mu.RLock()
@@ -219,11 +266,13 @@ func (s *Scheduler) Search(ctx context.Context, task core.Task) (core.Result, er
 		s.statsMu.Lock()
 		s.stats.Rejected++
 		s.statsMu.Unlock()
+		obs.Emit(task.Trace, obs.TraceEvent{Kind: obs.KindReject, Search: task.TraceID})
 		return core.Result{}, ErrOverloaded
 	}
 	s.statsMu.Lock()
 	s.stats.Submitted++
 	s.statsMu.Unlock()
+	obs.Emit(task.Trace, obs.TraceEvent{Kind: obs.KindEnqueue, Search: task.TraceID})
 
 	select {
 	case <-j.done:
@@ -252,9 +301,15 @@ func (s *Scheduler) Stats() Stats {
 	return snap
 }
 
-// Close stops admission, serves every already-queued search to
-// completion, and waits for the workers to drain. Safe to call more
-// than once.
+// Close stops admission, resolves every still-queued search, and waits
+// for in-flight searches to finish. Safe to call more than once.
+//
+// Every queued job's done channel is guaranteed to be resolved: Close
+// itself drains the queue concurrently with the workers, failing each
+// job it receives with ErrClosed, while a worker that gets to a job
+// first serves it normally. Either way no Search caller can block
+// forever behind a shutdown — previously a caller queued behind a
+// long-running search waited for it to finish even after Close.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -262,7 +317,35 @@ func (s *Scheduler) Close() {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	// Drain: the closed channel still yields queued jobs; each is
+	// received exactly once, by us or by a worker.
+	for j := range s.queue {
+		s.discard(j, ErrClosed, "closed")
+	}
 	s.wg.Wait()
+}
+
+// discard resolves a job that will never reach the backend. It counts
+// once toward the outcome counters — Cancelled for a context cancelled
+// in the queue, Failed for an ErrClosed shutdown — and deliberately
+// contributes nothing to QueueWaitTotal/Max: the job was never picked
+// up for service, and its "wait" includes time after the caller already
+// abandoned it, which would skew the served-search latency accounting.
+func (s *Scheduler) discard(j *job, err error, reason string) {
+	j.err = err
+	outcome := OutcomeFailed
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		outcome = OutcomeCancelled
+	}
+	s.record(outcome, 0, 0)
+	obs.Emit(j.task.Trace, obs.TraceEvent{
+		Kind:   obs.KindDiscard,
+		Search: j.task.TraceID,
+		Detail: reason,
+		Dur:    time.Since(j.enqueued),
+		Err:    err.Error(),
+	})
+	close(j.done)
 }
 
 // worker serves queued jobs until the queue closes.
@@ -279,13 +362,19 @@ func (s *Scheduler) serve(j *job) {
 
 	if j.ctx.Err() != nil {
 		// Cancelled while queued: don't touch the backend. started stays
-		// false so the submitter returns without waiting on done.
-		j.err = j.ctx.Err()
-		s.record(OutcomeCancelled, wait, 0)
-		close(j.done)
+		// false so the submitter returns without waiting on done. The
+		// discard counts once as Cancelled and is kept out of the
+		// queue-wait aggregates (the stale job's wait measures caller
+		// abandonment, not admission latency).
+		s.discard(j, j.ctx.Err(), "cancelled-queued")
 		return
 	}
 	j.started.Store(true)
+	obs.Emit(j.task.Trace, obs.TraceEvent{
+		Kind:   obs.KindDequeue,
+		Search: j.task.TraceID,
+		Dur:    wait,
+	})
 
 	ctx := j.ctx
 	if j.task.TimeLimit > 0 && s.cfg.DeadlineGrace >= 0 {
@@ -318,6 +407,20 @@ func (s *Scheduler) serve(j *job) {
 		outcome = OutcomeTimedOut
 	}
 	s.record(outcome, wait, service)
+	if s.hQueueWait != nil {
+		s.hQueueWait.Observe(wait.Seconds())
+		s.hService.Observe(service.Seconds())
+	}
+	ev := obs.TraceEvent{
+		Kind:   obs.KindDone,
+		Search: j.task.TraceID,
+		Detail: outcome.String(),
+		Dur:    service,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	obs.Emit(j.task.Trace, ev)
 
 	j.res, j.err = res, err
 	close(j.done)

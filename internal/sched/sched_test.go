@@ -13,6 +13,7 @@ import (
 	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/u256"
 )
@@ -321,6 +322,203 @@ func TestDerivedDeadlineReclaimsWorker(t *testing.T) {
 	}
 	if got := s.Stats().Cancelled; got != 1 {
 		t.Errorf("Cancelled = %d, want 1", got)
+	}
+}
+
+// TestCancelledWhileQueuedCountsOnceWithoutWaitSkew locks in the stale-
+// job discard accounting: a search cancelled while queued must count
+// exactly once as Cancelled and must not contribute its (abandonment-
+// inflated) queue time to QueueWaitTotal/Max.
+func TestCancelledWhileQueuedCountsOnceWithoutWaitSkew(t *testing.T) {
+	bk := &blockingBackend{
+		entered: make(chan struct{}, 2),
+		release: make(chan struct{}),
+	}
+	s := New(bk, Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Search(context.Background(), core.Task{})
+	}()
+	<-bk.entered // worker busy
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Search(ctx, core.Task{})
+	}()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+	cancel()
+	// Let the stale job age in the queue well past its cancellation: the
+	// buggy accounting would fold this whole wait into the aggregates.
+	time.Sleep(100 * time.Millisecond)
+	close(bk.release)
+	wg.Wait()
+	waitFor(t, func() bool { return s.Stats().Served() == 2 })
+
+	st := s.Stats()
+	if st.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want exactly 1", st.Cancelled)
+	}
+	if st.Completed != 1 {
+		t.Errorf("Completed = %d, want 1", st.Completed)
+	}
+	// The served search never queued behind anything for long; the
+	// discarded one must not have contributed its ~100 ms.
+	if st.QueueWaitMax >= 100*time.Millisecond {
+		t.Errorf("QueueWaitMax = %v, want < 100ms (stale job's wait leaked into stats)", st.QueueWaitMax)
+	}
+	if st.QueueWaitTotal >= 100*time.Millisecond {
+		t.Errorf("QueueWaitTotal = %v, want < 100ms", st.QueueWaitTotal)
+	}
+}
+
+// TestCloseFailsQueuedJobsWithErrClosed locks in the Close contract:
+// searches still queued behind a long-running one must be resolved with
+// ErrClosed promptly instead of blocking on the busy worker. Run with
+// -race.
+func TestCloseFailsQueuedJobsWithErrClosed(t *testing.T) {
+	bk := &blockingBackend{
+		entered: make(chan struct{}, 2),
+		release: make(chan struct{}),
+	}
+	s := New(bk, Config{Workers: 1, QueueDepth: 4})
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Search(context.Background(), core.Task{})
+		first <- err
+	}()
+	<-bk.entered // worker busy, will block until release
+
+	const queued = 3
+	queuedErrs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		go func() {
+			_, err := s.Search(context.Background(), core.Task{})
+			queuedErrs <- err
+		}()
+	}
+	waitFor(t, func() bool { return s.Stats().Queued == queued })
+	// Age the queued jobs so a wait-accounting leak would be visible in
+	// the final QueueWait assertions.
+	time.Sleep(100 * time.Millisecond)
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+
+	// The queued callers must get out with ErrClosed while the worker is
+	// still occupied — no waiting behind the in-flight search.
+	for i := 0; i < queued; i++ {
+		select {
+		case err := <-queuedErrs:
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("queued search returned %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued search still blocked after Close")
+		}
+	}
+
+	close(bk.release)
+	if err := <-first; err != nil {
+		t.Errorf("in-flight search failed: %v", err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+
+	st := s.Stats()
+	if st.Completed != 1 {
+		t.Errorf("Completed = %d, want 1", st.Completed)
+	}
+	if st.Failed != queued {
+		t.Errorf("Failed = %d, want %d (ErrClosed discards)", st.Failed, queued)
+	}
+	// Only the served search's (instant) pickup may contribute: the three
+	// discarded jobs aged >= 100 ms each and must be excluded.
+	if st.QueueWaitTotal >= 100*time.Millisecond {
+		t.Errorf("QueueWaitTotal = %v, want < 100ms (discards must not skew waits)", st.QueueWaitTotal)
+	}
+}
+
+// TestTraceEventsAndHistograms checks the observability wiring: one
+// authentication-sized search through a scheduler over the real CPU
+// engine must leave the canonical event trail and one observation in
+// each latency histogram.
+func TestTraceEventsAndHistograms(t *testing.T) {
+	ring := obs.NewRing(64)
+	reg := obs.NewRegistry()
+	s := New(&cpu.Backend{Alg: core.SHA3, Workers: 2},
+		Config{Workers: 1, QueueDepth: 4, Trace: ring, Metrics: reg})
+	defer s.Close()
+
+	base := u256.New(11, 22, 33, 44)
+	seed := base.FlipBit(7) // match at distance 1
+	res, err := s.Search(context.Background(), core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, seed),
+		MaxDistance: 2,
+		Method:      iterseq.GrayCode,
+	})
+	if err != nil || !res.Found || res.Distance != 1 {
+		t.Fatalf("search: res=%+v err=%v", res, err)
+	}
+
+	events := ring.Snapshot()
+	var kinds []string
+	var searchID uint64
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+		if ev.Search == 0 {
+			t.Errorf("event %s missing search ID", ev.Kind)
+		} else if searchID == 0 {
+			searchID = ev.Search
+		} else if ev.Search != searchID {
+			t.Errorf("event %s has search ID %d, want %d", ev.Kind, ev.Search, searchID)
+		}
+	}
+	want := []string{
+		obs.KindEnqueue, obs.KindDequeue, obs.KindSearchStart,
+		obs.KindShell, obs.KindSearchEnd, obs.KindDone,
+	}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Errorf("trace kinds = %v, want %v", kinds, want)
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindSearchEnd:
+			if ev.Detail != "found" || ev.Depth != 1 || ev.N == 0 {
+				t.Errorf("search.end = %+v, want found at depth 1 with hashes", ev)
+			}
+		case obs.KindShell:
+			if ev.Depth != 1 || ev.N == 0 {
+				t.Errorf("search.shell = %+v, want depth 1 with coverage", ev)
+			}
+		case obs.KindDone:
+			if ev.Detail != "completed" {
+				t.Errorf("sched.done detail = %q, want completed", ev.Detail)
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	qw, ok := snap["sched.queue_wait_seconds"].(obs.HistogramSnapshot)
+	if !ok || qw.Count != 1 {
+		t.Errorf("queue-wait histogram = %#v, want one observation", snap["sched.queue_wait_seconds"])
+	}
+	sv, ok := snap["sched.service_seconds"].(obs.HistogramSnapshot)
+	if !ok || sv.Count != 1 {
+		t.Errorf("service histogram = %#v, want one observation", snap["sched.service_seconds"])
 	}
 }
 

@@ -55,6 +55,23 @@
 // status "overloaded"), and s.Stats() reports queue-wait and
 // service-time counters.
 //
+// # Observability
+//
+// The serving path is instrumented end to end with the dependency-free
+// obs layer: a MetricsRegistry collects counters, gauges and latency
+// histograms from the scheduler and the protocol server, and a
+// TraceRing retains the most recent per-search trace events (enqueue,
+// dequeue, per-shell progress, outcome) emitted by the scheduler and
+// every backend. DebugHandler serves both as JSON alongside
+// net/http/pprof:
+//
+//	reg, ring := rbc.NewMetricsRegistry(), rbc.NewTraceRing(1024)
+//	s := rbc.NewScheduler(engine, rbc.SchedulerConfig{Trace: ring, Metrics: reg})
+//	srv := &rbc.Server{CA: ca, Metrics: rbc.NewNetMetrics(reg)}
+//	http.ListenAndServe("127.0.0.1:7444", rbc.DebugHandler(reg, ring))
+//
+// rbc-server exposes the same surface with its -debug-addr flag.
+//
 // See DESIGN.md for the modelling and calibration methodology and
 // EXPERIMENTS.md for the paper-versus-reproduction numbers.
 package rbc
@@ -71,6 +88,7 @@ import (
 	"rbcsalted/internal/gpusim"
 	"rbcsalted/internal/iterseq"
 	"rbcsalted/internal/netproto"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/sched"
 	"rbcsalted/internal/u256"
@@ -285,3 +303,39 @@ var PaperLatency = netproto.PaperLatency
 // Authenticate runs the full client side of the protocol over a
 // connection.
 var Authenticate = netproto.Authenticate
+
+// Observability: dependency-free metrics and per-search tracing for the
+// serving path (scheduler, backends, protocol server).
+type (
+	// MetricsRegistry is a named collection of counters, gauges and
+	// latency histograms with a JSON snapshot export.
+	MetricsRegistry = obs.Registry
+	// TraceEvent is one step of a search's lifecycle (sched.enqueue,
+	// search.shell, sched.done, ...), correlated by its Search ID.
+	TraceEvent = obs.TraceEvent
+	// TraceSink receives trace events; set it on SchedulerConfig.Trace,
+	// CAConfig.Trace, or directly on a Task.
+	TraceSink = obs.TraceSink
+	// TraceRing is a fixed-capacity flight recorder keeping the most
+	// recent trace events.
+	TraceRing = obs.Ring
+	// NetMetrics bundles the protocol server's per-connection and
+	// per-status counters (Server.Metrics).
+	NetMetrics = netproto.Metrics
+)
+
+var (
+	// NewMetricsRegistry returns an empty registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewTraceRing returns a flight recorder retaining capacity events.
+	NewTraceRing = obs.NewRing
+	// NewNetMetrics registers the protocol server's counters in a
+	// registry under "netproto.*".
+	NewNetMetrics = netproto.NewMetrics
+	// DebugHandler serves /metrics, /trace, /healthz and /debug/pprof
+	// for a registry and an optional trace ring.
+	DebugHandler = obs.Handler
+	// ServeDebug starts DebugHandler on an address in the background,
+	// returning the listener (rbc-server's -debug-addr).
+	ServeDebug = obs.Serve
+)
