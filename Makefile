@@ -21,11 +21,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz smokes the netproto frame and error-payload fuzzers for FUZZTIME
-# each; -run='^$$' skips the unit tests so only fuzzing runs.
+# fuzz smokes the netproto frame/error-payload fuzzers and the WAL
+# record decoder for FUZZTIME each; -run='^$$' skips the unit tests so
+# only fuzzing runs.
 fuzz:
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzDecodeError -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/durable -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem

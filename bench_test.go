@@ -8,10 +8,14 @@ package rbc
 
 import (
 	"context"
+	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
 	"rbcsalted/internal/exper"
 	"rbcsalted/internal/gpusim"
 	"rbcsalted/internal/iterseq"
@@ -264,6 +268,69 @@ func BenchmarkHashes(b *testing.B) {
 func BenchmarkExperimentHarness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tableSink = exper.Table1()
+	}
+}
+
+// BenchmarkStoreParallel contends 64 goroutines over the CA's mutable
+// stores — the authentication hot path is 1 read + 1 write per request —
+// comparing the seed's single-mutex layout (1 shard) against the
+// striped-lock layout (16 shards).
+func BenchmarkStoreParallel(b *testing.B) {
+	const goroutines = 64
+	parallelism := max(1, goroutines/runtime.GOMAXPROCS(0))
+	ids := make([]ClientID, 256)
+	for i := range ids {
+		ids[i] = ClientID(fmt.Sprintf("client-%03d", i))
+	}
+	sealed := make([]byte, 64)
+
+	for _, shards := range []int{1, 16} {
+		layout := map[int]string{1: "mutex", 16: "sharded16"}[shards]
+		b.Run("ra-"+layout, func(b *testing.B) {
+			ra := core.NewRAShards(shards)
+			for _, id := range ids {
+				if err := ra.Update(id, sealed); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var n atomic.Uint64
+			b.SetParallelism(parallelism)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := n.Add(1)
+					id := ids[i%uint64(len(ids))]
+					if i%2 == 0 {
+						if err := ra.Update(id, sealed); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, ok := ra.PublicKey(id); !ok {
+						b.Fatal("key lost")
+					}
+				}
+			})
+		})
+		b.Run("images-"+layout, func(b *testing.B) {
+			store, err := core.NewImageStoreShards([32]byte{1}, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, id := range ids {
+				store.PutSealed(id, sealed)
+			}
+			var n atomic.Uint64
+			b.SetParallelism(parallelism)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := n.Add(1)
+					id := ids[i%uint64(len(ids))]
+					if i%2 == 0 {
+						store.PutSealed(id, sealed)
+					} else if !store.Has(id) {
+						b.Fatal("image lost")
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -1,11 +1,18 @@
 // Command rbc-enroll is the secure-facility side of the protocol: it
 // manufactures (simulated) PUF devices, captures their enrollment images
-// over repeated reads, and writes them into an encrypted image-store file
-// that rbc-server can load.
+// over repeated reads, and writes them either into an encrypted
+// image-store file that rbc-server can load (-store) or directly into a
+// durable data directory that rbc-server serves from (-data-dir).
+//
+// -remove deprovisions clients instead of enrolling them: the image, any
+// registered public key/certificate and any open session are deleted (and,
+// under -data-dir, journaled so the removal survives a restart).
 //
 // Usage:
 //
 //	rbc-enroll -store ca-images.db -key <64-hex-chars> -clients alice,bob -reads 31
+//	rbc-enroll -data-dir /var/lib/rbc -key <64-hex-chars> -clients alice,bob
+//	rbc-enroll -data-dir /var/lib/rbc -key <64-hex-chars> -remove alice
 //	rbc-enroll -store ca-images.db -key <64-hex-chars> -list
 package main
 
@@ -18,13 +25,16 @@ import (
 	"strings"
 
 	"rbcsalted/internal/core"
+	"rbcsalted/internal/durable"
 	"rbcsalted/internal/puf"
 )
 
 func main() {
-	storePath := flag.String("store", "ca-images.db", "encrypted image-store file")
+	storePath := flag.String("store", "", "encrypted image-store file (default ca-images.db unless -data-dir)")
+	dataDir := flag.String("data-dir", "", "enroll into a durable data directory instead of a store file")
 	keyHex := flag.String("key", strings.Repeat("00", 32), "64-hex-char master key")
 	clients := flag.String("clients", "", "comma-separated client ids to enroll")
+	remove := flag.String("remove", "", "comma-separated client ids to deprovision (image, keys and sessions)")
 	reads := flag.Int("reads", 31, "enrollment reads per cell")
 	cells := flag.Int("cells", 1024, "PUF cells per device")
 	seedBase := flag.Uint64("seedbase", 1000, "device seed base (client i gets seedbase+i)")
@@ -37,6 +47,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *storePath != "" && *dataDir != "" {
+		log.Fatal("rbc-enroll: -store and -data-dir are mutually exclusive")
+	}
+	if *storePath == "" && *dataDir == "" {
+		*storePath = "ca-images.db"
+	}
+
+	// The durable path: mutations are journaled through the State and
+	// persist on Close; no separate Save step.
+	if *dataDir != "" {
+		state, err := durable.Open(durable.Options{Dir: *dataDir, MasterKey: key, Sync: durable.SyncAlways})
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case *list:
+			fmt.Printf("%s: %d enrolled client(s)\n", *dataDir, state.Images().Len())
+		case *remove != "":
+			for _, id := range splitIDs(*remove) {
+				if err := state.DeleteClient(id); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("removed %q (image, keys and sessions)\n", id)
+			}
+		case *clients != "":
+			enrollAll(state.Images(), splitIDs(*clients), *seedBase, *cells, *reads, *baseError)
+		default:
+			log.Fatal("rbc-enroll: -clients, -remove or -list required")
+		}
+		if err := state.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	store, err := openOrCreate(key, *storePath)
 	if err != nil {
@@ -46,32 +90,18 @@ func main() {
 		fmt.Printf("%s: %d enrolled client(s)\n", *storePath, store.Len())
 		return
 	}
-	if *clients == "" {
-		log.Fatal("rbc-enroll: -clients required (or -list)")
-	}
-
-	for i, id := range strings.Split(*clients, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
+	switch {
+	case *remove != "":
+		for _, id := range splitIDs(*remove) {
+			if err := store.Delete(id); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("removed %q\n", id)
 		}
-		devSeed := *seedBase + uint64(i)
-		profile := puf.DefaultProfile
-		profile.BaseError = *baseError
-		dev, err := puf.NewDevice(devSeed, *cells, profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		im, err := puf.Enroll(dev, *reads)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := store.Put(core.ClientID(id), im); err != nil {
-			log.Fatal(err)
-		}
-		uniq := puf.Uniformity(im)
-		fmt.Printf("enrolled %q: device seed %d, %d cells, uniformity %.3f\n",
-			id, devSeed, *cells, uniq)
+	case *clients != "":
+		enrollAll(store, splitIDs(*clients), *seedBase, *cells, *reads, *baseError)
+	default:
+		log.Fatal("rbc-enroll: -clients, -remove or -list required")
 	}
 
 	f, err := os.Create(*storePath)
@@ -83,6 +113,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d clients, sealed with AES-256-GCM)\n", *storePath, store.Len())
+}
+
+func splitIDs(s string) []core.ClientID {
+	var out []core.ClientID
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, core.ClientID(id))
+		}
+	}
+	return out
+}
+
+func enrollAll(store *core.ImageStore, ids []core.ClientID, seedBase uint64, cells, reads int, baseError float64) {
+	for i, id := range ids {
+		devSeed := seedBase + uint64(i)
+		profile := puf.DefaultProfile
+		profile.BaseError = baseError
+		dev, err := puf.NewDevice(devSeed, cells, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := puf.Enroll(dev, reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Put(id, im); err != nil {
+			log.Fatal(err)
+		}
+		uniq := puf.Uniformity(im)
+		fmt.Printf("enrolled %q: device seed %d, %d cells, uniformity %.3f\n",
+			id, devSeed, cells, uniq)
+	}
 }
 
 func parseKey(s string) ([32]byte, error) {

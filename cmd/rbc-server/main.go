@@ -21,18 +21,22 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rbcsalted/internal/core"
 	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/durable"
 	"rbcsalted/internal/netproto"
 	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
@@ -51,6 +55,14 @@ type options struct {
 	schedQueue   int
 	store        *core.ImageStore // nil = self-enroll demo store
 	traceDepth   int
+	// dataDir, when set, opens a durable.State there: every enrollment,
+	// key rotation and session is journaled and survives a restart.
+	// Mutually exclusive with store.
+	dataDir string
+	// sync is the WAL fsync policy for dataDir.
+	sync durable.SyncPolicy
+	// masterKey seals images in dataDir (the -key flag).
+	masterKey [32]byte
 	// profile overrides the PUF noise profile for self-enrolled demo
 	// clients; nil means puf.DefaultProfile. Tests use a low-noise
 	// profile so authentication outcomes are deterministic.
@@ -65,6 +77,9 @@ type stack struct {
 	Server *netproto.Server
 	Reg    *obs.Registry
 	Ring   *obs.Ring
+	// State is non-nil when the stack runs on a durable data directory;
+	// Close it last (it takes the shutdown snapshot).
+	State *durable.State
 }
 
 // buildStack wires the serving path. Every layer shares one registry and
@@ -73,14 +88,6 @@ type stack struct {
 // the Task hook, and the protocol server counts connections and
 // statuses. Close the returned stack's Pool when done.
 func buildStack(opts options) (*stack, error) {
-	store := opts.store
-	if store == nil {
-		var err error
-		store, err = core.NewImageStore([32]byte{0x52, 0x42, 0x43}) // demo master key
-		if err != nil {
-			return nil, err
-		}
-	}
 	reg := obs.NewRegistry()
 	depth := opts.traceDepth
 	if depth <= 0 {
@@ -88,7 +95,38 @@ func buildStack(opts options) (*stack, error) {
 	}
 	ring := obs.NewRing(depth)
 
-	ra := core.NewRA()
+	var (
+		state       *durable.State
+		ra          *core.RA
+		cfgSessions *core.SessionTable
+	)
+	store := opts.store
+	switch {
+	case opts.dataDir != "":
+		if store != nil {
+			return nil, fmt.Errorf("rbc-server: -store and -data-dir are mutually exclusive")
+		}
+		var err error
+		state, err = durable.Open(durable.Options{
+			Dir:       opts.dataDir,
+			MasterKey: opts.masterKey,
+			Sync:      opts.sync,
+			Metrics:   reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		store, ra, cfgSessions = state.Images(), state.RA(), state.Sessions()
+	case store == nil:
+		var err error
+		store, err = core.NewImageStore([32]byte{0x52, 0x42, 0x43}) // demo master key
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ra == nil {
+		ra = core.NewRA()
+	}
 	engine := &cpu.Backend{Alg: core.SHA3, Workers: opts.workers}
 	pool := sched.New(engine, sched.Config{
 		Workers:    opts.schedWorkers,
@@ -101,6 +139,7 @@ func buildStack(opts options) (*stack, error) {
 		MaxDistance: opts.maxD,
 		TimeLimit:   opts.timeLimit,
 		Trace:       ring,
+		Sessions:    cfgSessions,
 	})
 	if err != nil {
 		pool.Close()
@@ -114,6 +153,12 @@ func buildStack(opts options) (*stack, error) {
 	for i, id := range opts.clients {
 		id = strings.TrimSpace(id)
 		if id == "" {
+			continue
+		}
+		// On a durable data directory, restart must not re-enroll clients
+		// the store already holds: that would reset their key-rotation
+		// chain and desynchronize live devices.
+		if store.Has(core.ClientID(id)) {
 			continue
 		}
 		devSeed := opts.enrollSeed + uint64(i)
@@ -141,7 +186,17 @@ func buildStack(opts options) (*stack, error) {
 		CA:      ca,
 		Metrics: netproto.NewMetrics(reg),
 	}
-	return &stack{CA: ca, Pool: pool, Server: server, Reg: reg, Ring: ring}, nil
+	return &stack{CA: ca, Pool: pool, Server: server, Reg: reg, Ring: ring, State: state}, nil
+}
+
+// Close tears the stack down in dependency order; the durable state goes
+// last so its shutdown snapshot sees every mutation.
+func (s *stack) Close() error {
+	s.Pool.Close()
+	if s.State != nil {
+		return s.State.Close()
+	}
+	return nil
 }
 
 // DebugListener starts the stack's debug HTTP listener (the -debug-addr
@@ -162,7 +217,10 @@ func main() {
 	schedQueue := flag.Int("sched-queue", sched.DefaultQueueDepth, "scheduler admission-queue depth")
 	traceDepth := flag.Int("trace-depth", 1024, "trace ring capacity (events kept for /trace)")
 	storePath := flag.String("store", "", "load an rbc-enroll image store instead of self-enrolling")
-	keyHex := flag.String("key", strings.Repeat("00", 32), "master key for -store (64 hex chars)")
+	keyHex := flag.String("key", strings.Repeat("00", 32), "master key for -store / -data-dir (64 hex chars)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); state survives restarts")
+	syncMode := flag.String("sync", "interval", "WAL fsync policy for -data-dir: always|interval|never")
+	baseError := flag.Float64("baseerror", 0, "PUF per-cell noise for self-enrolled demo clients (0 = default profile)")
 	flag.Parse()
 
 	opts := options{
@@ -174,9 +232,28 @@ func main() {
 		schedWorkers: *schedWorkers,
 		schedQueue:   *schedQueue,
 		traceDepth:   *traceDepth,
+		dataDir:      *dataDir,
 	}
+	if *baseError > 0 {
+		// Override only the typical-cell noise, as rbc-client does:
+		// keeping DefaultProfile's flaky cells means enrollment still
+		// sees (and TAPKI-masks) the same bad cells the client has.
+		p := puf.DefaultProfile
+		p.BaseError = *baseError
+		opts.profile = &p
+	}
+	sync, err := durable.ParseSyncPolicy(*syncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.sync = sync
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.masterKey = key
 	if *storePath != "" {
-		store, err := loadStore(*storePath, *keyHex)
+		store, err := loadStore(*storePath, key)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -189,7 +266,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer st.Pool.Close()
+	defer st.Close()
+	if st.State != nil {
+		rec := st.State.Recovery()
+		fmt.Printf("rbc-server: data dir %s (%d enrolled; snapshot seq %d, %d records replayed",
+			opts.dataDir, st.State.Images().Len(), rec.SnapshotSeq, rec.Records)
+		if rec.Truncated {
+			fmt.Printf(", torn tail repaired: %d bytes", rec.TornBytes)
+		}
+		fmt.Println(")")
+	}
 	for i, id := range opts.clients {
 		id = strings.TrimSpace(id)
 		if id == "" {
@@ -215,18 +301,35 @@ func main() {
 	}
 	fmt.Printf("rbc-server: CA listening on %s (backend %s, d<=%d, T=%s)\n",
 		ln.Addr(), st.Pool.Name(), *maxD, *timeLimit)
-	if err := st.Server.Serve(ln); err != nil {
-		log.Fatal(err)
+
+	// SIGINT/SIGTERM close the listener; Serve returns, the deferred
+	// stack Close snapshots the durable state, and the process exits
+	// cleanly. A SIGKILL skips all of that — which is exactly what the
+	// WAL is for.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	serveErr := st.Server.Serve(ln)
+	if ctx.Err() == nil && serveErr != nil {
+		log.Fatal(serveErr)
 	}
+	fmt.Println("rbc-server: shutting down")
 }
 
-func loadStore(path, keyHex string) (*core.ImageStore, error) {
+func parseKey(keyHex string) ([32]byte, error) {
+	var key [32]byte
 	raw, err := hex.DecodeString(keyHex)
 	if err != nil || len(raw) != 32 {
-		return nil, fmt.Errorf("rbc-server: -key must be 64 hex chars")
+		return key, fmt.Errorf("rbc-server: -key must be 64 hex chars")
 	}
-	var key [32]byte
 	copy(key[:], raw)
+	return key, nil
+}
+
+func loadStore(path string, key [32]byte) (*core.ImageStore, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -27,56 +27,155 @@ const DefaultSaltRotation = 113
 // throughout the paper.
 const DefaultTimeLimit = 20 * time.Second
 
+// DefaultSessionTTL is the default lifetime of an issued challenge:
+// comfortably above the 20 s search threshold plus the paper's 0.90 s
+// communication constant, but short enough that an abandoned handshake's
+// nonce stops being answerable quickly.
+const DefaultSessionTTL = 30 * time.Second
+
 // SaltSeed applies the shared salt to a recovered seed.
 func SaltSeed(seed u256.Uint256, rotation int) u256.Uint256 {
 	return seed.RotateLeft(rotation)
 }
 
 // Challenge is the CA's half of the handshake: which PUF cells the client
-// must read for this session, and how to digest them.
+// must read for this session, and how to digest them. IssuedAt bounds
+// the session's life: past CAConfig.SessionTTL the nonce is no longer
+// answerable (it would otherwise stay replayable indefinitely).
 type Challenge struct {
 	Nonce      uint64
 	AddressMap []int
 	Alg        HashAlg
+	IssuedAt   time.Time
 }
 
 // RA is the registration authority: the registry of authenticated client
 // public keys (and their CA certificates) that the CA updates after each
-// successful RBC search and relying parties query.
+// successful RBC search and relying parties query. Entries are striped
+// across lock shards, and every mutation runs through the attached
+// Journal (if any) before it lands in the maps.
 type RA struct {
+	journal Journal
+	shards  []raShard
+}
+
+type raShard struct {
 	mu    sync.RWMutex
 	keys  map[ClientID][]byte
 	certs map[ClientID]*Certificate
 }
 
-// NewRA returns an empty registry.
+// NewRA returns an empty registry with the default shard count.
 func NewRA() *RA {
-	return &RA{
-		keys:  make(map[ClientID][]byte),
-		certs: make(map[ClientID]*Certificate),
+	return NewRAShards(DefaultShards)
+}
+
+// NewRAShards returns an empty registry with an explicit lock-stripe
+// count (1 reproduces the single-mutex baseline).
+func NewRAShards(shards int) *RA {
+	if shards < 1 {
+		shards = 1
 	}
+	ra := &RA{shards: make([]raShard, shards)}
+	for i := range ra.shards {
+		ra.shards[i].keys = make(map[ClientID][]byte)
+		ra.shards[i].certs = make(map[ClientID]*Certificate)
+	}
+	return ra
+}
+
+// SetJournal attaches a mutation journal (nil detaches). Attach during
+// assembly, before the registry is shared.
+func (ra *RA) SetJournal(j Journal) { ra.journal = j }
+
+func (ra *RA) shard(id ClientID) *raShard {
+	return &ra.shards[shardIndex(id, len(ra.shards))]
 }
 
 // Update records the client's current public key.
-func (ra *RA) Update(id ClientID, publicKey []byte) {
-	ra.mu.Lock()
-	defer ra.mu.Unlock()
-	ra.keys[id] = append([]byte(nil), publicKey...)
+func (ra *RA) Update(id ClientID, publicKey []byte) error {
+	sh := ra.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ra.journal != nil {
+		if err := ra.journal.RAKeyUpdate(id, publicKey); err != nil {
+			return fmt.Errorf("core: journal RA key for %q: %w", id, err)
+		}
+	}
+	sh.keys[id] = append([]byte(nil), publicKey...)
+	return nil
 }
 
 // UpdateCertificate records the client's current certificate.
-func (ra *RA) UpdateCertificate(id ClientID, cert *Certificate) {
-	ra.mu.Lock()
-	defer ra.mu.Unlock()
+func (ra *RA) UpdateCertificate(id ClientID, cert *Certificate) error {
+	sh := ra.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ra.journal != nil {
+		if err := ra.journal.RACertUpdate(id, cert); err != nil {
+			return fmt.Errorf("core: journal RA certificate for %q: %w", id, err)
+		}
+	}
 	copied := *cert
-	ra.certs[id] = &copied
+	sh.certs[id] = &copied
+	return nil
+}
+
+// Delete removes a client's key and certificate (deprovisioning).
+// Deleting an unregistered client is a no-op and is not journaled.
+func (ra *RA) Delete(id ClientID) error {
+	sh := ra.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, hasKey := sh.keys[id]
+	_, hasCert := sh.certs[id]
+	if !hasKey && !hasCert {
+		return nil
+	}
+	if ra.journal != nil {
+		if err := ra.journal.RADelete(id); err != nil {
+			return fmt.Errorf("core: journal RA delete for %q: %w", id, err)
+		}
+	}
+	delete(sh.keys, id)
+	delete(sh.certs, id)
+	return nil
+}
+
+// SetKey applies a public key without journaling (the replay path).
+func (ra *RA) SetKey(id ClientID, publicKey []byte) {
+	sh := ra.shard(id)
+	sh.mu.Lock()
+	sh.keys[id] = append([]byte(nil), publicKey...)
+	sh.mu.Unlock()
+}
+
+// SetCertificate applies a certificate without journaling (the replay
+// path).
+func (ra *RA) SetCertificate(id ClientID, cert *Certificate) {
+	sh := ra.shard(id)
+	sh.mu.Lock()
+	copied := *cert
+	sh.certs[id] = &copied
+	sh.mu.Unlock()
+}
+
+// Forget removes a client without journaling (the replay path of an
+// RADelete record).
+func (ra *RA) Forget(id ClientID) {
+	sh := ra.shard(id)
+	sh.mu.Lock()
+	delete(sh.keys, id)
+	delete(sh.certs, id)
+	sh.mu.Unlock()
 }
 
 // Certificate returns the registered certificate for a client, if any.
 func (ra *RA) Certificate(id ClientID) (*Certificate, bool) {
-	ra.mu.RLock()
-	defer ra.mu.RUnlock()
-	c, ok := ra.certs[id]
+	sh := ra.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.certs[id]
 	if !ok {
 		return nil, false
 	}
@@ -86,13 +185,61 @@ func (ra *RA) Certificate(id ClientID) (*Certificate, bool) {
 
 // PublicKey returns the registered key for a client, if any.
 func (ra *RA) PublicKey(id ClientID) ([]byte, bool) {
-	ra.mu.RLock()
-	defer ra.mu.RUnlock()
-	k, ok := ra.keys[id]
+	sh := ra.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	k, ok := sh.keys[id]
 	if !ok {
 		return nil, false
 	}
 	return append([]byte(nil), k...), true
+}
+
+// SnapshotKeys copies every registered public key.
+func (ra *RA) SnapshotKeys() map[ClientID][]byte {
+	out := make(map[ClientID][]byte)
+	for i := range ra.shards {
+		sh := &ra.shards[i]
+		sh.mu.RLock()
+		for id, k := range sh.keys {
+			out[id] = append([]byte(nil), k...)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// SnapshotCertificates copies every registered certificate.
+func (ra *RA) SnapshotCertificates() map[ClientID]*Certificate {
+	out := make(map[ClientID]*Certificate)
+	for i := range ra.shards {
+		sh := &ra.shards[i]
+		sh.mu.RLock()
+		for id, c := range sh.certs {
+			copied := *c
+			out[id] = &copied
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Len returns the number of clients with a registered key or
+// certificate.
+func (ra *RA) Len() int {
+	n := 0
+	for i := range ra.shards {
+		sh := &ra.shards[i]
+		sh.mu.RLock()
+		n += len(sh.keys)
+		for id := range sh.certs {
+			if _, ok := sh.keys[id]; !ok {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // CAConfig collects the CA's tunable policy.
@@ -111,6 +258,15 @@ type CAConfig struct {
 	TAPKIThreshold float64
 	// SaltRotation is the shared salt (default DefaultSaltRotation).
 	SaltRotation int
+	// SessionTTL bounds the life of an issued challenge (default
+	// DefaultSessionTTL). Past it the nonce is rejected with
+	// ErrNoSession and the session evicted, so an abandoned handshake
+	// does not leave a replayable nonce behind.
+	SessionTTL time.Duration
+	// Sessions, when non-nil, is the session table the CA uses instead
+	// of creating its own — the injection point for a durable table
+	// (internal/durable) whose opens and closes are journaled.
+	Sessions *SessionTable
 	// Trace, when non-nil, is attached to every search Task the CA
 	// submits, so the scheduler and backend emit per-search trace events
 	// for served authentications (see internal/obs). Nil disables
@@ -142,6 +298,9 @@ func (c CAConfig) Validate() error {
 	if c.SaltRotation < 0 || c.SaltRotation > 255 {
 		return fmt.Errorf("%w: SaltRotation %d outside [0,255]", ErrBadConfig, c.SaltRotation)
 	}
+	if c.SessionTTL < 0 {
+		return fmt.Errorf("%w: negative SessionTTL %s (use zero for the default)", ErrBadConfig, c.SessionTTL)
+	}
 	return nil
 }
 
@@ -158,6 +317,9 @@ func (c CAConfig) withDefaults() CAConfig {
 	if c.SaltRotation == 0 {
 		c.SaltRotation = DefaultSaltRotation
 	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
 	return c
 }
 
@@ -165,16 +327,15 @@ func (c CAConfig) withDefaults() CAConfig {
 // database, runs the RBC-SALTED search on its backend, and updates the RA
 // with the public key generated from the recovered, salted seed.
 type CA struct {
-	cfg     CAConfig
-	store   *ImageStore
-	backend Backend
-	keygen  cryptoalg.KeyGenerator
-	ra      *RA
-	issuer  *Issuer
+	cfg      CAConfig
+	store    *ImageStore
+	backend  Backend
+	keygen   cryptoalg.KeyGenerator
+	ra       *RA
+	sessions *SessionTable
 
-	mu       sync.Mutex
-	sessions map[ClientID]Challenge
-	nonce    uint64
+	mu     sync.Mutex
+	issuer *Issuer
 }
 
 // NewCA assembles a certificate authority.
@@ -185,13 +346,19 @@ func NewCA(store *ImageStore, backend Backend, keygen cryptoalg.KeyGenerator, ra
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
+	sessions := cfg.Sessions
+	if sessions == nil {
+		sessions = NewSessionTable()
+	}
+	sessions.SetTTL(cfg.SessionTTL)
 	return &CA{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		store:    store,
 		backend:  backend,
 		keygen:   keygen,
 		ra:       ra,
-		sessions: make(map[ClientID]Challenge),
+		sessions: sessions,
 	}, nil
 }
 
@@ -212,26 +379,45 @@ func (ca *CA) Enroll(id ClientID, im *puf.Image) error {
 
 // BeginHandshake opens an authentication session: the CA picks a fresh
 // PUF address map from the client's TAPKI-stable cells and sends it as the
-// challenge (Figure 1, "handshake").
+// challenge (Figure 1, "handshake"). The session expires after the
+// configured SessionTTL.
 func (ca *CA) BeginHandshake(id ClientID) (Challenge, error) {
 	im, err := ca.store.Get(id)
 	if err != nil {
 		return Challenge{}, fmt.Errorf("core: handshake: %w", err)
 	}
-	ca.mu.Lock()
-	ca.nonce++
-	nonce := ca.nonce
-	ca.mu.Unlock()
+	nonce := ca.sessions.NextNonce()
 
 	addr, err := im.SelectAddressMap(ca.cfg.TAPKIThreshold, nonce)
 	if err != nil {
 		return Challenge{}, fmt.Errorf("core: handshake: %w", err)
 	}
 	ch := Challenge{Nonce: nonce, AddressMap: addr, Alg: ca.cfg.Alg}
-	ca.mu.Lock()
-	ca.sessions[id] = ch
-	ca.mu.Unlock()
+	if err := ca.sessions.Open(id, ch); err != nil {
+		return Challenge{}, fmt.Errorf("core: handshake: %w", err)
+	}
 	return ch, nil
+}
+
+// Sessions exposes the CA's session table (for snapshotting and
+// inspection).
+func (ca *CA) Sessions() *SessionTable { return ca.sessions }
+
+// Deprovision removes a client entirely: its open session, its RA key
+// and certificate, and its enrolled PUF image. With a durable journal
+// attached, all three removals are journaled, so a deprovisioned client
+// stays deprovisioned across restarts.
+func (ca *CA) Deprovision(id ClientID) error {
+	if err := ca.sessions.Drop(id); err != nil {
+		return fmt.Errorf("core: deprovision %q: %w", id, err)
+	}
+	if err := ca.ra.Delete(id); err != nil {
+		return fmt.Errorf("core: deprovision %q: %w", id, err)
+	}
+	if err := ca.store.Delete(id); err != nil {
+		return fmt.Errorf("core: deprovision %q: %w", id, err)
+	}
+	return nil
 }
 
 // AuthResult is the outcome of an authentication attempt.
@@ -260,21 +446,15 @@ type AuthResult struct {
 // the backend's shell loops and surfaces as ctx.Err(). The challenge is
 // strictly single-use: once the (id, nonce) pair has been presented, the
 // session is consumed on every path — success, failure, policy error or
-// cancellation — so a failed attempt can never be replayed.
+// cancellation — so a failed attempt can never be replayed. A session
+// older than the configured SessionTTL is treated as absent.
 func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Digest) (AuthResult, error) {
-	ca.mu.Lock()
-	ch, ok := ca.sessions[id]
-	ca.mu.Unlock()
-	if !ok || ch.Nonce != nonce {
+	// The challenge is consumed here: any outcome below — including the
+	// early error returns — has already burnt it.
+	ch, ok := ca.sessions.Take(id, nonce)
+	if !ok {
 		return AuthResult{}, fmt.Errorf("%w for %q with nonce %d", ErrNoSession, id, nonce)
 	}
-	// The challenge is consumed now: any outcome below — including the
-	// early error returns — burns it.
-	defer func() {
-		ca.mu.Lock()
-		delete(ca.sessions, id)
-		ca.mu.Unlock()
-	}()
 	if m1.Alg != ca.cfg.Alg {
 		return AuthResult{}, fmt.Errorf("%w: digest %v, CA policy %v", ErrAlgMismatch, m1.Alg, ca.cfg.Alg)
 	}
@@ -304,7 +484,9 @@ func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Di
 		salted := SaltSeed(res.Seed, ca.cfg.SaltRotation).Bytes()
 		out.PublicKey = ca.keygen.PublicKey(salted)
 		out.Authenticated = true
-		ca.ra.Update(id, out.PublicKey)
+		if err := ca.ra.Update(id, out.PublicKey); err != nil {
+			return AuthResult{}, err
+		}
 		ca.mu.Lock()
 		issuer := ca.issuer
 		ca.mu.Unlock()
@@ -314,7 +496,9 @@ func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Di
 				return AuthResult{}, certErr
 			}
 			out.Certificate = cert
-			ca.ra.UpdateCertificate(id, cert)
+			if err := ca.ra.UpdateCertificate(id, cert); err != nil {
+				return AuthResult{}, err
+			}
 		}
 	}
 	return out, nil

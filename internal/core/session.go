@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SessionTable holds the CA's open handshake sessions: for each client,
+// the challenge it must answer next. The table is striped across lock
+// shards like ImageStore and RA, issues the monotonically increasing
+// challenge nonces, enforces the session TTL, and journals opens and
+// closes so sessions (and the nonce high-water mark) survive a restart.
+type SessionTable struct {
+	journal Journal
+	nonce   atomic.Uint64
+	// ttl bounds a session's life from IssuedAt; see SetTTL.
+	ttl atomic.Int64
+	// now is injectable for TTL tests.
+	now    func() time.Time
+	shards []sessionShard
+}
+
+type sessionShard struct {
+	mu   sync.Mutex
+	open map[ClientID]Challenge
+	// lastSweep amortizes expiry eviction: each shard is swept at most
+	// once per TTL, on the open path.
+	lastSweep time.Time
+}
+
+// NewSessionTable returns an empty table with the default shard count
+// and no TTL (the CA sets one from its config).
+func NewSessionTable() *SessionTable {
+	return NewSessionTableShards(DefaultShards)
+}
+
+// NewSessionTableShards returns an empty table with an explicit
+// lock-stripe count.
+func NewSessionTableShards(shards int) *SessionTable {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &SessionTable{
+		now:    time.Now,
+		shards: make([]sessionShard, shards),
+	}
+	for i := range t.shards {
+		t.shards[i].open = make(map[ClientID]Challenge)
+	}
+	return t
+}
+
+// SetJournal attaches a mutation journal (nil detaches). Attach during
+// assembly, before the table is shared.
+func (t *SessionTable) SetJournal(j Journal) { t.journal = j }
+
+// SetTTL sets the session lifetime. Zero or negative disables expiry.
+func (t *SessionTable) SetTTL(d time.Duration) { t.ttl.Store(int64(d)) }
+
+// TTL returns the current session lifetime.
+func (t *SessionTable) TTL() time.Duration { return time.Duration(t.ttl.Load()) }
+
+// SetClock injects a time source for tests.
+func (t *SessionTable) SetClock(now func() time.Time) { t.now = now }
+
+func (t *SessionTable) shard(id ClientID) *sessionShard {
+	return &t.shards[shardIndex(id, len(t.shards))]
+}
+
+// NextNonce issues a fresh challenge nonce.
+func (t *SessionTable) NextNonce() uint64 { return t.nonce.Add(1) }
+
+// Nonce returns the nonce high-water mark.
+func (t *SessionTable) Nonce() uint64 { return t.nonce.Load() }
+
+// BumpNonce raises the nonce high-water mark to at least n (the
+// restore path: replayed SessionOpen records and snapshots carry the
+// nonces they were issued with).
+func (t *SessionTable) BumpNonce(n uint64) {
+	for {
+		cur := t.nonce.Load()
+		if cur >= n || t.nonce.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (t *SessionTable) expired(ch Challenge, at time.Time) bool {
+	ttl := t.TTL()
+	return ttl > 0 && !ch.IssuedAt.IsZero() && at.Sub(ch.IssuedAt) > ttl
+}
+
+// Open records a new session for id, superseding any previous one. The
+// challenge's IssuedAt is stamped here if unset. As a side effect the
+// shard is swept for expired sessions at most once per TTL, bounding the
+// table's footprint under abandoned handshakes.
+func (t *SessionTable) Open(id ClientID, ch Challenge) error {
+	now := t.now()
+	if ch.IssuedAt.IsZero() {
+		ch.IssuedAt = now
+	}
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ttl := t.TTL()
+	if ttl > 0 && now.Sub(sh.lastSweep) > ttl {
+		sh.lastSweep = now
+		for sid, sch := range sh.open {
+			if sid != id && t.expired(sch, now) {
+				if err := t.closeLocked(sh, sid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if t.journal != nil {
+		if err := t.journal.SessionOpen(id, ch); err != nil {
+			return fmt.Errorf("core: journal session open for %q: %w", id, err)
+		}
+	}
+	sh.open[id] = ch
+	return nil
+}
+
+// Take consumes the open session for (id, nonce). It returns ok=false
+// when there is no session, the nonce does not match, or the session has
+// expired; an expired session is evicted (and its close journaled) but a
+// wrong-nonce probe leaves the stored session untouched, so third
+// parties cannot void sessions they do not own.
+func (t *SessionTable) Take(id ClientID, nonce uint64) (Challenge, bool) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch, ok := sh.open[id]
+	if !ok {
+		return Challenge{}, false
+	}
+	if t.expired(ch, t.now()) {
+		_ = t.closeLocked(sh, id)
+		return Challenge{}, false
+	}
+	if ch.Nonce != nonce {
+		return Challenge{}, false
+	}
+	if err := t.closeLocked(sh, id); err != nil {
+		// The journal refused the close. Failing the Take (so the caller
+		// sees no session) keeps memory behind the log rather than ahead
+		// of it: the worst case is a still-open session that a restart
+		// also considers open.
+		return Challenge{}, false
+	}
+	return ch, true
+}
+
+// Drop closes any open session for id (deprovisioning, or an expired
+// sweep). Dropping an absent session is a no-op.
+func (t *SessionTable) Drop(id ClientID) error {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.open[id]; !ok {
+		return nil
+	}
+	return t.closeLocked(sh, id)
+}
+
+// closeLocked journals and applies a session close; the shard lock must
+// be held.
+func (t *SessionTable) closeLocked(sh *sessionShard, id ClientID) error {
+	if t.journal != nil {
+		if err := t.journal.SessionClose(id); err != nil {
+			return fmt.Errorf("core: journal session close for %q: %w", id, err)
+		}
+	}
+	delete(sh.open, id)
+	return nil
+}
+
+// Restore applies a session without journaling (the replay path). The
+// recorded IssuedAt is preserved, so sessions that expired across the
+// restart stay expired.
+func (t *SessionTable) Restore(id ClientID, ch Challenge) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	sh.open[id] = ch
+	sh.mu.Unlock()
+	t.BumpNonce(ch.Nonce)
+}
+
+// Forget removes a session without journaling (the replay path of a
+// SessionClose record).
+func (t *SessionTable) Forget(id ClientID) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	delete(sh.open, id)
+	sh.mu.Unlock()
+}
+
+// Snapshot copies every open session.
+func (t *SessionTable) Snapshot() map[ClientID]Challenge {
+	out := make(map[ClientID]Challenge)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for id, ch := range sh.open {
+			out[id] = ch
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Len returns the number of open sessions (including not-yet-swept
+// expired ones).
+func (t *SessionTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.open)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -18,15 +18,35 @@ import (
 // paper keeps them "stored in an encrypted database": each image is
 // serialized and sealed with AES-256-GCM under the store's master key
 // before it touches the in-memory map.
+//
+// The map is striped across DefaultShards lock shards so the serving
+// path (one Get per handshake, one Get per authentication) does not
+// funnel through a single RWMutex. An optional Journal receives every
+// mutation before it is applied, already sealed.
 type ImageStore struct {
-	aead cipher.AEAD
+	aead    cipher.AEAD
+	journal Journal
+	shards  []storeShard
+}
 
+type storeShard struct {
 	mu    sync.RWMutex
 	blobs map[ClientID][]byte
 }
 
-// NewImageStore opens a store sealed under the 32-byte master key.
+// NewImageStore opens a store sealed under the 32-byte master key, with
+// the default shard count.
 func NewImageStore(masterKey [32]byte) (*ImageStore, error) {
+	return NewImageStoreShards(masterKey, DefaultShards)
+}
+
+// NewImageStoreShards opens a store with an explicit lock-stripe count.
+// shards = 1 reproduces the single-mutex layout (useful as a contention
+// baseline); serving deployments should keep the default.
+func NewImageStoreShards(masterKey [32]byte, shards int) (*ImageStore, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("core: image store needs at least 1 shard, got %d", shards)
+	}
 	block, err := aes.NewCipher(masterKey[:])
 	if err != nil {
 		return nil, fmt.Errorf("core: image store: %w", err)
@@ -35,11 +55,25 @@ func NewImageStore(masterKey [32]byte) (*ImageStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: image store: %w", err)
 	}
-	return &ImageStore{aead: aead, blobs: make(map[ClientID][]byte)}, nil
+	s := &ImageStore{aead: aead, shards: make([]storeShard, shards)}
+	for i := range s.shards {
+		s.shards[i].blobs = make(map[ClientID][]byte)
+	}
+	return s, nil
+}
+
+// SetJournal attaches a mutation journal. Pass nil to detach. Not safe
+// to race with mutations; attach during assembly (internal/durable does
+// this after replay, before the store is shared).
+func (s *ImageStore) SetJournal(j Journal) { s.journal = j }
+
+func (s *ImageStore) shard(id ClientID) *storeShard {
+	return &s.shards[shardIndex(id, len(s.shards))]
 }
 
 // Put seals and stores a client's enrollment image, replacing any
-// previous image.
+// previous image. The sealed blob is journaled before the map is
+// updated; a journal failure leaves the store unchanged.
 func (s *ImageStore) Put(id ClientID, im *puf.Image) error {
 	if im == nil {
 		return fmt.Errorf("core: nil image for %q", id)
@@ -53,17 +87,34 @@ func (s *ImageStore) Put(id ClientID, im *puf.Image) error {
 		return fmt.Errorf("core: nonce: %w", err)
 	}
 	sealed := s.aead.Seal(nonce, nonce, plain.Bytes(), []byte(id))
-	s.mu.Lock()
-	s.blobs[id] = sealed
-	s.mu.Unlock()
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.ImagePut(id, sealed); err != nil {
+			return fmt.Errorf("core: journal image put for %q: %w", id, err)
+		}
+	}
+	sh.blobs[id] = sealed
 	return nil
+}
+
+// PutSealed stores an already-sealed blob without journaling. It is the
+// replay/restore path: internal/durable uses it to apply WAL records and
+// snapshots, and Load uses it to fill a fresh store.
+func (s *ImageStore) PutSealed(id ClientID, sealed []byte) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sh.blobs[id] = append([]byte(nil), sealed...)
+	sh.mu.Unlock()
 }
 
 // Get opens and decodes a client's enrollment image.
 func (s *ImageStore) Get(id ClientID) (*puf.Image, error) {
-	s.mu.RLock()
-	sealed, ok := s.blobs[id]
-	s.mu.RUnlock()
+	sh := s.shard(id)
+	sh.mu.RLock()
+	sealed, ok := sh.blobs[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("client %q not enrolled: %w", id, ErrUnknownClient)
 	}
@@ -82,24 +133,62 @@ func (s *ImageStore) Get(id ClientID) (*puf.Image, error) {
 	return &im, nil
 }
 
-// Delete removes a client's image (device revocation).
-func (s *ImageStore) Delete(id ClientID) {
-	s.mu.Lock()
-	delete(s.blobs, id)
-	s.mu.Unlock()
+// Has reports whether an image is stored for id.
+func (s *ImageStore) Has(id ClientID) bool {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	_, ok := sh.blobs[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Delete removes a client's image (device revocation). Deleting an
+// absent client is a no-op and is not journaled.
+func (s *ImageStore) Delete(id ClientID) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.blobs[id]; !ok {
+		return nil
+	}
+	if s.journal != nil {
+		if err := s.journal.ImageDelete(id); err != nil {
+			return fmt.Errorf("core: journal image delete for %q: %w", id, err)
+		}
+	}
+	delete(sh.blobs, id)
+	return nil
+}
+
+// Drop removes a client's image without journaling (the replay path of
+// an ImageDelete record).
+func (s *ImageStore) Drop(id ClientID) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	delete(sh.blobs, id)
+	sh.mu.Unlock()
+}
+
+// SealedSnapshot copies every sealed blob. Blobs stay sealed, so the
+// snapshot (like Save) never contains plaintext PUF images.
+func (s *ImageStore) SealedSnapshot() map[ClientID][]byte {
+	out := make(map[ClientID][]byte, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, blob := range sh.blobs {
+			out[id] = append([]byte(nil), blob...)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Save writes the store to w. Blobs are persisted exactly as sealed in
 // memory, so the file never contains plaintext PUF images and can only be
 // opened again with the same master key.
 func (s *ImageStore) Save(w io.Writer) error {
-	s.mu.RLock()
-	snapshot := make(map[ClientID][]byte, len(s.blobs))
-	for id, blob := range s.blobs {
-		snapshot[id] = append([]byte(nil), blob...)
-	}
-	s.mu.RUnlock()
-	if err := gob.NewEncoder(w).Encode(snapshot); err != nil {
+	if err := gob.NewEncoder(w).Encode(s.SealedSnapshot()); err != nil {
 		return fmt.Errorf("core: save image store: %w", err)
 	}
 	return nil
@@ -117,15 +206,20 @@ func LoadImageStore(masterKey [32]byte, r io.Reader) (*ImageStore, error) {
 	if err := gob.NewDecoder(r).Decode(&snapshot); err != nil {
 		return nil, fmt.Errorf("core: load image store: %w", err)
 	}
-	s.mu.Lock()
-	s.blobs = snapshot
-	s.mu.Unlock()
+	for id, blob := range snapshot {
+		s.PutSealed(id, blob)
+	}
 	return s, nil
 }
 
 // Len returns the number of enrolled clients.
 func (s *ImageStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.blobs)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.blobs)
+		sh.mu.RUnlock()
+	}
+	return n
 }

@@ -64,9 +64,7 @@ func TestImageStoreIsActuallyEncrypted(t *testing.T) {
 	store.Put("alice", im)
 	// Reach into the sealed blob: it must not contain the plaintext
 	// serialization prefix.
-	store.mu.RLock()
-	blob := store.blobs["alice"]
-	store.mu.RUnlock()
+	blob := store.SealedSnapshot()["alice"]
 	if len(blob) == 0 {
 		t.Fatal("no blob stored")
 	}
@@ -80,16 +78,14 @@ func TestImageStoreIsActuallyEncrypted(t *testing.T) {
 func TestImageStoreBlobTamperDetected(t *testing.T) {
 	store, _ := NewImageStore([32]byte{1})
 	store.Put("alice", testImage(t))
-	store.mu.Lock()
-	store.blobs["alice"][len(store.blobs["alice"])-1] ^= 0xFF
-	store.mu.Unlock()
+	blob := store.SealedSnapshot()["alice"]
+	blob[len(blob)-1] ^= 0xFF
+	store.PutSealed("alice", blob)
 	if _, err := store.Get("alice"); err == nil {
 		t.Error("tampered blob accepted")
 	}
 	// Truncated blob shorter than a nonce.
-	store.mu.Lock()
-	store.blobs["bob"] = []byte{1, 2}
-	store.mu.Unlock()
+	store.PutSealed("bob", []byte{1, 2})
 	if _, err := store.Get("bob"); err == nil {
 		t.Error("truncated blob accepted")
 	}
@@ -100,9 +96,7 @@ func TestImageStoreKeyBinding(t *testing.T) {
 	// (additional authenticated data binds identity).
 	store, _ := NewImageStore([32]byte{1})
 	store.Put("alice", testImage(t))
-	store.mu.Lock()
-	store.blobs["eve"] = store.blobs["alice"]
-	store.mu.Unlock()
+	store.PutSealed("eve", store.SealedSnapshot()["alice"])
 	if _, err := store.Get("eve"); err == nil {
 		t.Error("blob replayed under a different identity")
 	}

@@ -1,0 +1,525 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when the WAL calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs on a background ticker
+	// (Options.SyncInterval, default 100 ms): bounded data loss at a
+	// small fraction of SyncAlways's cost.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: no acknowledged mutation is
+	// ever lost, at the price of one fsync per mutation.
+	SyncAlways
+	// SyncNever leaves flushing to the OS page cache: fastest, loses up
+	// to the OS writeback window on power failure (a clean process kill
+	// loses nothing — the data is already in the page cache).
+	SyncNever
+)
+
+// String names the policy (and is the -sync flag vocabulary).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy-%d", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -sync flag vocabulary.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown sync policy %q (always|interval|never)", s)
+	}
+}
+
+// Record framing inside a segment:
+//
+//	offset size
+//	0      8    sequence number (big endian)
+//	8      4    payload length
+//	12     4    CRC-32C (Castagnoli) over bytes 0..12 and the payload
+//	16     n    payload (one encoded Record)
+//
+// The CRC covers the header, so a bit flip in seq or length is detected
+// as reliably as one in the payload.
+const recordHeader = 16
+
+// maxRecordLen bounds a frame's payload: larger is corruption.
+const maxRecordLen = 1 << 25
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports unrecoverable WAL damage: a torn or corrupt record
+// that is NOT at the tail of the log. Tail damage is expected after a
+// crash and is repaired by truncation; damage with intact records after
+// it means the storage lied and recovery refuses to guess.
+var ErrCorrupt = errors.New("durable: WAL corrupt before tail")
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+func segName(start uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, start, segSuffix)
+}
+
+// segStart parses a segment filename into its starting sequence number.
+func segStartFromName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// walConfig sizes and paces a WAL.
+type walConfig struct {
+	policy   SyncPolicy
+	interval time.Duration
+	segBytes int64
+}
+
+// wal is a segmented write-ahead log. Appends are serialized by mu;
+// LastSeq is lock-free so snapshots can take a sequence cut without
+// stalling writers.
+type wal struct {
+	dir string
+	cfg walConfig
+
+	seq atomic.Uint64 // last assigned sequence number
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	segStart uint64
+	dirty    bool
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	metrics *walMetrics
+}
+
+// walMetrics is filled in by State when an obs registry is attached;
+// nil fields are simply not recorded.
+type walMetrics struct {
+	appends     func()
+	appendBytes func(n int)
+	fsyncSecs   func(s float64)
+	rotations   func()
+}
+
+func (m *walMetrics) incAppends(n int) {
+	if m == nil {
+		return
+	}
+	if m.appends != nil {
+		m.appends()
+	}
+	if m.appendBytes != nil {
+		m.appendBytes(n)
+	}
+}
+
+func (m *walMetrics) observeFsync(s float64) {
+	if m != nil && m.fsyncSecs != nil {
+		m.fsyncSecs(s)
+	}
+}
+
+func (m *walMetrics) incRotations() {
+	if m != nil && m.rotations != nil {
+		m.rotations()
+	}
+}
+
+// walRecovery reports what opening a WAL found and repaired.
+type walRecovery struct {
+	records   int   // records replayed (seq > from)
+	skipped   int   // records at or below the snapshot cut
+	segments  int   // segment files scanned
+	tornBytes int64 // bytes truncated off the tail
+	truncated bool
+}
+
+// openWAL scans dir's segments in order, replays every record with
+// seq > from through apply, repairs a torn tail by truncation, and
+// returns the WAL positioned for appending.
+func openWAL(dir string, cfg walConfig, from uint64, apply func(seq uint64, payload []byte) error) (*wal, walRecovery, error) {
+	var rec walRecovery
+	if cfg.segBytes <= 0 {
+		cfg.segBytes = 8 << 20
+	}
+	if cfg.interval <= 0 {
+		cfg.interval = 100 * time.Millisecond
+	}
+	starts, err := listSegments(dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.segments = len(starts)
+
+	w := &wal{dir: dir, cfg: cfg}
+	// Records are numbered sequentially across segments; a segment's
+	// filename is its first record's sequence number. Continuity is
+	// checked in file order; a gap between segments is tolerated only
+	// when every missing record is covered by the snapshot cut (from) —
+	// that shape is left behind when a torn tail ate records a snapshot
+	// had already captured and a fresh segment was started past the cut.
+	var fileSeq uint64
+	if len(starts) > 0 {
+		fileSeq = starts[0] - 1
+	}
+	for i, start := range starts {
+		if start <= fileSeq || (start != fileSeq+1 && start > from+1) {
+			return nil, rec, fmt.Errorf("%w: segment %s does not continue record %d",
+				ErrCorrupt, segName(start), fileSeq)
+		}
+		last := i == len(starts)-1
+		path := filepath.Join(dir, segName(start))
+		seq, err := w.replaySegment(path, last, start-1, from, apply, &rec)
+		if err != nil {
+			return nil, rec, err
+		}
+		if seq > fileSeq {
+			fileSeq = seq
+		}
+	}
+	lastSeq := fileSeq
+	if from > lastSeq {
+		// The snapshot is ahead of the surviving log (e.g. the tail was
+		// torn away after the snapshot): never reissue sequence numbers.
+		lastSeq = from
+	}
+	w.seq.Store(lastSeq)
+
+	// Append into the newest segment — unless the snapshot is ahead of
+	// it, in which case continuing it would punch a sequence gap into
+	// the middle of a segment; start a fresh one past the cut instead.
+	start := lastSeq + 1
+	if len(starts) > 0 && from <= fileSeq {
+		start = starts[len(starts)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(start)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, rec, fmt.Errorf("durable: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	w.f, w.size, w.segStart = f, st.Size(), start
+
+	if cfg.policy == SyncInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, rec, nil
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: list WAL dir: %w", err)
+	}
+	var starts []uint64
+	for _, e := range entries {
+		if start, ok := segStartFromName(e.Name()); ok {
+			starts = append(starts, start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// replaySegment reads one segment. In the last segment a torn or corrupt
+// tail is truncated away; anywhere else it is ErrCorrupt. prevSeq is the
+// last sequence number seen so far — records must be strictly
+// increasing.
+func (w *wal) replaySegment(path string, last bool, prevSeq, from uint64, apply func(uint64, []byte) error, rec *walRecovery) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	var (
+		hdr    [recordHeader]byte
+		offset int64
+		seq    = prevSeq
+	)
+	truncateAt := func(off int64, why string) (uint64, error) {
+		if !last {
+			return 0, fmt.Errorf("%w: %s at %s offset %d", ErrCorrupt, why, filepath.Base(path), off)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		rec.tornBytes = st.Size() - off
+		rec.truncated = true
+		if err := os.Truncate(path, off); err != nil {
+			return 0, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+		return seq, nil
+	}
+
+	for {
+		n, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return seq, nil // clean segment end
+		}
+		if err == io.ErrUnexpectedEOF {
+			return truncateAt(offset, fmt.Sprintf("torn header (%d bytes)", n))
+		}
+		if err != nil {
+			return 0, err
+		}
+		rseq := binary.BigEndian.Uint64(hdr[0:8])
+		plen := binary.BigEndian.Uint32(hdr[8:12])
+		crc := binary.BigEndian.Uint32(hdr[12:16])
+		if plen == 0 || plen > maxRecordLen || rseq != seq+1 {
+			return truncateAt(offset, "invalid record header")
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			// ReadFull reports io.EOF when the file ends exactly at the
+			// header boundary and ErrUnexpectedEOF mid-payload; both are
+			// the same torn write.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return truncateAt(offset, "torn payload")
+			}
+			return 0, err
+		}
+		sum := crc32.Update(crc32.Checksum(hdr[:12], castagnoli), castagnoli, payload)
+		if sum != crc {
+			return truncateAt(offset, "checksum mismatch")
+		}
+		if rseq > from {
+			if err := apply(rseq, payload); err != nil {
+				return 0, fmt.Errorf("durable: replay record %d: %w", rseq, err)
+			}
+			rec.records++
+		} else {
+			rec.skipped++
+		}
+		seq = rseq
+		offset += recordHeader + int64(plen)
+	}
+}
+
+// Append journals one payload and returns its sequence number. The
+// write (and, under SyncAlways, the fsync) completes before Append
+// returns, so a nil error means the record will survive recovery.
+func (w *wal) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 || len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("durable: record payload %d bytes", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("durable: WAL closed")
+	}
+	seq := w.seq.Load() + 1
+
+	frame := make([]byte, recordHeader+len(payload))
+	binary.BigEndian.PutUint64(frame[0:8], seq)
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	copy(frame[recordHeader:], payload)
+	sum := crc32.Update(crc32.Checksum(frame[:12], castagnoli), castagnoli, payload)
+	binary.BigEndian.PutUint32(frame[12:16], sum)
+
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("durable: append: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.dirty = true
+	w.seq.Store(seq)
+	w.metrics.incAppends(len(frame))
+
+	if w.cfg.policy == SyncAlways {
+		if err := w.fsyncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if w.size >= w.cfg.segBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// LastSeq returns the last assigned sequence number (0 before any
+// append). Lock-free: snapshots use it to take their sequence cut.
+func (w *wal) LastSeq() uint64 { return w.seq.Load() }
+
+func (w *wal) fsyncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	w.metrics.observeFsync(time.Since(start).Seconds())
+	w.dirty = false
+	return nil
+}
+
+// Sync forces an fsync of the current segment.
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.fsyncLocked()
+}
+
+func (w *wal) syncLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			_ = w.Sync()
+		}
+	}
+}
+
+// rotateLocked seals the current segment and starts the next one.
+func (w *wal) rotateLocked() error {
+	if err := w.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	start := w.seq.Load() + 1
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(start)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("durable: rotate: %w", err)
+	}
+	w.f, w.size, w.segStart, w.dirty = f, 0, start, false
+	w.metrics.incRotations()
+	return syncDir(w.dir)
+}
+
+// Rotate seals the current segment if it holds any records, so a
+// subsequent CompactBefore can remove it once a snapshot covers it.
+func (w *wal) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.size == 0 {
+		return nil
+	}
+	return w.rotateLocked()
+}
+
+// CompactBefore deletes sealed segments whose records are all covered by
+// a snapshot at seq (i.e. every record in them has sequence <= seq).
+// The active segment is never removed.
+func (w *wal) CompactBefore(seq uint64) (removed int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	starts, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	for i, start := range starts {
+		if start == w.segStart {
+			break // the active segment and anything after it stays
+		}
+		// The records of segment i end where segment i+1 begins.
+		var lastRec uint64
+		if i+1 < len(starts) {
+			lastRec = starts[i+1] - 1
+		} else {
+			lastRec = w.seq.Load()
+		}
+		if lastRec > seq {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(start))); err != nil {
+			return removed, fmt.Errorf("durable: compact: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		err = syncDir(w.dir)
+	}
+	return removed, err
+}
+
+// Close fsyncs and closes the active segment and stops the sync loop.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.fsyncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	stop, done := w.stop, w.done
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable. Best effort on platforms where directories cannot be synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

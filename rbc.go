@@ -72,6 +72,24 @@
 //
 // rbc-server exposes the same surface with its -debug-addr flag.
 //
+// # Durability
+//
+// RBC-SALTED rotates a client's key on every authentication, so the
+// registry mutates on the hot path and a crash desynchronizes clients.
+// OpenDurable journals every image, key and session mutation to a
+// CRC-framed write-ahead log under a data directory, snapshots on clean
+// shutdown, and replays WAL-over-snapshot on open (truncating a torn
+// tail):
+//
+//	state, _ := rbc.OpenDurable(rbc.DurableOptions{Dir: "/var/lib/rbc", MasterKey: masterKey})
+//	defer state.Close()
+//	ca, _ := rbc.NewCA(state.Images(), backend, &rbc.AESKeyGenerator{}, state.RA(),
+//		rbc.CAConfig{Sessions: state.Sessions()})
+//
+// rbc-server exposes this as -data-dir (with -sync choosing the fsync
+// policy); rbc-enroll can enroll into and deprovision from the same
+// directory.
+//
 // See DESIGN.md for the modelling and calibration methodology and
 // EXPERIMENTS.md for the paper-versus-reproduction numbers.
 package rbc
@@ -85,6 +103,7 @@ import (
 	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/cryptoalg/dilithium"
 	"rbcsalted/internal/cryptoalg/saber"
+	"rbcsalted/internal/durable"
 	"rbcsalted/internal/gpusim"
 	"rbcsalted/internal/iterseq"
 	"rbcsalted/internal/netproto"
@@ -130,6 +149,12 @@ type (
 	Issuer = core.Issuer
 	// ShellStat is one Hamming shell's contribution to a search.
 	ShellStat = core.ShellStat
+	// SessionTable holds the CA's open handshake sessions (injectable
+	// via CAConfig.Sessions for durability).
+	SessionTable = core.SessionTable
+	// Journal receives every store mutation before it is applied; the
+	// durable State implements it.
+	Journal = core.Journal
 )
 
 // Hash algorithm constants.
@@ -223,6 +248,8 @@ var (
 	NewCA = core.NewCA
 	// NewImageStore opens an encrypted PUF-image store.
 	NewImageStore = core.NewImageStore
+	// NewSessionTable returns an empty session table.
+	NewSessionTable = core.NewSessionTable
 	// HashSeed digests a seed with the fixed-padding fast path.
 	HashSeed = core.HashSeed
 	// SaltSeed applies the shared salt to a recovered seed.
@@ -231,6 +258,42 @@ var (
 	NewIssuer = core.NewIssuer
 	// LoadImageStore reopens a store written by ImageStore.Save.
 	LoadImageStore = core.LoadImageStore
+)
+
+// DefaultSessionTTL is the CA's default challenge lifetime.
+const DefaultSessionTTL = core.DefaultSessionTTL
+
+// Durable state: WAL + snapshots under a data directory, journaling
+// every image, key and session mutation (rbc-server's -data-dir).
+type (
+	// DurableState is the persistence root; its Images/RA/Sessions
+	// accessors plug straight into NewCA.
+	DurableState = durable.State
+	// DurableOptions configures OpenDurable (directory, master key,
+	// fsync policy, segment size, metrics).
+	DurableOptions = durable.Options
+	// RecoveryStats reports what OpenDurable found and repaired.
+	RecoveryStats = durable.RecoveryStats
+	// WALSyncPolicy selects when the write-ahead log calls fsync.
+	WALSyncPolicy = durable.SyncPolicy
+)
+
+// WAL fsync policies.
+const (
+	// SyncInterval (default): background fsync every ~100 ms.
+	SyncInterval = durable.SyncInterval
+	// SyncAlways: fsync on every append; no acknowledged loss.
+	SyncAlways = durable.SyncAlways
+	// SyncNever: leave flushing to the OS page cache.
+	SyncNever = durable.SyncNever
+)
+
+var (
+	// OpenDurable opens (or initializes) a durable data directory and
+	// replays WAL-over-snapshot into fresh stores.
+	OpenDurable = durable.Open
+	// ParseWALSyncPolicy parses "always", "interval" or "never".
+	ParseWALSyncPolicy = durable.ParseSyncPolicy
 )
 
 // Search backends.
