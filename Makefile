@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz cluster-race bench
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # with the race detector (the scheduler and backend-cancellation tests
@@ -20,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# cluster-race hammers the fault-tolerance property tests (worker kills,
+# re-dispatch, rejoin) twice under the race detector; CI runs this as a
+# dedicated job because the timing-sensitive failure paths only count
+# when raced and repeated.
+cluster-race:
+	$(GO) test -race ./internal/cluster/... -count=2
 
 # fuzz smokes the netproto frame/error-payload fuzzers and the WAL
 # record decoder for FUZZTIME each; -run='^$$' skips the unit tests so

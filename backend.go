@@ -1,0 +1,192 @@
+package rbc
+
+import (
+	"fmt"
+	"time"
+
+	"rbcsalted/internal/apusim"
+	"rbcsalted/internal/cluster"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/gpusim"
+)
+
+// BackendKind selects which search engine NewBackend constructs.
+type BackendKind int
+
+const (
+	// BackendCPU is the real multicore engine (SALTED-CPU).
+	BackendCPU BackendKind = iota
+	// BackendGPU is the calibrated A100 simulator (SALTED-GPU).
+	BackendGPU
+	// BackendAPU is the calibrated Gemini simulator (SALTED-APU).
+	BackendAPU
+	// BackendCluster is a fault-tolerant distributed coordinator; pair it
+	// with ClusterWorker processes connecting over TCP.
+	BackendCluster
+)
+
+// String names the kind for logs and error messages.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendCPU:
+		return "cpu"
+	case BackendGPU:
+		return "gpu"
+	case BackendAPU:
+		return "apu"
+	case BackendCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
+	}
+}
+
+// ParseBackendKind parses "cpu", "gpu", "apu" or "cluster" — the values
+// the command-line tools accept for their -backend flags.
+func ParseBackendKind(s string) (BackendKind, error) {
+	switch s {
+	case "cpu":
+		return BackendCPU, nil
+	case "gpu":
+		return BackendGPU, nil
+	case "apu":
+		return BackendAPU, nil
+	case "cluster":
+		return BackendCluster, nil
+	default:
+		return 0, fmt.Errorf("rbc: unknown backend kind %q (want cpu, gpu, apu or cluster)", s)
+	}
+}
+
+// BackendSpec describes the search engine NewBackend should build. The
+// zero value (plus a Kind) is a sensible default for every kind; the
+// With* functional options fill in the cross-cutting fields so call
+// sites read declaratively:
+//
+//	b, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendGPU},
+//		rbc.WithAlg(rbc.SHA3), rbc.WithDevices(3))
+type BackendSpec struct {
+	// Kind selects the engine.
+	Kind BackendKind
+	// Alg is the search hash; the zero value is SHA1.
+	Alg HashAlg
+	// Cores sets CPU search workers (CPU kind) or host execution
+	// goroutines (GPU/APU kinds); 0 means GOMAXPROCS.
+	Cores int
+	// Devices is the simulated device count (GPU/APU kinds); 0 means 1.
+	Devices int
+	// CheckInterval is seeds hashed between exit-flag polls (GPU kind).
+	CheckInterval int
+	// ExecBudget caps the shell size executed for real rather than
+	// planned analytically (GPU/APU kinds); 0 means the package default.
+	ExecBudget uint64
+	// Fallback enables the cluster's degraded mode: searches run on this
+	// local backend whenever the fleet is empty (cluster kind).
+	Fallback Backend
+	// Metrics receives the cluster's fault-tolerance counters (cluster
+	// kind).
+	Metrics *MetricsRegistry
+	// HeartbeatInterval and HeartbeatTimeout tune the cluster's failure
+	// detector (cluster kind); zero values take the cluster defaults.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+}
+
+// BackendOption mutates a BackendSpec; pass options to NewBackend after
+// the spec.
+type BackendOption func(*BackendSpec)
+
+// WithAlg sets the search hash algorithm.
+func WithAlg(alg HashAlg) BackendOption {
+	return func(s *BackendSpec) { s.Alg = alg }
+}
+
+// WithCores sets CPU workers (CPU kind) or host execution goroutines
+// (GPU/APU kinds).
+func WithCores(n int) BackendOption {
+	return func(s *BackendSpec) { s.Cores = n }
+}
+
+// WithDevices sets the simulated device count (GPU/APU kinds).
+func WithDevices(n int) BackendOption {
+	return func(s *BackendSpec) { s.Devices = n }
+}
+
+// WithCheckInterval sets seeds hashed between exit-flag polls (GPU
+// kind).
+func WithCheckInterval(n int) BackendOption {
+	return func(s *BackendSpec) { s.CheckInterval = n }
+}
+
+// WithExecBudget caps the shell size executed for real in the
+// simulators.
+func WithExecBudget(n uint64) BackendOption {
+	return func(s *BackendSpec) { s.ExecBudget = n }
+}
+
+// WithFallback enables the cluster's degraded mode on a local backend.
+func WithFallback(b Backend) BackendOption {
+	return func(s *BackendSpec) { s.Fallback = b }
+}
+
+// WithMetrics publishes the cluster's fault-tolerance counters.
+func WithMetrics(r *MetricsRegistry) BackendOption {
+	return func(s *BackendSpec) { s.Metrics = r }
+}
+
+// WithHeartbeat tunes the cluster's failure detector. A zero interval
+// or timeout keeps the cluster default for that field.
+func WithHeartbeat(interval, timeout time.Duration) BackendOption {
+	return func(s *BackendSpec) {
+		s.HeartbeatInterval = interval
+		s.HeartbeatTimeout = timeout
+	}
+}
+
+// NewBackend is the single entry point for constructing any of the four
+// search engines. It replaces the per-kind constructor zoo
+// (CPUBackend literals, NewGPUBackend, NewAPUBackend, hand-built
+// coordinators); those remain as thin deprecated wrappers.
+//
+// A cluster backend is returned as a *ClusterCoordinator ready for
+// Serve; remember to Close it. All other kinds are ready immediately.
+func NewBackend(spec BackendSpec, opts ...BackendOption) (Backend, error) {
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	if spec.Cores < 0 {
+		return nil, fmt.Errorf("rbc: negative cores %d", spec.Cores)
+	}
+	if spec.Devices < 0 {
+		return nil, fmt.Errorf("rbc: negative devices %d", spec.Devices)
+	}
+	switch spec.Kind {
+	case BackendCPU:
+		return &cpu.Backend{Alg: spec.Alg, Workers: spec.Cores}, nil
+	case BackendGPU:
+		return gpusim.NewBackend(gpusim.Config{
+			Alg:           spec.Alg,
+			Devices:       spec.Devices,
+			CheckInterval: spec.CheckInterval,
+			ExecBudget:    spec.ExecBudget,
+			HostWorkers:   spec.Cores,
+		}), nil
+	case BackendAPU:
+		return apusim.NewBackend(apusim.Config{
+			Alg:         spec.Alg,
+			Devices:     spec.Devices,
+			ExecBudget:  spec.ExecBudget,
+			HostWorkers: spec.Cores,
+		}), nil
+	case BackendCluster:
+		return cluster.NewCoordinator(cluster.Config{
+			Alg:               spec.Alg,
+			Fallback:          spec.Fallback,
+			HeartbeatInterval: spec.HeartbeatInterval,
+			HeartbeatTimeout:  spec.HeartbeatTimeout,
+			Metrics:           spec.Metrics,
+		}), nil
+	default:
+		return nil, fmt.Errorf("rbc: unknown backend kind %v", spec.Kind)
+	}
+}

@@ -1,0 +1,183 @@
+package rbc_test
+
+// Tests for the unified NewBackend constructor: every kind must
+// construct and actually search, the deprecated per-kind constructors
+// must keep working, and the option plumbing must reach the underlying
+// engines.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rbcsalted"
+)
+
+// backendTask builds a small searchable task: a client seed one bit off
+// the server's image, findable within distance 2.
+func backendTask(t *testing.T, alg rbc.HashAlg) (rbc.Task, rbc.Seed) {
+	t.Helper()
+	var base rbc.Seed
+	base = base.FlipBit(3).FlipBit(200)
+	client := base.FlipBit(17)
+	return rbc.Task{
+		Base:        base,
+		Target:      rbc.HashSeed(alg, client),
+		MaxDistance: 2,
+	}, client
+}
+
+func TestNewBackendConstructsAllKinds(t *testing.T) {
+	task, client := backendTask(t, rbc.SHA3)
+	kinds := []rbc.BackendKind{rbc.BackendCPU, rbc.BackendGPU, rbc.BackendAPU}
+	for _, kind := range kinds {
+		b, err := rbc.NewBackend(rbc.BackendSpec{Kind: kind},
+			rbc.WithAlg(rbc.SHA3), rbc.WithCores(2))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		res, err := b.Search(context.Background(), task)
+		if err != nil {
+			t.Fatalf("%v: search: %v", kind, err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			t.Fatalf("%v: wrong result %+v", kind, res)
+		}
+	}
+}
+
+func TestNewBackendCluster(t *testing.T) {
+	reg := rbc.NewMetricsRegistry()
+	b, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendCluster},
+		rbc.WithAlg(rbc.SHA3),
+		rbc.WithFallback(&rbc.CPUBackend{Alg: rbc.SHA3, Workers: 2}),
+		rbc.WithMetrics(reg),
+		rbc.WithHeartbeat(50*time.Millisecond, 500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, ok := b.(*rbc.ClusterCoordinator)
+	if !ok {
+		t.Fatalf("cluster kind returned %T", b)
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go rbc.RunClusterWorker(ln.Addr().String(), &rbc.ClusterWorker{Cores: 2}, stop)
+	if err := coord.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	task, client := backendTask(t, rbc.SHA3)
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("wrong result %+v", res)
+	}
+	if st := coord.Stats(); st.Workers != 1 {
+		t.Fatalf("stats %+v, want 1 worker", st)
+	}
+}
+
+func TestNewBackendClusterFallbackWithoutFleet(t *testing.T) {
+	b, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendCluster},
+		rbc.WithAlg(rbc.SHA1),
+		rbc.WithFallback(&rbc.CPUBackend{Alg: rbc.SHA1, Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := b.(*rbc.ClusterCoordinator)
+	defer coord.Close()
+
+	task, client := backendTask(t, rbc.SHA1)
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatalf("degraded search: %v", err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("wrong result %+v", res)
+	}
+	if !coord.Degraded() {
+		t.Fatal("empty fleet should report degraded")
+	}
+}
+
+func TestNewBackendRejectsBadSpecs(t *testing.T) {
+	if _, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendKind(42)}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendCPU}, rbc.WithCores(-1)); err == nil {
+		t.Fatal("negative cores accepted")
+	}
+	if _, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendGPU}, rbc.WithDevices(-2)); err == nil {
+		t.Fatal("negative devices accepted")
+	}
+}
+
+func TestParseBackendKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want rbc.BackendKind
+	}{
+		{"cpu", rbc.BackendCPU},
+		{"gpu", rbc.BackendGPU},
+		{"apu", rbc.BackendAPU},
+		{"cluster", rbc.BackendCluster},
+	} {
+		got, err := rbc.ParseBackendKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBackendKind(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := rbc.ParseBackendKind("tpu"); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend kind") {
+		t.Fatalf("ParseBackendKind(tpu) = %v", err)
+	}
+}
+
+// TestDeprecatedConstructorsStillWork pins the compatibility contract:
+// the old per-kind constructors must keep compiling and searching.
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	task, client := backendTask(t, rbc.SHA3)
+	for name, b := range map[string]rbc.Backend{
+		"cpu": &rbc.CPUBackend{Alg: rbc.SHA3, Workers: 2},
+		"gpu": rbc.NewGPUBackend(rbc.GPUConfig{Alg: rbc.SHA3}),
+		"apu": rbc.NewAPUBackend(rbc.APUConfig{Alg: rbc.SHA3}),
+	} {
+		res, err := b.Search(context.Background(), task)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			t.Fatalf("%s: wrong result %+v", name, res)
+		}
+	}
+}
+
+func TestClusterErrorsExported(t *testing.T) {
+	coord := rbc.NewClusterCoordinator(rbc.ClusterConfig{Alg: rbc.SHA1})
+	coord.Close()
+	task, _ := backendTask(t, rbc.SHA1)
+	_, err := coord.Search(context.Background(), task)
+	if !errors.Is(err, rbc.ErrClusterClosed) {
+		t.Fatalf("search after close: %v", err)
+	}
+	if rbc.ErrProtoVersion == nil {
+		t.Fatal("ErrProtoVersion not exported")
+	}
+}

@@ -1,6 +1,9 @@
 // Command rbc-cluster runs the distributed SALTED-CPU search (paper §5
 // future work): one coordinator node fans each Hamming shell out over
-// connected worker nodes, weighted by their core counts.
+// connected worker nodes, weighted by their core counts. The cluster is
+// fault-tolerant: workers heartbeat, a dead worker's unfinished ranges
+// are re-dispatched to the survivors (or a local fallback), and workers
+// rejoin automatically after a disconnect.
 //
 // Coordinator (also runs the demo search once the fleet is ready):
 //
@@ -9,6 +12,10 @@
 // Workers (one per node):
 //
 //	rbc-cluster -mode worker -connect host:7500
+//
+// SIGINT/SIGTERM drains in-flight searches before closing. -fallback
+// lets the coordinator keep serving from its own cores when the fleet
+// is empty; -debug-addr exposes the cluster_* fault-tolerance metrics.
 package main
 
 import (
@@ -18,12 +25,17 @@ import (
 	"log"
 	"math/rand/v2"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"rbcsalted/internal/cluster"
 	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/u256"
 )
@@ -36,50 +48,143 @@ func main() {
 	maxD := flag.Int("maxd", 3, "maximum Hamming distance")
 	distance := flag.Int("distance", 2, "true distance of the demo client seed")
 	cores := flag.Int("cores", 0, "advertised cores (worker mode; 0 = GOMAXPROCS)")
+	name := flag.String("name", "", "worker name, stable across reconnects (worker mode; default hostname)")
+	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeatInterval,
+		"worker heartbeat interval (coordinator mode)")
+	hbTimeout := flag.Duration("heartbeat-timeout", 0,
+		"silence window before a worker is declared dead (0 = 4x interval)")
+	fallback := flag.Bool("fallback", false,
+		"serve searches from local cores when the fleet is empty (coordinator mode)")
+	drain := flag.Duration("drain", cluster.DefaultDrainTimeout,
+		"max wait for in-flight searches on shutdown (coordinator mode)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /metrics and /debug/pprof on this address (coordinator mode)")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	switch *mode {
 	case "worker":
-		w := &cluster.Worker{Cores: *cores}
-		fmt.Printf("rbc-cluster worker (%d cores) connecting to %s\n",
-			effectiveCores(*cores), *connect)
-		stop := make(chan struct{})
-		cluster.RunWorkerUntil(*connect, w, stop)
+		runWorker(ctx, *connect, *cores, *name)
 	case "coordinator":
-		coord := &cluster.Coordinator{Alg: core.SHA3}
-		ln, err := net.Listen("tcp", *listen)
-		if err != nil {
-			log.Fatal(err)
-		}
-		go coord.Serve(ln)
-		fmt.Printf("rbc-cluster coordinator on %s, waiting for %d worker(s)\n",
-			ln.Addr(), *workers)
-		if err := coord.WaitForWorkers(*workers, 5*time.Minute); err != nil {
-			log.Fatal(err)
-		}
-		n, c := coord.Workers()
-		fmt.Printf("fleet ready: %d workers, %d cores\n", n, c)
-
-		// Demo search: a random enrolled seed with `distance` flipped bits.
-		r := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1))
-		base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
-		client := puf.InjectNoise(base, base, *distance, r)
-		start := time.Now()
-		res, err := coord.Search(context.Background(), core.Task{
-			Base:        base,
-			Target:      core.HashSeed(core.SHA3, client),
-			MaxDistance: *maxD,
-			Method:      iterseq.GrayCode,
+		runCoordinator(ctx, coordinatorOpts{
+			listen:    *listen,
+			workers:   *workers,
+			maxD:      *maxD,
+			distance:  *distance,
+			heartbeat: *heartbeat,
+			hbTimeout: *hbTimeout,
+			fallback:  *fallback,
+			drain:     *drain,
+			debugAddr: *debugAddr,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("found=%v distance=%d covered=%d seeds in %.3fs (%.2f Mseed/s)\n",
-			res.Found, res.Distance, res.SeedsCovered, time.Since(start).Seconds(),
-			float64(res.SeedsCovered)/time.Since(start).Seconds()/1e6)
-		coord.Close()
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func runWorker(ctx context.Context, connect string, cores int, name string) {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	w := &cluster.Worker{Cores: cores, Name: name}
+	fmt.Printf("rbc-cluster worker %q (%d cores) connecting to %s\n",
+		name, effectiveCores(cores), connect)
+	stop := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		fmt.Println("signal received, stopping worker")
+		close(stop)
+	}()
+	cluster.RunWorkerUntil(connect, w, stop)
+}
+
+type coordinatorOpts struct {
+	listen    string
+	workers   int
+	maxD      int
+	distance  int
+	heartbeat time.Duration
+	hbTimeout time.Duration
+	fallback  bool
+	drain     time.Duration
+	debugAddr string
+}
+
+func runCoordinator(ctx context.Context, o coordinatorOpts) {
+	reg := obs.NewRegistry()
+	cfg := cluster.Config{
+		Alg:               core.SHA3,
+		HeartbeatInterval: o.heartbeat,
+		HeartbeatTimeout:  o.hbTimeout,
+		DrainTimeout:      o.drain,
+		Metrics:           reg,
+	}
+	if o.fallback {
+		cfg.Fallback = &cpu.Backend{Alg: core.SHA3}
+	}
+	coord := cluster.NewCoordinator(cfg)
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Drain-then-close on SIGINT/SIGTERM: stop admitting workers, let
+	// in-flight searches finish (bounded by -drain), then tear down.
+	go func() {
+		<-ctx.Done()
+		fmt.Println("signal received, draining in-flight searches")
+		ln.Close()
+		coord.Close()
+	}()
+	defer coord.Close()
+	go coord.Serve(ln)
+
+	if o.debugAddr != "" {
+		dln, err := obs.Serve(o.debugAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dln.Close()
+		fmt.Printf("debug endpoint on http://%s/metrics\n", dln.Addr())
+	}
+
+	fmt.Printf("rbc-cluster coordinator on %s, waiting for %d worker(s)\n",
+		ln.Addr(), o.workers)
+	if err := coord.WaitForWorkers(o.workers, 5*time.Minute); err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		log.Fatal(err)
+	}
+	n, c := coord.Workers()
+	fmt.Printf("fleet ready: %d workers, %d cores\n", n, c)
+
+	// Demo search: a random enrolled seed with `distance` flipped bits.
+	r := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1))
+	base := u256.New(r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	client := puf.InjectNoise(base, base, o.distance, r)
+	start := time.Now()
+	res, err := coord.Search(ctx, core.Task{
+		Base:        base,
+		Target:      core.HashSeed(core.SHA3, client),
+		MaxDistance: o.maxD,
+		Method:      iterseq.GrayCode,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Printf("search interrupted: %v\n", err)
+			return
+		}
+		log.Fatal(err)
+	}
+	st := coord.Stats()
+	fmt.Printf("found=%v distance=%d covered=%d seeds in %.3fs (%.2f Mseed/s)\n",
+		res.Found, res.Distance, res.SeedsCovered, time.Since(start).Seconds(),
+		float64(res.SeedsCovered)/time.Since(start).Seconds()/1e6)
+	if st.Deaths > 0 || st.Redispatches > 0 || st.Fallbacks > 0 {
+		fmt.Printf("fault tolerance: deaths=%d redispatches=%d rejoins=%d fallbacks=%d\n",
+			st.Deaths, st.Redispatches, st.Rejoins, st.Fallbacks)
 	}
 }
 

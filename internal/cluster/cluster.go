@@ -3,10 +3,21 @@
 // distributed-memory MPI engine of Philabaum et al. [36].
 //
 // A Coordinator owns the RBC search and implements core.Backend; Workers
-// connect over TCP, announce their core counts, and receive disjoint
-// rank ranges of each Hamming shell, weighted by capacity. Workers chunk
+// connect over TCP, announce their capabilities (protocol version, core
+// count, supported seed-iteration methods), and receive disjoint rank
+// ranges of each Hamming shell, weighted by capacity. Workers chunk
 // their ranges so a FOUND broadcast (the distributed analogue of the
 // shared-memory early-exit flag) stops the whole cluster within one chunk.
+//
+// The coordinator is fault-tolerant: per-worker health is tracked with
+// heartbeats over the same gob message stream, a worker that dies
+// mid-shell has its unacknowledged range re-dispatched to the survivors
+// (re-weighted by cores), workers may reconnect and rejoin the pool
+// between shells, and an empty fleet degrades to a configurable local
+// fallback backend instead of failing the search. Coverage accounting
+// stays exact under any failure pattern because ranges are counted only
+// from acknowledged done messages: a worker that vanishes reports
+// nothing, so its whole range is re-run and counted exactly once.
 //
 // The control plane uses gob over length-prefixed frames; the data plane
 // is the same real search loop as the single-node engine
@@ -18,9 +29,29 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ProtoVersion is the cluster wire-protocol version. A worker and a
+// coordinator must agree exactly: the hello/welcome exchange carries the
+// version on both legs, and a mismatch yields ErrProtoVersion instead of
+// an opaque gob decode failure deep into a search.
+//
+// Version history:
+//
+//	1 — unversioned seed protocol (hello carried only cores + name).
+//	2 — versioned hello with capability set (max cores, iterseq methods),
+//	    welcome ack with heartbeat cadence, ping heartbeats.
+const ProtoVersion = 2
+
+// ErrProtoVersion reports a cluster handshake between incompatible
+// protocol versions. Both ends surface it: Worker.Serve/Run return it
+// when the coordinator's welcome carries a different version (or rejects
+// the hello), and the coordinator counts the rejected worker and closes
+// the connection after telling it why.
+var ErrProtoVersion = errors.New("cluster: wire protocol version mismatch")
 
 // ChunkSeeds is the number of seeds a worker covers between looking for a
 // cancel message; it bounds early-exit latency across the cluster.
@@ -32,12 +63,40 @@ const (
 	kindJob
 	kindDone
 	kindCancel
+	kindWelcome
+	kindPing
 )
 
-// helloMsg announces a worker and its capacity.
+// helloMsg announces a worker, its protocol version and its capability
+// set. Proto and Methods are new in protocol version 2; a v1 worker's
+// hello gob-decodes with Proto == 0 and is rejected by the welcome leg.
 type helloMsg struct {
+	// Proto is the worker's ProtoVersion.
+	Proto int
+	// Cores is the advertised capacity used for weighted partitioning.
 	Cores int
-	Name  string
+	// Name labels the worker in coordinator logs and rejoin tracking.
+	Name string
+	// Methods lists the iterseq.Method values this worker can execute.
+	// The coordinator skips workers lacking a job's iterator method.
+	// Empty means all methods (a conservative default for compactness).
+	Methods []int
+}
+
+// welcomeMsg is the coordinator's reply to a hello. It closes the
+// version negotiation: Accept=false with the coordinator's Proto tells a
+// mismatched worker exactly why it was turned away, and a worker
+// likewise verifies the coordinator's Proto before serving jobs.
+type welcomeMsg struct {
+	// Proto is the coordinator's ProtoVersion.
+	Proto int
+	// Accept reports whether the worker joined the pool.
+	Accept bool
+	// Reason explains a rejection.
+	Reason string
+	// HeartbeatMillis is the ping cadence the coordinator expects; the
+	// worker sends a ping at least this often. 0 disables heartbeats.
+	HeartbeatMillis int
 }
 
 // jobMsg assigns one contiguous rank range of one shell.
@@ -69,6 +128,14 @@ type doneMsg struct {
 type cancelMsg struct {
 	ID   uint64
 	Hard bool
+}
+
+// pingMsg is the worker->coordinator heartbeat. Any message refreshes
+// the worker's liveness; the ping exists so an idle worker still proves
+// it is alive between shells.
+type pingMsg struct {
+	// Seq is a monotonically increasing sequence number, for debugging.
+	Seq uint64
 }
 
 // writeMsg frames and sends one gob-encoded message.
@@ -107,6 +174,9 @@ func readMsg(r io.Reader) (byte, any, error) {
 	case kindHello:
 		var m helloMsg
 		return buf[0], &m, dec.Decode(&m)
+	case kindWelcome:
+		var m welcomeMsg
+		return buf[0], &m, dec.Decode(&m)
 	case kindJob:
 		var m jobMsg
 		return buf[0], &m, dec.Decode(&m)
@@ -116,7 +186,25 @@ func readMsg(r io.Reader) (byte, any, error) {
 	case kindCancel:
 		var m cancelMsg
 		return buf[0], &m, dec.Decode(&m)
+	case kindPing:
+		var m pingMsg
+		return buf[0], &m, dec.Decode(&m)
 	default:
 		return 0, nil, fmt.Errorf("cluster: unknown message kind %d", buf[0])
 	}
+}
+
+// methodSupported reports whether a capability list admits method m.
+// An empty list means the worker predates method filtering or supports
+// everything — treat as universal.
+func methodSupported(methods []int, m int) bool {
+	if len(methods) == 0 {
+		return true
+	}
+	for _, have := range methods {
+		if have == m {
+			return true
+		}
+	}
+	return false
 }

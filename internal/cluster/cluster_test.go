@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"math/rand/v2"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,13 +13,14 @@ import (
 	"rbcsalted/internal/core"
 	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/u256"
 )
 
-func startCluster(t *testing.T, alg core.HashAlg, workerCores []int) (*Coordinator, func()) {
+func startClusterCfg(t *testing.T, cfg Config, workerCores []int) (*Coordinator, net.Listener, func()) {
 	t.Helper()
-	coord := &Coordinator{Alg: alg}
+	coord := NewCoordinator(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -33,12 +36,18 @@ func startCluster(t *testing.T, alg core.HashAlg, workerCores []int) (*Coordinat
 	if err := coord.WaitForWorkers(len(workerCores), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	return coord, func() {
+	return coord, ln, func() {
 		for _, s := range stops {
 			close(s)
 		}
 		coord.Close()
 	}
+}
+
+func startCluster(t *testing.T, alg core.HashAlg, workerCores []int) (*Coordinator, func()) {
+	t.Helper()
+	coord, _, stop := startClusterCfg(t, Config{Alg: alg}, workerCores)
+	return coord, stop
 }
 
 func clusterTask(alg core.HashAlg, seed uint64, d, maxD int) (core.Task, u256.Uint256) {
@@ -51,6 +60,27 @@ func clusterTask(alg core.HashAlg, seed uint64, d, maxD int) (core.Task, u256.Ui
 		MaxDistance: maxD,
 		Method:      iterseq.GrayCode,
 	}, client
+}
+
+// dialRaw speaks the wire protocol by hand: dial, hello, welcome. It is
+// the building block for misbehaving-worker tests.
+func dialRaw(t *testing.T, addr string, hello *helloMsg) (net.Conn, *welcomeMsg) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, kindHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	kind, msg, err := readMsg(conn)
+	if err != nil {
+		t.Fatalf("no welcome: %v", err)
+	}
+	if kind != kindWelcome {
+		t.Fatalf("expected welcome, got kind %d", kind)
+	}
+	return conn, msg.(*welcomeMsg)
 }
 
 func TestClusterFindsSeed(t *testing.T) {
@@ -143,6 +173,9 @@ func TestClusterNoWorkers(t *testing.T) {
 	if _, err := coord.Search(context.Background(), task); err == nil {
 		t.Error("search without workers succeeded")
 	}
+	if !coord.Degraded() {
+		t.Error("empty fleet should report degraded")
+	}
 }
 
 func TestClusterWeightedPartition(t *testing.T) {
@@ -174,8 +207,67 @@ func TestClusterName(t *testing.T) {
 	}
 }
 
-func TestClusterWorkerDisconnectSurfacesError(t *testing.T) {
-	coord := &Coordinator{Alg: core.SHA3}
+// TestClusterWorkerDeathRedispatches is the new contract replacing the
+// seed repo's TestClusterWorkerDisconnectSurfacesError: a worker dying
+// mid-shell no longer fails the search — its range is re-dispatched to
+// the survivors and the result stays exact.
+func TestClusterWorkerDeathRedispatches(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, ln, stop := startClusterCfg(t, Config{Alg: core.SHA3, Metrics: reg}, []int{2})
+	defer stop()
+
+	// A worker that dies right after accepting its first job.
+	conn, welcome := dialRaw(t, ln.Addr().String(), &helloMsg{Proto: ProtoVersion, Cores: 1, Name: "flaky"})
+	if !welcome.Accept {
+		t.Fatalf("flaky worker rejected: %s", welcome.Reason)
+	}
+	go func() {
+		for {
+			kind, _, err := readMsg(conn)
+			if err != nil {
+				return
+			}
+			if kind == kindJob {
+				conn.Close() // die without answering
+				return
+			}
+		}
+	}()
+	if err := coord.WaitForWorkers(2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	task, client := clusterTask(core.SHA3, 8, 2, 2)
+	task.Exhaustive = true
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatalf("worker death failed the search: %v", err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("redispatch lost the seed: %+v", res)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("redispatch double- or under-counted: covered %d, want %d", res.SeedsCovered, want)
+	}
+	st := coord.Stats()
+	if st.Deaths == 0 || st.Redispatches == 0 {
+		t.Errorf("stats missed the death/redispatch: %+v", st)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap["cluster_worker_deaths"].(uint64); !ok || v == 0 {
+		t.Errorf("cluster_worker_deaths metric = %v", snap["cluster_worker_deaths"])
+	}
+	if v, ok := snap["cluster_redispatches"].(uint64); !ok || v == 0 {
+		t.Errorf("cluster_redispatches metric = %v", snap["cluster_redispatches"])
+	}
+	if h, ok := snap["cluster_redispatch_latency_seconds"].(obs.HistogramSnapshot); !ok || h.Count == 0 {
+		t.Errorf("cluster_redispatch_latency_seconds histogram = %v", snap["cluster_redispatch_latency_seconds"])
+	}
+}
+
+func TestClusterWorkerDeathNoSurvivorsFails(t *testing.T) {
+	coord := NewCoordinator(Config{Alg: core.SHA3})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -183,24 +275,298 @@ func TestClusterWorkerDisconnectSurfacesError(t *testing.T) {
 	go coord.Serve(ln)
 	defer coord.Close()
 
-	// A worker that dies right after accepting its first job.
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := writeMsg(conn, kindHello, &helloMsg{Cores: 1, Name: "flaky"}); err != nil {
-		t.Fatal(err)
-	}
+	conn, _ := dialRaw(t, ln.Addr().String(), &helloMsg{Proto: ProtoVersion, Cores: 1, Name: "flaky"})
 	go func() {
-		readMsg(conn) // receive the job
-		conn.Close()  // die without answering
+		for {
+			kind, _, err := readMsg(conn)
+			if err != nil {
+				return
+			}
+			if kind == kindJob {
+				conn.Close()
+				return
+			}
+		}
 	}()
 	if err := coord.WaitForWorkers(1, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	task, _ := clusterTask(core.SHA3, 8, 1, 1)
 	if _, err := coord.Search(context.Background(), task); err == nil {
-		t.Error("expected an error after worker death")
+		t.Error("expected an error: sole worker died and no fallback is configured")
+	}
+}
+
+func TestClusterFallbackWhenFleetEmpty(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord := NewCoordinator(Config{
+		Alg:      core.SHA3,
+		Fallback: &cpu.Backend{Alg: core.SHA3, Workers: 2},
+		Metrics:  reg,
+	})
+	defer coord.Close()
+	task, client := clusterTask(core.SHA3, 11, 2, 2)
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatalf("degraded search failed: %v", err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("fallback lost the seed: %+v", res)
+	}
+	if st := coord.Stats(); st.Fallbacks == 0 || !st.Degraded {
+		t.Errorf("fallback not accounted: %+v", st)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap["cluster_fallbacks"].(uint64); !ok || v == 0 {
+		t.Errorf("cluster_fallbacks metric = %v", snap["cluster_fallbacks"])
+	}
+}
+
+func TestClusterFallbackMidShell(t *testing.T) {
+	// The sole worker dies mid-shell; with a fallback configured the
+	// coordinator finishes the dead range on its own cores.
+	coord := NewCoordinator(Config{
+		Alg:      core.SHA3,
+		Fallback: &cpu.Backend{Alg: core.SHA3},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	defer coord.Close()
+
+	conn, _ := dialRaw(t, ln.Addr().String(), &helloMsg{Proto: ProtoVersion, Cores: 1, Name: "flaky"})
+	go func() {
+		for {
+			kind, _, err := readMsg(conn)
+			if err != nil {
+				return
+			}
+			if kind == kindJob {
+				conn.Close()
+				return
+			}
+		}
+	}()
+	if err := coord.WaitForWorkers(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	task, client := clusterTask(core.SHA3, 12, 2, 2)
+	task.Exhaustive = true
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatalf("mid-shell fallback failed: %v", err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("mid-shell fallback lost the seed: %+v", res)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("mid-shell fallback coverage %d, want %d", res.SeedsCovered, want)
+	}
+	if st := coord.Stats(); st.Fallbacks == 0 {
+		t.Errorf("fallback not counted: %+v", st)
+	}
+}
+
+func TestClusterWorkerRejoins(t *testing.T) {
+	coord, ln, stop := startClusterCfg(t, Config{Alg: core.SHA3}, nil)
+	defer stop()
+	w := &Worker{Cores: 1, Name: "phoenix"}
+	workerStop := make(chan struct{})
+	defer close(workerStop)
+	go RunWorkerUntilBackoff(ln.Addr().String(), w, workerStop, 10*time.Millisecond)
+	if err := coord.WaitForWorkers(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the worker's connection; RunWorkerUntilBackoff reconnects.
+	coord.mu.Lock()
+	victim := coord.workers[0]
+	coord.mu.Unlock()
+	victim.conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Stats().Rejoins == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never rejoined: %+v", coord.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := coord.Stats()
+	if st.Deaths == 0 {
+		t.Errorf("death not counted before rejoin: %+v", st)
+	}
+	if err := coord.WaitForWorkers(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The rejoined worker serves searches again.
+	task, client := clusterTask(core.SHA3, 13, 1, 1)
+	res, err := coord.Search(context.Background(), task)
+	if err != nil || !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("search after rejoin: res=%+v err=%v", res, err)
+	}
+}
+
+func TestClusterHeartbeatTimeoutReapsSilentWorker(t *testing.T) {
+	// The zombie never pings, so any finite timeout reaps it; the timeout
+	// stays generous relative to the interval so a race-detector-slowed
+	// ping never reaps the healthy worker alongside it.
+	coord, ln, stop := startClusterCfg(t, Config{
+		Alg:               core.SHA3,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+	}, []int{2})
+	defer stop()
+
+	// A worker that handshakes, accepts its job, then goes silent without
+	// closing its connection — only the heartbeat timeout can catch it.
+	conn, welcome := dialRaw(t, ln.Addr().String(), &helloMsg{Proto: ProtoVersion, Cores: 1, Name: "zombie"})
+	if welcome.HeartbeatMillis != 20 {
+		t.Fatalf("welcome heartbeat = %d ms, want 20", welcome.HeartbeatMillis)
+	}
+	defer conn.Close()
+	go func() {
+		for {
+			if _, _, err := readMsg(conn); err != nil {
+				return
+			}
+			// Swallow jobs and cancels; never answer, never ping.
+		}
+	}()
+	if err := coord.WaitForWorkers(2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	task, client := clusterTask(core.SHA3, 14, 2, 2)
+	task.Exhaustive = true
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatalf("silent worker failed the search: %v", err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("heartbeat redispatch lost the seed: %+v", res)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("coverage %d, want %d", res.SeedsCovered, want)
+	}
+	if st := coord.Stats(); st.Deaths == 0 || st.Redispatches == 0 {
+		t.Errorf("zombie not reaped: %+v", st)
+	}
+}
+
+func TestClusterProtoVersionMismatchCoordinatorSide(t *testing.T) {
+	coord, ln, stop := startClusterCfg(t, Config{Alg: core.SHA3}, nil)
+	defer stop()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, kindHello, &helloMsg{Proto: ProtoVersion + 7, Cores: 4, Name: "future"}); err != nil {
+		t.Fatal(err)
+	}
+	kind, msg, err := readMsg(conn)
+	if err != nil || kind != kindWelcome {
+		t.Fatalf("expected welcome rejection, got kind=%d err=%v", kind, err)
+	}
+	welcome := msg.(*welcomeMsg)
+	if welcome.Accept {
+		t.Fatal("mismatched version was accepted")
+	}
+	if welcome.Proto != ProtoVersion {
+		t.Errorf("welcome.Proto = %d, want %d", welcome.Proto, ProtoVersion)
+	}
+	if !strings.Contains(welcome.Reason, "version mismatch") {
+		t.Errorf("reason %q does not name the version mismatch", welcome.Reason)
+	}
+	if n, _ := coord.Workers(); n != 0 {
+		t.Errorf("mismatched worker joined the pool (%d workers)", n)
+	}
+	if st := coord.Stats(); st.ProtoRejects == 0 {
+		t.Errorf("proto reject not counted: %+v", st)
+	}
+}
+
+func TestClusterProtoVersionMismatchWorkerSide(t *testing.T) {
+	// A fake coordinator that answers hellos with a different version.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		readMsg(conn) // swallow the hello
+		writeMsg(conn, kindWelcome, &welcomeMsg{Proto: ProtoVersion + 1, Accept: true})
+		// Leave the connection open: the worker must bail on version alone.
+	}()
+	w := &Worker{Cores: 1, Name: "w"}
+	err = w.Run(ln.Addr().String())
+	if !errors.Is(err, ErrProtoVersion) {
+		t.Fatalf("worker got %v, want ErrProtoVersion", err)
+	}
+}
+
+func TestClusterSkipsWorkersLackingMethod(t *testing.T) {
+	coord, ln, stop := startClusterCfg(t, Config{Alg: core.SHA3}, nil)
+	defer stop()
+	// grayOnly cannot run Gosper jobs; allRounder can run anything.
+	grayOnly := &Worker{Cores: 4, Name: "gray-only", Methods: []iterseq.Method{iterseq.GrayCode}}
+	allRounder := &Worker{Cores: 1, Name: "all-rounder"}
+	for _, w := range []*Worker{grayOnly, allRounder} {
+		stopW := make(chan struct{})
+		defer close(stopW)
+		go RunWorkerUntil(ln.Addr().String(), w, stopW)
+	}
+	if err := coord.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	task, client := clusterTask(core.SHA3, 15, 2, 2)
+	task.Method = iterseq.Gosper
+	task.Exhaustive = true
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("capability-filtered search lost the seed: %+v", res)
+	}
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("coverage %d, want %d (only all-rounder should have served)", res.SeedsCovered, want)
+	}
+}
+
+func TestClusterNoWorkerSupportsMethod(t *testing.T) {
+	coord, ln, stop := startClusterCfg(t, Config{Alg: core.SHA3}, nil)
+	defer stop()
+	w := &Worker{Cores: 1, Name: "gray-only", Methods: []iterseq.Method{iterseq.GrayCode}}
+	stopW := make(chan struct{})
+	defer close(stopW)
+	go RunWorkerUntil(ln.Addr().String(), w, stopW)
+	if err := coord.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := clusterTask(core.SHA3, 16, 1, 1)
+	task.Method = iterseq.Alg515
+	if _, err := coord.Search(context.Background(), task); err == nil {
+		t.Error("search succeeded with no method-capable worker and no fallback")
+	}
+}
+
+func TestClusterSearchAfterCloseFails(t *testing.T) {
+	coord, _, stop := startClusterCfg(t, Config{Alg: core.SHA3}, []int{1})
+	stop()
+	task, _ := clusterTask(core.SHA3, 17, 1, 1)
+	if _, err := coord.Search(context.Background(), task); !errors.Is(err, ErrClosed) {
+		t.Errorf("Search after Close = %v, want ErrClosed", err)
 	}
 }
 

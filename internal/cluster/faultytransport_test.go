@@ -1,0 +1,297 @@
+package cluster
+
+// Fault-injection harness: workers run over transports that kill the
+// connection at arbitrary byte offsets, and searches are raced against
+// externally-timed kills. The property under test is the coordinator's
+// exactly-once coverage contract: whatever the failure pattern, a search
+// that completes returns the same verdict as the local CPU backend, and
+// an exhaustive search accounts every candidate seed exactly once (no
+// double-counted re-dispatches, no dropped ranks).
+
+import (
+	"context"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+)
+
+// faultyConn wraps a net.Conn and hard-kills it once the combined
+// read+write byte count crosses the budget — the moral equivalent of a
+// node losing power at a random point in the protocol stream.
+type faultyConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int64
+	dead   bool
+}
+
+func newFaultyConn(c net.Conn, budget int64) *faultyConn {
+	return &faultyConn{Conn: c, budget: budget}
+}
+
+func (f *faultyConn) account(n int) {
+	f.mu.Lock()
+	f.budget -= int64(n)
+	kill := f.budget <= 0 && !f.dead
+	if kill {
+		f.dead = true
+	}
+	f.mu.Unlock()
+	if kill {
+		f.Conn.Close()
+	}
+}
+
+func (f *faultyConn) Read(p []byte) (int, error) {
+	n, err := f.Conn.Read(p)
+	f.account(n)
+	return n, err
+}
+
+func (f *faultyConn) Write(p []byte) (int, error) {
+	n, err := f.Conn.Write(p)
+	f.account(n)
+	return n, err
+}
+
+// faultClusterIterations is the property-test budget: the acceptance bar
+// is 100 iterations with exact coverage, trimmed under -short.
+func faultClusterIterations(t *testing.T) int {
+	if testing.Short() {
+		return 10
+	}
+	return 100
+}
+
+// TestClusterFaultInjectionProperty runs searches over fleets where a
+// random subset of workers (always leaving at least one survivor) dies
+// at a random byte offset of its transport, and asserts the result
+// matches the local CPU backend — including exact exhaustive coverage.
+func TestClusterFaultInjectionProperty(t *testing.T) {
+	iters := faultClusterIterations(t)
+	local := &cpu.Backend{Alg: core.SHA1, Workers: 2}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewPCG(uint64(i), 0xFA))
+		nWorkers := 2 + rng.IntN(3)         // 2..4
+		nFaulty := 1 + rng.IntN(nWorkers-1) // 1..nWorkers-1: at least one survivor
+
+		coord := NewCoordinator(Config{
+			Alg: core.SHA1,
+			// Kills in this harness close the conn, so the read loop sees
+			// them without heartbeat help; the timeout stays generous so a
+			// race-detector-slowed ping never reaps a healthy survivor.
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  time.Second,
+			// Tight retry budget: dead-transport sends should fail over
+			// to the survivors quickly.
+			RetryBackoff: time.Millisecond,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go coord.Serve(ln)
+
+		var conns []net.Conn
+		for wi := 0; wi < nWorkers; wi++ {
+			raw, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn := raw
+			if wi < nFaulty {
+				// Budget past the ~300-byte handshake so the worker is
+				// admitted, then dies somewhere between its first job
+				// frame and its last done frame.
+				conn = newFaultyConn(raw, 400+int64(rng.IntN(8000)))
+			}
+			conns = append(conns, conn)
+			w := &Worker{Cores: 1 + rng.IntN(3), Name: string(rune('A' + wi))}
+			go w.Serve(conn)
+		}
+		if err := coord.WaitForWorkers(nWorkers, 5*time.Second); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+
+		task, client := clusterTask(core.SHA1, uint64(1000+i), 1+rng.IntN(2), 2)
+		task.Exhaustive = i%2 == 0
+		res, err := coord.Search(context.Background(), task)
+		if err != nil {
+			t.Fatalf("iter %d (faulty=%d/%d): search failed: %v", i, nFaulty, nWorkers, err)
+		}
+		lres, err := local.Search(context.Background(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != lres.Found || !res.Seed.Equal(lres.Seed) || res.Distance != lres.Distance {
+			t.Fatalf("iter %d: cluster %+v disagrees with local %+v", i, res, lres)
+		}
+		if !res.Seed.Equal(client) {
+			t.Fatalf("iter %d: wrong seed", i)
+		}
+		if task.Exhaustive {
+			want := combin.ExhaustiveSeeds(256, task.MaxDistance).Uint64()
+			if res.SeedsCovered != want {
+				t.Fatalf("iter %d: exhaustive covered %d, want %d (deaths=%d redispatches=%d)",
+					i, res.SeedsCovered, want, coord.Stats().Deaths, coord.Stats().Redispatches)
+			}
+		}
+
+		for _, c := range conns {
+			c.Close()
+		}
+		coord.Close()
+	}
+}
+
+// TestClusterTimedKillProperty kills 1..N-1 random workers at random
+// wall-clock points while an exhaustive search is in flight (workers are
+// throttled so the kill window overlaps the search) and asserts coverage
+// stays exact.
+func TestClusterTimedKillProperty(t *testing.T) {
+	iters := faultClusterIterations(t) / 2
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewPCG(uint64(i), 0xDE))
+		nWorkers := 2 + rng.IntN(3)       // 2..4
+		nKill := 1 + rng.IntN(nWorkers-1) // 1..nWorkers-1
+
+		coord := NewCoordinator(Config{
+			Alg:               core.SHA1,
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  time.Second,
+			RetryBackoff:      time.Millisecond,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go coord.Serve(ln)
+
+		var conns []net.Conn
+		for wi := 0; wi < nWorkers; wi++ {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, conn)
+			w := &Worker{
+				Cores: 1,
+				Name:  string(rune('A' + wi)),
+				// Throttle so jobs outlive the kill window.
+				chunkHook: func() { time.Sleep(3 * time.Millisecond) },
+			}
+			go w.Serve(conn)
+		}
+		if err := coord.WaitForWorkers(nWorkers, 5*time.Second); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+
+		task, client := clusterTask(core.SHA1, uint64(3000+i), 2, 2)
+		task.Exhaustive = true
+
+		// Kill nKill distinct workers at independent random points while
+		// the search runs.
+		victims := rng.Perm(nWorkers)[:nKill]
+		var killers sync.WaitGroup
+		for _, v := range victims {
+			delay := time.Duration(rng.IntN(15)) * time.Millisecond
+			conn := conns[v]
+			killers.Add(1)
+			go func() {
+				defer killers.Done()
+				time.Sleep(delay)
+				conn.Close()
+			}()
+		}
+
+		res, err := coord.Search(context.Background(), task)
+		killers.Wait()
+		if err != nil {
+			t.Fatalf("iter %d (killed %d/%d): search failed: %v", i, nKill, nWorkers, err)
+		}
+		if !res.Found || !res.Seed.Equal(client) {
+			t.Fatalf("iter %d: lost the seed: %+v", i, res)
+		}
+		want := combin.ExhaustiveSeeds(256, 2).Uint64()
+		if res.SeedsCovered != want {
+			t.Fatalf("iter %d: covered %d, want %d (deaths=%d redispatches=%d)",
+				i, res.SeedsCovered, want, coord.Stats().Deaths, coord.Stats().Redispatches)
+		}
+
+		for _, c := range conns {
+			c.Close()
+		}
+		coord.Close()
+	}
+}
+
+// TestClusterFaultInjectionWithFallback runs the same property with
+// every worker faulty and a local fallback configured: the coordinator
+// must finish each orphaned range itself, still exactly once.
+func TestClusterFaultInjectionWithFallback(t *testing.T) {
+	iters := faultClusterIterations(t) / 4
+	local := &cpu.Backend{Alg: core.SHA1, Workers: 2}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewPCG(uint64(i), 0xFB))
+		nWorkers := 1 + rng.IntN(3)
+		coord := NewCoordinator(Config{
+			Alg:               core.SHA1,
+			Fallback:          &cpu.Backend{Alg: core.SHA1},
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  time.Second,
+			RetryBackoff:      time.Millisecond,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go coord.Serve(ln)
+
+		var conns []net.Conn
+		for wi := 0; wi < nWorkers; wi++ {
+			raw, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn := newFaultyConn(raw, 400+int64(rng.IntN(2000)))
+			conns = append(conns, conn)
+			w := &Worker{Cores: 1, Name: string(rune('A' + wi))}
+			go w.Serve(conn)
+		}
+		if err := coord.WaitForWorkers(nWorkers, 5*time.Second); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+
+		task, client := clusterTask(core.SHA1, uint64(2000+i), 2, 2)
+		task.Exhaustive = true
+		res, err := coord.Search(context.Background(), task)
+		if err != nil {
+			t.Fatalf("iter %d: search failed despite fallback: %v", i, err)
+		}
+		lres, err := local.Search(context.Background(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != lres.Found || !res.Seed.Equal(lres.Seed) {
+			t.Fatalf("iter %d: cluster %+v disagrees with local %+v", i, res, lres)
+		}
+		if !res.Seed.Equal(client) {
+			t.Fatalf("iter %d: wrong seed", i)
+		}
+		want := combin.ExhaustiveSeeds(256, 2).Uint64()
+		if res.SeedsCovered != want {
+			t.Fatalf("iter %d: covered %d, want %d", i, res.SeedsCovered, want)
+		}
+
+		for _, c := range conns {
+			c.Close()
+		}
+		coord.Close()
+	}
+}

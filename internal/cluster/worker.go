@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -21,9 +22,18 @@ type Worker struct {
 	Cores int
 	// Name labels the worker in coordinator logs.
 	Name string
+	// Methods restricts the seed-iteration methods this worker offers to
+	// the coordinator; nil or empty advertises every implemented method.
+	// The coordinator never assigns a job whose iterator the worker did
+	// not advertise.
+	Methods []iterseq.Method
 
 	mu      sync.Mutex
 	cancels map[uint64]*cancelState
+
+	// chunkHook, when non-nil, runs between ChunkSeeds slices. Tests use
+	// it to stretch searches so faults land mid-job.
+	chunkHook func()
 }
 
 // cancelState carries a job's two stop conditions: soft is the FOUND
@@ -35,7 +45,8 @@ type cancelState struct {
 }
 
 // Run connects to the coordinator and serves jobs until the connection
-// closes. It returns nil on orderly shutdown.
+// closes. It returns nil on orderly shutdown and ErrProtoVersion when
+// the coordinator speaks a different protocol version.
 func (w *Worker) Run(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -45,15 +56,55 @@ func (w *Worker) Run(addr string) error {
 	return w.Serve(conn)
 }
 
-// Serve runs the worker protocol over an established connection.
+// methodCaps flattens the advertised method set for the hello message.
+func (w *Worker) methodCaps() []int {
+	src := w.Methods
+	if len(src) == 0 {
+		src = iterseq.Methods()
+	}
+	caps := make([]int, len(src))
+	for i, m := range src {
+		caps[i] = int(m)
+	}
+	return caps
+}
+
+// Serve runs the worker protocol over an established connection: hello,
+// welcome (version + heartbeat negotiation), then jobs until the
+// connection closes.
 func (w *Worker) Serve(conn net.Conn) error {
 	cores := w.Cores
 	if cores <= 0 {
 		cores = runtime.GOMAXPROCS(0)
 	}
-	if err := writeMsg(conn, kindHello, &helloMsg{Cores: cores, Name: w.Name}); err != nil {
+	hello := &helloMsg{
+		Proto:   ProtoVersion,
+		Cores:   cores,
+		Name:    w.Name,
+		Methods: w.methodCaps(),
+	}
+	if err := writeMsg(conn, kindHello, hello); err != nil {
 		return err
 	}
+
+	// The welcome closes version negotiation: a mismatched or rejecting
+	// coordinator yields the typed error instead of a gob failure on
+	// whatever frame would have come next.
+	kind, msg, err := readMsg(conn)
+	if err != nil {
+		return fmt.Errorf("cluster: worker handshake: %w", err)
+	}
+	if kind != kindWelcome {
+		return fmt.Errorf("%w: coordinator answered hello with message kind %d (pre-versioning coordinator?)", ErrProtoVersion, kind)
+	}
+	welcome := msg.(*welcomeMsg)
+	if welcome.Proto != ProtoVersion {
+		return fmt.Errorf("%w: worker speaks v%d, coordinator v%d", ErrProtoVersion, ProtoVersion, welcome.Proto)
+	}
+	if !welcome.Accept {
+		return fmt.Errorf("cluster: coordinator rejected worker: %s", welcome.Reason)
+	}
+
 	w.mu.Lock()
 	w.cancels = make(map[uint64]*cancelState)
 	w.mu.Unlock()
@@ -63,6 +114,31 @@ func (w *Worker) Serve(conn net.Conn) error {
 		writeMu.Lock()
 		defer writeMu.Unlock()
 		return writeMsg(conn, kind, v)
+	}
+
+	// Heartbeats at the coordinator's requested cadence prove liveness
+	// between shells; a send failure means the connection is gone and the
+	// read loop is about to find out.
+	stopBeat := make(chan struct{})
+	defer close(stopBeat)
+	if welcome.HeartbeatMillis > 0 {
+		interval := time.Duration(welcome.HeartbeatMillis) * time.Millisecond
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			seq := uint64(0)
+			for {
+				select {
+				case <-stopBeat:
+					return
+				case <-t.C:
+					seq++
+					if send(kindPing, &pingMsg{Seq: seq}) != nil {
+						return
+					}
+				}
+			}
+		}()
 	}
 
 	for {
@@ -94,6 +170,9 @@ func (w *Worker) Serve(conn net.Conn) error {
 				}
 			}
 			w.mu.Unlock()
+		case kindPing:
+			// Coordinator-side keepalive probe; liveness is implied by the
+			// TCP stream, nothing to do.
 		default:
 			return fmt.Errorf("cluster: worker got unexpected message kind %d", kind)
 		}
@@ -118,6 +197,9 @@ func (w *Worker) run(job *jobMsg, cores int, ctl *cancelState) *doneMsg {
 	for off := uint64(0); off < job.Count; off += ChunkSeeds {
 		if ctl.hard.Load() || (ctl.soft.Load() && !job.Exhaustive) {
 			break
+		}
+		if w.chunkHook != nil {
+			w.chunkHook()
 		}
 		chunk := min64(ChunkSeeds, job.Count-off)
 		found, seed, covered, err := searchRange(
@@ -230,19 +312,30 @@ func min64(a, b uint64) uint64 {
 }
 
 // RunWorkerUntil keeps a worker connected, retrying until stop closes.
-// It is a convenience for long-lived worker processes.
+// It is a convenience for long-lived worker processes; after a dropped
+// connection the worker rejoins the coordinator's pool automatically.
+// A protocol-version mismatch is permanent for this binary, so the loop
+// gives up instead of hammering an incompatible coordinator.
 func RunWorkerUntil(addr string, w *Worker, stop <-chan struct{}) {
+	RunWorkerUntilBackoff(addr, w, stop, time.Second)
+}
+
+// RunWorkerUntilBackoff is RunWorkerUntil with a configurable reconnect
+// delay (tests use a short one to exercise rejoin quickly).
+func RunWorkerUntilBackoff(addr string, w *Worker, stop <-chan struct{}, delay time.Duration) {
 	for {
 		select {
 		case <-stop:
 			return
 		default:
 		}
-		_ = w.Run(addr)
+		if err := w.Run(addr); errors.Is(err, ErrProtoVersion) {
+			return
+		}
 		select {
 		case <-stop:
 			return
-		case <-time.After(time.Second):
+		case <-time.After(delay):
 		}
 	}
 }

@@ -1,0 +1,11 @@
+package core
+
+// HealthReporter is optionally implemented by backends whose capacity
+// can degrade at runtime (e.g. a cluster coordinator that lost its
+// fleet). Wrappers like the scheduler surface it in their stats so
+// operators see degraded mode without reaching into the backend.
+type HealthReporter interface {
+	// Degraded reports that the backend is serving in a reduced-capacity
+	// mode (or failing) and needs operator attention.
+	Degraded() bool
+}

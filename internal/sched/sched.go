@@ -138,6 +138,11 @@ type Stats struct {
 	// InFlight and Queued are current gauges.
 	InFlight int
 	Queued   int
+	// Degraded mirrors the backend's core.HealthReporter state (false
+	// for backends that don't report health): true while the backend is
+	// serving in reduced-capacity mode, e.g. a cluster coordinator with
+	// an empty fleet running on its local fallback.
+	Degraded bool
 }
 
 // Served returns the number of searches that left the queue.
@@ -298,7 +303,19 @@ func (s *Scheduler) Stats() Stats {
 	snap.InFlight = s.inFlight
 	s.statsMu.Unlock()
 	snap.Queued = len(s.queue)
+	if hr, ok := s.backend.(core.HealthReporter); ok {
+		snap.Degraded = hr.Degraded()
+	}
 	return snap
+}
+
+// Degraded implements core.HealthReporter by delegating to the wrapped
+// backend, so health propagates through stacked schedulers.
+func (s *Scheduler) Degraded() bool {
+	if hr, ok := s.backend.(core.HealthReporter); ok {
+		return hr.Degraded()
+	}
+	return false
 }
 
 // Close stops admission, resolves every still-queued search, and waits

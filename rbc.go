@@ -26,14 +26,23 @@
 //
 // # Search engines
 //
-// Three interchangeable core.Backend implementations are exposed:
+// Four interchangeable core.Backend implementations are exposed, all
+// constructed through the single NewBackend entry point:
 //
-//   - CPUBackend: real multicore execution on this machine (SALTED-CPU).
-//   - NewGPUBackend: a calibrated NVIDIA A100 simulator (SALTED-GPU),
+//   - BackendCPU: real multicore execution on this machine (SALTED-CPU).
+//   - BackendGPU: a calibrated NVIDIA A100 simulator (SALTED-GPU),
 //     including multi-GPU scaling.
-//   - NewAPUBackend: a calibrated GSI Gemini associative-processor
+//   - BackendAPU: a calibrated GSI Gemini associative-processor
 //     simulator (SALTED-APU) whose compute runs through a real bit-sliced
 //     gate-level engine.
+//   - BackendCluster: a fault-tolerant distributed coordinator fanning
+//     shells out over TCP-connected workers, with heartbeat failure
+//     detection and exactly-once shard re-dispatch.
+//
+// For example:
+//
+//	engine, _ := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendGPU},
+//		rbc.WithAlg(rbc.SHA3), rbc.WithDevices(3))
 //
 // Every backend implements Search(ctx, task): cancelling ctx stops the
 // shell loops cooperatively and returns the partial Result with
@@ -309,9 +318,15 @@ type (
 )
 
 // NewGPUBackend builds a SALTED-GPU engine (simulated A100s).
+//
+// Deprecated: use NewBackend with BackendSpec{Kind: BackendGPU}; this
+// wrapper remains for existing callers.
 func NewGPUBackend(cfg GPUConfig) Backend { return gpusim.NewBackend(cfg) }
 
 // NewAPUBackend builds a SALTED-APU engine (simulated GSI Gemini).
+//
+// Deprecated: use NewBackend with BackendSpec{Kind: BackendAPU}; this
+// wrapper remains for existing callers.
 func NewAPUBackend(cfg APUConfig) Backend { return apusim.NewBackend(cfg) }
 
 // Key generation for the salted seed (and the algorithm-aware baseline).
@@ -326,13 +341,47 @@ type (
 	DilithiumKeyGenerator = dilithium.Generator
 )
 
-// Distributed search (paper §5 future work): a coordinator implementing
-// Backend plus TCP-connected workers.
+// Distributed search (paper §5 future work): a fault-tolerant
+// coordinator implementing Backend plus TCP-connected workers. Workers
+// heartbeat over the job stream; a worker that dies mid-shell has its
+// unfinished seed ranges re-dispatched to the survivors (or a local
+// fallback backend) with exactly-once coverage accounting, and workers
+// reconnect and rejoin the fleet automatically.
 type (
 	// ClusterCoordinator fans shells out over worker nodes.
 	ClusterCoordinator = cluster.Coordinator
+	// ClusterConfig tunes the coordinator: hash, degraded-mode fallback,
+	// failure detector, retry policy, drain timeout and metrics.
+	ClusterConfig = cluster.Config
+	// ClusterStats is a snapshot of fleet size and fault-tolerance
+	// counters (deaths, rejoins, re-dispatches, fallbacks).
+	ClusterStats = cluster.Stats
 	// ClusterWorker serves shell ranges with this machine's cores.
 	ClusterWorker = cluster.Worker
+)
+
+// NewClusterCoordinator builds a coordinator from a ClusterConfig. Call
+// Serve with a listener, then use it as a Backend; Close drains
+// in-flight searches.
+func NewClusterCoordinator(cfg ClusterConfig) *ClusterCoordinator {
+	return cluster.NewCoordinator(cfg)
+}
+
+// RunClusterWorker keeps a worker connected to a coordinator,
+// redialling with backoff until stop is closed (a nil stop never
+// stops). It gives up only if the coordinator speaks an incompatible
+// protocol version.
+func RunClusterWorker(addr string, w *ClusterWorker, stop <-chan struct{}) {
+	cluster.RunWorkerUntil(addr, w, stop)
+}
+
+// Cluster sentinel errors.
+var (
+	// ErrProtoVersion: the two ends speak different cluster wire
+	// protocol versions.
+	ErrProtoVersion = cluster.ErrProtoVersion
+	// ErrClusterClosed: Search after ClusterCoordinator.Close.
+	ErrClusterClosed = cluster.ErrClosed
 )
 
 // Networked protocol (Figure 1 over TCP).
