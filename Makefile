@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz cluster-race bench
+.PHONY: check build vet test race fuzz cluster-race bench bench-all bench-smoke
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # with the race detector (the scheduler and backend-cancellation tests
@@ -36,5 +36,20 @@ fuzz:
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzDecodeError -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/durable -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
+# bench measures the host search hot path (scalar vs 64-wide batched,
+# every alg x iteration method) and refreshes BENCH_host.json, the
+# committed perf-trajectory point.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test ./internal/core -run='^$$' -bench=ShellHost -benchmem
+	$(GO) run ./cmd/rbc-bench -experiment hostthroughput -json BENCH_host.json
+
+# bench-all runs every benchmark in the repository.
+bench-all:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke is the CI guard: one iteration of the hot-path benches,
+# so a compile break or panic in the batched engine fails loudly
+# without paying for stable timings.
+bench-smoke:
+	$(GO) test ./internal/core -run='^$$' -bench=ShellHost -benchtime=1x -benchmem
+	$(GO) test ./internal/bitslice -run='^$$' -bench=SlicedKernels -benchtime=1x -benchmem

@@ -7,10 +7,12 @@
 //	rbc-bench -experiment table5   # one experiment
 //	rbc-bench -trials 1200         # paper-scale stochastic sampling
 //	rbc-bench -csv                 # machine-readable output
+//	rbc-bench -experiment hostthroughput -json BENCH_host.json
+//	                               # host perf point + JSON trajectory file
 //
 // Experiments: table1, itermicro, figure3, flaginterval, table4, table5,
 // table6, figure4, table7, cpuscaling, sharedmem, awarevssalted,
-// multiapu, noisesecurity.
+// multiapu, noisesecurity, hostthroughput.
 package main
 
 import (
@@ -25,7 +27,40 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment id to run (empty = all)")
 	trials := flag.Int("trials", 200, "stochastic trials for average-case rows (paper used 1200)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonPath := flag.String("json", "", "with -experiment hostthroughput: also write the measurement to this file as JSON")
 	flag.Parse()
+
+	if *jsonPath != "" && *experiment != "hostthroughput" {
+		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput")
+		os.Exit(2)
+	}
+	if *experiment == "hostthroughput" {
+		// Measure once, then render the table and (optionally) the JSON
+		// trajectory point from the same run.
+		hb := exper.MeasureHostThroughput()
+		if *jsonPath != "" {
+			out, err := hb.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonPath, out, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		tbl := hb.Table()
+		var err error
+		if *csv {
+			err = tbl.RenderCSV(os.Stdout)
+		} else {
+			err = tbl.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tables []*exper.Table
 	if *experiment == "" {

@@ -5,6 +5,14 @@ package bitslice
 // ripple-carry adder chain of XOR/AND/OR gates. This is exactly why the
 // paper observes SHA-1 needing fewer bit processors per PE than SHA-3 on
 // the APU (less state) while still costing real cycles per hash.
+//
+// The gate decomposition (and the counts recorded for the APU cycle
+// model) is the canonical ripple-carry one; the evaluation is arranged
+// for the host: adds run in place with the operands held in locals so
+// the destination may alias a source, rotations are two block copies,
+// the round constants are splatted once at package init, and the five
+// working variables live in a fixed ring of buffers so the per-round
+// role rotation moves pointers instead of 256-byte values.
 
 const (
 	sha1K0 = 0x5A827999
@@ -24,78 +32,155 @@ func splat32(v uint32) Slice32 {
 	return out
 }
 
-// add32 returns a + b per instance via a ripple-carry adder:
+// sha1KS holds the four round constants pre-splatted across all lanes.
+var sha1KS = [4]Slice32{
+	splat32(sha1K0), splat32(sha1K1), splat32(sha1K2), splat32(sha1K3),
+}
+
+// sha1Init holds the initial hash value pre-splatted across all lanes.
+var sha1Init = [5]Slice32{
+	splat32(0x67452301), splat32(0xEFCDAB89), splat32(0x98BADCFE),
+	splat32(0x10325476), splat32(0xC3D2E1F0),
+}
+
+// addInto stores a + b per instance into dst via a ripple-carry adder:
 // 2 XOR + 2 AND + 1 OR per bit (carry-out of the top bit is discarded).
-func (e *Engine) add32(a, b *Slice32) Slice32 {
-	var out Slice32
+// dst may alias a or b.
+func (e *Engine) addInto(dst, a, b *Slice32) {
 	var carry uint64
 	for z := 0; z < 32; z++ {
-		axb := a[z] ^ b[z]
-		out[z] = axb ^ carry
-		carry = (a[z] & b[z]) | (carry & axb)
+		az, bz := a[z], b[z]
+		axb := az ^ bz
+		dst[z] = axb ^ carry
+		carry = (az & bz) | (carry & axb)
 	}
 	e.counts.Xor += 2 * 32
 	e.counts.And += 2 * 32
 	e.counts.Or += 32
-	return out
 }
 
-// xor32 returns a ^ b per instance.
-func (e *Engine) xor32(a, b *Slice32) Slice32 {
-	var out Slice32
-	for z := 0; z < 32; z++ {
-		out[z] = a[z] ^ b[z]
-	}
-	e.counts.Xor += 32
-	return out
+// rotlInto stores a rotated left by n bits (per instance) into dst.
+// Pure wiring: no gates. dst must not alias a.
+func rotlInto(dst, a *Slice32, n int) {
+	copy(dst[n:], a[:32-n])
+	copy(dst[:n], a[32-n:])
 }
 
-// rotl32 rotates every instance left by n bits. Pure wiring: no gates.
-func rotl32(a *Slice32, n int) Slice32 {
-	var out Slice32
+// The three round bodies below compute t = ROTL5(a) + f(b,c,d) + e +
+// w + k into e's buffer in a single pass over the bit columns: the
+// ROTL5 is a masked index on the read, f is evaluated inline, and the
+// four ripple-carry adds chain their full adders bit-serially with the
+// carries held in registers. The executed gates per bit are exactly
+// those of f plus four full adders (2 XOR + 2 AND + 1 OR each) - the
+// same decomposition addInto performs for a standalone add, and the
+// same one the gate counts charge.
+
+// roundCh is the fused round for f = Ch(b,c,d) = d ^ (b & (c ^ d)).
+func (e *Engine) roundCh(a, b, c, d, ee, w, k *Slice32) {
+	var c1, c2, c3, c4 uint64
 	for z := 0; z < 32; z++ {
-		out[z] = a[(z-n+32)%32]
+		a5 := a[(z+27)&31]
+		fz := d[z] ^ (b[z] & (c[z] ^ d[z]))
+		x1 := a5 ^ fz
+		s1 := x1 ^ c1
+		c1 = (a5 & fz) | (c1 & x1)
+		ez := ee[z]
+		x2 := s1 ^ ez
+		s2 := x2 ^ c2
+		c2 = (s1 & ez) | (c2 & x2)
+		wz := w[z]
+		x3 := s2 ^ wz
+		s3 := x3 ^ c3
+		c3 = (s2 & wz) | (c3 & x3)
+		kz := k[z]
+		x4 := s3 ^ kz
+		ee[z] = x4 ^ c4
+		c4 = (s3 & kz) | (c4 & x4)
 	}
-	return out
+	e.counts.Xor += (2 + 4*2) * 32
+	e.counts.And += (1 + 4*2) * 32
+	e.counts.Or += 4 * 32
 }
 
-// ch returns (b AND c) OR (NOT b AND d), computed as d ^ (b & (c ^ d)):
-// 2 XOR + 1 AND per bit.
-func (e *Engine) ch(b, c, d *Slice32) Slice32 {
-	var out Slice32
+// roundParity is the fused round for f = b ^ c ^ d.
+func (e *Engine) roundParity(a, b, c, d, ee, w, k *Slice32) {
+	var c1, c2, c3, c4 uint64
 	for z := 0; z < 32; z++ {
-		out[z] = d[z] ^ (b[z] & (c[z] ^ d[z]))
+		a5 := a[(z+27)&31]
+		fz := b[z] ^ c[z] ^ d[z]
+		x1 := a5 ^ fz
+		s1 := x1 ^ c1
+		c1 = (a5 & fz) | (c1 & x1)
+		ez := ee[z]
+		x2 := s1 ^ ez
+		s2 := x2 ^ c2
+		c2 = (s1 & ez) | (c2 & x2)
+		wz := w[z]
+		x3 := s2 ^ wz
+		s3 := x3 ^ c3
+		c3 = (s2 & wz) | (c3 & x3)
+		kz := k[z]
+		x4 := s3 ^ kz
+		ee[z] = x4 ^ c4
+		c4 = (s3 & kz) | (c4 & x4)
 	}
-	e.counts.Xor += 2 * 32
-	e.counts.And += 32
-	return out
+	e.counts.Xor += (2 + 4*2) * 32
+	e.counts.And += 4 * 2 * 32
+	e.counts.Or += 4 * 32
 }
 
-// maj returns the bitwise majority of b, c, d, computed as
-// b ^ ((b ^ c) & (b ^ d)): 3 XOR + 1 AND per bit.
-func (e *Engine) maj(b, c, d *Slice32) Slice32 {
-	var out Slice32
+// roundMaj is the fused round for f = Maj(b,c,d) = b ^ ((b^c) & (b^d)).
+func (e *Engine) roundMaj(a, b, c, d, ee, w, k *Slice32) {
+	var c1, c2, c3, c4 uint64
 	for z := 0; z < 32; z++ {
-		out[z] = b[z] ^ ((b[z] ^ c[z]) & (b[z] ^ d[z]))
+		a5 := a[(z+27)&31]
+		bz := b[z]
+		fz := bz ^ ((bz ^ c[z]) & (bz ^ d[z]))
+		x1 := a5 ^ fz
+		s1 := x1 ^ c1
+		c1 = (a5 & fz) | (c1 & x1)
+		ez := ee[z]
+		x2 := s1 ^ ez
+		s2 := x2 ^ c2
+		c2 = (s1 & ez) | (c2 & x2)
+		wz := w[z]
+		x3 := s2 ^ wz
+		s3 := x3 ^ c3
+		c3 = (s2 & wz) | (c3 & x3)
+		kz := k[z]
+		x4 := s3 ^ kz
+		ee[z] = x4 ^ c4
+		c4 = (s3 & kz) | (c4 & x4)
 	}
-	e.counts.Xor += 3 * 32
-	e.counts.And += 32
-	return out
-}
-
-// parity returns b ^ c ^ d: 2 XOR per bit.
-func (e *Engine) parity(b, c, d *Slice32) Slice32 {
-	var out Slice32
-	for z := 0; z < 32; z++ {
-		out[z] = b[z] ^ c[z] ^ d[z]
-	}
-	e.counts.Xor += 2 * 32
-	return out
+	e.counts.Xor += (3 + 4*2) * 32
+	e.counts.And += (1 + 4*2) * 32
+	e.counts.Or += 4 * 32
 }
 
 // SHA1Seeds hashes Width 32-byte seeds with SHA-1 in one bit-sliced
 // compression, using the fixed single-block padding for 256-bit messages.
 func (e *Engine) SHA1Seeds(seeds *[Width][32]byte) [Width][20]byte {
+	hs := e.SHA1SeedsSliced(seeds)
+	var out [Width][20]byte
+	var vals [Width]uint32
+	for word := range hs {
+		vals = Unpack32(&hs[word])
+		for i := 0; i < Width; i++ {
+			out[i][word*4] = byte(vals[i] >> 24)
+			out[i][word*4+1] = byte(vals[i] >> 16)
+			out[i][word*4+2] = byte(vals[i] >> 8)
+			out[i][word*4+3] = byte(vals[i])
+		}
+	}
+	return out
+}
+
+// SHA1SeedsSliced is SHA1Seeds without the final unpack: the digest is
+// returned as its five 32-bit words (h0..h4) still in bit-sliced form.
+// The batched host matcher compares in this domain directly - the
+// software transpose of the APU's associative compare - so the unpack
+// cost is only ever paid when byte-form digests are actually needed.
+func (e *Engine) SHA1SeedsSliced(seeds *[Width][32]byte) [5]Slice32 {
 	// Message schedule: 8 seed words (big-endian), then the fixed pad.
 	var w [80]Slice32
 	var vals [Width]uint32
@@ -110,64 +195,55 @@ func (e *Engine) SHA1Seeds(seeds *[Width][32]byte) [Width][20]byte {
 	// w[9..14] stay zero.
 	w[15] = splat32(256) // message length in bits
 	for i := 16; i < 80; i++ {
-		t := e.xor32(&w[i-3], &w[i-8])
-		t = e.xor32(&t, &w[i-14])
-		t = e.xor32(&t, &w[i-16])
-		w[i] = rotl32(&t, 1)
+		// w[i] = ROTL1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]), the three
+		// XORs fused with the rotation (out bit z is in bit z-1).
+		w3, w8, w14, w16, wi := &w[i-3], &w[i-8], &w[i-14], &w[i-16], &w[i]
+		wi[0] = w3[31] ^ w8[31] ^ w14[31] ^ w16[31]
+		for z := 1; z < 32; z++ {
+			wi[z] = w3[z-1] ^ w8[z-1] ^ w14[z-1] ^ w16[z-1]
+		}
+		e.counts.Xor += 3 * 32
 	}
 
-	a := splat32(0x67452301)
-	b := splat32(0xEFCDAB89)
-	c := splat32(0x98BADCFE)
-	d := splat32(0x10325476)
-	ee := splat32(0xC3D2E1F0)
-
+	// The five working variables live in a ring of buffers: at round i
+	// role r (0=a .. 4=e) occupies v[(r-i) mod 5], so the per-round
+	// rotation a,b,c,d,e = t,a,ROTL30(b),c,d is a pointer shift plus the
+	// one in-place rotation b actually needs.
+	var v [5]Slice32
+	for r := range v {
+		v[r] = sha1Init[r]
+	}
+	var tmp Slice32
 	for i := 0; i < 80; i++ {
-		var f Slice32
-		var k uint32
+		j := 5 - i%5
+		a := &v[j%5]
+		b := &v[(j+1)%5]
+		c := &v[(j+2)%5]
+		d := &v[(j+3)%5]
+		ee := &v[(j+4)%5]
+
 		switch {
 		case i < 20:
-			f = e.ch(&b, &c, &d)
-			k = sha1K0
+			e.roundCh(a, b, c, d, ee, &w[i], &sha1KS[0])
 		case i < 40:
-			f = e.parity(&b, &c, &d)
-			k = sha1K1
+			e.roundParity(a, b, c, d, ee, &w[i], &sha1KS[1])
 		case i < 60:
-			f = e.maj(&b, &c, &d)
-			k = sha1K2
+			e.roundMaj(a, b, c, d, ee, &w[i], &sha1KS[2])
 		default:
-			f = e.parity(&b, &c, &d)
-			k = sha1K3
+			e.roundParity(a, b, c, d, ee, &w[i], &sha1KS[3])
 		}
-		rot := rotl32(&a, 5)
-		t := e.add32(&rot, &f)
-		t = e.add32(&t, &ee)
-		t = e.add32(&t, &w[i])
-		kc := splat32(k)
-		t = e.add32(&t, &kc)
-		ee, d, c, b, a = d, c, rotl32(&b, 30), a, t
+
+		// b = ROTL30(b) in place via tmp.
+		tmp = *b
+		rotlInto(b, &tmp, 30)
 	}
 
-	h0 := splat32(0x67452301)
-	h1 := splat32(0xEFCDAB89)
-	h2 := splat32(0x98BADCFE)
-	h3 := splat32(0x10325476)
-	h4 := splat32(0xC3D2E1F0)
-	h0 = e.add32(&h0, &a)
-	h1 = e.add32(&h1, &b)
-	h2 = e.add32(&h2, &c)
-	h3 = e.add32(&h3, &d)
-	h4 = e.add32(&h4, &ee)
-
-	var out [Width][20]byte
-	for word, h := range []*Slice32{&h0, &h1, &h2, &h3, &h4} {
-		vals = Unpack32(h)
-		for i := 0; i < Width; i++ {
-			out[i][word*4] = byte(vals[i] >> 24)
-			out[i][word*4+1] = byte(vals[i] >> 16)
-			out[i][word*4+2] = byte(vals[i] >> 8)
-			out[i][word*4+3] = byte(vals[i])
-		}
+	// Final feed-forward: h = init + v, reading the roles at their
+	// post-loop ring positions (round index 80).
+	var hs [5]Slice32
+	for r := range hs {
+		hs[r] = sha1Init[r]
+		e.addInto(&hs[r], &hs[r], &v[(5-80%5+r)%5])
 	}
-	return out
+	return hs
 }

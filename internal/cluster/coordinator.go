@@ -835,7 +835,7 @@ func (c *Coordinator) dispatchShard(ctx context.Context, task core.Task, d int, 
 				Method:        int(task.Method),
 				StartRank:     sub.start,
 				Count:         sub.count,
-				CheckInterval: task.CheckInterval,
+				CheckInterval: task.EffectiveCheckInterval(),
 				Exhaustive:    task.Exhaustive,
 			}
 			if err := c.sendJobRetry(ctx, w, job); err != nil {
@@ -906,9 +906,7 @@ func (c *Coordinator) launchLocal(ctx context.Context, task core.Task, d int, s 
 	go func() {
 		out := &doneMsg{}
 		cores := runtime.GOMAXPROCS(0)
-		match := func(candidate u256.Uint256) bool {
-			return core.HashSeed(c.Alg, candidate).Equal(task.Target)
-		}
+		newMatcher := core.HashMatcherFactory(c.Alg, task.Target)
 		for off := uint64(0); off < s.count; off += ChunkSeeds {
 			if ctx.Err() != nil {
 				break
@@ -916,7 +914,7 @@ func (c *Coordinator) launchLocal(ctx context.Context, task core.Task, d int, s 
 			chunk := min64(ChunkSeeds, s.count-off)
 			found, seed, covered, err := searchRange(
 				task.Base, d, task.Method, s.start+off, chunk, cores,
-				task.CheckInterval, task.Exhaustive, match)
+				task.EffectiveCheckInterval(), task.Exhaustive, newMatcher)
 			if err != nil {
 				out.Err = err.Error()
 				break

@@ -188,10 +188,7 @@ func (w *Worker) run(job *jobMsg, cores int, ctl *cancelState) *doneMsg {
 	if err != nil {
 		return &doneMsg{ID: job.ID, Err: err.Error()}
 	}
-	alg := core.HashAlg(job.Alg)
-	match := func(candidate u256.Uint256) bool {
-		return core.HashSeed(alg, candidate).Equal(target)
-	}
+	newMatcher := core.HashMatcherFactory(core.HashAlg(job.Alg), target)
 
 	out := &doneMsg{ID: job.ID}
 	for off := uint64(0); off < job.Count; off += ChunkSeeds {
@@ -205,7 +202,7 @@ func (w *Worker) run(job *jobMsg, cores int, ctl *cancelState) *doneMsg {
 		found, seed, covered, err := searchRange(
 			base, job.Distance, iterseq.Method(job.Method),
 			job.StartRank+off, chunk, cores, job.CheckInterval,
-			job.Exhaustive, match)
+			job.Exhaustive, newMatcher)
 		if err != nil {
 			out.Err = err.Error()
 			return out
@@ -223,85 +220,13 @@ func (w *Worker) run(job *jobMsg, cores int, ctl *cancelState) *doneMsg {
 }
 
 // searchRange covers [startRank, startRank+count) of one shell with the
-// same real execution loop as the single-node engine, split over the
-// worker's cores.
-func searchRange(base u256.Uint256, d int, method iterseq.Method, startRank, count uint64, cores, checkInterval int, exhaustive bool, match func(u256.Uint256) bool) (bool, u256.Uint256, uint64, error) {
-	if count == 0 {
-		return false, u256.Zero, 0, nil
-	}
-	parts := cores
-	if uint64(parts) > count {
-		parts = int(count)
-	}
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		stop    atomic.Bool
-		covered atomic.Uint64
-	)
-	var foundSeed u256.Uint256
-	found := false
-	if checkInterval < 1 {
-		checkInterval = 1
-	}
-
-	share := count / uint64(parts)
-	extra := count % uint64(parts)
-	offset := startRank
-	var firstErr error
-	for p := 0; p < parts; p++ {
-		length := share
-		if uint64(p) < extra {
-			length++
-		}
-		start := offset
-		offset += length
-		if length == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(start, length uint64) {
-			defer wg.Done()
-			it, err := iterseq.New(method, 256, d, start, int64(length))
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			c := make([]int, d)
-			local := uint64(0)
-			since := 0
-			for it.Next(c) {
-				candidate := iterseq.ApplySeed(base, c)
-				local++
-				if match(candidate) {
-					mu.Lock()
-					if !found {
-						found = true
-						foundSeed = candidate
-					}
-					mu.Unlock()
-					if !exhaustive {
-						stop.Store(true)
-						break
-					}
-				}
-				since++
-				if since >= checkInterval {
-					since = 0
-					if !exhaustive && stop.Load() {
-						break
-					}
-				}
-			}
-			covered.Add(local)
-		}(start, length)
-	}
-	wg.Wait()
-	return found, foundSeed, covered.Load(), firstErr
+// same real execution engine as the single-node backend (including the
+// 64-wide bit-sliced batch matcher), split over the worker's cores.
+func searchRange(base u256.Uint256, d int, method iterseq.Method, startRank, count uint64, cores, checkInterval int, exhaustive bool, newMatcher core.MatcherFactory) (bool, u256.Uint256, uint64, error) {
+	found, seed, covered, _, err := core.SearchRangeHost(
+		nil, base, d, method, startRank, count, cores, checkInterval,
+		exhaustive, time.Time{}, newMatcher)
+	return found, seed, covered, err
 }
 
 func min64(a, b uint64) uint64 {

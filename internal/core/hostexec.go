@@ -2,30 +2,61 @@ package core
 
 import (
 	"context"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rbcsalted/internal/combin"
 	"rbcsalted/internal/iterseq"
 	"rbcsalted/internal/u256"
 )
 
 // SearchShellHost covers one Hamming-distance shell on the host with real
-// execution: `workers` goroutines over disjoint subranges, each evaluating
-// the match predicate and polling a shared early-exit flag every
-// checkEvery candidates. It is the execution engine behind the real CPU
-// backend and the validation paths of the device simulators.
+// execution: `workers` goroutines over disjoint subranges of the shell.
+// It is the execution engine behind the real CPU backend, the cluster
+// workers, and the validation paths of the device simulators.
 //
-// ctx is polled at the same checkEvery granularity as the early-exit
-// flag; on cancellation the shell stops within one interval per worker
-// and the partial covered count is returned alongside ctx.Err().
-func SearchShellHost(ctx context.Context, base u256.Uint256, d int, method iterseq.Method, workers, checkEvery int, exhaustive bool, deadline time.Time, match func(u256.Uint256) bool) (found bool, seed u256.Uint256, covered uint64, timedOut bool, err error) {
-	ranges, err := iterseq.Partition(256, d, workers)
-	if err != nil {
+// Each worker builds its own Matcher from newMatcher. When the matcher
+// implements BatchMatcher (the HashMatcherFactory default), candidates
+// are accumulated into a MatchWidth-slot buffer, generated incrementally
+// in mask form by the iterator's MaskIter fast path, and matched one
+// batch at a time - one bit-sliced compression per MatchWidth seeds.
+// Scalar-only matchers follow the classic one-seed loop.
+//
+// The early-exit flag, ctx and the deadline are polled every checkEvery
+// candidates, rounded up to whole batches on the batched path; a
+// checkEvery below 1 means DefaultCheckInterval. On cancellation the
+// shell stops within one interval per worker and the partial covered
+// count is returned alongside ctx.Err().
+func SearchShellHost(ctx context.Context, base u256.Uint256, d int, method iterseq.Method, workers, checkEvery int, exhaustive bool, deadline time.Time, newMatcher MatcherFactory) (found bool, seed u256.Uint256, covered uint64, timedOut bool, err error) {
+	total, ok := combin.Binomial64(256, d)
+	if !ok {
+		// Partition reports the precise error for the callers' benefit.
+		_, err := iterseq.Partition(256, d, max(workers, 1))
 		return false, u256.Zero, 0, false, err
 	}
+	return SearchRangeHost(ctx, base, d, method, 0, total, workers, checkEvery, exhaustive, deadline, newMatcher)
+}
+
+// SearchRangeHost covers ranks [startRank, startRank+count) of one shell
+// (in the method's own order) with the same engine as SearchShellHost,
+// splitting the range evenly over min(workers, count) goroutines. It is
+// the building block the cluster worker uses to serve dispatched shard
+// ranges.
+func SearchRangeHost(ctx context.Context, base u256.Uint256, d int, method iterseq.Method, startRank, count uint64, workers, checkEvery int, exhaustive bool, deadline time.Time, newMatcher MatcherFactory) (found bool, seed u256.Uint256, covered uint64, timedOut bool, err error) {
+	if count == 0 {
+		return false, u256.Zero, 0, false, nil
+	}
+	parts := workers
+	if parts < 1 {
+		parts = 1
+	}
+	if uint64(parts) > count {
+		parts = int(count)
+	}
 	if checkEvery < 1 {
-		checkEvery = 1
+		checkEvery = DefaultCheckInterval
 	}
 
 	var (
@@ -35,6 +66,7 @@ func SearchShellHost(ctx context.Context, base u256.Uint256, d int, method iters
 		totalSeeds atomic.Uint64
 		mu         sync.Mutex
 		wg         sync.WaitGroup
+		firstErr   error
 	)
 	foundSeeds := make([]u256.Uint256, 0, 1)
 	var done <-chan struct{}
@@ -42,62 +74,161 @@ func SearchShellHost(ctx context.Context, base u256.Uint256, d int, method iters
 		done = ctx.Done()
 	}
 
-	for _, r := range ranges {
-		if r.Count == 0 {
+	share := count / uint64(parts)
+	extra := count % uint64(parts)
+	offset := startRank
+	for p := 0; p < parts; p++ {
+		length := share
+		if uint64(p) < extra {
+			length++
+		}
+		start := offset
+		offset += length
+		if length == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(r iterseq.Range) {
+		go func(start, length uint64) {
 			defer wg.Done()
-			it, iterErr := iterseq.New(method, 256, d, r.Start, int64(r.Count))
+			it, iterErr := iterseq.New(method, 256, d, start, int64(length))
 			if iterErr != nil {
-				// Construction is validated by Partition; treat as a bug.
-				panic(iterErr)
+				// Fail the whole shell cleanly instead of panicking the
+				// process: record the first error and stop the peers.
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = iterErr
+				}
+				mu.Unlock()
+				stop.Store(true)
+				return
 			}
-			c := make([]int, d)
-			local := uint64(0)
-			sinceCheck := 0
-			for it.Next(c) {
-				candidate := iterseq.ApplySeed(base, c)
-				local++
-				if match(candidate) {
-					mu.Lock()
-					foundSeeds = append(foundSeeds, candidate)
-					mu.Unlock()
-					if !exhaustive {
+			m := newMatcher()
+
+			// poll checks the stop flag, ctx and deadline; it reports
+			// whether the worker should bail out.
+			poll := func() bool {
+				if !exhaustive && stop.Load() {
+					return true
+				}
+				if done != nil {
+					select {
+					case <-done:
+						cancelled.Store(true)
 						stop.Store(true)
-						break
+					default:
 					}
 				}
-				sinceCheck++
-				if sinceCheck >= checkEvery {
-					sinceCheck = 0
-					if !exhaustive && stop.Load() {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					timeout.Store(true)
+					stop.Store(true)
+				}
+				return timeout.Load() || cancelled.Load()
+			}
+			record := func(cand u256.Uint256) {
+				mu.Lock()
+				foundSeeds = append(foundSeeds, cand)
+				mu.Unlock()
+			}
+
+			local := uint64(0)
+			bm, batched := m.(BatchMatcher)
+			mi, masked := it.(iterseq.MaskIter)
+			switch {
+			case batched && masked:
+				// Batched hot loop: fill MatchWidth candidates from the
+				// iterator's incremental mask form, match them in one
+				// bit-sliced shot, and poll per batch rather than per
+				// seed.
+				pollEvery := (checkEvery + MatchWidth - 1) / MatchWidth
+				var cands [MatchWidth]u256.Uint256
+				var mask u256.Uint256
+				sinceCheck := 0
+				for {
+					n := 0
+					for n < MatchWidth && mi.NextMask(&mask) {
+						cands[n] = iterseq.ApplyMask(base, mask)
+						n++
+					}
+					if n == 0 {
 						break
 					}
-					if done != nil {
-						select {
-						case <-done:
-							cancelled.Store(true)
+					local += uint64(n)
+					if hits := bm.MatchBatch(&cands, n); hits != 0 {
+						for ; hits != 0; hits &= hits - 1 {
+							record(cands[bits.TrailingZeros64(hits)])
+						}
+						if !exhaustive {
 							stop.Store(true)
-						default:
+							break
 						}
 					}
-					if !deadline.IsZero() && time.Now().After(deadline) {
-						timeout.Store(true)
-						stop.Store(true)
+					if n < MatchWidth {
+						break // iterator exhausted mid-batch
 					}
-					if timeout.Load() || cancelled.Load() {
-						break
+					sinceCheck++
+					if sinceCheck >= pollEvery {
+						sinceCheck = 0
+						if poll() {
+							break
+						}
+					}
+				}
+			case masked:
+				// Scalar loop over the mask fast path: candidates come
+				// from a single 256-bit XOR per seed.
+				var mask u256.Uint256
+				sinceCheck := 0
+				for mi.NextMask(&mask) {
+					candidate := iterseq.ApplyMask(base, mask)
+					local++
+					if m.Match(candidate) {
+						record(candidate)
+						if !exhaustive {
+							stop.Store(true)
+							break
+						}
+					}
+					sinceCheck++
+					if sinceCheck >= checkEvery {
+						sinceCheck = 0
+						if poll() {
+							break
+						}
+					}
+				}
+			default:
+				// Position-list fallback for iterators without a mask
+				// form.
+				c := make([]int, d)
+				sinceCheck := 0
+				for it.Next(c) {
+					candidate := iterseq.ApplySeed(base, c)
+					local++
+					if m.Match(candidate) {
+						record(candidate)
+						if !exhaustive {
+							stop.Store(true)
+							break
+						}
+					}
+					sinceCheck++
+					if sinceCheck >= checkEvery {
+						sinceCheck = 0
+						if poll() {
+							break
+						}
 					}
 				}
 			}
 			totalSeeds.Add(local)
-		}(r)
+		}(start, length)
 	}
 	wg.Wait()
 
 	covered = totalSeeds.Load()
+	if firstErr != nil {
+		return false, u256.Zero, covered, false, firstErr
+	}
 	if len(foundSeeds) > 0 {
 		found = true
 		seed = foundSeeds[0]

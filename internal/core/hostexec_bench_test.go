@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+)
+
+// BenchmarkShellHost measures the host search engine's throughput over
+// one exhaustive d=2 shell (C(256,2) = 32640 seeds) on a single worker,
+// for every algorithm x iteration method, on both the batched
+// bit-sliced path and the scalar oracle. The custom seeds/sec metric is
+// what the hostthroughput experiment tabulates.
+func BenchmarkShellHost(b *testing.B) {
+	base := u256.FromUint64(0xbadc0ffee)
+	const d = 2
+	total, _ := combin.Binomial64(256, d)
+
+	for _, alg := range []HashAlg{SHA1, SHA3} {
+		// A target outside the shell keeps the search exhaustive-shaped
+		// even with early exit enabled: every seed is hashed.
+		target := HashSeed(alg, base)
+		batched := HashMatcherFactory(alg, target)
+		for _, method := range iterseq.Methods() {
+			for _, eng := range []struct {
+				name    string
+				factory MatcherFactory
+			}{
+				{"batched", batched},
+				{"scalar", ScalarMatcher(batched)},
+			} {
+				b.Run(fmt.Sprintf("%s/%s/%s", alg, method, eng.name), func(b *testing.B) {
+					b.ReportAllocs()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						_, _, covered, _, err := SearchShellHost(
+							context.Background(), base, d, method, 1, 0,
+							false, time.Time{}, eng.factory)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if covered != total {
+							b.Fatalf("covered %d, want %d", covered, total)
+						}
+					}
+					secs := time.Since(start).Seconds()
+					b.ReportMetric(float64(total)*float64(b.N)/secs, "seeds/sec")
+				})
+			}
+		}
+	}
+}

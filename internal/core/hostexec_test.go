@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/u256"
+	"time"
+)
+
+// seedAtRank returns the candidate at the given rank of shell d in the
+// method's own order, built independently of the engine under test.
+func seedAtRank(t *testing.T, base u256.Uint256, d int, method iterseq.Method, rank uint64) u256.Uint256 {
+	t.Helper()
+	it, err := iterseq.New(method, 256, d, rank, 1)
+	if err != nil {
+		t.Fatalf("iterseq.New(%v, d=%d, rank=%d): %v", method, d, rank, err)
+	}
+	c := make([]int, d)
+	if !it.Next(c) {
+		t.Fatalf("iterator empty at rank %d", rank)
+	}
+	return iterseq.ApplySeed(base, c)
+}
+
+// TestBatchedMatchesScalarExhaustive is the cross-engine equivalence
+// property: for every iteration method and both hash algorithms, the
+// batched bit-sliced engine and the scalar oracle must agree on the
+// found seed, and in exhaustive mode must both cover exactly C(256, d)
+// seeds.
+func TestBatchedMatchesScalarExhaustive(t *testing.T) {
+	base := u256.FromUint64(0xfeed_beef_cafe_f00d)
+	const d = 2
+	total, _ := combin.Binomial64(256, d)
+
+	// Plant targets at ranks chosen to exercise slot 0, a mid-batch
+	// slot, a final-partial-batch slot, and the no-match case.
+	ranks := []uint64{0, 37, total - 5}
+	for _, alg := range []HashAlg{SHA1, SHA3} {
+		for _, method := range iterseq.Methods() {
+			for _, rank := range ranks {
+				want := seedAtRank(t, base, d, method, rank)
+				target := HashSeed(alg, want)
+				runBoth(t, base, d, method, alg, target, true, func(tag string, found bool, seed u256.Uint256, covered uint64) {
+					if !found {
+						t.Errorf("%s %v %v rank=%d: match not found", tag, alg, method, rank)
+						return
+					}
+					if !seed.Equal(want) {
+						t.Errorf("%s %v %v rank=%d: wrong seed", tag, alg, method, rank)
+					}
+					if covered != total {
+						t.Errorf("%s %v %v rank=%d: covered %d, want %d", tag, alg, method, rank, covered, total)
+					}
+				})
+			}
+			// No match in the shell: the base's own digest is at
+			// distance 0, outside shell d.
+			target := HashSeed(alg, base)
+			runBoth(t, base, d, method, alg, target, true, func(tag string, found bool, _ u256.Uint256, covered uint64) {
+				if found {
+					t.Errorf("%s %v %v: spurious match", tag, alg, method)
+				}
+				if covered != total {
+					t.Errorf("%s %v %v: covered %d, want %d", tag, alg, method, covered, total)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedMatchesScalarEarlyExit checks the early-exit path: both
+// engines must locate the same seed. Coverage may differ (the batched
+// engine accounts whole batches), so only the found seed is compared.
+func TestBatchedMatchesScalarEarlyExit(t *testing.T) {
+	base := u256.FromUint64(7)
+	const d = 3
+	for _, alg := range []HashAlg{SHA1, SHA3} {
+		for _, method := range iterseq.Methods() {
+			want := seedAtRank(t, base, d, method, 4321)
+			target := HashSeed(alg, want)
+			runBoth(t, base, d, method, alg, target, false, func(tag string, found bool, seed u256.Uint256, covered uint64) {
+				if !found {
+					t.Errorf("%s %v %v: match not found", tag, alg, method)
+					return
+				}
+				if !seed.Equal(want) {
+					t.Errorf("%s %v %v: wrong seed", tag, alg, method)
+				}
+				if covered == 0 {
+					t.Errorf("%s %v %v: zero coverage", tag, alg, method)
+				}
+			})
+		}
+	}
+}
+
+// runBoth runs one shell search through the batched engine and the
+// scalar oracle and hands each outcome to check.
+func runBoth(t *testing.T, base u256.Uint256, d int, method iterseq.Method, alg HashAlg, target Digest, exhaustive bool, check func(tag string, found bool, seed u256.Uint256, covered uint64)) {
+	t.Helper()
+	batched := HashMatcherFactory(alg, target)
+	// "sliced" forces the bit-sliced compression even where the default
+	// picks the scalar path (SHA-1), so both batch engines stay
+	// cross-validated end to end.
+	sliced := MatcherFactory(func() Matcher {
+		m := NewHashMatcher(alg, target)
+		m.UseSliced = true
+		return m
+	})
+	engines := map[string]MatcherFactory{
+		"batched": batched,
+		"sliced":  sliced,
+		"scalar":  ScalarMatcher(batched),
+	}
+	for tag, f := range engines {
+		found, seed, covered, _, err := SearchShellHost(
+			context.Background(), base, d, method, 4, 0, exhaustive, time.Time{}, f)
+		if err != nil {
+			t.Fatalf("%s: SearchShellHost: %v", tag, err)
+		}
+		check(tag, found, seed, covered)
+	}
+}
+
+// TestSearchRangeHostIterErrorPropagates covers the satellite fix: a
+// worker whose iterator construction fails must surface the error from
+// SearchRangeHost instead of panicking the process.
+func TestSearchRangeHostIterErrorPropagates(t *testing.T) {
+	base := u256.FromUint64(1)
+	target := HashSeed(SHA1, base)
+	// startRank beyond the shell size makes iterseq.New fail in-worker.
+	total, _ := combin.Binomial64(256, 2)
+	_, _, _, _, err := SearchRangeHost(
+		context.Background(), base, 2, iterseq.Alg515, total+10, 5, 2, 0,
+		false, time.Time{}, HashMatcherFactory(SHA1, target))
+	if err == nil {
+		t.Fatalf("SearchRangeHost with out-of-range startRank: want error, got nil")
+	}
+}
+
+// TestSearchShellHostDefaultsCheckInterval: a zero or negative
+// checkEvery must behave like DefaultCheckInterval, not hang or panic.
+func TestSearchShellHostDefaultsCheckInterval(t *testing.T) {
+	base := u256.FromUint64(3)
+	want := seedAtRank(t, base, 2, iterseq.GrayCode, 100)
+	target := HashSeed(SHA3, want)
+	for _, ce := range []int{0, -7} {
+		found, seed, _, _, err := SearchShellHost(
+			context.Background(), base, 2, iterseq.GrayCode, 2, ce, false,
+			time.Time{}, HashMatcherFactory(SHA3, target))
+		if err != nil || !found || !seed.Equal(want) {
+			t.Fatalf("checkEvery=%d: found=%v err=%v", ce, found, err)
+		}
+	}
+}
+
+// TestHashMatcherScalarAgreesWithHashSeed pins the quick-reject scalar
+// path to the reference digest comparison.
+func TestHashMatcherScalarAgreesWithHashSeed(t *testing.T) {
+	base := u256.FromUint64(0xabcdef)
+	for _, alg := range []HashAlg{SHA1, SHA3} {
+		target := HashSeed(alg, base)
+		m := NewHashMatcher(alg, target)
+		if !m.Match(base) {
+			t.Errorf("%v: self-match failed", alg)
+		}
+		if m.Match(base.FlipBit(17)) {
+			t.Errorf("%v: matched a non-target seed", alg)
+		}
+	}
+}
+
+// TestHotLoopAllocs asserts the steady-state hot loops allocate
+// nothing per seed: the scalar match, the batched match, and the
+// incremental mask iteration.
+func TestHotLoopAllocs(t *testing.T) {
+	base := u256.FromUint64(99)
+	for _, alg := range []HashAlg{SHA1, SHA3} {
+		target := HashSeed(alg, base)
+		m := NewHashMatcher(alg, target)
+
+		cand := base.FlipBit(3).FlipBit(200)
+		if n := testing.AllocsPerRun(100, func() {
+			m.Match(cand)
+		}); n != 0 {
+			t.Errorf("%v scalar Match allocates %.1f/op", alg, n)
+		}
+
+		var cands [MatchWidth]u256.Uint256
+		for i := range cands {
+			cands[i] = base.FlipBit(i).FlipBit(i + 64)
+		}
+		if n := testing.AllocsPerRun(20, func() {
+			m.MatchBatch(&cands, MatchWidth)
+		}); n != 0 {
+			t.Errorf("%v MatchBatch allocates %.1f/op", alg, n)
+		}
+	}
+
+	for _, method := range iterseq.Methods() {
+		it, err := iterseq.New(method, 256, 3, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi, ok := it.(iterseq.MaskIter)
+		if !ok {
+			t.Fatalf("%v: no MaskIter fast path", method)
+		}
+		var mask u256.Uint256
+		if n := testing.AllocsPerRun(100, func() {
+			mi.NextMask(&mask)
+			_ = iterseq.ApplyMask(base, mask)
+		}); n != 0 {
+			t.Errorf("%v NextMask allocates %.1f/op", method, n)
+		}
+	}
+}

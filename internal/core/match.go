@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"rbcsalted/internal/bitslice"
+	"rbcsalted/internal/keccak"
+	"rbcsalted/internal/sha1"
+	"rbcsalted/internal/u256"
+)
+
+// MatchWidth is the number of candidate seeds a BatchMatcher evaluates
+// per call: one bit-sliced hash compression covers exactly this many
+// lanes.
+const MatchWidth = bitslice.Width
+
+// Matcher decides whether candidate seeds match the search target. A
+// Matcher instance is owned by a single worker goroutine, so
+// implementations need not be safe for concurrent use; shared state
+// behind a Matcher (a key generator, a counter) must synchronize itself.
+type Matcher interface {
+	// Match reports whether one candidate matches.
+	Match(candidate u256.Uint256) bool
+}
+
+// BatchMatcher is a Matcher that can evaluate up to MatchWidth
+// candidates in one call. The host search accumulates candidates into a
+// MatchWidth-slot buffer and matches them in one shot; implementations
+// that hash can amortize the per-seed fixed costs across the batch.
+type BatchMatcher interface {
+	Matcher
+	// MatchBatch evaluates cands[:n] and returns a bitmask with bit i
+	// set iff cands[i] matches. n is at most MatchWidth.
+	MatchBatch(cands *[MatchWidth]u256.Uint256, n int) uint64
+}
+
+// MatchFunc adapts a plain predicate to Matcher (scalar-only).
+type MatchFunc func(u256.Uint256) bool
+
+// Match implements Matcher.
+func (f MatchFunc) Match(candidate u256.Uint256) bool { return f(candidate) }
+
+// MatcherFactory builds one Matcher per search worker. Factories are
+// called once per worker goroutine, from that goroutine.
+type MatcherFactory func() Matcher
+
+// MatchFuncFactory wraps a concurrency-safe predicate as a
+// MatcherFactory; every worker shares the same function.
+func MatchFuncFactory(f func(u256.Uint256) bool) MatcherFactory {
+	return func() Matcher { return MatchFunc(f) }
+}
+
+// scalarOnly hides a Matcher's batch capability, forcing the host
+// search's one-seed-at-a-time path.
+type scalarOnly struct{ m Matcher }
+
+func (s scalarOnly) Match(candidate u256.Uint256) bool { return s.m.Match(candidate) }
+
+// ScalarMatcher strips the BatchMatcher capability from factory's
+// matchers, forcing the scalar path. It is the correctness oracle for
+// the batched engine and the baseline of the throughput benchmarks.
+func ScalarMatcher(factory MatcherFactory) MatcherFactory {
+	return func() Matcher { return scalarOnly{factory()} }
+}
+
+// HashMatcher matches candidates whose fixed-padding digest equals a
+// target digest - the RBC-SALTED search predicate. It implements both
+// match paths:
+//
+//   - Match hashes one seed with the scalar fast path (sha1.SumSeed /
+//     keccak.Sum256Seed, no Digest boxing) and quick-rejects on the first
+//     64 digest bits before comparing the rest - one uint64 compare
+//     decides all but a ~2^-64 fraction of candidates.
+//   - MatchBatch packs MatchWidth seeds via the bit-sliced engine, runs
+//     one gate-level compression for all lanes, and AND-reduces the
+//     digest bit columns against the target into a 64-bit match mask -
+//     the software transpose of the APU's associative compare (§3.3).
+//     Partial batches fall back to the scalar path.
+//
+// A HashMatcher is single-worker state; build one per goroutine via
+// HashMatcherFactory.
+type HashMatcher struct {
+	alg   HashAlg
+	quick uint64    // first 64 digest bits, big-endian
+	sha1T [5]uint32 // SHA-1 target digest words (big-endian)
+	sha3T [4]uint64 // SHA-3 target digest lanes (little-endian)
+	raw   [32]byte  // full target digest bytes
+	eng   bitslice.Engine
+
+	// UseSliced selects the bit-sliced compression for full batches.
+	// NewHashMatcher sets the measured-faster default per algorithm:
+	// true for SHA-3, whose boolean Keccak rounds bit-slice several
+	// times faster than 64 scalar permutations, and false for SHA-1,
+	// whose modular adds decompose into ripple-carry gate chains that
+	// run slower in software than the hardware adder the scalar path
+	// uses (the APU only wins them back with massive hardware
+	// parallelism). The equivalence tests flip it to cross-validate
+	// both paths.
+	UseSliced bool
+}
+
+// NewHashMatcher builds a HashMatcher for one (algorithm, target) pair.
+func NewHashMatcher(alg HashAlg, target Digest) *HashMatcher {
+	m := &HashMatcher{alg: alg, raw: target.b, UseSliced: alg == SHA3}
+	m.quick = binary.BigEndian.Uint64(target.b[:8])
+	for w := range m.sha1T {
+		m.sha1T[w] = binary.BigEndian.Uint32(target.b[w*4:])
+	}
+	for l := range m.sha3T {
+		m.sha3T[l] = binary.LittleEndian.Uint64(target.b[l*8:])
+	}
+	return m
+}
+
+// HashMatcherFactory returns a MatcherFactory producing one HashMatcher
+// per worker. This is the default matcher of every hashing backend.
+//
+// For algorithms where the batch compression measures no faster than
+// the scalar fast path (SHA-1; see HashMatcher.UseSliced), the matcher
+// is returned without its BatchMatcher capability so the search engine
+// skips batch accumulation entirely instead of buffering candidates
+// just to hash them one at a time.
+func HashMatcherFactory(alg HashAlg, target Digest) MatcherFactory {
+	return func() Matcher {
+		m := NewHashMatcher(alg, target)
+		if !m.UseSliced {
+			return scalarOnly{m}
+		}
+		return m
+	}
+}
+
+// Match implements Matcher with the scalar quick-reject path.
+func (m *HashMatcher) Match(candidate u256.Uint256) bool {
+	raw := candidate.Bytes()
+	switch m.alg {
+	case SHA1:
+		sum := sha1.SumSeed(&raw)
+		if binary.BigEndian.Uint64(sum[:8]) != m.quick {
+			return false
+		}
+		return [20]byte(m.raw[:20]) == sum
+	case SHA3:
+		sum := keccak.Sum256Seed(&raw)
+		if binary.BigEndian.Uint64(sum[:8]) != m.quick {
+			return false
+		}
+		return m.raw == sum
+	default:
+		panic("core: HashMatcher with unknown algorithm")
+	}
+}
+
+// MatchBatch implements BatchMatcher with one bit-sliced compression for
+// a full batch; short batches use the scalar path (the final partial
+// batch of a worker's range, and ranges smaller than MatchWidth), as do
+// algorithms whose scalar path measures faster (see UseSliced).
+func (m *HashMatcher) MatchBatch(cands *[MatchWidth]u256.Uint256, n int) uint64 {
+	if n < MatchWidth || !m.UseSliced {
+		var mask uint64
+		for i := 0; i < n; i++ {
+			if m.Match(cands[i]) {
+				mask |= 1 << uint(i)
+			}
+		}
+		return mask
+	}
+	var seeds [MatchWidth][32]byte
+	for i := range cands {
+		seeds[i] = cands[i].Bytes()
+	}
+	switch m.alg {
+	case SHA1:
+		words := m.eng.SHA1SeedsSliced(&seeds)
+		return bitslice.MatchSliced32(words[:], m.sha1T[:])
+	case SHA3:
+		lanes := m.eng.SHA3Seeds256Sliced(&seeds)
+		return bitslice.MatchSliced64(lanes[:], m.sha3T[:])
+	default:
+		panic("core: HashMatcher with unknown algorithm")
+	}
+}

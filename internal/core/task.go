@@ -26,7 +26,9 @@ type Task struct {
 	// Equation 1. The match is still reported.
 	Exhaustive bool
 	// CheckInterval is the number of seeds a worker hashes between polls
-	// of the early-exit flag (paper §4.4). Zero means 1.
+	// of the early-exit flag, the context, and the deadline (paper §4.4).
+	// Zero means DefaultCheckInterval; see EffectiveCheckInterval. The
+	// host engine rounds it up to whole MatchWidth batches.
 	CheckInterval int
 	// TimeLimit is the authentication threshold T. Zero means no limit.
 	// Backends stop and report !Found when modelled time exceeds it.
@@ -46,6 +48,31 @@ type Task struct {
 	// stamps a unique ID onto tasks that arrive without one; direct
 	// backend callers may set their own.
 	TraceID uint64
+}
+
+// DefaultCheckInterval is the early-exit poll interval applied when a
+// Task leaves CheckInterval at zero.
+//
+// The paper's §4.4 flag-interval sweep found intervals from 1 to 64
+// seeds indistinguishable on the GPU (the flag stays cached), so the
+// interval trades nothing below ~10^3: polling costs an atomic load, a
+// channel select and a time.Now() call, which at interval 1 can rival
+// the hash itself, while the only price of a longer interval is
+// early-exit latency - a worker overshoots a peer's match by at most
+// one interval (microseconds at host hash rates). 1024 keeps the poll
+// overhead under 0.1% of hot-loop time and is a whole multiple of
+// MatchWidth, so the batched engine polls every 16 batches exactly.
+const DefaultCheckInterval = 1024
+
+// EffectiveCheckInterval returns CheckInterval with the unset (zero or
+// negative) value normalized to DefaultCheckInterval. Backends pass this
+// - not the raw field - to the host execution engine, so the default is
+// decided in exactly one place.
+func (t Task) EffectiveCheckInterval() int {
+	if t.CheckInterval < 1 {
+		return DefaultCheckInterval
+	}
+	return t.CheckInterval
 }
 
 // Result reports the outcome and cost of one RBC search.

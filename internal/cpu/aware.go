@@ -87,10 +87,14 @@ func (b *AwareBackend) Search(ctx context.Context, task AwareTask) (core.Result,
 	if task.TimeLimit > 0 {
 		deadline = start.Add(task.TimeLimit)
 	}
+	// Key generators are concurrency-safe, so every worker shares the
+	// same scalar predicate; there is no batch form for keygen. An unset
+	// CheckInterval is normalized by the engine (DefaultCheckInterval).
+	newMatcher := core.MatchFuncFactory(match)
 	for d := 1; d <= task.MaxDistance; d++ {
 		found, seed, covered, timedOut, err := core.SearchShellHost(
 			ctx, task.Base, d, task.Method, b.workers(), task.CheckInterval,
-			task.Exhaustive, deadline, match)
+			task.Exhaustive, deadline, newMatcher)
 		res.SeedsCovered += covered
 		res.HashesExecuted += covered
 		if found && !res.Found {

@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"rbcsalted/internal/core"
-	"rbcsalted/internal/u256"
 )
 
 // Backend is the real multicore search engine.
@@ -27,6 +26,11 @@ type Backend struct {
 	Alg core.HashAlg
 	// Workers is the thread count p; 0 means GOMAXPROCS.
 	Workers int
+	// ScalarMatch disables the 64-wide bit-sliced batch matcher, forcing
+	// the one-seed-at-a-time hash path. It exists as the correctness
+	// oracle of the equivalence tests and the baseline of the throughput
+	// benchmarks; leave it false in production.
+	ScalarMatch bool
 }
 
 // Name implements core.Backend.
@@ -80,14 +84,15 @@ func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, erro
 		deadline = start.Add(task.TimeLimit)
 	}
 
-	match := func(candidate u256.Uint256) bool {
-		return core.HashSeed(b.Alg, candidate).Equal(task.Target)
+	newMatcher := core.HashMatcherFactory(b.Alg, task.Target)
+	if b.ScalarMatch {
+		newMatcher = core.ScalarMatcher(newMatcher)
 	}
 	for d := 1; d <= task.MaxDistance; d++ {
 		shellStart := time.Now()
 		found, seed, covered, timedOut, err := core.SearchShellHost(
-			ctx, task.Base, d, task.Method, b.workers(), task.CheckInterval,
-			task.Exhaustive, deadline, match)
+			ctx, task.Base, d, task.Method, b.workers(), task.EffectiveCheckInterval(),
+			task.Exhaustive, deadline, newMatcher)
 		st := core.ShellStat{
 			Distance:      d,
 			SeedsCovered:  covered,

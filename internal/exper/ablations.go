@@ -113,6 +113,7 @@ func All(trials int) []*Table {
 		AwareVsSalted(2),
 		MultiAPU(),
 		NoiseSecurity(),
+		HostThroughput(),
 	}
 }
 
@@ -148,7 +149,9 @@ func ByID(id string, trials int) (*Table, error) {
 		return MultiAPU(), nil
 	case "noisesecurity":
 		return NoiseSecurity(), nil
+	case "hostthroughput":
+		return HostThroughput(), nil
 	default:
-		return nil, fmt.Errorf("exper: unknown experiment %q (try: table1, itermicro, figure3, flaginterval, table4, table5, table6, figure4, table7, cpuscaling, sharedmem, awarevssalted, multiapu, noisesecurity)", id)
+		return nil, fmt.Errorf("exper: unknown experiment %q (try: table1, itermicro, figure3, flaginterval, table4, table5, table6, figure4, table7, cpuscaling, sharedmem, awarevssalted, multiapu, noisesecurity, hostthroughput)", id)
 	}
 }

@@ -28,7 +28,8 @@ type Config struct {
 	// ablation.
 	SharedMemoryState bool
 	// CheckInterval is seeds hashed between exit-flag polls (paper §4.4).
-	// Zero means 1.
+	// Zero means core.DefaultCheckInterval; the §4.4 sweep shows the
+	// interval has no measurable model impact.
 	CheckInterval int
 	// ExecBudget is the largest shell (in seeds) the simulator fully
 	// executes on the host instead of planning analytically; 0 means
@@ -65,7 +66,7 @@ func NewBackend(cfg Config) *Backend {
 		cfg.ExecBudget = DefaultExecBudget
 	}
 	if cfg.CheckInterval == 0 {
-		cfg.CheckInterval = 1
+		cfg.CheckInterval = core.DefaultCheckInterval
 	}
 	return &Backend{cfg: cfg, model: NewModel()}
 }
@@ -177,9 +178,7 @@ func (b *Backend) searchShell(ctx context.Context, task core.Task, d int, res *c
 		found, seed, covered, _, err := core.SearchShellHost(
 			ctx, task.Base, d, task.Method, hostWorkers(b.cfg.HostWorkers),
 			task.CheckInterval, task.Exhaustive, time.Time{},
-			func(candidate u256.Uint256) bool {
-				return core.HashSeed(b.cfg.Alg, candidate).Equal(task.Target)
-			})
+			core.HashMatcherFactory(b.cfg.Alg, task.Target))
 		res.HashesExecuted += covered
 		if err != nil {
 			// Cancelled mid-kernel: account the partial coverage without a

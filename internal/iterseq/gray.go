@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rbcsalted/internal/combin"
+	"rbcsalted/internal/u256"
 )
 
 // grayIter enumerates k-combinations in revolving-door Gray-code order:
@@ -22,20 +23,50 @@ import (
 type grayIter struct {
 	n, k      int
 	cur       []int
+	prev      []int // scratch for the mask delta
+	mask      u256.Uint256
+	maskStale bool // cur advanced without mask upkeep; rebuild on demand
 	remaining int64
 }
 
 func newGray(n, k int, startRank uint64, count int64) (*grayIter, error) {
-	it := &grayIter{n: n, k: k, cur: make([]int, k), remaining: count}
+	it := &grayIter{n: n, k: k, cur: make([]int, k), prev: make([]int, k), remaining: count}
 	if count == 0 {
 		return it, nil
 	}
 	if err := GrayUnrank(n, startRank, it.cur); err != nil {
 		return nil, err
 	}
+	if n <= 256 {
+		it.mask = maskOf(it.cur)
+	}
 	return it, nil
 }
 
+// advance steps cur to its revolving-door successor, keeping the flip
+// mask in sync by XORing only the slots the successor changed. A
+// revolving-door step swaps one element for another, so this is
+// typically two bit flips regardless of k.
+func (it *grayIter) advance() {
+	copy(it.prev, it.cur)
+	if !graySuccessor(it.n, it.cur) {
+		// The range length was validated at construction, so running
+		// off the sequence is a bug, not an input error.
+		panic("iterseq: gray successor exhausted before range end")
+	}
+	if it.n <= 256 {
+		for i, p := range it.prev {
+			if p != it.cur[i] {
+				it.mask = it.mask.FlipBit(p).FlipBit(it.cur[i])
+			}
+		}
+	}
+}
+
+// Next deliberately skips the mask upkeep: position-list callers (and
+// the host-cost calibration that prices this method for the simulators)
+// must pay exactly the successor cost, nothing more. The mask is marked
+// stale and rebuilt only if the caller later switches to NextMask.
 func (it *grayIter) Next(c []int) bool {
 	if it.remaining <= 0 {
 		return false
@@ -48,6 +79,24 @@ func (it *grayIter) Next(c []int) bool {
 			// off the sequence is a bug, not an input error.
 			panic("iterseq: gray successor exhausted before range end")
 		}
+		it.maskStale = true
+	}
+	return true
+}
+
+// NextMask implements MaskIter via the incrementally maintained mask.
+func (it *grayIter) NextMask(mask *u256.Uint256) bool {
+	if it.remaining <= 0 {
+		return false
+	}
+	if it.maskStale {
+		it.mask = maskOf(it.cur)
+		it.maskStale = false
+	}
+	it.remaining--
+	*mask = it.mask
+	if it.remaining > 0 {
+		it.advance()
 	}
 	return true
 }

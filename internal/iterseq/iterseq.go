@@ -86,6 +86,24 @@ type Iter interface {
 	Next(c []int) bool
 }
 
+// MaskIter is an Iter that can additionally produce each combination as a
+// 256-bit flip mask (bit p set iff position p is in the combination).
+// This is the host hot path's fast form: the minimal-change iterators
+// (GrayCode, Gosper, Mifsud154) maintain the mask incrementally - a
+// revolving-door step flips two mask bits instead of re-applying all k
+// positions from scratch - while the random-access Alg515 rebuilds it per
+// step, exactly mirroring each method's per-seed work profile on the GPU.
+//
+// The mask form requires n <= 256. All iterators returned by New
+// implement MaskIter; Next and NextMask may be freely interleaved on the
+// same iterator and consume from the same sequence.
+type MaskIter interface {
+	Iter
+	// NextMask writes the next combination's flip mask into *mask and
+	// reports whether one was produced.
+	NextMask(mask *u256.Uint256) bool
+}
+
 // New returns an iterator for the given method over k-subsets of [0, n),
 // positioned at startRank (in the method's own order) and yielding at most
 // count combinations. count < 0 means "to the end of the sequence".
@@ -122,6 +140,23 @@ func ApplySeed(base u256.Uint256, c []int) u256.Uint256 {
 		base = base.FlipBit(pos)
 	}
 	return base
+}
+
+// ApplyMask returns base with the mask's bits flipped: the candidate seed
+// for a combination in mask form. It is a single 256-bit XOR, independent
+// of the Hamming distance - the payoff of the MaskIter fast path.
+func ApplyMask(base, mask u256.Uint256) u256.Uint256 {
+	return base.Xor(mask)
+}
+
+// maskOf builds the flip mask for a combination. It requires every
+// position to be in [0, 256).
+func maskOf(c []int) u256.Uint256 {
+	var m u256.Uint256
+	for _, pos := range c {
+		m = m.FlipBit(pos)
+	}
+	return m
 }
 
 // Partition divides the C(n,k) combination space into parts contiguous

@@ -298,3 +298,119 @@ func BenchmarkIterGray256of5(b *testing.B)    { benchMethod(b, GrayCode) }
 func BenchmarkIterAlg515_256of5(b *testing.B) { benchMethod(b, Alg515) }
 func BenchmarkIterGosper256of5(b *testing.B)  { benchMethod(b, Gosper) }
 func BenchmarkIterMifsud256of5(b *testing.B)  { benchMethod(b, Mifsud154) }
+
+// TestNextMaskMatchesNext verifies, for every method across a sweep of
+// (n, k, startRank), that the mask fast path produces exactly the masks
+// of the combinations Next yields - the invariant the batched host
+// search depends on.
+func TestNextMaskMatchesNext(t *testing.T) {
+	for _, method := range Methods() {
+		for _, tc := range []struct {
+			n, k  int
+			start uint64
+			count int64
+		}{
+			{8, 3, 0, -1},
+			{10, 4, 7, -1},
+			{12, 5, 100, 50},
+			{256, 2, 1234, 200},
+			{256, 5, 0, 300},
+		} {
+			ref, err := New(method, tc.n, tc.k, tc.start, tc.count)
+			if err != nil {
+				t.Fatalf("%v %+v: %v", method, tc, err)
+			}
+			got, err := New(method, tc.n, tc.k, tc.start, tc.count)
+			if err != nil {
+				t.Fatalf("%v %+v: %v", method, tc, err)
+			}
+			mi, ok := got.(MaskIter)
+			if !ok {
+				t.Fatalf("%v iterator does not implement MaskIter", method)
+			}
+			c := make([]int, tc.k)
+			var mask u256.Uint256
+			step := 0
+			for ref.Next(c) {
+				if !mi.NextMask(&mask) {
+					t.Fatalf("%v %+v: NextMask exhausted at step %d", method, tc, step)
+				}
+				want := maskOf(c)
+				if !mask.Equal(want) {
+					t.Fatalf("%v %+v step %d: mask %v, want %v (comb %v)",
+						method, tc, step, mask, want, c)
+				}
+				step++
+			}
+			if mi.NextMask(&mask) {
+				t.Fatalf("%v %+v: NextMask yielded beyond Next's end", method, tc)
+			}
+		}
+	}
+}
+
+// TestNextMaskInterleaved verifies Next and NextMask consume from the
+// same sequence and stay consistent when interleaved.
+func TestNextMaskInterleaved(t *testing.T) {
+	for _, method := range Methods() {
+		n, k := 10, 4
+		ref, _ := New(method, n, k, 0, -1)
+		it, _ := New(method, n, k, 0, -1)
+		mi := it.(MaskIter)
+		c := make([]int, k)
+		refC := make([]int, k)
+		var mask u256.Uint256
+		for step := 0; ; step++ {
+			ok := ref.Next(refC)
+			if step%3 == 0 {
+				if got := mi.NextMask(&mask); got != ok {
+					t.Fatalf("%v step %d: NextMask=%v want %v", method, step, got, ok)
+				}
+				if ok && !mask.Equal(maskOf(refC)) {
+					t.Fatalf("%v step %d: mask %v, want comb %v", method, step, mask, refC)
+				}
+			} else {
+				if got := it.Next(c); got != ok {
+					t.Fatalf("%v step %d: Next=%v want %v", method, step, got, ok)
+				}
+				if ok && fmt.Sprint(c) != fmt.Sprint(refC) {
+					t.Fatalf("%v step %d: comb %v, want %v", method, step, c, refC)
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+// TestApplyMask verifies the mask form of candidate generation agrees
+// with ApplySeed.
+func TestApplyMask(t *testing.T) {
+	base := u256.New(0xDEADBEEF, 77, 0, 1<<63)
+	c := []int{0, 63, 64, 255}
+	if got, want := ApplyMask(base, maskOf(c)), ApplySeed(base, c); !got.Equal(want) {
+		t.Fatalf("ApplyMask = %v, want %v", got, want)
+	}
+}
+
+func benchMethodMask(b *testing.B, method Method) {
+	it, err := New(method, 256, 5, 0, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mi := it.(MaskIter)
+	var mask u256.Uint256
+	for i := 0; i < b.N; i++ {
+		if !mi.NextMask(&mask) {
+			it, _ = New(method, 256, 5, 0, -1)
+			mi = it.(MaskIter)
+			mi.NextMask(&mask)
+		}
+	}
+}
+
+func BenchmarkIterMaskGray256of5(b *testing.B)    { benchMethodMask(b, GrayCode) }
+func BenchmarkIterMaskAlg515_256of5(b *testing.B) { benchMethodMask(b, Alg515) }
+func BenchmarkIterMaskGosper256of5(b *testing.B)  { benchMethodMask(b, Gosper) }
+func BenchmarkIterMaskMifsud256of5(b *testing.B)  { benchMethodMask(b, Mifsud154) }

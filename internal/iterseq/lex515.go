@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"rbcsalted/internal/combin"
+	"rbcsalted/internal/u256"
 )
 
 // lex515Iter implements ACM Algorithm 515 (Buckles-Lybanon): every
@@ -17,6 +18,7 @@ type lex515Iter struct {
 	rank      uint64
 	remaining int64
 	table     *binomTable
+	scratch   []int // combination buffer for the mask form
 }
 
 func newLex515(n, k int, startRank uint64, count int64) (*lex515Iter, error) {
@@ -26,6 +28,7 @@ func newLex515(n, k int, startRank uint64, count int64) (*lex515Iter, error) {
 		rank:      startRank,
 		remaining: count,
 		table:     binomTableFor(n, k),
+		scratch:   make([]int, k),
 	}, nil
 }
 
@@ -36,6 +39,21 @@ func (it *lex515Iter) Next(c []int) bool {
 	it.remaining--
 	it.table.unrankLex(it.rank, c)
 	it.rank++
+	return true
+}
+
+// NextMask implements MaskIter. Algorithm 515 has no carried state, so
+// unlike the minimal-change iterators the mask is rebuilt from the rank
+// every step - the method keeps its random-access work profile in mask
+// form too.
+func (it *lex515Iter) NextMask(mask *u256.Uint256) bool {
+	if it.remaining <= 0 {
+		return false
+	}
+	it.remaining--
+	it.table.unrankLex(it.rank, it.scratch)
+	it.rank++
+	*mask = maskOf(it.scratch)
 	return true
 }
 

@@ -1,6 +1,9 @@
 package iterseq
 
-import "rbcsalted/internal/combin"
+import (
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/u256"
+)
 
 // mifsudIter is the lexicographic-successor iterator in the style of ACM
 // Algorithm 154 (Mifsud, 1963): find the rightmost position that can
@@ -10,6 +13,8 @@ import "rbcsalted/internal/combin"
 type mifsudIter struct {
 	n, k      int
 	cur       []int
+	mask      u256.Uint256
+	maskStale bool // cur advanced without mask upkeep; rebuild on demand
 	remaining int64
 }
 
@@ -21,9 +26,16 @@ func newMifsud(n, k int, startRank uint64, count int64) (*mifsudIter, error) {
 	if err := combin.UnrankLex(n, startRank, it.cur); err != nil {
 		return nil, err
 	}
+	if n <= 256 {
+		it.mask = maskOf(it.cur)
+	}
 	return it, nil
 }
 
+// Next deliberately leaves the mask stale: position-list callers (and
+// the host-cost calibration that prices this method for the simulators)
+// must pay exactly the successor cost; the mask is rebuilt on demand if
+// the caller later switches to NextMask.
 func (it *mifsudIter) Next(c []int) bool {
 	if it.remaining <= 0 {
 		return false
@@ -31,19 +43,48 @@ func (it *mifsudIter) Next(c []int) bool {
 	it.remaining--
 	copy(c, it.cur)
 	if it.remaining > 0 {
-		it.advance()
+		it.advance(false)
+		it.maskStale = true
 	}
 	return true
 }
 
-func (it *mifsudIter) advance() {
+// NextMask implements MaskIter. The mask follows the successor's delta:
+// the flips mirror exactly the positions advance rewrites, so the
+// amortized-O(1) transition carries over to the mask form.
+func (it *mifsudIter) NextMask(mask *u256.Uint256) bool {
+	if it.remaining <= 0 {
+		return false
+	}
+	if it.maskStale {
+		it.mask = maskOf(it.cur)
+		it.maskStale = false
+	}
+	it.remaining--
+	*mask = it.mask
+	if it.remaining > 0 {
+		it.advance(it.n <= 256)
+	}
+	return true
+}
+
+func (it *mifsudIter) advance(trackMask bool) {
 	k := it.k
 	// Rightmost position that can move up: cur[i] < limit(i).
 	for i := k - 1; i >= 0; i-- {
 		limit := it.n - (k - i) // highest value position i may take
 		if it.cur[i] < limit {
+			if trackMask {
+				it.mask = it.mask.FlipBit(it.cur[i])
+			}
 			it.cur[i]++
+			if trackMask {
+				it.mask = it.mask.FlipBit(it.cur[i])
+			}
 			for j := i + 1; j < k; j++ {
+				if trackMask && it.cur[j] != it.cur[j-1]+1 {
+					it.mask = it.mask.FlipBit(it.cur[j]).FlipBit(it.cur[j-1] + 1)
+				}
 				it.cur[j] = it.cur[j-1] + 1
 			}
 			return

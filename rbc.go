@@ -210,6 +210,48 @@ func NewScheduler(backend Backend, cfg SchedulerConfig) *Scheduler {
 	return sched.New(backend, cfg)
 }
 
+// Host search matchers: the predicate layer of the real execution
+// engine. The default HashMatcher batches candidates MatchWidth at a
+// time through the bit-sliced compression where that measures faster
+// than the scalar fast path (see core.HashMatcher).
+type (
+	// Matcher decides whether candidate seeds match the search target;
+	// one instance is built per worker goroutine.
+	Matcher = core.Matcher
+	// BatchMatcher is a Matcher that evaluates up to MatchWidth
+	// candidates in one call, returning a bitmask of matches.
+	BatchMatcher = core.BatchMatcher
+	// MatcherFactory builds one Matcher per search worker.
+	MatcherFactory = core.MatcherFactory
+	// HashMatcher is the digest-equality matcher used by every hashing
+	// backend: scalar quick-reject plus the 64-wide bit-sliced batch
+	// compression.
+	HashMatcher = core.HashMatcher
+)
+
+// Host search engine constants.
+const (
+	// MatchWidth is the number of candidates a BatchMatcher evaluates
+	// per call (one bit-sliced compression).
+	MatchWidth = core.MatchWidth
+	// DefaultCheckInterval is the early-exit poll interval applied when
+	// Task.CheckInterval is left at zero.
+	DefaultCheckInterval = core.DefaultCheckInterval
+)
+
+// Matcher constructors.
+var (
+	// NewHashMatcher builds the digest-equality matcher for one
+	// (algorithm, target) pair.
+	NewHashMatcher = core.NewHashMatcher
+	// HashMatcherFactory returns the default per-worker matcher factory
+	// of every hashing backend.
+	HashMatcherFactory = core.HashMatcherFactory
+	// ScalarMatcher strips a factory's batch capability, forcing the
+	// one-seed-at-a-time path (correctness oracle, benchmarks).
+	ScalarMatcher = core.ScalarMatcher
+)
+
 // IterMethod selects a seed-iteration algorithm (paper §3.2.1).
 type IterMethod = iterseq.Method
 
