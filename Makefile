@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz cluster-race bench bench-all bench-smoke
+.PHONY: check build vet test race fuzz cluster-race sched-race bench bench-all bench-smoke
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # with the race detector (the scheduler and backend-cancellation tests
@@ -28,6 +28,12 @@ race:
 cluster-race:
 	$(GO) test -race ./internal/cluster/... -count=2
 
+# sched-race does the same for the multi-class serving path: priority
+# aging, deadline admission, shed-the-tail and hedged dispatch are all
+# raced, repeated property tests.
+sched-race:
+	$(GO) test -race ./internal/sched/... -count=2
+
 # fuzz smokes the netproto frame/error-payload fuzzers and the WAL
 # record decoder for FUZZTIME each; -run='^$$' skips the unit tests so
 # only fuzzing runs.
@@ -37,11 +43,13 @@ fuzz:
 	$(GO) test ./internal/durable -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 
 # bench measures the host search hot path (scalar vs 64-wide batched,
-# every alg x iteration method) and refreshes BENCH_host.json, the
-# committed perf-trajectory point.
+# every alg x iteration method) and refreshes BENCH_host.json plus the
+# per-class serving-latency point BENCH_serve.json, the committed
+# perf-trajectory points.
 bench:
 	$(GO) test ./internal/core -run='^$$' -bench=ShellHost -benchmem
 	$(GO) run ./cmd/rbc-bench -experiment hostthroughput -json BENCH_host.json
+	$(GO) run ./cmd/rbc-bench -experiment servelatency -json BENCH_serve.json
 
 # bench-all runs every benchmark in the repository.
 bench-all:

@@ -9,10 +9,12 @@
 //	rbc-bench -csv                 # machine-readable output
 //	rbc-bench -experiment hostthroughput -json BENCH_host.json
 //	                               # host perf point + JSON trajectory file
+//	rbc-bench -experiment servelatency -json BENCH_serve.json
+//	                               # per-class serving latency point
 //
 // Experiments: table1, itermicro, figure3, flaginterval, table4, table5,
 // table6, figure4, table7, cpuscaling, sharedmem, awarevssalted,
-// multiapu, noisesecurity, hostthroughput.
+// multiapu, noisesecurity, hostthroughput, servelatency.
 package main
 
 import (
@@ -27,12 +29,48 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment id to run (empty = all)")
 	trials := flag.Int("trials", 200, "stochastic trials for average-case rows (paper used 1200)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	jsonPath := flag.String("json", "", "with -experiment hostthroughput: also write the measurement to this file as JSON")
+	jsonPath := flag.String("json", "", "with -experiment hostthroughput or servelatency: also write the measurement to this file as JSON")
 	flag.Parse()
 
-	if *jsonPath != "" && *experiment != "hostthroughput" {
-		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput")
+	if *jsonPath != "" && *experiment != "hostthroughput" && *experiment != "servelatency" {
+		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput or servelatency")
 		os.Exit(2)
+	}
+	if *experiment == "servelatency" {
+		// Measure once, then render the table and (optionally) the JSON
+		// trajectory point from the same run.
+		perClass := *trials / 4
+		if perClass < 8 {
+			perClass = 8
+		} else if perClass > 400 {
+			perClass = 400
+		}
+		sb, err := exper.MeasureServeLatency(perClass)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonPath != "" {
+			out, err := sb.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonPath, out, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		tbl := sb.Table()
+		if *csv {
+			err = tbl.RenderCSV(os.Stdout)
+		} else {
+			err = tbl.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *experiment == "hostthroughput" {
 		// Measure once, then render the table and (optionally) the JSON

@@ -26,7 +26,14 @@ func main() {
 	paperComm := flag.Bool("papercomm", false, "inject the paper's 0.90s communication latency")
 	baseError := flag.Float64("baseerror", puf.DefaultProfile.BaseError,
 		"per-read cell flip probability (must match enrollment)")
+	class := flag.String("class", "", "QoS class sent in the hello: interactive|batch|background (empty = interactive)")
+	deadline := flag.Duration("deadline", 0, "abandon the request after this long; sent to the server as an absolute deadline (0 = none)")
 	flag.Parse()
+
+	qos, err := core.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	profile := puf.DefaultProfile
 	profile.BaseError = *baseError
@@ -51,8 +58,12 @@ func main() {
 	if *paperComm {
 		lat = netproto.PaperLatency
 	}
+	opts := netproto.AuthOptions{Latency: lat, Class: qos}
+	if *deadline > 0 {
+		opts.Deadline = time.Now().Add(*deadline)
+	}
 	start := time.Now()
-	res, err := netproto.Authenticate(conn, client, lat)
+	res, err := netproto.AuthenticateWithOptions(conn, client, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

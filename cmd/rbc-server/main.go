@@ -53,6 +53,15 @@ type options struct {
 	workers      int
 	schedWorkers int
 	schedQueue   int
+	// inlineDepth is CAConfig.InlineDepth: shells d <= inlineDepth run
+	// inline on the accepting goroutine, bypassing the scheduler (0 =
+	// core.DefaultInlineDepth, negative = disabled).
+	inlineDepth int
+	// hedge enables hedged dispatch for straggling searches; hedgeDelay,
+	// when non-zero, fixes the trigger instead of deriving it from the
+	// service-time percentile.
+	hedge      bool
+	hedgeDelay time.Duration
 	store        *core.ImageStore // nil = self-enroll demo store
 	traceDepth   int
 	// dataDir, when set, opens a durable.State there: every enrollment,
@@ -131,6 +140,7 @@ func buildStack(opts options) (*stack, error) {
 	pool := sched.New(engine, sched.Config{
 		Workers:    opts.schedWorkers,
 		QueueDepth: opts.schedQueue,
+		Hedge:      sched.HedgeConfig{Enabled: opts.hedge, Delay: opts.hedgeDelay},
 		Trace:      ring,
 		Metrics:    reg,
 	})
@@ -138,6 +148,7 @@ func buildStack(opts options) (*stack, error) {
 		Alg:         core.SHA3,
 		MaxDistance: opts.maxD,
 		TimeLimit:   opts.timeLimit,
+		InlineDepth: opts.inlineDepth,
 		Trace:       ring,
 		Sessions:    cfgSessions,
 	})
@@ -215,6 +226,9 @@ func main() {
 	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS)")
 	schedWorkers := flag.Int("sched-workers", sched.DefaultWorkers, "concurrent searches admitted by the scheduler")
 	schedQueue := flag.Int("sched-queue", sched.DefaultQueueDepth, "scheduler admission-queue depth")
+	inlineDepth := flag.Int("inline-depth", core.DefaultInlineDepth, "largest shell served inline without queuing (-1 = always queue)")
+	hedge := flag.Bool("hedge", false, "re-issue straggling searches as a second backend flight")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed hedge trigger (0 = derive from the service-time p95)")
 	traceDepth := flag.Int("trace-depth", 1024, "trace ring capacity (events kept for /trace)")
 	storePath := flag.String("store", "", "load an rbc-enroll image store instead of self-enrolling")
 	keyHex := flag.String("key", strings.Repeat("00", 32), "master key for -store / -data-dir (64 hex chars)")
@@ -231,6 +245,9 @@ func main() {
 		workers:      *workers,
 		schedWorkers: *schedWorkers,
 		schedQueue:   *schedQueue,
+		inlineDepth:  *inlineDepth,
+		hedge:        *hedge,
+		hedgeDelay:   *hedgeDelay,
 		traceDepth:   *traceDepth,
 		dataDir:      *dataDir,
 	}

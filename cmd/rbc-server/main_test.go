@@ -32,8 +32,12 @@ func testStack(t *testing.T) *stack {
 		workers:      2,
 		schedWorkers: 2,
 		schedQueue:   16,
-		traceDepth:   256,
-		profile:      &quietProfile,
+		// Every search must flow through the scheduler so the /metrics
+		// counters this test pins down are deterministic; the inline fast
+		// path would serve these quiet devices at d <= 1 without queuing.
+		inlineDepth: core.InlineDisabled,
+		traceDepth:  256,
+		profile:     &quietProfile,
 	})
 	if err != nil {
 		t.Fatal(err)

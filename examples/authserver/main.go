@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"rbcsalted"
 )
@@ -36,15 +37,19 @@ func main() {
 	}
 	// The scheduler bounds concurrent searches (it is itself a Backend);
 	// beyond Workers running and QueueDepth waiting, authentications are
-	// shed with rbc.ErrOverloaded -> wire status "overloaded".
-	// One registry and one trace ring observe the whole serving path:
-	// the scheduler records queue/service histograms and lifecycle
-	// events, the backend adds per-shell search events, the protocol
-	// server counts connections and statuses.
+	// shed with rbc.ErrOverloaded -> wire status "overloaded", and
+	// infeasible deadlines are refused up front with
+	// rbc.ErrDeadlineInfeasible -> "deadline-infeasible". Hedged dispatch
+	// re-issues straggling searches once their wait exceeds the observed
+	// p95 service time. One registry and one trace ring observe the whole
+	// serving path: the scheduler records per-class queue/service
+	// histograms and lifecycle events, the backend adds per-shell search
+	// events, the protocol server counts connections and statuses.
 	reg := rbc.NewMetricsRegistry()
 	ring := rbc.NewTraceRing(256)
 	pool := rbc.NewScheduler(&rbc.CPUBackend{Alg: rbc.SHA3},
-		rbc.SchedulerConfig{Workers: 2, QueueDepth: 8, Trace: ring, Metrics: reg})
+		rbc.SchedulerConfig{Workers: 2, QueueDepth: 8, Trace: ring, Metrics: reg,
+			Hedge: rbc.HedgeConfig{Enabled: true}})
 	defer pool.Close()
 	ca, err := rbc.NewCA(store, pool, &rbc.AESKeyGenerator{},
 		rbc.NewRA(), rbc.CAConfig{MaxDistance: 2, Trace: ring})
@@ -64,13 +69,13 @@ func main() {
 	defer server.Close()
 	fmt.Printf("CA listening on %s\n", ln.Addr())
 
-	authenticate := func(label string, client *rbc.Client) {
+	authenticate := func(label string, client *rbc.Client, opts rbc.AuthOptions) {
 		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer conn.Close()
-		res, err := rbc.Authenticate(conn, client, rbc.Latency{})
+		res, err := rbc.AuthenticateWithOptions(conn, client, opts)
 		if err != nil {
 			fmt.Printf("%-28s rejected by server: %v\n", label, err)
 			return
@@ -79,26 +84,45 @@ func main() {
 			label, res.Authenticated, res.SearchSeconds)
 	}
 
-	// 1. Alice with her real PUF: should authenticate.
-	authenticate("alice (genuine PUF):", &rbc.Client{ID: "alice", Device: aliceDev})
+	// 1. Alice with her real PUF: should authenticate. A quiet PUF lands
+	//    at d<=1, so the CA resolves this session on the inline fast path
+	//    without it ever entering the scheduler queue.
+	authenticate("alice (genuine PUF):", &rbc.Client{ID: "alice", Device: aliceDev},
+		rbc.AuthOptions{})
 
 	// 2. Alice again with extra injected noise (the paper's §5 security
-	//    knob): still authenticates, at a deeper Hamming distance.
-	authenticate("alice (+1 noise bit):", &rbc.Client{ID: "alice", Device: aliceDev, NoiseBits: 1})
+	//    knob): still authenticates at a deeper Hamming distance. The
+	//    client marks the session batch-class with a generous deadline,
+	//    both riding in the v3 hello; they only take effect if the search
+	//    escalates past the inline depth, which d=1 does not - the options
+	//    are free on the fast path.
+	authenticate("alice (+1 noise bit):", &rbc.Client{ID: "alice", Device: aliceDev, NoiseBits: 1},
+		rbc.AuthOptions{Class: rbc.ClassBatch, Deadline: time.Now().Add(30 * time.Second)})
 
 	// 3. Mallory answering alice's challenge with a different PUF: the
-	//    search exhausts the ball and the CA refuses.
+	//    exhaustive d=2 impostor search is exactly the d-large tail the
+	//    serving path pushes out of the interactive lane, so the client
+	//    self-declares background class. It escalates into the scheduler
+	//    (d=2 > inline depth), exhausts the ball, and the CA refuses.
 	malloryDev, err := rbc.NewPUFDevice(666, 1024, rbc.DefaultPUFProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	authenticate("mallory (wrong PUF):", &rbc.Client{ID: "alice", Device: malloryDev})
+	authenticate("mallory (wrong PUF):", &rbc.Client{ID: "alice", Device: malloryDev},
+		rbc.AuthOptions{Class: rbc.ClassBackground})
 
+	// Both genuine sessions resolved inline at d<=1, so they never show
+	// up in the scheduler's Submitted count - only the escalated
+	// impostor search does.
 	st := pool.Stats()
-	fmt.Printf("\nscheduler: %d submitted, %d completed, %d rejected\n",
+	fmt.Printf("\nscheduler: %d submitted, %d completed, %d rejected (inline sessions bypass it)\n",
 		st.Submitted, st.Completed, st.Rejected)
 	fmt.Printf("           avg queue wait %s, avg service %s (max %s)\n",
 		st.AvgQueueWait(), st.AvgService(), st.ServiceMax)
+	fmt.Printf("           by class: interactive=%d batch=%d background=%d\n",
+		st.ByClass[rbc.ClassInteractive].Submitted,
+		st.ByClass[rbc.ClassBatch].Submitted,
+		st.ByClass[rbc.ClassBackground].Submitted)
 
 	snap := reg.Snapshot()
 	fmt.Printf("netproto:  %v conns, %v ok, %v denied\n",

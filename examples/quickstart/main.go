@@ -57,7 +57,7 @@ func main() {
 
 	// 4. The CA brute-forces the Hamming ball until a candidate seed
 	//    hashes to M1, then salts it and generates the session key.
-	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), rbc.AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
 	if err != nil {
 		log.Fatal(err)
 	}

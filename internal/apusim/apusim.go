@@ -163,17 +163,21 @@ func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, erro
 	var res core.Result
 	var clock device.VirtualClock
 
-	res.HashesExecuted++
-	res.SeedsCovered++
-	clock.AdvanceCycles(b.cyclesPerSeed, device.GeminiAPU.ClockHz)
-	if core.HashSeed(b.cfg.Alg, task.Base).Equal(task.Target) {
-		res.Found = true
-		res.Seed = task.Base
-		res.Distance = 0
+	// The distance-0 base probe is skipped when MinDistance says the
+	// caller already covered it.
+	if task.IncludeBase() {
+		res.HashesExecuted++
+		res.SeedsCovered++
+		clock.AdvanceCycles(b.cyclesPerSeed, device.GeminiAPU.ClockHz)
+		if core.HashSeed(b.cfg.Alg, task.Base).Equal(task.Target) {
+			res.Found = true
+			res.Seed = task.Base
+			res.Distance = 0
+		}
 	}
 
 	if !(res.Found && !task.Exhaustive) {
-		for d := 1; d <= task.MaxDistance; d++ {
+		for d := task.StartShell(); d <= task.MaxDistance; d++ {
 			if ctx.Err() != nil {
 				res.DeviceSeconds = clock.Seconds()
 				res.WallSeconds = time.Since(start).Seconds()

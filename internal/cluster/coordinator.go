@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,7 +37,56 @@ const (
 	// DefaultDrainTimeout bounds how long Close waits for in-flight
 	// searches to finish before disconnecting the fleet.
 	DefaultDrainTimeout = 10 * time.Second
+
+	// flightLatencyRing is the sample window behind the
+	// percentile-derived hedge trigger.
+	flightLatencyRing = 256
 )
+
+// HedgeConfig tunes hedged shard dispatch: a flight (one shard on one
+// worker) still unacknowledged after the hedge delay is duplicated onto
+// a different worker, the first done message wins, and the straggler is
+// hard-cancelled. A slow or half-dead worker then costs one hedge delay
+// instead of a heartbeat timeout plus redispatch. Coverage is counted
+// from the winning flight only, preserving the coordinator's
+// exactly-once accounting.
+type HedgeConfig struct {
+	// Enabled turns hedged dispatch on.
+	Enabled bool
+	// Delay is a fixed hedge trigger. Zero derives the trigger from the
+	// observed flight-latency distribution (Quantile); a fixed delay
+	// makes tests deterministic.
+	Delay time.Duration
+	// Quantile is the flight-latency percentile used when Delay is zero;
+	// 0 means 0.95.
+	Quantile float64
+	// MinDelay floors the derived trigger; 0 means 25ms.
+	MinDelay time.Duration
+	// MinSamples is how many completed flights must be observed before a
+	// derived trigger fires; 0 means 16.
+	MinSamples int
+}
+
+func (h HedgeConfig) quantile() float64 {
+	if h.Quantile <= 0 || h.Quantile >= 1 {
+		return 0.95
+	}
+	return h.Quantile
+}
+
+func (h HedgeConfig) minDelay() time.Duration {
+	if h.MinDelay <= 0 {
+		return 25 * time.Millisecond
+	}
+	return h.MinDelay
+}
+
+func (h HedgeConfig) minSamples() int {
+	if h.MinSamples <= 0 {
+		return 16
+	}
+	return h.MinSamples
+}
 
 // ErrClosed reports a Search submitted after Close.
 var ErrClosed = errors.New("cluster: coordinator closed")
@@ -73,6 +123,9 @@ type Config struct {
 	// DrainTimeout bounds Close's wait for in-flight searches; 0 means
 	// DefaultDrainTimeout, negative disables draining.
 	DrainTimeout time.Duration
+	// Hedge enables hedged shard dispatch for straggling flights (see
+	// HedgeConfig).
+	Hedge HedgeConfig
 	// Metrics, when non-nil, publishes the cluster fault-tolerance
 	// counters (cluster_worker_deaths, cluster_redispatches,
 	// cluster_rejoins, cluster_fallbacks, cluster_proto_rejects) and the
@@ -100,6 +153,12 @@ type Stats struct {
 	// ProtoRejects counts handshakes refused for a protocol-version
 	// mismatch or a malformed hello.
 	ProtoRejects uint64
+	// Hedges counts flights duplicated onto a second worker after
+	// straggling past the hedge trigger; HedgeWins counts the hedges
+	// whose duplicate answered first. The gap between them is wasted
+	// duplicate work — the price of the tail-latency insurance.
+	Hedges    uint64
+	HedgeWins uint64
 	// Degraded reports that the coordinator currently has no live
 	// workers, so searches are served by Config.Fallback (or fail).
 	Degraded bool
@@ -142,12 +201,23 @@ type Coordinator struct {
 	redispatches atomic.Uint64
 	fallbacks    atomic.Uint64
 	protoRejects atomic.Uint64
+	hedges       atomic.Uint64
+	hedgeWins    atomic.Uint64
+
+	// latMu guards the flight-latency ring feeding the derived hedge
+	// trigger.
+	latMu      sync.Mutex
+	latSamples [flightLatencyRing]float64
+	latCount   int
+	latNext    int
 
 	mDeaths       *obs.Counter
 	mRedispatches *obs.Counter
 	mRejoins      *obs.Counter
 	mFallbacks    *obs.Counter
 	mProtoRejects *obs.Counter
+	mHedges       *obs.Counter
+	mHedgeWins    *obs.Counter
 	hRedispatch   *obs.Histogram
 }
 
@@ -193,6 +263,8 @@ func (c *Coordinator) init() {
 			c.mRejoins = reg.Counter("cluster_rejoins")
 			c.mFallbacks = reg.Counter("cluster_fallbacks")
 			c.mProtoRejects = reg.Counter("cluster_proto_rejects")
+			c.mHedges = reg.Counter("cluster_hedges")
+			c.mHedgeWins = reg.Counter("cluster_hedge_wins")
 			c.hRedispatch = reg.Histogram("cluster_redispatch_latency_seconds", obs.DefLatencyBuckets)
 		}
 		if c.cfg.HeartbeatInterval > 0 {
@@ -505,6 +577,8 @@ func (c *Coordinator) Stats() Stats {
 		Redispatches: c.redispatches.Load(),
 		Fallbacks:    c.fallbacks.Load(),
 		ProtoRejects: c.protoRejects.Load(),
+		Hedges:       c.hedges.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
 		Degraded:     n == 0,
 	}
 }
@@ -582,20 +656,23 @@ func (c *Coordinator) search(ctx context.Context, task core.Task) (core.Result, 
 	start := time.Now()
 	var res core.Result
 
-	res.HashesExecuted++
-	res.SeedsCovered++
-	if core.HashSeed(c.Alg, task.Base).Equal(task.Target) {
-		res.Found = true
-		res.Seed = task.Base
-		res.Distance = 0
-		if !task.Exhaustive {
-			res.WallSeconds = time.Since(start).Seconds()
-			res.DeviceSeconds = res.WallSeconds
-			return res, nil
+	// Distance 0: skipped when MinDistance says the caller covered it.
+	if task.IncludeBase() {
+		res.HashesExecuted++
+		res.SeedsCovered++
+		if core.HashSeed(c.Alg, task.Base).Equal(task.Target) {
+			res.Found = true
+			res.Seed = task.Base
+			res.Distance = 0
+			if !task.Exhaustive {
+				res.WallSeconds = time.Since(start).Seconds()
+				res.DeviceSeconds = res.WallSeconds
+				return res, nil
+			}
 		}
 	}
 
-	for d := 1; d <= task.MaxDistance; d++ {
+	for d := task.StartShell(); d <= task.MaxDistance; d++ {
 		if ctx.Err() != nil {
 			res.WallSeconds = time.Since(start).Seconds()
 			res.DeviceSeconds = res.WallSeconds
@@ -656,6 +733,23 @@ type flight struct {
 	wc    *workerConn // nil for a local-fallback flight
 	id    uint64
 	shard shard
+	// sent is when the job went on the wire, for flight-latency samples.
+	sent time.Time
+	// group ties a primary flight and its hedge duplicate together; nil
+	// when hedging is off or the flight runs on the local fallback.
+	group *hedgeGroup
+	// hedge marks the duplicate flight of a group.
+	hedge bool
+}
+
+// hedgeGroup is the set of flights racing to cover one shard: the
+// primary plus (after the hedge trigger) one duplicate. Only the first
+// done message is counted; the group is accessed only from the owning
+// searchShell loop, so it needs no locking.
+type hedgeGroup struct {
+	members  []*flight
+	live     int // members in the air, neither done nor lost
+	resolved bool
 }
 
 // flightResult pairs a resolved flight with its outcome.
@@ -668,6 +762,8 @@ type flightResult struct {
 // covered under worker failure: a flight whose worker dies resolves as
 // lost and its shard is re-dispatched over the survivors (re-weighted by
 // cores); with no survivors the shard runs on the local fallback path.
+// With hedging enabled, a flight straggling past the hedge trigger races
+// a duplicate on a different worker and the first done message wins.
 func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (bool, u256.Uint256, uint64, error) {
 	size, ok := combin.Binomial64(256, d)
 	if !ok {
@@ -676,6 +772,13 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 
 	results := make(chan flightResult)
 	var flights []*flight // every dispatched flight, for cancel broadcast
+	var hedgeCh chan *flight
+	var shellDone chan struct{}
+	if c.cfg.Hedge.Enabled {
+		hedgeCh = make(chan *flight)
+		shellDone = make(chan struct{})
+		defer close(shellDone)
+	}
 
 	var (
 		found     bool
@@ -684,7 +787,7 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 		firstErr  error
 		cancelled bool
 	)
-	outstanding, err := c.dispatchShard(ctx, task, d, shard{0, size}, results, &flights)
+	outstanding, err := c.dispatchShard(ctx, task, d, shard{0, size}, results, &flights, hedgeCh, shellDone)
 	if err != nil {
 		if outstanding == 0 {
 			return false, u256.Zero, 0, err
@@ -699,7 +802,17 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 		select {
 		case fr := <-results:
 			outstanding--
+			g := fr.fl.group
 			if fr.res.lost {
+				if g != nil {
+					g.live--
+					if g.resolved || g.live > 0 {
+						// The shard is already counted, or its hedge twin is
+						// still in the air and covers the same ranks: no
+						// redispatch needed for this loss.
+						continue
+					}
+				}
 				// The flight's worker died without acknowledging: nothing
 				// of its range was counted, so re-dispatching the whole
 				// shard keeps every rank covered exactly once. Skip the
@@ -708,7 +821,7 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 					continue
 				}
 				redispatchStart := time.Now()
-				n, derr := c.dispatchShard(ctx, task, d, fr.fl.shard, results, &flights)
+				n, derr := c.dispatchShard(ctx, task, d, fr.fl.shard, results, &flights, hedgeCh, shellDone)
 				outstanding += n
 				c.redispatches.Add(1)
 				if c.mRedispatches != nil {
@@ -722,6 +835,32 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 				}
 				continue
 			}
+			if g != nil {
+				if g.resolved {
+					// The loser of a hedge race answering after the cancel:
+					// its winner was already counted, so folding this done in
+					// would double-count the shard.
+					continue
+				}
+				g.resolved = true
+				g.live--
+				if fr.fl.hedge {
+					c.hedgeWins.Add(1)
+					if c.mHedgeWins != nil {
+						c.mHedgeWins.Inc()
+					}
+				}
+				// Hard-cancel the twin: its answer is no longer wanted even
+				// in exhaustive mode — the winner covered the same ranks.
+				for _, m := range g.members {
+					if m != fr.fl && m.wc != nil {
+						_ = m.wc.send(kindCancel, &cancelMsg{ID: m.id, Hard: true})
+					}
+				}
+			}
+			if !fr.fl.sent.IsZero() {
+				c.observeFlight(time.Since(fr.fl.sent))
+			}
 			done := fr.res.msg
 			if done.Err != "" && firstErr == nil {
 				firstErr = errors.New(done.Err)
@@ -733,6 +872,34 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 				if !task.Exhaustive {
 					c.broadcastCancel(flights, false)
 				}
+			}
+		case fl := <-hedgeCh:
+			// A flight straggled past the hedge trigger. Skip when the
+			// shard no longer needs insurance: already answered, search
+			// terminating, or the flight was lost and redispatched.
+			if cancelled || (found && !task.Exhaustive) {
+				continue
+			}
+			g := fl.group
+			if g == nil || g.resolved || g.live == 0 || len(g.members) > 1 {
+				continue
+			}
+			if h := c.launchHedge(task, d, fl, results); h != nil {
+				flights = append(flights, h)
+				g.members = append(g.members, h)
+				g.live++
+				outstanding++
+				c.hedges.Add(1)
+				if c.mHedges != nil {
+					c.mHedges.Inc()
+				}
+				obs.Emit(task.Trace, obs.TraceEvent{
+					Kind:   obs.KindHedge,
+					Search: task.TraceID,
+					Depth:  d,
+					N:      fl.shard.count,
+					Dur:    time.Since(fl.sent),
+				})
 			}
 		case <-ctxDone:
 			if !cancelled {
@@ -749,6 +916,103 @@ func (c *Coordinator) searchShell(ctx context.Context, task core.Task, d int) (b
 		return false, u256.Zero, covered, firstErr
 	}
 	return found, foundSeed, covered, nil
+}
+
+// observeFlight feeds one completed flight's dispatch-to-done latency
+// into the ring behind the derived hedge trigger.
+func (c *Coordinator) observeFlight(dur time.Duration) {
+	c.latMu.Lock()
+	if c.latCount < flightLatencyRing {
+		c.latSamples[c.latCount] = dur.Seconds()
+		c.latCount++
+	} else {
+		c.latSamples[c.latNext] = dur.Seconds()
+		c.latNext = (c.latNext + 1) % flightLatencyRing
+	}
+	c.latMu.Unlock()
+}
+
+// hedgeDelay returns the current hedge trigger: the configured fixed
+// delay, or the configured percentile of observed flight latencies
+// (floored at MinDelay), or 0 — meaning "do not hedge yet" — while too
+// few flights have been observed.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	h := c.cfg.Hedge
+	if h.Delay > 0 {
+		return h.Delay
+	}
+	c.latMu.Lock()
+	n := c.latCount
+	if n < h.minSamples() {
+		c.latMu.Unlock()
+		return 0
+	}
+	samples := make([]float64, n)
+	copy(samples, c.latSamples[:n])
+	c.latMu.Unlock()
+
+	sort.Float64s(samples)
+	idx := int(h.quantile() * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	d := time.Duration(samples[idx] * float64(time.Second))
+	if min := h.minDelay(); d < min {
+		d = min
+	}
+	return d
+}
+
+// launchHedge duplicates a straggling flight's whole shard onto one
+// eligible worker other than the original. Best-effort: any failure
+// (no second worker, send error) returns nil and the primary keeps
+// flying alone.
+func (c *Coordinator) launchHedge(task core.Task, d int, orig *flight, results chan flightResult) *flight {
+	var w *workerConn
+	for _, cand := range c.eligibleFleet(task.Method) {
+		if cand != orig.wc {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.nextJob++
+	id := c.nextJob
+	c.mu.Unlock()
+	ch := make(chan jobResult, 1)
+	w.mu.Lock()
+	gone := w.gone
+	if !gone {
+		w.pending[id] = ch
+	}
+	w.mu.Unlock()
+	if gone {
+		return nil
+	}
+	job := &jobMsg{
+		ID:            id,
+		Base:          task.Base.Bytes(),
+		Alg:           int(c.Alg),
+		Target:        task.Target.Bytes(),
+		Distance:      d,
+		Method:        int(task.Method),
+		StartRank:     orig.shard.start,
+		Count:         orig.shard.count,
+		CheckInterval: task.EffectiveCheckInterval(),
+		Exhaustive:    task.Exhaustive,
+	}
+	if err := w.send(kindJob, job); err != nil {
+		w.mu.Lock()
+		delete(w.pending, id)
+		w.mu.Unlock()
+		return nil
+	}
+	fl := &flight{wc: w, id: id, shard: orig.shard, sent: time.Now(), group: orig.group, hedge: true}
+	go func() { results <- flightResult{fl: fl, res: <-ch} }()
+	return fl
 }
 
 // broadcastCancel sends a cancel for every dispatched flight. Send
@@ -768,8 +1032,11 @@ func (c *Coordinator) broadcastCancel(flights []*flight, hard bool) {
 // the affected sub-range over the remaining fleet. With no eligible
 // workers at all, the shard runs on the local fallback path when
 // Config.Fallback is set, or the dispatch fails. Returns the number of
-// flights started.
-func (c *Coordinator) dispatchShard(ctx context.Context, task core.Task, d int, s shard, results chan flightResult, flights *[]*flight) (int, error) {
+// flights started. A non-nil hedgeCh arms a hedge trigger per remote
+// flight: the flight is offered for duplication if still unresolved
+// after the hedge delay (shellDone disarms the timers when the shell
+// completes first).
+func (c *Coordinator) dispatchShard(ctx context.Context, task core.Task, d int, s shard, results chan flightResult, flights *[]*flight, hedgeCh chan *flight, shellDone chan struct{}) (int, error) {
 	if s.count == 0 {
 		return 0, nil
 	}
@@ -853,7 +1120,25 @@ func (c *Coordinator) dispatchShard(ctx context.Context, task core.Task, d int, 
 				todo = append(todo, sub)
 				continue
 			}
-			fl := &flight{wc: w, id: id, shard: sub}
+			fl := &flight{wc: w, id: id, shard: sub, sent: time.Now()}
+			if hedgeCh != nil {
+				fl.group = &hedgeGroup{members: []*flight{fl}, live: 1}
+				if delay := c.hedgeDelay(); delay > 0 {
+					go func(fl *flight) {
+						t := time.NewTimer(delay)
+						defer t.Stop()
+						select {
+						case <-t.C:
+						case <-shellDone:
+							return
+						}
+						select {
+						case hedgeCh <- fl:
+						case <-shellDone:
+						}
+					}(fl)
+				}
+			}
 			*flights = append(*flights, fl)
 			started++
 			go func() { results <- flightResult{fl: fl, res: <-ch} }()

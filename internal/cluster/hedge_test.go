@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/combin"
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/obs"
+)
+
+// TestClusterHedgeCoversStalledWorker is the deterministic hedging
+// test: one healthy worker plus one that accepts its job and then goes
+// silent. The straggling flight must be hedged onto the healthy worker
+// after the fixed trigger, the search must complete with exactly-once
+// coverage, and the winner must be counted exactly once in Stats.
+func TestClusterHedgeCoversStalledWorker(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, ln, stop := startClusterCfg(t, Config{
+		Alg:   core.SHA3,
+		Hedge: HedgeConfig{Enabled: true, Delay: 50 * time.Millisecond},
+		// Keep the reaper out of the race: the stalled worker must be
+		// rescued by hedging, not by a heartbeat timeout.
+		HeartbeatTimeout: 30 * time.Second,
+		Metrics:          reg,
+	}, []int{2})
+	defer stop()
+
+	// A worker that accepts jobs and never answers them. The hard
+	// cancel sent when its hedge twin wins makes it drop off, resolving
+	// its flight as a loss of an already-counted group.
+	conn, welcome := dialRaw(t, ln.Addr().String(), &helloMsg{Proto: ProtoVersion, Cores: 1, Name: "stalled"})
+	if !welcome.Accept {
+		t.Fatalf("stalled worker rejected: %s", welcome.Reason)
+	}
+	go func() {
+		for {
+			kind, _, err := readMsg(conn)
+			if err != nil {
+				return
+			}
+			if kind == kindCancel {
+				conn.Close()
+				return
+			}
+		}
+	}()
+	if err := coord.WaitForWorkers(2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	task, client := clusterTask(core.SHA3, 8, 2, 2)
+	task.Exhaustive = true
+	start := time.Now()
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatalf("hedged search failed: %v", err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("hedge lost the seed: %+v", res)
+	}
+	// Exactly-once coverage: the hedge twin replaces the stalled shard,
+	// it does not add to it.
+	want := combin.ExhaustiveSeeds(256, 2).Uint64()
+	if res.SeedsCovered != want {
+		t.Errorf("hedge double- or under-counted: covered %d, want %d", res.SeedsCovered, want)
+	}
+	// The search must not have waited anywhere near the 30s reap window.
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("hedged search took %v, expected the trigger to fire at ~50ms per shell", d)
+	}
+
+	st := coord.Stats()
+	if st.Hedges == 0 {
+		t.Error("no hedge launched for the stalled flight")
+	}
+	if st.HedgeWins == 0 {
+		t.Error("hedge twin's win not counted")
+	}
+	if st.HedgeWins > st.Hedges {
+		t.Errorf("HedgeWins %d exceeds Hedges %d", st.HedgeWins, st.Hedges)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap["cluster_hedges"].(uint64); !ok || v == 0 {
+		t.Errorf("cluster_hedges metric = %v", snap["cluster_hedges"])
+	}
+	if v, ok := snap["cluster_hedge_wins"].(uint64); !ok || v == 0 {
+		t.Errorf("cluster_hedge_wins metric = %v", snap["cluster_hedge_wins"])
+	}
+}
+
+// TestClusterHedgeDisabledByDefault: without Hedge.Enabled no hedge
+// machinery runs, even with a fixed delay configured.
+func TestClusterHedgeDisabledByDefault(t *testing.T) {
+	coord, stop := startCluster(t, core.SHA3, []int{1, 1})
+	defer stop()
+	task, client := clusterTask(core.SHA3, 9, 1, 2)
+	res, err := coord.Search(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Seed.Equal(client) {
+		t.Fatalf("search failed: %+v", res)
+	}
+	if st := coord.Stats(); st.Hedges != 0 || st.HedgeWins != 0 {
+		t.Errorf("hedges counted with hedging disabled: %+v", st)
+	}
+}

@@ -113,7 +113,7 @@ func TestCAIssuesCertificates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
 	if err != nil {
 		t.Fatal(err)
 	}

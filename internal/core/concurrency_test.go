@@ -64,7 +64,7 @@ func TestConcurrentAuthentications(t *testing.T) {
 				errs <- fmt.Errorf("%s respond: %w", id, err)
 				return
 			}
-			res, err := ca.Authenticate(context.Background(), id, ch.Nonce, m1)
+			res, err := ca.Authenticate(context.Background(), AuthRequest{Client: id, Nonce: ch.Nonce, M1: m1})
 			if err != nil {
 				errs <- fmt.Errorf("%s authenticate: %w", id, err)
 				return
@@ -113,11 +113,11 @@ func TestInterleavedSessionsSameClient(t *testing.T) {
 	}
 	// The stale challenge must be rejected; the fresh one must work.
 	m1, _ := client.Respond(ch1)
-	if _, err := ca.Authenticate(context.Background(), "alice", ch1.Nonce, m1); err == nil {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch1.Nonce, M1: m1}); err == nil {
 		t.Error("stale challenge accepted")
 	}
 	m2, _ := client.Respond(ch2)
-	res, err := ca.Authenticate(context.Background(), "alice", ch2.Nonce, m2)
+	res, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch2.Nonce, M1: m2})
 	if err != nil || !res.Authenticated {
 		t.Errorf("fresh challenge failed: %v", err)
 	}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rbcsalted/internal/u256"
+)
+
+// The distance-progressive fast path: a healthy PUF authenticates at
+// small Hamming distance almost always, and shells d <= 1 are a few
+// hundred candidates — microseconds on the host BatchMatcher. Running
+// them inline on the caller's goroutine means the common case never
+// takes a queue slot, never waits behind a d=5 straggler, and never
+// pays a dispatch round-trip; only the rare large-distance tail
+// escalates to the configured backend (with Task.MinDistance set so the
+// inline shells are not re-covered).
+
+// Inline-depth policy values for CAConfig.InlineDepth.
+const (
+	// DefaultInlineDepth covers shells d <= 1 inline: 257 candidates,
+	// four bit-sliced batches.
+	DefaultInlineDepth = 1
+	// MaxInlineDepth bounds the inline budget: C(256,2) = 32640
+	// candidates is already ~1 ms of caller-goroutine work; anything
+	// larger belongs on a backend.
+	MaxInlineDepth = 2
+	// InlineDisabled turns the inline fast path off entirely; every
+	// authentication goes to the backend (the pre-progressive behaviour).
+	InlineDisabled = -1
+)
+
+// InlineName is the backend name stamped on trace events emitted by the
+// inline fast path.
+const InlineName = "inline-host"
+
+// SearchInline covers shells 0..depth of task synchronously on the
+// calling goroutine with the host BatchMatcher. It is the first stage
+// of the distance-progressive serving path: the caller escalates to a
+// real backend with task.MinDistance = depth+1 only when SearchInline
+// neither finds the seed nor exhausts the ball.
+//
+// depth is clamped to task.MaxDistance. Cancellation is polled every
+// CheckInterval seeds, like any backend; the partial Result is returned
+// with ctx.Err().
+func SearchInline(ctx context.Context, task Task, depth int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if depth > task.MaxDistance {
+		depth = task.MaxDistance
+	}
+	if depth > MaxInlineDepth {
+		return Result{}, fmt.Errorf("core: inline depth %d exceeds maximum %d", depth, MaxInlineDepth)
+	}
+	alg := task.Target.Alg
+	start := time.Now()
+	var res Result
+
+	TraceSearchStart(task, InlineName)
+
+	// Distance 0: the base probe.
+	res.HashesExecuted++
+	res.SeedsCovered++
+	if HashSeed(alg, task.Base).Equal(task.Target) {
+		res.Found = true
+		res.Seed = task.Base
+		res.Distance = 0
+	}
+
+	deadline := time.Time{}
+	if task.TimeLimit > 0 {
+		deadline = start.Add(task.TimeLimit)
+	}
+	factory := HashMatcherFactory(alg, task.Target)
+	var err error
+	for d := 1; d <= depth && !(res.Found && !task.Exhaustive); d++ {
+		shellStart := time.Now()
+		var (
+			found    bool
+			seed     u256.Uint256
+			covered  uint64
+			timedOut bool
+		)
+		found, seed, covered, timedOut, err = SearchShellHost(
+			ctx, task.Base, d, task.Method, 1, task.EffectiveCheckInterval(),
+			task.Exhaustive, deadline, factory)
+		st := ShellStat{
+			Distance:      d,
+			SeedsCovered:  covered,
+			DeviceSeconds: time.Since(shellStart).Seconds(),
+		}
+		res.Shells = append(res.Shells, st)
+		TraceShell(task, InlineName, st)
+		res.SeedsCovered += covered
+		res.HashesExecuted += covered
+		if found && !res.Found {
+			res.Found = true
+			res.Seed = seed
+			res.Distance = d
+		}
+		if err != nil {
+			break
+		}
+		if timedOut {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.DeviceSeconds = res.WallSeconds
+	TraceSearchEnd(task, InlineName, res, err)
+	return res, err
+}

@@ -67,9 +67,12 @@ func MatchRank(method iterseq.Method, base, oracle u256.Uint256) (uint64, error)
 }
 
 // PlanShells computes the event plan for a task split over the given
-// worker count. It requires task.Oracle when a match exists beyond what
-// hashing alone could locate; a nil oracle produces a plan with no match
-// events (the caller is then modelling a search that never finds a seed).
+// worker count, covering shells task.StartShell()..task.MaxDistance (the
+// progressive serving path consumes a plan's tail: shells below
+// MinDistance were already covered inline and are not re-planned). It
+// requires task.Oracle when a match exists beyond what hashing alone
+// could locate; a nil oracle produces a plan with no match events (the
+// caller is then modelling a search that never finds a seed).
 func PlanShells(task Task, workers int) ([]ShellPlan, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("core: workers must be positive, got %d", workers)
@@ -77,6 +80,7 @@ func PlanShells(task Task, workers int) ([]ShellPlan, error) {
 	if task.MaxDistance < 0 || task.MaxDistance > 10 {
 		return nil, fmt.Errorf("core: MaxDistance %d outside supported range [0,10]", task.MaxDistance)
 	}
+	startShell := task.StartShell()
 	matchShell := -1
 	var matchRankGlobal uint64
 	if task.Oracle != nil {
@@ -92,8 +96,8 @@ func PlanShells(task Task, workers int) ([]ShellPlan, error) {
 			}
 		}
 	}
-	plans := make([]ShellPlan, 0, task.MaxDistance)
-	for d := 1; d <= task.MaxDistance; d++ {
+	plans := make([]ShellPlan, 0, task.MaxDistance-startShell+1)
+	for d := startShell; d <= task.MaxDistance; d++ {
 		size, ok := combin.Binomial64(256, d)
 		if !ok {
 			return nil, fmt.Errorf("core: C(256,%d) overflows uint64", d)

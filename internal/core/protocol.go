@@ -263,6 +263,14 @@ type CAConfig struct {
 	// ErrNoSession and the session evicted, so an abandoned handshake
 	// does not leave a replayable nonce behind.
 	SessionTTL time.Duration
+	// InlineDepth is the distance-progressive fast path's budget: shells
+	// d <= InlineDepth run inline on the caller's goroutine with the host
+	// BatchMatcher, bypassing the backend (and any scheduler queue in
+	// front of it) entirely; only deeper searches escalate, with
+	// Task.MinDistance set past the covered shells. Zero selects
+	// DefaultInlineDepth (1); InlineDisabled (-1) sends every search to
+	// the backend; at most MaxInlineDepth.
+	InlineDepth int
 	// Sessions, when non-nil, is the session table the CA uses instead
 	// of creating its own — the injection point for a durable table
 	// (internal/durable) whose opens and closes are journaled.
@@ -301,6 +309,9 @@ func (c CAConfig) Validate() error {
 	if c.SessionTTL < 0 {
 		return fmt.Errorf("%w: negative SessionTTL %s (use zero for the default)", ErrBadConfig, c.SessionTTL)
 	}
+	if c.InlineDepth > MaxInlineDepth {
+		return fmt.Errorf("%w: InlineDepth %d exceeds maximum %d", ErrBadConfig, c.InlineDepth, MaxInlineDepth)
+	}
 	return nil
 }
 
@@ -319,6 +330,11 @@ func (c CAConfig) withDefaults() CAConfig {
 	}
 	if c.SessionTTL == 0 {
 		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.InlineDepth == 0 {
+		c.InlineDepth = DefaultInlineDepth
+	} else if c.InlineDepth < 0 {
+		c.InlineDepth = InlineDisabled
 	}
 	return c
 }
@@ -442,23 +458,34 @@ type AuthResult struct {
 // (Figure 1 steps 1-9). On success the recovered seed is salted, the
 // public key generated, and the RA updated.
 //
+// Serving is distance-progressive: shells d <= InlineDepth run inline on
+// the calling goroutine with the host BatchMatcher (microseconds — a
+// healthy PUF authenticates here almost always), and only a search that
+// must go deeper escalates to the configured backend with
+// Task.MinDistance set past the covered shells. The request's QoS class
+// and deadline ride on the escalated Task, so a scheduler backend can
+// order and shed by them.
+//
 // ctx bounds the search: cancellation or deadline expiry propagates into
 // the backend's shell loops and surfaces as ctx.Err(). The challenge is
-// strictly single-use: once the (id, nonce) pair has been presented, the
-// session is consumed on every path — success, failure, policy error or
-// cancellation — so a failed attempt can never be replayed. A session
+// strictly single-use: once the (Client, Nonce) pair has been presented,
+// the session is consumed on every path — success, failure, policy error
+// or cancellation — so a failed attempt can never be replayed. A session
 // older than the configured SessionTTL is treated as absent.
-func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Digest) (AuthResult, error) {
+func (ca *CA) Authenticate(ctx context.Context, req AuthRequest) (AuthResult, error) {
 	// The challenge is consumed here: any outcome below — including the
 	// early error returns — has already burnt it.
-	ch, ok := ca.sessions.Take(id, nonce)
+	ch, ok := ca.sessions.Take(req.Client, req.Nonce)
 	if !ok {
-		return AuthResult{}, fmt.Errorf("%w for %q with nonce %d", ErrNoSession, id, nonce)
+		return AuthResult{}, fmt.Errorf("%w for %q with nonce %d", ErrNoSession, req.Client, req.Nonce)
 	}
-	if m1.Alg != ca.cfg.Alg {
-		return AuthResult{}, fmt.Errorf("%w: digest %v, CA policy %v", ErrAlgMismatch, m1.Alg, ca.cfg.Alg)
+	if !req.Class.Valid() {
+		return AuthResult{}, fmt.Errorf("%w: unknown QoS class %d", ErrBadConfig, uint8(req.Class))
 	}
-	im, err := ca.store.Get(id)
+	if req.M1.Alg != ca.cfg.Alg {
+		return AuthResult{}, fmt.Errorf("%w: digest %v, CA policy %v", ErrAlgMismatch, req.M1.Alg, ca.cfg.Alg)
+	}
+	im, err := ca.store.Get(req.Client)
 	if err != nil {
 		return AuthResult{}, err
 	}
@@ -467,14 +494,17 @@ func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Di
 		return AuthResult{}, err
 	}
 
-	res, err := ca.backend.Search(ctx, Task{
+	task := Task{
 		Base:        base,
-		Target:      m1,
+		Target:      req.M1,
 		MaxDistance: ca.cfg.MaxDistance,
 		Method:      ca.cfg.Method,
 		TimeLimit:   ca.cfg.TimeLimit,
+		Class:       req.Class,
+		Deadline:    req.Deadline,
 		Trace:       ca.cfg.Trace,
-	})
+	}
+	res, err := ca.search(ctx, task)
 	if err != nil {
 		return AuthResult{Search: res}, err
 	}
@@ -484,24 +514,73 @@ func (ca *CA) Authenticate(ctx context.Context, id ClientID, nonce uint64, m1 Di
 		salted := SaltSeed(res.Seed, ca.cfg.SaltRotation).Bytes()
 		out.PublicKey = ca.keygen.PublicKey(salted)
 		out.Authenticated = true
-		if err := ca.ra.Update(id, out.PublicKey); err != nil {
+		if err := ca.ra.Update(req.Client, out.PublicKey); err != nil {
 			return AuthResult{}, err
 		}
 		ca.mu.Lock()
 		issuer := ca.issuer
 		ca.mu.Unlock()
 		if issuer != nil {
-			cert, certErr := issuer.Issue(id, ca.keygen.Name(), out.PublicKey)
+			cert, certErr := issuer.Issue(req.Client, ca.keygen.Name(), out.PublicKey)
 			if certErr != nil {
 				return AuthResult{}, certErr
 			}
 			out.Certificate = cert
-			if err := ca.ra.UpdateCertificate(id, cert); err != nil {
+			if err := ca.ra.UpdateCertificate(req.Client, cert); err != nil {
 				return AuthResult{}, err
 			}
 		}
 	}
 	return out, nil
+}
+
+// AuthenticateLegacy is the positional pre-AuthRequest surface, kept for
+// one release of compatibility.
+//
+// Deprecated: use Authenticate with an AuthRequest, which also carries
+// the request's QoS class and deadline.
+func (ca *CA) AuthenticateLegacy(ctx context.Context, id ClientID, nonce uint64, m1 Digest) (AuthResult, error) {
+	return ca.Authenticate(ctx, AuthRequest{Client: id, Nonce: nonce, M1: m1})
+}
+
+// search runs the distance-progressive pipeline for one task: the inline
+// host shells first, then — only if needed — the backend for the rest of
+// the ball, with the inline telemetry folded into the returned Result.
+func (ca *CA) search(ctx context.Context, task Task) (Result, error) {
+	depth := ca.cfg.InlineDepth
+	if depth < 0 {
+		return ca.backend.Search(ctx, task)
+	}
+	if depth > task.MaxDistance {
+		depth = task.MaxDistance
+	}
+	inline, err := SearchInline(ctx, task, depth)
+	if err != nil {
+		return inline, err
+	}
+	if inline.Found || inline.TimedOut || depth >= task.MaxDistance {
+		// Resolved without ever touching the backend or its queue.
+		obs.Emit(task.Trace, obs.TraceEvent{
+			Kind:    obs.KindInline,
+			Search:  task.TraceID,
+			Backend: InlineName,
+			Depth:   depth,
+			N:       inline.SeedsCovered,
+			Dur:     time.Duration(inline.WallSeconds * float64(time.Second)),
+		})
+		return inline, nil
+	}
+
+	task.MinDistance = depth + 1
+	res, err := ca.backend.Search(ctx, task)
+	// Fold the inline shells into the escalated result so AuthResult
+	// telemetry covers the whole ball exactly once.
+	res.SeedsCovered += inline.SeedsCovered
+	res.HashesExecuted += inline.HashesExecuted
+	res.WallSeconds += inline.WallSeconds
+	res.DeviceSeconds += inline.DeviceSeconds
+	res.Shells = append(inline.Shells, res.Shells...)
+	return res, err
 }
 
 // Client is the device-side participant: it reads its PUF at the

@@ -104,7 +104,9 @@ func TestFullProtocolAuthenticates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	// The deprecated positional wrapper must stay equivalent to
+	// Authenticate with a bare AuthRequest; the happy path pins it.
+	res, err := ca.AuthenticateLegacy(context.Background(), "alice", ch.Nonce, m1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestAuthenticateRejectsImpostor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,10 +158,10 @@ func TestChallengeIsSingleUse(t *testing.T) {
 	client := enrollTestClient(t, ca, "alice", 79, profile)
 	ch, _ := ca.BeginHandshake("alice")
 	m1, _ := client.Respond(ch)
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1); err != nil {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1); err == nil {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1}); err == nil {
 		t.Error("challenge replay accepted")
 	}
 }
@@ -172,13 +174,13 @@ func TestAuthenticateErrors(t *testing.T) {
 	profile := puf.Profile{BaseError: 0.5 / 256.0}
 	client := enrollTestClient(t, ca, "alice", 80, profile)
 	ch, _ := ca.BeginHandshake("alice")
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce+1, Digest{}); err == nil {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce + 1, M1: Digest{}}); err == nil {
 		t.Error("wrong nonce accepted")
 	}
 	// Wrong digest algorithm.
 	seed, _ := client.ReadSeed(ch)
 	wrongAlg := HashSeed(SHA1, seed)
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, wrongAlg); err == nil {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: wrongAlg}); err == nil {
 		t.Error("wrong digest algorithm accepted")
 	}
 }
@@ -202,11 +204,11 @@ func TestChallengeConsumedOnErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First attempt fails policy: wrong digest algorithm.
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, HashSeed(SHA1, seed)); !errors.Is(err, ErrAlgMismatch) {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: HashSeed(SHA1, seed)}); !errors.Is(err, ErrAlgMismatch) {
 		t.Fatalf("expected ErrAlgMismatch, got %v", err)
 	}
 	// Second attempt fixes the digest — but the challenge must be gone.
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, HashSeed(SHA3, seed)); !errors.Is(err, ErrNoSession) {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: HashSeed(SHA3, seed)}); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("expected ErrNoSession after failed attempt, got %v", err)
 	}
 }
@@ -227,10 +229,10 @@ func TestWrongNonceKeepsSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ca.Authenticate(context.Background(), "alice", ch.Nonce+1, m1); !errors.Is(err, ErrNoSession) {
+	if _, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce + 1, M1: m1}); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("expected ErrNoSession for wrong nonce, got %v", err)
 	}
-	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
 	if err != nil {
 		t.Fatalf("session consumed by wrong-nonce probe: %v", err)
 	}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// QoSClass is a request's quality-of-service class. It orders the
+// scheduler's admission queues: interactive requests are served first,
+// background requests are served last (subject to priority aging, which
+// promotes long-waiting work one level per aging step so nothing
+// starves), and under overload the scheduler sheds from the lowest
+// class first.
+//
+// The zero value is ClassInteractive, so callers that never think about
+// QoS get the strictest service — the safe default for the paper's
+// human-facing authentication workload.
+type QoSClass uint8
+
+// QoS classes, strictest first. The numeric order IS the priority
+// lattice: lower values are served first.
+const (
+	// ClassInteractive is a human waiting on the result: served first,
+	// shed last. The default.
+	ClassInteractive QoSClass = iota
+	// ClassBatch is programmatic but latency-sensitive work (fleet
+	// re-attestation sweeps, CI).
+	ClassBatch
+	// ClassBackground is best-effort work (audits, warm-up probes):
+	// served when nothing better waits, shed first under overload.
+	ClassBackground
+
+	// NumClasses is the number of QoS classes (for per-class arrays).
+	NumClasses = 3
+)
+
+// Valid reports whether c names a defined class.
+func (c QoSClass) Valid() bool { return c < NumClasses }
+
+// String names the class for flags, logs and metric names.
+func (c QoSClass) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBatch:
+		return "batch"
+	case ClassBackground:
+		return "background"
+	default:
+		return fmt.Sprintf("class-%d", uint8(c))
+	}
+}
+
+// ParseClass parses a class name as printed by String. It is the
+// inverse used by the CLI -class flags and config files.
+func ParseClass(s string) (QoSClass, error) {
+	switch s {
+	case "interactive", "":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	case "background":
+		return ClassBackground, nil
+	}
+	return 0, fmt.Errorf("core: unknown QoS class %q (want interactive, batch or background)", s)
+}
+
+// AuthRequest is one authentication attempt, the argument of
+// CA.Authenticate. It replaces the old positional
+// (id, nonce, m1) surface so QoS intent travels with the request:
+// adding a field here does not break every call site the way adding a
+// parameter did.
+type AuthRequest struct {
+	// Client is the enrolled device being authenticated.
+	Client ClientID
+	// Nonce identifies the challenge session this digest answers.
+	Nonce uint64
+	// M1 is the digest the client sent.
+	M1 Digest
+	// Class is the request's QoS class; the zero value is
+	// ClassInteractive.
+	Class QoSClass
+	// Deadline, when non-zero, is the absolute wall-clock time by which
+	// the caller needs the verdict. The scheduler refuses requests it
+	// cannot finish in time with ErrDeadlineInfeasible, and the derived
+	// search deadline is capped at it (never extended past it).
+	Deadline time.Time
+}

@@ -105,7 +105,7 @@ func TestCASessionTTLRejectsStaleNonce(t *testing.T) {
 		t.Fatal(err)
 	}
 	now = now.Add(time.Minute)
-	_, err = ca.Authenticate(t.Context(), client.ID, ch.Nonce, m1)
+	_, err = ca.Authenticate(t.Context(), AuthRequest{Client: client.ID, Nonce: ch.Nonce, M1: m1})
 	if !errors.Is(err, ErrNoSession) {
 		t.Fatalf("stale handshake error = %v, want ErrNoSession", err)
 	}
@@ -160,7 +160,7 @@ func TestCADeprovision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ca.Authenticate(t.Context(), client.ID, ch.Nonce, m1); err != nil {
+	if _, err := ca.Authenticate(t.Context(), AuthRequest{Client: client.ID, Nonce: ch.Nonce, M1: m1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ca.BeginHandshake(client.ID); err != nil {

@@ -17,8 +17,15 @@ type Task struct {
 	// Target is M_1, the digest the client sent.
 	Target Digest
 	// MaxDistance is the largest Hamming distance searched (inclusive).
-	// All shells 0..MaxDistance are covered, in order.
+	// All shells MinDistance..MaxDistance are covered, in order.
 	MaxDistance int
+	// MinDistance is the smallest Hamming distance searched. Zero (the
+	// default) starts with the distance-0 base probe; a positive value
+	// skips the shells below it — the distance-progressive serving path
+	// sets MinDistance after covering d <= CA InlineDepth inline on the
+	// host, so the escalated backend search never re-covers them. See
+	// StartShell.
+	MinDistance int
 	// Method selects the seed-iteration algorithm (paper §3.2.1).
 	Method iterseq.Method
 	// Exhaustive disables the early exit: every shell up to MaxDistance is
@@ -33,6 +40,14 @@ type Task struct {
 	// TimeLimit is the authentication threshold T. Zero means no limit.
 	// Backends stop and report !Found when modelled time exceeds it.
 	TimeLimit time.Duration
+	// Class is the request's QoS class (see QoSClass); the scheduler
+	// orders its admission queues by it. Zero is ClassInteractive.
+	Class QoSClass
+	// Deadline, when non-zero, is the absolute wall-clock time by which
+	// the caller needs the result. The scheduler refuses tasks it cannot
+	// finish in time (ErrDeadlineInfeasible) and caps the derived
+	// TimeLimit+grace search deadline at it.
+	Deadline time.Time
 	// Oracle optionally carries the ground-truth client seed for
 	// event-driven simulators: it lets a modelled device locate the match
 	// analytically instead of hashing billions of candidates on the host.
@@ -74,6 +89,20 @@ func (t Task) EffectiveCheckInterval() int {
 	}
 	return t.CheckInterval
 }
+
+// StartShell returns the first Hamming shell (>= 1) a backend's shell
+// loop must cover, normalizing a negative MinDistance to the default.
+// The distance-0 base probe is separate: run it iff IncludeBase.
+func (t Task) StartShell() int {
+	if t.MinDistance < 1 {
+		return 1
+	}
+	return t.MinDistance
+}
+
+// IncludeBase reports whether the search covers the distance-0 base
+// probe (false when MinDistance skips past it).
+func (t Task) IncludeBase() bool { return t.MinDistance <= 0 }
 
 // Result reports the outcome and cost of one RBC search.
 type Result struct {

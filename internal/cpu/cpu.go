@@ -66,16 +66,19 @@ func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, erro
 	var res core.Result
 
 	// Distance 0: thread 0 checks S_init itself (Algorithm 1 lines 4-8).
-	res.HashesExecuted++
-	res.SeedsCovered++
-	if core.HashSeed(b.Alg, task.Base).Equal(task.Target) {
-		res.Found = true
-		res.Seed = task.Base
-		res.Distance = 0
-		if !task.Exhaustive {
-			res.DeviceSeconds = time.Since(start).Seconds()
-			res.WallSeconds = res.DeviceSeconds
-			return res, nil
+	// Skipped when MinDistance says the caller already covered it.
+	if task.IncludeBase() {
+		res.HashesExecuted++
+		res.SeedsCovered++
+		if core.HashSeed(b.Alg, task.Base).Equal(task.Target) {
+			res.Found = true
+			res.Seed = task.Base
+			res.Distance = 0
+			if !task.Exhaustive {
+				res.DeviceSeconds = time.Since(start).Seconds()
+				res.WallSeconds = res.DeviceSeconds
+				return res, nil
+			}
 		}
 	}
 
@@ -88,7 +91,7 @@ func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, erro
 	if b.ScalarMatch {
 		newMatcher = core.ScalarMatcher(newMatcher)
 	}
-	for d := 1; d <= task.MaxDistance; d++ {
+	for d := task.StartShell(); d <= task.MaxDistance; d++ {
 		shellStart := time.Now()
 		found, seed, covered, timedOut, err := core.SearchShellHost(
 			ctx, task.Base, d, task.Method, b.workers(), task.EffectiveCheckInterval(),

@@ -114,6 +114,7 @@ func All(trials int) []*Table {
 		MultiAPU(),
 		NoiseSecurity(),
 		HostThroughput(),
+		ServeLatency(trials),
 	}
 }
 
@@ -151,7 +152,9 @@ func ByID(id string, trials int) (*Table, error) {
 		return NoiseSecurity(), nil
 	case "hostthroughput":
 		return HostThroughput(), nil
+	case "servelatency":
+		return ServeLatency(trials), nil
 	default:
-		return nil, fmt.Errorf("exper: unknown experiment %q (try: table1, itermicro, figure3, flaginterval, table4, table5, table6, figure4, table7, cpuscaling, sharedmem, awarevssalted, multiapu, noisesecurity, hostthroughput)", id)
+		return nil, fmt.Errorf("exper: unknown experiment %q (try: table1, itermicro, figure3, flaginterval, table4, table5, table6, figure4, table7, cpuscaling, sharedmem, awarevssalted, multiapu, noisesecurity, hostthroughput, servelatency)", id)
 	}
 }

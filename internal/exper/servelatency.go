@@ -1,0 +1,259 @@
+package exper
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/obs"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/sched"
+)
+
+// ServeBenchSchema identifies the BENCH_serve.json format. Bump on any
+// field change so trajectory tooling can tell points apart.
+const ServeBenchSchema = "rbc-salted/serve-bench/v1"
+
+// ServeBenchPoint is one QoS class's slice of the serving-latency
+// measurement: end-to-end authentication latency percentiles plus the
+// scheduler-side queue-wait percentiles for the requests of that class
+// that escalated past the inline window.
+type ServeBenchPoint struct {
+	Class     string  `json:"class"`
+	Requests  int     `json:"requests"`
+	NoiseBits int     `json:"noise_bits"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	QueueP50s float64 `json:"queue_p50_s"`
+	QueueP99s float64 `json:"queue_p99_s"`
+}
+
+// ServeBench is the full mixed-class serving measurement — the latency
+// trajectory point emitted as BENCH_serve.json.
+type ServeBench struct {
+	Schema       string            `json:"schema"`
+	GeneratedAt  string            `json:"generated_at"`
+	GoVersion    string            `json:"go_version"`
+	NumCPU       int               `json:"num_cpu"`
+	SchedWorkers int               `json:"sched_workers"`
+	QueueDepth   int               `json:"queue_depth"`
+	InlineServed uint64            `json:"inline_served"`
+	Escalated    uint64            `json:"escalated"`
+	Shed         uint64            `json:"shed"`
+	Hedged       uint64            `json:"hedged"`
+	PerClass     []ServeBenchPoint `json:"per_class"`
+}
+
+// serve-bench pool geometry: small enough that the mixed burst really
+// queues, so class priority is visible in the percentiles.
+const (
+	serveWorkers = 2
+	serveQueue   = 64
+	serveLanes   = 4 // concurrent request lanes per class
+)
+
+// serveNoise maps each QoS class to the deliberate noise its requests
+// inject: interactive requests stay inside the inline window (d <= 1),
+// batch and background requests force escalation to the scheduler.
+var serveNoise = [core.NumClasses]int{
+	core.ClassInteractive: 0,
+	core.ClassBatch:       2,
+	core.ClassBackground:  2,
+}
+
+// MeasureServeLatency drives a mixed-class authentication burst through
+// one CA whose backend is a class-aware scheduler over the real CPU
+// engine, and reports per-class end-to-end latency percentiles. The
+// interactive lane's requests resolve inline on the host; batch and
+// background lanes escalate and compete for the scheduler's workers, so
+// the spread between the classes' percentiles is the experiment.
+func MeasureServeLatency(perClass int) (ServeBench, error) {
+	if perClass <= 0 {
+		perClass = 8
+	}
+	sb := ServeBench{
+		Schema:       ServeBenchSchema,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		SchedWorkers: serveWorkers,
+		QueueDepth:   serveQueue,
+	}
+
+	reg := obs.NewRegistry()
+	pool := sched.New(&cpu.Backend{Alg: core.SHA3, Workers: 1}, sched.Config{
+		Workers:    serveWorkers,
+		QueueDepth: serveQueue,
+		Metrics:    reg,
+	})
+	defer pool.Close()
+	store, err := core.NewImageStore([32]byte{0xA7})
+	if err != nil {
+		return sb, err
+	}
+	ca, err := core.NewCA(store, pool, &aeskg.Generator{}, core.NewRA(), core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: 3,
+	})
+	if err != nil {
+		return sb, err
+	}
+
+	// One enrolled client per (class, lane): lanes issue their requests
+	// sequentially on their own noiseless device, so the injected noise
+	// alone decides each request's search distance.
+	type lane struct {
+		client *core.Client
+		class  core.QoSClass
+	}
+	var lanes []lane
+	for c := 0; c < core.NumClasses; c++ {
+		for l := 0; l < serveLanes; l++ {
+			id := core.ClientID(fmt.Sprintf("serve-%s-%d", core.QoSClass(c), l))
+			dev, err := puf.NewDevice(uint64(4300+c*serveLanes+l), 1024, puf.Profile{BaseError: 0})
+			if err != nil {
+				return sb, err
+			}
+			im, err := puf.Enroll(dev, 31)
+			if err != nil {
+				return sb, err
+			}
+			if err := ca.Enroll(id, im); err != nil {
+				return sb, err
+			}
+			lanes = append(lanes, lane{
+				client: &core.Client{ID: id, Device: dev, NoiseBits: serveNoise[c]},
+				class:  core.QoSClass(c),
+			})
+		}
+	}
+
+	// End-to-end latency histograms, one per class, quantiled the same
+	// way a /metrics consumer would.
+	var e2e [core.NumClasses]*obs.Histogram
+	for c := 0; c < core.NumClasses; c++ {
+		e2e[c] = reg.Histogram("serve.e2e_seconds."+core.QoSClass(c).String(), obs.DefLatencyBuckets)
+	}
+
+	perLane := (perClass + serveLanes - 1) / serveLanes
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(lanes))
+	for _, ln := range lanes {
+		wg.Add(1)
+		go func(ln lane) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				ch, err := ca.BeginHandshake(ln.client.ID)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				m1, err := ln.client.Respond(ch)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				start := time.Now()
+				res, err := ca.Authenticate(context.Background(), core.AuthRequest{
+					Client: ln.client.ID, Nonce: ch.Nonce, M1: m1, Class: ln.class,
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", ln.client.ID, err)
+					return
+				}
+				if !res.Authenticated {
+					errCh <- fmt.Errorf("%s: not authenticated", ln.client.ID)
+					return
+				}
+				e2e[ln.class].Observe(time.Since(start).Seconds())
+			}
+		}(ln)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return sb, err
+	}
+
+	st := pool.Stats()
+	total := uint64(core.NumClasses * serveLanes * perLane)
+	sb.Escalated = st.Submitted
+	sb.InlineServed = total - st.Submitted
+	sb.Shed = st.Shed
+	sb.Hedged = st.Hedged
+	snap := reg.Snapshot()
+	for c := 0; c < core.NumClasses; c++ {
+		name := core.QoSClass(c).String()
+		p := ServeBenchPoint{
+			Class:     name,
+			Requests:  serveLanes * perLane,
+			NoiseBits: serveNoise[c],
+		}
+		if h, ok := snap["serve.e2e_seconds."+name].(obs.HistogramSnapshot); ok {
+			p.P50Ms = h.Quantile(0.5) * 1e3
+			p.P99Ms = h.Quantile(0.99) * 1e3
+		}
+		if h, ok := snap["sched.queue_wait_seconds."+name].(obs.HistogramSnapshot); ok {
+			p.QueueP50s = h.Quantile(0.5)
+			p.QueueP99s = h.Quantile(0.99)
+		}
+		sb.PerClass = append(sb.PerClass, p)
+	}
+	return sb, nil
+}
+
+// Table renders the measurement in the experiment-table format.
+func (sb ServeBench) Table() *Table {
+	t := &Table{
+		ID: "servelatency",
+		Title: fmt.Sprintf("Mixed-class serving latency, %d sched workers, queue depth %d",
+			sb.SchedWorkers, sb.QueueDepth),
+		Headers: []string{"Class", "Requests", "Noise bits", "p50 (ms)", "p99 (ms)", "queue p50 (s)", "queue p99 (s)"},
+	}
+	for _, p := range sb.PerClass {
+		t.Rows = append(t.Rows, []string{
+			p.Class, fmt.Sprint(p.Requests), fmt.Sprint(p.NoiseBits),
+			fmt.Sprintf("%.3f", p.P50Ms), fmt.Sprintf("%.3f", p.P99Ms),
+			fmt.Sprintf("%.4f", p.QueueP50s), fmt.Sprintf("%.4f", p.QueueP99s),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d of %d requests served inline on the host (d <= 1 fast path); %d escalated to the scheduler; %d shed; %d hedged",
+			sb.InlineServed, sb.InlineServed+sb.Escalated, sb.Escalated, sb.Shed, sb.Hedged),
+		"interactive requests ride the inline fast path; batch/background inject noise past it and queue",
+		fmt.Sprintf("%s, %d cores", sb.GoVersion, sb.NumCPU),
+	)
+	return t
+}
+
+// JSON renders the measurement as the BENCH_serve.json document.
+func (sb ServeBench) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ServeLatency runs the serving-latency experiment for the standard
+// table pipeline (rbc-bench, EXPERIMENTS.md). trials scales the number
+// of requests per class.
+func ServeLatency(trials int) *Table {
+	perClass := trials / 4
+	if perClass < 8 {
+		perClass = 8
+	} else if perClass > 400 {
+		perClass = 400
+	}
+	sb, err := MeasureServeLatency(perClass)
+	if err != nil {
+		panic(err)
+	}
+	return sb.Table()
+}

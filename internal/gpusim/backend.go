@@ -110,17 +110,20 @@ func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, erro
 	var clock device.VirtualClock
 
 	// Distance 0: a single-seed host check; device cost is one kernel.
-	res.HashesExecuted++
-	res.SeedsCovered++
-	clock.AdvanceSeconds(b.model.kernelLaunchSeconds)
-	if core.HashSeed(b.cfg.Alg, task.Base).Equal(task.Target) {
-		res.Found = true
-		res.Seed = task.Base
-		res.Distance = 0
+	// Skipped when MinDistance says the caller already covered it.
+	if task.IncludeBase() {
+		res.HashesExecuted++
+		res.SeedsCovered++
+		clock.AdvanceSeconds(b.model.kernelLaunchSeconds)
+		if core.HashSeed(b.cfg.Alg, task.Base).Equal(task.Target) {
+			res.Found = true
+			res.Seed = task.Base
+			res.Distance = 0
+		}
 	}
 
 	if !(res.Found && !task.Exhaustive) {
-		for d := 1; d <= task.MaxDistance; d++ {
+		for d := task.StartShell(); d <= task.MaxDistance; d++ {
 			if ctx.Err() != nil {
 				res.DeviceSeconds = clock.Seconds()
 				res.WallSeconds = time.Since(start).Seconds()

@@ -3,6 +3,9 @@ package netproto
 import (
 	"bytes"
 	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
 )
 
 // FuzzReadFrame feeds arbitrary bytes to the frame reader: it must reject
@@ -80,6 +83,12 @@ func FuzzDecodeError(f *testing.F) {
 func FuzzDecodeResult(f *testing.F) {
 	f.Add(EncodeResult(Result{Authenticated: true, SearchSeconds: 1.5, PublicKey: []byte{1}}))
 	f.Add([]byte{})
+	// v3 hello seeds: a well-formed extended hello, a truncated header,
+	// and a bare marker — DecodeHello must reject or parse, never panic.
+	f.Add(EncodeHello(Hello{ClientID: "alice", Class: core.ClassBackground,
+		Deadline: time.Unix(0, 1754550000123456789)}))
+	f.Add([]byte{helloV3Marker, helloV3Version, 1, 0, 0})
+	f.Add([]byte{helloV3Marker})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if r, err := DecodeResult(data); err == nil {
 			_ = EncodeResult(r)

@@ -1,0 +1,184 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/cpu"
+	"rbcsalted/internal/cryptoalg/aeskg"
+	"rbcsalted/internal/puf"
+	"rbcsalted/internal/sched"
+)
+
+// TestHelloV3RoundTrip covers the extended hello layout: class and
+// deadline survive an encode/decode cycle, and the default-QoS hello
+// stays byte-compatible with v2.
+func TestHelloV3RoundTrip(t *testing.T) {
+	deadline := time.Unix(0, 1754550000123456789)
+	cases := []struct {
+		name   string
+		in     Hello
+		wantV2 bool
+	}{
+		{"default-qos-is-v2", Hello{ClientID: "alice"}, true},
+		{"class-only", Hello{ClientID: "alice", Class: core.ClassBatch}, false},
+		{"deadline-only", Hello{ClientID: "alice", Deadline: deadline}, false},
+		{"class-and-deadline", Hello{ClientID: "bob", Class: core.ClassBackground, Deadline: deadline}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := EncodeHello(tc.in)
+			if tc.wantV2 {
+				if !bytes.Equal(enc, []byte(tc.in.ClientID)) {
+					t.Fatalf("default-QoS hello = %x, want raw v2 id (old-server compatibility)", enc)
+				}
+			} else if enc[0] != helloV3Marker || enc[1] != helloV3Version {
+				t.Fatalf("extended hello missing v3 header: %x", enc)
+			}
+			got, err := DecodeHello(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ClientID != tc.in.ClientID || got.Class != tc.in.Class {
+				t.Fatalf("round trip = %+v, want %+v", got, tc.in)
+			}
+			if !got.Deadline.Equal(tc.in.Deadline) {
+				t.Fatalf("deadline round trip = %v, want %v", got.Deadline, tc.in.Deadline)
+			}
+		})
+	}
+}
+
+// TestHelloV3Rejections: malformed v3 payloads are refused, never
+// misparsed as v2 ids.
+func TestHelloV3Rejections(t *testing.T) {
+	good := EncodeHello(Hello{ClientID: "alice", Class: core.ClassBatch})
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"truncated-header", good[:5]},
+		{"unknown-version", append([]byte{helloV3Marker, 99}, good[2:]...)},
+		{"invalid-class", func() []byte {
+			p := append([]byte(nil), good...)
+			p[2] = 200
+			return p
+		}()},
+		{"empty-id", good[:helloV3Header]},
+		{"oversized-id", append(append([]byte(nil), good...), bytes.Repeat([]byte{'x'}, 256)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if h, err := DecodeHello(tc.p); err == nil {
+				t.Fatalf("accepted as %+v", h)
+			}
+		})
+	}
+}
+
+// TestStatusDeadlineInfeasibleMapping: the scheduler's admission error
+// reaches the wire as its own status, distinct from overload.
+func TestStatusDeadlineInfeasibleMapping(t *testing.T) {
+	if got := statusFor(sched.ErrDeadlineInfeasible); got != StatusDeadlineInfeasible {
+		t.Errorf("statusFor(ErrDeadlineInfeasible) = %v, want StatusDeadlineInfeasible", got)
+	}
+	if got := statusFor(sched.ErrOverloaded); got != StatusOverloaded {
+		t.Errorf("statusFor(ErrOverloaded) = %v, want StatusOverloaded", got)
+	}
+	if StatusDeadlineInfeasible.String() != "deadline-infeasible" {
+		t.Errorf("StatusDeadlineInfeasible.String() = %q", StatusDeadlineInfeasible.String())
+	}
+}
+
+// TestAuthenticateWithClassAndDeadline runs a full client/server
+// session with v3 hello fields set: the session must succeed and the
+// server must see the class and deadline on the CA request (observed
+// through the backend task).
+func TestAuthenticateWithClassAndDeadline(t *testing.T) {
+	srv, client, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	res, err := AuthenticateWithOptions(conn, client, AuthOptions{
+		Class:    core.ClassBatch,
+		Deadline: time.Now().Add(30 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authenticated {
+		t.Fatal("not authenticated with v3 hello")
+	}
+}
+
+// TestDeadlineInfeasibleOverTheWire: a deadline that is already past
+// when the hello arrives is refused with StatusDeadlineInfeasible, not
+// StatusOverloaded.
+func TestDeadlineInfeasibleOverTheWire(t *testing.T) {
+	store, err := core.NewImageStore([32]byte{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.New(&cpu.Backend{Alg: core.SHA3, Workers: 2},
+		sched.Config{Workers: 1, QueueDepth: 1})
+	defer pool.Close()
+	ca, err := core.NewCA(store, pool, &aeskg.Generator{}, core.NewRA(), core.CAConfig{
+		Alg:         core.SHA3,
+		MaxDistance: 2,
+		// Every search must reach the scheduler's admission control —
+		// the inline fast path would serve this quiet device at d <= 1
+		// without ever seeing the infeasible deadline.
+		InlineDepth: core.InlineDisabled,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := puf.NewDevice(101, 1024, puf.Profile{BaseError: 0.5 / 256.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := puf.Enroll(dev, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Enroll("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{CA: ca}
+	client := &core.Client{ID: "alice", Device: dev}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	_, err = AuthenticateWithOptions(conn, client, AuthOptions{
+		Deadline: time.Now().Add(-time.Second),
+	})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Status != StatusDeadlineInfeasible {
+		t.Fatalf("expected StatusDeadlineInfeasible, got %v", err)
+	}
+}

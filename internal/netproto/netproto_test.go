@@ -300,6 +300,10 @@ func TestServerReportsOverloaded(t *testing.T) {
 	ca, err := core.NewCA(store, pool, &aeskg.Generator{}, core.NewRA(), core.CAConfig{
 		Alg:         core.SHA3,
 		MaxDistance: 2,
+		// The inline fast path would authenticate this low-noise device
+		// at d <= 1 without touching the wedged scheduler; the test is
+		// about the scheduler's overload signal reaching the wire.
+		InlineDepth: core.InlineDisabled,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -367,6 +371,9 @@ func TestClientDisconnectCancelsSearch(t *testing.T) {
 	ca, err := core.NewCA(store, bk, &aeskg.Generator{}, core.NewRA(), core.CAConfig{
 		Alg:         core.SHA3,
 		MaxDistance: 2,
+		// Disable the inline fast path: the disconnect watchdog is only
+		// observable while the search is parked inside the backend.
+		InlineDepth: core.InlineDisabled,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -100,6 +100,8 @@ func statusFor(err error) Status {
 		return StatusAlgMismatch
 	case errors.Is(err, sched.ErrOverloaded):
 		return StatusOverloaded
+	case errors.Is(err, sched.ErrDeadlineInfeasible):
+		return StatusDeadlineInfeasible
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return StatusCancelled
 	default:
@@ -185,7 +187,13 @@ func (s *Server) handle(conn net.Conn) {
 		cancel()
 	}()
 
-	auth, err := s.CA.Authenticate(ctx, core.ClientID(hello.ClientID), dm.Nonce, digest)
+	auth, err := s.CA.Authenticate(ctx, core.AuthRequest{
+		Client:   core.ClientID(hello.ClientID),
+		Nonce:    dm.Nonce,
+		M1:       digest,
+		Class:    hello.Class,
+		Deadline: hello.Deadline,
+	})
 	if err != nil {
 		failErr(err)
 		return
@@ -200,11 +208,33 @@ func (s *Server) handle(conn net.Conn) {
 	}))
 }
 
+// AuthOptions carries the client-side knobs of one authentication.
+type AuthOptions struct {
+	// Latency injects modelled communication costs (see Latency).
+	Latency Latency
+	// Class is the request's QoS class, sent in the hello. The zero
+	// value (interactive) together with a zero Deadline keeps the hello
+	// on the v2 wire layout, compatible with old servers.
+	Class core.QoSClass
+	// Deadline is the absolute deadline sent in the hello; zero means
+	// none. A server that cannot meet it refuses the request with
+	// StatusDeadlineInfeasible instead of searching.
+	Deadline time.Time
+}
+
 // Authenticate runs the full client side of the protocol over conn:
 // hello, challenge, PUF read, digest, result. Server-reported failures
 // are returned as *ServerError carrying the wire Status.
 func Authenticate(conn net.Conn, client *core.Client, lat Latency) (Result, error) {
-	if err := WriteFrame(conn, MsgHello, EncodeHello(Hello{ClientID: string(client.ID)})); err != nil {
+	return AuthenticateWithOptions(conn, client, AuthOptions{Latency: lat})
+}
+
+// AuthenticateWithOptions is Authenticate with per-request QoS class and
+// deadline carried in the hello.
+func AuthenticateWithOptions(conn net.Conn, client *core.Client, opts AuthOptions) (Result, error) {
+	lat := opts.Latency
+	hello := Hello{ClientID: string(client.ID), Class: opts.Class, Deadline: opts.Deadline}
+	if err := WriteFrame(conn, MsgHello, EncodeHello(hello)); err != nil {
 		return Result{}, fmt.Errorf("netproto: hello: %w", err)
 	}
 	msgType, payload, err := ReadFrame(conn)

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
+
+	"rbcsalted/internal/core"
 )
 
 // Message types.
@@ -51,6 +54,11 @@ const (
 	// StatusCancelled reports a search stopped by context cancellation
 	// or deadline expiry on the server.
 	StatusCancelled
+	// StatusDeadlineInfeasible maps sched.ErrDeadlineInfeasible: the
+	// hello's absolute deadline could not be met, so the search was
+	// refused without being run. Retrying with the same deadline is
+	// pointless; relax it or drop it.
+	StatusDeadlineInfeasible
 )
 
 // String names the status for logs and error text.
@@ -70,6 +78,8 @@ func (s Status) String() string {
 		return "overloaded"
 	case StatusCancelled:
 		return "cancelled"
+	case StatusDeadlineInfeasible:
+		return "deadline-infeasible"
 	default:
 		return fmt.Sprintf("status-%d", byte(s))
 	}
@@ -147,18 +157,79 @@ func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
 	return buf[0], buf[1:], nil
 }
 
-// Hello is the client's opening message.
+// Hello is the client's opening message. Since protocol v3 it may carry
+// the request's QoS class and absolute deadline, which the server threads
+// into the scheduler's admission control.
 type Hello struct {
 	ClientID string
+	// Class is the request's QoS class; the zero value (interactive) is
+	// also what a v2 hello decodes to.
+	Class core.QoSClass
+	// Deadline is the client's absolute deadline for the whole
+	// authentication; zero means none. Encoded as Unix nanoseconds, so
+	// both ends must have loosely synchronized clocks (same assumption
+	// the session TTL already makes).
+	Deadline time.Time
 }
 
-// EncodeHello serializes a Hello.
+// helloV3Version tags the extended hello layout. A v3 payload is
+//
+//	0x00 | version | class | deadline (8 bytes, big-endian Unix nanos,
+//	0 = none) | client id (1-255 bytes)
+//
+// The 0x00 marker cannot begin a v2 hello sent by any released client
+// (IDs are human-assigned names), so old and new payloads are
+// distinguishable from the first byte and a v2-only server rejects a v3
+// hello cleanly at its id-length check rather than misreading it.
+const (
+	helloV3Marker  = 0x00
+	helloV3Version = 3
+	helloV3Header  = 11 // marker + version + class + 8-byte deadline
+)
+
+// EncodeHello serializes a Hello. A hello with default QoS (interactive
+// class, no deadline) encodes as the v2 raw client id, so upgraded
+// clients keep working against v2 servers until they actually use the
+// new fields.
 func EncodeHello(h Hello) []byte {
-	return []byte(h.ClientID)
+	if h.Class == core.ClassInteractive && h.Deadline.IsZero() {
+		return []byte(h.ClientID)
+	}
+	out := make([]byte, helloV3Header+len(h.ClientID))
+	out[0] = helloV3Marker
+	out[1] = helloV3Version
+	out[2] = byte(h.Class)
+	if !h.Deadline.IsZero() {
+		binary.BigEndian.PutUint64(out[3:11], uint64(h.Deadline.UnixNano()))
+	}
+	copy(out[helloV3Header:], h.ClientID)
+	return out
 }
 
-// DecodeHello parses a Hello.
+// DecodeHello parses a Hello, accepting both the v2 raw-id payload and
+// the v3 extended layout.
 func DecodeHello(p []byte) (Hello, error) {
+	if len(p) > 0 && p[0] == helloV3Marker {
+		if len(p) < helloV3Header {
+			return Hello{}, errors.New("netproto: truncated v3 hello")
+		}
+		if p[1] != helloV3Version {
+			return Hello{}, fmt.Errorf("netproto: unsupported hello version %d", p[1])
+		}
+		h := Hello{Class: core.QoSClass(p[2])}
+		if !h.Class.Valid() {
+			return Hello{}, fmt.Errorf("netproto: invalid QoS class %d", p[2])
+		}
+		if nanos := binary.BigEndian.Uint64(p[3:11]); nanos != 0 {
+			h.Deadline = time.Unix(0, int64(nanos))
+		}
+		id := p[helloV3Header:]
+		if len(id) == 0 || len(id) > 255 {
+			return Hello{}, errors.New("netproto: invalid client id length")
+		}
+		h.ClientID = string(id)
+		return h, nil
+	}
 	if len(p) == 0 || len(p) > 255 {
 		return Hello{}, errors.New("netproto: invalid client id length")
 	}

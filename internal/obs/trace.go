@@ -28,6 +28,17 @@ const (
 	// KindSearchEnd: a backend returned (Detail = found/not-found/
 	// timed-out, Depth = early-exit distance, N = hashes executed).
 	KindSearchEnd = "search.end"
+	// KindInline: the request resolved on the inline host fast path
+	// without ever entering a scheduler queue (Depth = inline budget,
+	// N = seeds covered).
+	KindInline = "search.inline"
+	// KindShed: admission control evicted this queued search to make
+	// room for a strictly better one (Detail names the shed rule).
+	KindShed = "sched.shed"
+	// KindHedge: the scheduler re-issued a straggling search to a second
+	// backend flight (Dur = hedge delay); Detail on the corresponding
+	// done event says which flight won.
+	KindHedge = "sched.hedge"
 )
 
 // TraceEvent is one step in a search's life. Fields beyond Time and Kind

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"time"
+
+	"rbcsalted/internal/core"
+)
+
+// submitOpts is the resolved per-submission policy. Defaults come from
+// the task itself (Class, Deadline) and the scheduler's hedge config.
+type submitOpts struct {
+	class    core.QoSClass
+	deadline time.Time
+	hedge    bool
+}
+
+// SubmitOption customises one Submit call.
+type SubmitOption func(*submitOpts)
+
+// WithClass sets the submission's QoS class, overriding the task's Class
+// field. Interactive beats batch beats background at the queue head
+// (subject to aging).
+func WithClass(c core.QoSClass) SubmitOption {
+	return func(o *submitOpts) { o.class = c }
+}
+
+// WithDeadline sets the submission's absolute deadline, overriding the
+// task's Deadline field. Admission refuses the search with
+// ErrDeadlineInfeasible if the deadline cannot be met; a zero time means
+// no deadline.
+func WithDeadline(t time.Time) SubmitOption {
+	return func(o *submitOpts) { o.deadline = t }
+}
+
+// WithHedging enables or disables hedged dispatch for this submission,
+// overriding the scheduler-wide HedgeConfig.Enabled default. Hedging
+// still requires a trigger delay: the fixed configured one, or enough
+// observed service samples to derive a percentile.
+func WithHedging(on bool) SubmitOption {
+	return func(o *submitOpts) { o.hedge = on }
+}

@@ -1,14 +1,20 @@
 // Package sched is the multi-tenant authentication scheduler: a bounded
-// worker pool over a core.Backend with a FIFO admission queue, per-search
-// deadline enforcement and cooperative cancellation.
+// worker pool over a core.Backend with class-aware admission queues,
+// per-search deadline enforcement, cooperative cancellation and hedged
+// dispatch for stragglers.
 //
 // The paper's engines maximise the throughput of ONE Hamming-ball search;
 // a serving CA needs many independent searches in flight without letting
 // an unbounded goroutine pile-up destroy the latency of all of them. The
-// Scheduler provides the admission control layer: at most Workers
-// searches run concurrently, at most QueueDepth wait in FIFO order, and
-// anything beyond that is rejected immediately with ErrOverloaded so the
-// caller can shed load instead of queueing without bound.
+// Scheduler provides the admission-control layer: at most Workers
+// searches run concurrently; waiting searches sit in one FIFO queue per
+// QoS class (interactive first, background last), with priority aging
+// promoting long-waiting work one level per AgingStep so nothing
+// starves. Admission is deadline-aware — a search whose deadline cannot
+// be met is refused with ErrDeadlineInfeasible instead of wasting a
+// queue slot — and when the queues are full an arriving search may evict
+// the worst queued one (lowest class, largest distance bound, loosest
+// deadline) so overload sheds the d-large tail first.
 //
 // Scheduler itself implements core.Backend, so it composes with
 // everything that takes one: a CA can authenticate through a scheduled
@@ -21,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,15 +36,23 @@ import (
 	"rbcsalted/internal/obs"
 )
 
-// Sentinel errors. Both are returned unwrapped from Search's admission
+// Sentinel errors. All are returned unwrapped from Submit's admission
 // path, so errors.Is works without unwrapping.
 var (
-	// ErrOverloaded reports that the admission queue was full: the search
-	// was rejected without queueing. Callers should shed load or retry
-	// with backoff; netproto maps it to StatusOverloaded on the wire.
+	// ErrOverloaded reports that the admission queues were full and the
+	// search was not strictly better than anything queued: it was
+	// rejected (or, for a queued search, evicted) without service.
+	// Callers should shed load or retry with backoff; netproto maps it
+	// to StatusOverloaded on the wire.
 	ErrOverloaded = errors.New("sched: admission queue full")
 	// ErrClosed reports a Search submitted after Close.
 	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrDeadlineInfeasible reports that the search's absolute deadline
+	// was already unreachable at admission (past, or closer than the
+	// scheduler's service estimate), or passed while the search waited
+	// in the queue. The work was refused before burning backend time;
+	// netproto maps it to StatusDeadlineInfeasible.
+	ErrDeadlineInfeasible = errors.New("sched: deadline infeasible")
 )
 
 // Defaults applied by New for zero Config fields.
@@ -46,40 +61,112 @@ const (
 	// fans out internally over the backend's own worker goroutines, so
 	// the pool is deliberately small.
 	DefaultWorkers = 4
-	// DefaultQueueDepth is the default admission-queue capacity.
+	// DefaultQueueDepth is the default admission-queue capacity (summed
+	// across all classes).
 	DefaultQueueDepth = 64
+	// DefaultAgingStep is the queue wait that promotes a waiting search
+	// one QoS level: a background search that has waited two steps
+	// competes as interactive, so sustained high-priority load cannot
+	// starve it forever.
+	DefaultAgingStep = 2 * time.Second
+	// DefaultDeadlineGrace is the default slack between a task's
+	// TimeLimit and the enforced wall-clock deadline.
+	DefaultDeadlineGrace = 500 * time.Millisecond
+
+	// admitWarmup is the number of served searches before the admission
+	// controller trusts its service-time estimate enough to refuse
+	// not-yet-expired deadlines; until then only already-past deadlines
+	// are refused.
+	admitWarmup = 8
+	// hedgeRingSize is the service-time sample window behind the
+	// percentile-derived hedge delay.
+	hedgeRingSize = 256
 )
+
+// HedgeConfig tunes hedged dispatch: when a search's backend flight
+// straggles past a latency-percentile-derived delay, the scheduler
+// re-issues it as a second flight and the first completion wins (the
+// loser's context is cancelled).
+type HedgeConfig struct {
+	// Enabled turns hedging on for every submission (individual
+	// submissions can opt out with WithHedging(false), and direct
+	// Submit callers can opt in per search with WithHedging(true)).
+	Enabled bool
+	// Delay is a fixed hedge trigger. Zero derives the trigger from the
+	// observed service-time distribution (Quantile), which is the
+	// production behaviour; a fixed delay makes tests deterministic.
+	Delay time.Duration
+	// Quantile is the service-time percentile used to derive the
+	// trigger when Delay is zero; 0 means 0.95. A search still running
+	// past that percentile is a straggler worth hedging.
+	Quantile float64
+	// MinDelay floors the derived trigger so microsecond-fast backends
+	// don't hedge everything; 0 means 10ms.
+	MinDelay time.Duration
+	// MinSamples is how many served searches must be observed before a
+	// derived trigger fires at all; 0 means 16.
+	MinSamples int
+}
+
+func (h HedgeConfig) quantile() float64 {
+	if h.Quantile <= 0 || h.Quantile >= 1 {
+		return 0.95
+	}
+	return h.Quantile
+}
+
+func (h HedgeConfig) minDelay() time.Duration {
+	if h.MinDelay <= 0 {
+		return 10 * time.Millisecond
+	}
+	return h.MinDelay
+}
+
+func (h HedgeConfig) minSamples() int {
+	if h.MinSamples <= 0 {
+		return 16
+	}
+	return h.MinSamples
+}
 
 // Config sizes a Scheduler.
 type Config struct {
 	// Workers is the number of searches run concurrently; 0 means
 	// DefaultWorkers.
 	Workers int
-	// QueueDepth is the admission-queue capacity; 0 means
-	// DefaultQueueDepth. Searches arriving with Workers busy and
-	// QueueDepth waiting are rejected with ErrOverloaded.
+	// QueueDepth is the admission capacity summed over all class queues;
+	// 0 means DefaultQueueDepth. A search arriving with Workers busy and
+	// QueueDepth waiting is admitted only by evicting a strictly worse
+	// queued search; otherwise it is rejected with ErrOverloaded.
 	QueueDepth int
 	// DeadlineGrace pads the wall-clock deadline derived from a task's
 	// TimeLimit, leaving backends room to report a modelled timeout as a
 	// TimedOut Result before the hard context deadline cuts the search
-	// off. 0 means DefaultDeadlineGrace; negative disables the derived
-	// deadline entirely (the caller's ctx still applies).
+	// off. The derived deadline never extends an earlier caller deadline
+	// (the task's absolute Deadline or the submission context's): the
+	// effective deadline is the minimum. 0 means DefaultDeadlineGrace;
+	// negative disables the derived deadline entirely (caller deadlines
+	// still apply).
 	DeadlineGrace time.Duration
+	// AgingStep is the queue wait that promotes a waiting search one QoS
+	// level (see DefaultAgingStep); 0 means the default, negative
+	// disables aging (strict priority, background may starve).
+	AgingStep time.Duration
+	// Hedge configures hedged dispatch for straggling searches.
+	Hedge HedgeConfig
 	// Trace, when non-nil, receives queue-lifecycle trace events
-	// (enqueue, dequeue, reject, discard, done) for every scheduled
-	// search, and is stamped onto tasks that arrive without their own
-	// sink so backend events share it.
+	// (enqueue, dequeue, reject, shed, hedge, discard, done) for every
+	// scheduled search, and is stamped onto tasks that arrive without
+	// their own sink so backend events share it.
 	Trace obs.TraceSink
-	// Metrics, when non-nil, publishes queue-wait and service-time
-	// latency histograms ("sched.queue_wait_seconds" and
-	// "sched.service_seconds") into the registry. The counter snapshot
-	// remains available through Stats.
+	// Metrics, when non-nil, publishes the latency histograms — overall
+	// ("sched.queue_wait_seconds", "sched.service_seconds"), per class
+	// ("sched.queue_wait_seconds.interactive", ...) and per distance
+	// bound ("sched.service_seconds.maxd3", ...) — plus the shed, hedge
+	// and deadline-infeasible counters into the registry. The counter
+	// snapshot remains available through Stats.
 	Metrics *obs.Registry
 }
-
-// DefaultDeadlineGrace is the default slack between a task's TimeLimit
-// and the enforced wall-clock deadline.
-const DefaultDeadlineGrace = 500 * time.Millisecond
 
 // Outcome classifies how a scheduled search ended.
 type Outcome int
@@ -113,6 +200,19 @@ const (
 	OutcomeFailed
 )
 
+// ClassStats is one QoS class's slice of the scheduler counters.
+type ClassStats struct {
+	// Submitted counts searches of this class admitted to the queue;
+	// Rejected counts refusals (overload or infeasible deadline).
+	Submitted uint64
+	Rejected  uint64
+	// Served counts searches of this class that reached the backend.
+	Served uint64
+	// Shed counts searches of this class evicted from the queue by
+	// admission control to make room for strictly better work.
+	Shed uint64
+}
+
 // Stats is a point-in-time snapshot of a Scheduler's counters.
 type Stats struct {
 	// Submitted counts searches admitted to the queue. Rejected counts
@@ -125,10 +225,25 @@ type Stats struct {
 	TimedOut  uint64
 	Cancelled uint64
 	Failed    uint64
+	// Shed counts admitted searches later evicted from the queue to
+	// admit strictly better work (they resolve with ErrOverloaded and
+	// are also counted under Failed).
+	Shed uint64
+	// DeadlineInfeasible counts searches refused — at admission or at
+	// dequeue — because their absolute deadline could not be met.
+	// Admission refusals are also counted under Rejected; queued
+	// expiries also under Cancelled.
+	DeadlineInfeasible uint64
+	// Hedged counts searches that straggled past the hedge trigger and
+	// were re-issued as a second backend flight; HedgeWins counts the
+	// hedged searches whose second flight finished first. Each search
+	// still resolves to exactly one Result and one outcome.
+	Hedged    uint64
+	HedgeWins uint64
 	// QueueWaitTotal / QueueWaitMax aggregate the time searches spent
 	// queued before a worker picked them up for service. Searches that
-	// never reached the backend — cancelled while queued, or failed with
-	// ErrClosed at shutdown — count toward Cancelled/Failed but
+	// never reached the backend — cancelled while queued, shed, or
+	// failed with ErrClosed at shutdown — count toward their outcome but
 	// contribute nothing here.
 	QueueWaitTotal time.Duration
 	QueueWaitMax   time.Duration
@@ -138,6 +253,9 @@ type Stats struct {
 	// InFlight and Queued are current gauges.
 	InFlight int
 	Queued   int
+	// ByClass breaks the admission counters down per QoS class, indexed
+	// by core.QoSClass.
+	ByClass [core.NumClasses]ClassStats
 	// Degraded mirrors the backend's core.HealthReporter state (false
 	// for backends that don't report health): true while the backend is
 	// serving in reduced-capacity mode, e.g. a cluster coordinator with
@@ -170,6 +288,9 @@ func (s Stats) AvgService() time.Duration {
 type job struct {
 	ctx      context.Context
 	task     core.Task
+	class    core.QoSClass
+	deadline time.Time // absolute caller deadline; zero = none
+	hedge    bool      // hedged dispatch allowed for this search
 	enqueued time.Time
 	started  atomic.Bool
 	res      core.Result
@@ -177,27 +298,48 @@ type job struct {
 	done     chan struct{}
 }
 
-// Scheduler is a bounded worker pool over a backend. It implements
-// core.Backend. The zero value is not usable; construct with New.
+// Scheduler is a bounded worker pool over a backend with class-aware
+// admission. It implements core.Backend. The zero value is not usable;
+// construct with New.
 type Scheduler struct {
 	backend core.Backend
 	cfg     Config
-	queue   chan *job
 	wg      sync.WaitGroup
 
-	mu     sync.RWMutex // guards closed and the enqueue-vs-Close race
+	// qmu guards the class queues, the queued count and closed; cond
+	// wakes idle workers on enqueue and on Close.
+	qmu    sync.Mutex
+	cond   *sync.Cond
+	queues [core.NumClasses][]*job
+	queued int
 	closed bool
 
 	statsMu  sync.Mutex
 	stats    Stats
 	inFlight int
 
+	// estMu guards the service-time estimators feeding deadline
+	// admission (EWMA) and the hedge trigger (sample ring).
+	estMu      sync.Mutex
+	ewmaSvc    float64 // seconds
+	servedEst  uint64
+	svcSamples [hedgeRingSize]float64
+	svcCount   int
+	svcNext    int
+
 	// traceIDs hands out per-search trace correlation IDs.
 	traceIDs atomic.Uint64
-	// hQueueWait / hService are the optional latency histograms
-	// published into cfg.Metrics; nil without a registry.
-	hQueueWait *obs.Histogram
-	hService   *obs.Histogram
+	// Latency histograms published into cfg.Metrics; nil without a
+	// registry.
+	hQueueWait      *obs.Histogram
+	hService        *obs.Histogram
+	hQueueWaitClass [core.NumClasses]*obs.Histogram
+	hServiceClass   [core.NumClasses]*obs.Histogram
+	// Counters published into cfg.Metrics; nil without a registry.
+	cShed       *obs.Counter
+	cHedge      *obs.Counter
+	cHedgeWins  *obs.Counter
+	cInfeasible *obs.Counter
 }
 
 // New starts a scheduler over backend with cfg's pool geometry (zero
@@ -216,14 +358,23 @@ func New(backend core.Backend, cfg Config) *Scheduler {
 	if cfg.DeadlineGrace == 0 {
 		cfg.DeadlineGrace = DefaultDeadlineGrace
 	}
-	s := &Scheduler{
-		backend: backend,
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
+	if cfg.AgingStep == 0 {
+		cfg.AgingStep = DefaultAgingStep
 	}
+	s := &Scheduler{backend: backend, cfg: cfg}
+	s.cond = sync.NewCond(&s.qmu)
 	if cfg.Metrics != nil {
 		s.hQueueWait = cfg.Metrics.Histogram("sched.queue_wait_seconds", obs.DefLatencyBuckets)
 		s.hService = cfg.Metrics.Histogram("sched.service_seconds", obs.DefLatencyBuckets)
+		for c := 0; c < core.NumClasses; c++ {
+			name := core.QoSClass(c).String()
+			s.hQueueWaitClass[c] = cfg.Metrics.Histogram("sched.queue_wait_seconds."+name, obs.DefLatencyBuckets)
+			s.hServiceClass[c] = cfg.Metrics.Histogram("sched.service_seconds."+name, obs.DefLatencyBuckets)
+		}
+		s.cShed = cfg.Metrics.Counter("sched.shed_total")
+		s.cHedge = cfg.Metrics.Counter("sched.hedge_total")
+		s.cHedgeWins = cfg.Metrics.Counter("sched.hedge_wins_total")
+		s.cInfeasible = cfg.Metrics.Counter("sched.deadline_infeasible_total")
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -239,45 +390,56 @@ func (s *Scheduler) Name() string {
 }
 
 // Search implements core.Backend: admit the task, wait for a worker to
-// serve it, and return the backend's Result.
+// serve it, and return the backend's Result. The task's own Class and
+// Deadline fields drive admission; Submit's functional options are the
+// way to set them without constructing a Task by hand.
 //
 // Admission is non-blocking: with Workers searches running and
-// QueueDepth queued, Search returns ErrOverloaded immediately. If ctx is
-// cancelled while the task is still queued, Search returns ctx.Err()
-// without waiting for a worker (the worker discards the stale job when
-// it reaches it).
+// QueueDepth queued, Search returns ErrOverloaded immediately (unless
+// the task is strictly better than the worst queued search, which is
+// then shed in its favour). A task whose Deadline is unreachable is
+// refused with ErrDeadlineInfeasible. If ctx is cancelled while the task
+// is still queued, Search returns ctx.Err() without waiting for a worker
+// (the worker discards the stale job when it reaches it).
 func (s *Scheduler) Search(ctx context.Context, task core.Task) (core.Result, error) {
+	return s.Submit(ctx, task)
+}
+
+// Submit admits one search with per-submission QoS options and waits for
+// its Result. Without options the task's own Class/Deadline fields and
+// the configured hedging policy apply; WithClass, WithDeadline and
+// WithHedging override them for this submission only.
+func (s *Scheduler) Submit(ctx context.Context, task core.Task, opts ...SubmitOption) (core.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	o := submitOpts{class: task.Class, deadline: task.Deadline, hedge: s.cfg.Hedge.Enabled}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.class.Valid() {
+		return core.Result{}, fmt.Errorf("sched: invalid QoS class %d", uint8(o.class))
+	}
+	task.Class = o.class
+	task.Deadline = o.deadline
 	if task.Trace == nil {
 		task.Trace = s.cfg.Trace
 	}
 	if task.TraceID == 0 {
 		task.TraceID = s.traceIDs.Add(1)
 	}
-	j := &job{ctx: ctx, task: task, enqueued: time.Now(), done: make(chan struct{})}
-
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return core.Result{}, ErrClosed
+	j := &job{
+		ctx:      ctx,
+		task:     task,
+		class:    o.class,
+		deadline: o.deadline,
+		hedge:    o.hedge,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-		s.mu.RUnlock()
-	default:
-		s.mu.RUnlock()
-		s.statsMu.Lock()
-		s.stats.Rejected++
-		s.statsMu.Unlock()
-		obs.Emit(task.Trace, obs.TraceEvent{Kind: obs.KindReject, Search: task.TraceID})
-		return core.Result{}, ErrOverloaded
+	if err := s.admit(j); err != nil {
+		return core.Result{}, err
 	}
-	s.statsMu.Lock()
-	s.stats.Submitted++
-	s.statsMu.Unlock()
-	obs.Emit(task.Trace, obs.TraceEvent{Kind: obs.KindEnqueue, Search: task.TraceID})
 
 	select {
 	case <-j.done:
@@ -296,13 +458,191 @@ func (s *Scheduler) Search(ctx context.Context, task core.Task) (core.Result, er
 	}
 }
 
+// admit runs deadline-based admission control and the class-aware
+// enqueue (with shed-the-worst eviction under overload).
+func (s *Scheduler) admit(j *job) error {
+	now := time.Now()
+	if !j.deadline.IsZero() {
+		infeasible := !now.Before(j.deadline)
+		if !infeasible {
+			if eta := s.estimateETA(); eta > 0 && now.Add(eta).After(j.deadline) {
+				infeasible = true
+			}
+		}
+		if infeasible {
+			s.countRefusal(j, true)
+			obs.Emit(j.task.Trace, obs.TraceEvent{
+				Kind: obs.KindReject, Search: j.task.TraceID,
+				Detail: "deadline-infeasible", Err: ErrDeadlineInfeasible.Error(),
+			})
+			return ErrDeadlineInfeasible
+		}
+	}
+
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		return ErrClosed
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		victim := s.worstQueuedLocked()
+		if victim == nil || !strictlyWorse(victim, j) {
+			s.qmu.Unlock()
+			s.countRefusal(j, false)
+			obs.Emit(j.task.Trace, obs.TraceEvent{Kind: obs.KindReject, Search: j.task.TraceID})
+			return ErrOverloaded
+		}
+		s.removeLocked(victim)
+		s.resolveShed(victim)
+	}
+	s.queues[j.class] = append(s.queues[j.class], j)
+	s.queued++
+	s.cond.Signal()
+	s.qmu.Unlock()
+
+	s.statsMu.Lock()
+	s.stats.Submitted++
+	s.stats.ByClass[j.class].Submitted++
+	s.statsMu.Unlock()
+	obs.Emit(j.task.Trace, obs.TraceEvent{Kind: obs.KindEnqueue, Search: j.task.TraceID})
+	return nil
+}
+
+// countRefusal folds one admission refusal into the counters.
+func (s *Scheduler) countRefusal(j *job, infeasible bool) {
+	s.statsMu.Lock()
+	s.stats.Rejected++
+	s.stats.ByClass[j.class].Rejected++
+	if infeasible {
+		s.stats.DeadlineInfeasible++
+	}
+	s.statsMu.Unlock()
+	if infeasible && s.cInfeasible != nil {
+		s.cInfeasible.Inc()
+	}
+}
+
+// worstQueuedLocked returns the most sheddable queued job: lowest QoS
+// class first, then largest MaxDistance (the d-large tail costs the
+// most), then loosest deadline (none counts as loosest), then youngest.
+// Called with qmu held.
+func (s *Scheduler) worstQueuedLocked() *job {
+	var worst *job
+	for c := 0; c < core.NumClasses; c++ {
+		for _, j := range s.queues[c] {
+			if worst == nil || moreSheddable(j, worst) {
+				worst = j
+			}
+		}
+	}
+	return worst
+}
+
+// moreSheddable reports whether a should be shed before b.
+func moreSheddable(a, b *job) bool {
+	if a.class != b.class {
+		return a.class > b.class
+	}
+	if a.task.MaxDistance != b.task.MaxDistance {
+		return a.task.MaxDistance > b.task.MaxDistance
+	}
+	aLoose, bLoose := a.deadline.IsZero(), b.deadline.IsZero()
+	if aLoose != bLoose {
+		return aLoose
+	}
+	if !aLoose && !a.deadline.Equal(b.deadline) {
+		return a.deadline.After(b.deadline)
+	}
+	return a.enqueued.After(b.enqueued)
+}
+
+// strictlyWorse reports whether victim is strictly worse than j on the
+// shed lattice (class, then distance bound, then deadline looseness).
+// Ties are NOT strictly worse: an arrival equal to everything queued is
+// rejected rather than displacing queued work, so identical load keeps
+// plain FIFO-with-rejection semantics.
+func strictlyWorse(victim, j *job) bool {
+	if victim.class != j.class {
+		return victim.class > j.class
+	}
+	if victim.task.MaxDistance != j.task.MaxDistance {
+		return victim.task.MaxDistance > j.task.MaxDistance
+	}
+	vLoose, jLoose := victim.deadline.IsZero(), j.deadline.IsZero()
+	if vLoose != jLoose {
+		return vLoose
+	}
+	if !vLoose && !victim.deadline.Equal(j.deadline) {
+		return victim.deadline.After(j.deadline)
+	}
+	return false
+}
+
+// removeLocked deletes j from its class queue. Called with qmu held.
+func (s *Scheduler) removeLocked(victim *job) {
+	q := s.queues[victim.class]
+	for i, j := range q {
+		if j == victim {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			s.queues[victim.class] = q[:len(q)-1]
+			s.queued--
+			return
+		}
+	}
+}
+
+// resolveShed fails an evicted job with ErrOverloaded. Counts once as
+// Shed + Failed; contributes nothing to the wait aggregates (it never
+// reached service).
+func (s *Scheduler) resolveShed(victim *job) {
+	victim.err = ErrOverloaded
+	s.statsMu.Lock()
+	s.stats.Failed++
+	s.stats.Shed++
+	s.stats.ByClass[victim.class].Shed++
+	s.statsMu.Unlock()
+	if s.cShed != nil {
+		s.cShed.Inc()
+	}
+	obs.Emit(victim.task.Trace, obs.TraceEvent{
+		Kind:   obs.KindShed,
+		Search: victim.task.TraceID,
+		Detail: "shed-for-better",
+		Dur:    time.Since(victim.enqueued),
+		Err:    ErrOverloaded.Error(),
+	})
+	close(victim.done)
+}
+
+// estimateETA returns the admission controller's estimate of how long a
+// newly admitted search will take to finish (queue wait plus service),
+// or 0 while the estimator is still warming up.
+func (s *Scheduler) estimateETA() time.Duration {
+	s.estMu.Lock()
+	served := s.servedEst
+	svc := s.ewmaSvc
+	s.estMu.Unlock()
+	if served < admitWarmup || svc <= 0 {
+		return 0
+	}
+	s.qmu.Lock()
+	queued := s.queued
+	s.qmu.Unlock()
+	// Everything queued ahead must be served first, Workers at a time.
+	slots := 1 + queued/s.cfg.Workers
+	return time.Duration(svc * float64(slots) * float64(time.Second))
+}
+
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	s.statsMu.Lock()
 	snap := s.stats
 	snap.InFlight = s.inFlight
 	s.statsMu.Unlock()
-	snap.Queued = len(s.queue)
+	s.qmu.Lock()
+	snap.Queued = s.queued
+	s.qmu.Unlock()
 	if hr, ok := s.backend.(core.HealthReporter); ok {
 		snap.Degraded = hr.Degraded()
 	}
@@ -318,25 +658,23 @@ func (s *Scheduler) Degraded() bool {
 	return false
 }
 
-// Close stops admission, resolves every still-queued search, and waits
-// for in-flight searches to finish. Safe to call more than once.
-//
-// Every queued job's done channel is guaranteed to be resolved: Close
-// itself drains the queue concurrently with the workers, failing each
-// job it receives with ErrClosed, while a worker that gets to a job
-// first serves it normally. Either way no Search caller can block
-// forever behind a shutdown — previously a caller queued behind a
-// long-running search waited for it to finish even after Close.
+// Close stops admission, resolves every still-queued search with
+// ErrClosed, and waits for in-flight searches (hedge flights included)
+// to finish. Safe to call more than once. No Search caller can block
+// forever behind a shutdown: queued jobs are failed immediately instead
+// of waiting for the busy workers.
 func (s *Scheduler) Close() {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
+	s.qmu.Lock()
+	s.closed = true
+	var orphans []*job
+	for c := range s.queues {
+		orphans = append(orphans, s.queues[c]...)
+		s.queues[c] = nil
 	}
-	s.mu.Unlock()
-	// Drain: the closed channel still yields queued jobs; each is
-	// received exactly once, by us or by a worker.
-	for j := range s.queue {
+	s.queued = 0
+	s.cond.Broadcast()
+	s.qmu.Unlock()
+	for _, j := range orphans {
 		s.discard(j, ErrClosed, "closed")
 	}
 	s.wg.Wait()
@@ -344,17 +682,27 @@ func (s *Scheduler) Close() {
 
 // discard resolves a job that will never reach the backend. It counts
 // once toward the outcome counters — Cancelled for a context cancelled
-// in the queue, Failed for an ErrClosed shutdown — and deliberately
-// contributes nothing to QueueWaitTotal/Max: the job was never picked
-// up for service, and its "wait" includes time after the caller already
-// abandoned it, which would skew the served-search latency accounting.
+// or a deadline expired in the queue, Failed for an ErrClosed shutdown —
+// and deliberately contributes nothing to QueueWaitTotal/Max: the job
+// was never picked up for service, and its "wait" includes time after
+// the caller already abandoned it, which would skew the served-search
+// latency accounting.
 func (s *Scheduler) discard(j *job, err error, reason string) {
 	j.err = err
 	outcome := OutcomeFailed
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrDeadlineInfeasible) {
 		outcome = OutcomeCancelled
 	}
-	s.record(outcome, 0, 0)
+	s.record(j.class, outcome, 0, 0)
+	if errors.Is(err, ErrDeadlineInfeasible) {
+		s.statsMu.Lock()
+		s.stats.DeadlineInfeasible++
+		s.statsMu.Unlock()
+		if s.cInfeasible != nil {
+			s.cInfeasible.Inc()
+		}
+	}
 	obs.Emit(j.task.Trace, obs.TraceEvent{
 		Kind:   obs.KindDiscard,
 		Search: j.task.TraceID,
@@ -365,12 +713,68 @@ func (s *Scheduler) discard(j *job, err error, reason string) {
 	close(j.done)
 }
 
-// worker serves queued jobs until the queue closes.
+// worker serves queued jobs until the scheduler closes.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
 		s.serve(j)
 	}
+}
+
+// next blocks until a job is available (returning the highest-priority
+// one under aging) or the scheduler closes (returning nil).
+func (s *Scheduler) next() *job {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for {
+		if j := s.popLocked(time.Now()); j != nil {
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// popLocked dequeues the job with the best effective priority: each
+// class queue's head (its oldest entry) competes at its class level
+// minus one level per AgingStep waited, and ties go to the earliest
+// enqueue. Called with qmu held.
+func (s *Scheduler) popLocked(now time.Time) *job {
+	best := -1
+	bestEff := int(core.NumClasses)
+	var bestAt time.Time
+	for c := 0; c < core.NumClasses; c++ {
+		q := s.queues[c]
+		if len(q) == 0 {
+			continue
+		}
+		head := q[0]
+		eff := c
+		if s.cfg.AgingStep > 0 {
+			eff -= int(now.Sub(head.enqueued) / s.cfg.AgingStep)
+			if eff < 0 {
+				eff = 0
+			}
+		}
+		if eff < bestEff || (eff == bestEff && head.enqueued.Before(bestAt)) {
+			best, bestEff, bestAt = c, eff, head.enqueued
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	q := s.queues[best]
+	j := q[0]
+	q[0] = nil
+	s.queues[best] = q[1:]
+	s.queued--
+	return j
 }
 
 // serve runs one job against the backend and records its accounting.
@@ -386,6 +790,12 @@ func (s *Scheduler) serve(j *job) {
 		s.discard(j, j.ctx.Err(), "cancelled-queued")
 		return
 	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		// The deadline passed while the job waited: serving it now would
+		// burn backend time on a verdict the caller can no longer use.
+		s.discard(j, ErrDeadlineInfeasible, "deadline-queued")
+		return
+	}
 	j.started.Store(true)
 	obs.Emit(j.task.Trace, obs.TraceEvent{
 		Kind:   obs.KindDequeue,
@@ -394,13 +804,23 @@ func (s *Scheduler) serve(j *job) {
 	})
 
 	ctx := j.ctx
+	deadline := time.Time{}
 	if j.task.TimeLimit > 0 && s.cfg.DeadlineGrace >= 0 {
 		// Wall-clock backstop for the task's authentication threshold:
 		// backends normally report a modelled timeout themselves as a
 		// TimedOut Result; the padded context deadline guarantees the
 		// worker slot is reclaimed even from a backend that does not.
+		deadline = time.Now().Add(j.task.TimeLimit + s.cfg.DeadlineGrace)
+	}
+	// The derived deadline must never extend an earlier caller deadline:
+	// take the min with the task's absolute deadline here, and let
+	// context.WithDeadline take the min with the submission context's.
+	if !j.deadline.IsZero() && (deadline.IsZero() || j.deadline.Before(deadline)) {
+		deadline = j.deadline
+	}
+	if !deadline.IsZero() {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, j.task.TimeLimit+s.cfg.DeadlineGrace)
+		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
 	}
 
@@ -408,7 +828,7 @@ func (s *Scheduler) serve(j *job) {
 	s.inFlight++
 	s.statsMu.Unlock()
 	started := time.Now()
-	res, err := s.backend.Search(ctx, j.task)
+	res, err, hedgeWon := s.execute(ctx, j)
 	service := time.Since(started)
 	s.statsMu.Lock()
 	s.inFlight--
@@ -423,16 +843,34 @@ func (s *Scheduler) serve(j *job) {
 	case res.TimedOut:
 		outcome = OutcomeTimedOut
 	}
-	s.record(outcome, wait, service)
+	s.record(j.class, outcome, wait, service)
+	if hedgeWon {
+		s.statsMu.Lock()
+		s.stats.HedgeWins++
+		s.statsMu.Unlock()
+		if s.cHedgeWins != nil {
+			s.cHedgeWins.Inc()
+		}
+	}
+	s.observeService(service, outcome == OutcomeCompleted)
 	if s.hQueueWait != nil {
 		s.hQueueWait.Observe(wait.Seconds())
 		s.hService.Observe(service.Seconds())
+		s.hQueueWaitClass[j.class].Observe(wait.Seconds())
+		s.hServiceClass[j.class].Observe(service.Seconds())
+		if d := j.task.MaxDistance; d >= 0 && d <= 10 {
+			s.cfg.Metrics.Histogram(fmt.Sprintf("sched.service_seconds.maxd%d", d),
+				obs.DefLatencyBuckets).Observe(service.Seconds())
+		}
 	}
 	ev := obs.TraceEvent{
 		Kind:   obs.KindDone,
 		Search: j.task.TraceID,
 		Detail: outcome.String(),
 		Dur:    service,
+	}
+	if hedgeWon {
+		ev.Detail += " (hedge won)"
 	}
 	if err != nil {
 		ev.Err = err.Error()
@@ -443,8 +881,136 @@ func (s *Scheduler) serve(j *job) {
 	close(j.done)
 }
 
+// execute runs one search against the backend, hedging it with a second
+// flight if it straggles past the hedge trigger. Exactly one flight's
+// outcome is returned (first completion wins; the loser's context is
+// cancelled and drained before returning, so no flight outlives the
+// call). hedgeWon reports that the second flight's result was used.
+func (s *Scheduler) execute(ctx context.Context, j *job) (res core.Result, err error, hedgeWon bool) {
+	var delay time.Duration
+	if j.hedge {
+		delay = s.hedgeDelay()
+	}
+	if delay <= 0 {
+		res, err = s.backend.Search(ctx, j.task)
+		return res, err, false
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type flight struct {
+		res   core.Result
+		err   error
+		hedge bool
+	}
+	results := make(chan flight, 2)
+	launch := func(hedge bool) {
+		go func() {
+			r, e := s.backend.Search(hctx, j.task)
+			results <- flight{res: r, err: e, hedge: hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var first flight
+	select {
+	case first = <-results:
+		// The primary beat the hedge trigger: nothing was hedged.
+		return first.res, first.err, false
+	case <-timer.C:
+	}
+
+	// Straggler: issue the second flight and take the first completion.
+	s.statsMu.Lock()
+	s.stats.Hedged++
+	s.statsMu.Unlock()
+	if s.cHedge != nil {
+		s.cHedge.Inc()
+	}
+	obs.Emit(j.task.Trace, obs.TraceEvent{
+		Kind:   obs.KindHedge,
+		Search: j.task.TraceID,
+		Dur:    delay,
+	})
+	launch(true)
+
+	first = <-results
+	if first.err != nil && !errors.Is(first.err, context.Canceled) && !errors.Is(first.err, context.DeadlineExceeded) {
+		// The first completion is a backend fault, not an answer; give
+		// the surviving flight the chance to produce one.
+		second := <-results
+		if second.err == nil {
+			return second.res, nil, second.hedge
+		}
+		return first.res, first.err, first.hedge
+	}
+	// First completion wins: cancel and drain the loser so its partial
+	// result is never double-counted anywhere.
+	cancel()
+	<-results
+	return first.res, first.err, first.hedge
+}
+
+// hedgeDelay returns the current hedge trigger: the configured fixed
+// delay, or the configured percentile of the observed service times
+// (floored at MinDelay), or 0 — meaning "do not hedge" — while too few
+// samples have been observed.
+func (s *Scheduler) hedgeDelay() time.Duration {
+	if s.cfg.Hedge.Delay > 0 {
+		return s.cfg.Hedge.Delay
+	}
+	s.estMu.Lock()
+	n := s.svcCount
+	if n < s.cfg.Hedge.minSamples() {
+		s.estMu.Unlock()
+		return 0
+	}
+	samples := make([]float64, n)
+	copy(samples, s.svcSamples[:n])
+	s.estMu.Unlock()
+
+	sort.Float64s(samples)
+	idx := int(s.cfg.Hedge.quantile() * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	d := time.Duration(samples[idx] * float64(time.Second))
+	if min := s.cfg.Hedge.minDelay(); d < min {
+		d = min
+	}
+	return d
+}
+
+// observeService feeds one served search into the estimators. Only
+// completed searches update the deadline-admission EWMA (a cancelled
+// search's duration says nothing about how long service takes), but all
+// go into the hedge ring: stragglers are exactly what the hedge
+// percentile must see.
+func (s *Scheduler) observeService(service time.Duration, completed bool) {
+	sec := service.Seconds()
+	s.estMu.Lock()
+	if completed {
+		if s.servedEst == 0 {
+			s.ewmaSvc = sec
+		} else {
+			s.ewmaSvc = 0.8*s.ewmaSvc + 0.2*sec
+		}
+		s.servedEst++
+	}
+	if s.svcCount < hedgeRingSize {
+		s.svcSamples[s.svcCount] = sec
+		s.svcCount++
+	} else {
+		s.svcSamples[s.svcNext] = sec
+		s.svcNext = (s.svcNext + 1) % hedgeRingSize
+	}
+	s.estMu.Unlock()
+}
+
 // record folds one served search into the counters.
-func (s *Scheduler) record(o Outcome, wait, service time.Duration) {
+func (s *Scheduler) record(class core.QoSClass, o Outcome, wait, service time.Duration) {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	switch o {
@@ -457,6 +1023,7 @@ func (s *Scheduler) record(o Outcome, wait, service time.Duration) {
 	case OutcomeFailed:
 		s.stats.Failed++
 	}
+	s.stats.ByClass[class].Served++
 	s.stats.QueueWaitTotal += wait
 	if wait > s.stats.QueueWaitMax {
 		s.stats.QueueWaitMax = wait

@@ -56,6 +56,11 @@ func TestConcurrentAuthenticationsThroughScheduler(t *testing.T) {
 	ca, err := core.NewCA(store, s, &aeskg.Generator{}, ra, core.CAConfig{
 		Alg:         core.SHA3,
 		MaxDistance: 3,
+		// Route every shell through the scheduler: this test counts all
+		// 32 authentications in the pool's stats, and the inline fast
+		// path would otherwise complete these low-noise devices at d <= 1
+		// without ever submitting.
+		InlineDepth: core.InlineDisabled,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +104,7 @@ func TestConcurrentAuthenticationsThroughScheduler(t *testing.T) {
 				errs <- fmt.Errorf("%s respond: %w", id, err)
 				return
 			}
-			res, err := ca.Authenticate(context.Background(), id, ch.Nonce, m1)
+			res, err := ca.Authenticate(context.Background(), core.AuthRequest{Client: id, Nonce: ch.Nonce, M1: m1})
 			if err != nil {
 				errs <- fmt.Errorf("%s authenticate: %w", id, err)
 				return

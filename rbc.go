@@ -22,7 +22,11 @@
 //	client := &rbc.Client{ID: "alice", Device: dev}
 //	ch, _ := ca.BeginHandshake("alice")
 //	m1, _ := client.Respond(ch)
-//	result, _ := ca.Authenticate(ctx, "alice", ch.Nonce, m1)
+//	result, _ := ca.Authenticate(ctx, rbc.AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
+//
+// AuthRequest optionally carries a QoS class (ClassInteractive,
+// ClassBatch, ClassBackground) and an absolute deadline; both flow
+// through the scheduler's admission control and onto the wire.
 //
 // # Search engines
 //
@@ -50,19 +54,29 @@
 //
 // # Serving many clients
 //
-// NewScheduler wraps any Backend in a bounded worker pool with a FIFO
-// admission queue — the serving-side counterpart of the paper's
-// throughput work. The scheduler is itself a Backend, so a CA (or a
-// netproto.Server) plugs it in unchanged:
+// NewScheduler wraps any Backend in a bounded worker pool with
+// class-aware admission queues — the serving-side counterpart of the
+// paper's throughput work. The scheduler is itself a Backend, so a CA
+// (or a netproto.Server) plugs it in unchanged:
 //
 //	s := rbc.NewScheduler(&rbc.CPUBackend{Alg: rbc.SHA3},
 //		rbc.SchedulerConfig{Workers: 4, QueueDepth: 64})
 //	defer s.Close()
 //	ca, _ := rbc.NewCA(store, s, &rbc.AESKeyGenerator{}, rbc.NewRA(), rbc.CAConfig{})
 //
-// When the queue is full, Search fails fast with ErrOverloaded (wire
-// status "overloaded"), and s.Stats() reports queue-wait and
-// service-time counters.
+// Serving is distance-progressive and deadline-aware. The CA runs
+// shells d <= CAConfig.InlineDepth (default 1) inline on the calling
+// goroutine — the common low-noise case never waits in a queue — and
+// escalates only the larger shells to the backend. Interactive
+// requests are dequeued before batch before background (with priority
+// aging so nothing starves); a request whose deadline cannot be met is
+// refused with ErrDeadlineInfeasible instead of burning search time;
+// when the queue is full, admission sheds the largest-distance,
+// loosest-deadline background work first and otherwise fails fast with
+// ErrOverloaded (wire status "overloaded"). Straggling searches can be
+// hedged with a second backend flight (SchedulerConfig.Hedge);
+// s.Stats() reports per-class queue-wait, service-time, shed and hedge
+// counters.
 //
 // # Observability
 //
@@ -146,6 +160,13 @@ type (
 	CAConfig = core.CAConfig
 	// RA is the registration authority (public-key registry).
 	RA = core.RA
+	// AuthRequest is one authentication attempt: client identity,
+	// challenge nonce, response digest, plus optional QoS class and
+	// absolute deadline for the serving path.
+	AuthRequest = core.AuthRequest
+	// QoSClass is a request's scheduling class (interactive, batch,
+	// background).
+	QoSClass = core.QoSClass
 	// AuthResult is an authentication outcome.
 	AuthResult = core.AuthResult
 	// Client is the PUF-equipped device-side participant.
@@ -172,6 +193,25 @@ const (
 	SHA3 = core.SHA3
 )
 
+// QoS classes, best first. The zero value is interactive, so requests
+// that never think about scheduling get the best treatment.
+const (
+	ClassInteractive = core.ClassInteractive
+	ClassBatch       = core.ClassBatch
+	ClassBackground  = core.ClassBackground
+)
+
+// Inline fast-path depths for CAConfig.InlineDepth.
+const (
+	// DefaultInlineDepth (d <= 1) is applied when InlineDepth is zero.
+	DefaultInlineDepth = core.DefaultInlineDepth
+	// MaxInlineDepth bounds the inline fast path; larger shells always
+	// escalate to the backend.
+	MaxInlineDepth = core.MaxInlineDepth
+	// InlineDisabled routes every shell (d = 0 up) to the backend.
+	InlineDisabled = core.InlineDisabled
+)
+
 // Sentinel errors, for classification with errors.Is. netproto maps each
 // to a distinct wire status code.
 var (
@@ -186,6 +226,9 @@ var (
 	ErrBadConfig = core.ErrBadConfig
 	// ErrOverloaded: the scheduler's admission queue was full.
 	ErrOverloaded = sched.ErrOverloaded
+	// ErrDeadlineInfeasible: the request's deadline could not be met, so
+	// it was refused without burning backend time.
+	ErrDeadlineInfeasible = sched.ErrDeadlineInfeasible
 	// ErrSchedulerClosed: Search after Scheduler.Close.
 	ErrSchedulerClosed = sched.ErrClosed
 )
@@ -201,6 +244,21 @@ type (
 	// SchedulerStats is a snapshot of the scheduler's queue-wait,
 	// service-time and outcome counters.
 	SchedulerStats = sched.Stats
+	// HedgeConfig tunes hedged dispatch of straggling searches
+	// (SchedulerConfig.Hedge).
+	HedgeConfig = sched.HedgeConfig
+	// SubmitOption customises one Scheduler.Submit call.
+	SubmitOption = sched.SubmitOption
+)
+
+// Per-submission scheduling options for Scheduler.Submit.
+var (
+	// WithClass overrides the task's QoS class for one submission.
+	WithClass = sched.WithClass
+	// WithDeadline overrides the task's absolute deadline.
+	WithDeadline = sched.WithDeadline
+	// WithHedging opts one submission in or out of hedged dispatch.
+	WithHedging = sched.WithHedging
 )
 
 // NewScheduler starts a scheduler over backend. Zero config fields take
@@ -438,6 +496,10 @@ type (
 	WireStatus = netproto.Status
 	// ServerError is the client-side error carrying a WireStatus.
 	ServerError = netproto.ServerError
+	// AuthOptions carries the client-side serving options — injected
+	// latency, QoS class and absolute deadline — for
+	// AuthenticateWithOptions.
+	AuthOptions = netproto.AuthOptions
 )
 
 // Wire status codes (the first byte of an error frame).
@@ -449,6 +511,8 @@ const (
 	StatusAlgMismatch   = netproto.StatusAlgMismatch
 	StatusOverloaded    = netproto.StatusOverloaded
 	StatusCancelled     = netproto.StatusCancelled
+	// StatusDeadlineInfeasible: the request's deadline could not be met.
+	StatusDeadlineInfeasible = netproto.StatusDeadlineInfeasible
 )
 
 // PaperLatency reproduces the paper's 0.90 s communication constant.
@@ -457,6 +521,11 @@ var PaperLatency = netproto.PaperLatency
 // Authenticate runs the full client side of the protocol over a
 // connection.
 var Authenticate = netproto.Authenticate
+
+// AuthenticateWithOptions is Authenticate with the request's QoS class
+// and deadline carried in the hello (the v3 wire layout; a default-QoS
+// hello stays v2-compatible).
+var AuthenticateWithOptions = netproto.AuthenticateWithOptions
 
 // Observability: dependency-free metrics and per-search tracing for the
 // serving path (scheduler, backends, protocol server).

@@ -43,7 +43,7 @@ func TestPublicAPIProtocolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ca.Authenticate(context.Background(), "alice", ch.Nonce, m1)
+	res, err := ca.Authenticate(context.Background(), AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
 	if err != nil {
 		t.Fatal(err)
 	}
