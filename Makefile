@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz cluster-race sched-race bench bench-all bench-smoke
+.PHONY: check build vet test race fuzz cluster-race sched-race bench bench-all bench-smoke bench-gate
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # with the race detector (the scheduler and backend-cancellation tests
@@ -34,22 +34,33 @@ cluster-race:
 sched-race:
 	$(GO) test -race ./internal/sched/... -count=2
 
-# fuzz smokes the netproto frame/error-payload fuzzers and the WAL
-# record decoder for FUZZTIME each; -run='^$$' skips the unit tests so
-# only fuzzing runs.
+# fuzz smokes the netproto frame/error-payload fuzzers, the WAL record
+# decoder, and the differential fuzzers for the wide batch kernels
+# (256-lane bit-sliced SHA-3 and 4-way multi-buffer SHA-1, each against
+# its scalar reference) for FUZZTIME each; -run='^$$' skips the unit
+# tests so only fuzzing runs.
 fuzz:
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzDecodeError -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/durable -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bitslice -run='^$$' -fuzz=FuzzSHA3Wide -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sha1 -run='^$$' -fuzz=FuzzSHA1Multi4 -fuzztime=$(FUZZTIME)
 
-# bench measures the host search hot path (scalar vs 64-wide batched,
-# every alg x iteration method) and refreshes BENCH_host.json plus the
-# per-class serving-latency point BENCH_serve.json, the committed
-# perf-trajectory points.
+# bench measures the host search hot path (scalar vs every batch
+# kernel, every alg x iteration method) and refreshes BENCH_host.json
+# plus the per-class serving-latency point BENCH_serve.json, the
+# committed perf-trajectory points.
 bench:
 	$(GO) test ./internal/core -run='^$$' -bench=ShellHost -benchmem
 	$(GO) run ./cmd/rbc-bench -experiment hostthroughput -json BENCH_host.json
 	$(GO) run ./cmd/rbc-bench -experiment servelatency -json BENCH_serve.json
+
+# bench-gate re-measures host throughput and fails when any kernel's
+# speedup ratio regresses more than 15% below the committed
+# BENCH_host.json (ratios transfer across machines; absolute seeds/sec
+# do not).
+bench-gate:
+	$(GO) run ./cmd/rbc-bench -experiment hostthroughput -baseline BENCH_host.json
 
 # bench-all runs every benchmark in the repository.
 bench-all:
@@ -57,7 +68,10 @@ bench-all:
 
 # bench-smoke is the CI guard: one iteration of the hot-path benches,
 # so a compile break or panic in the batched engine fails loudly
-# without paying for stable timings.
+# without paying for stable timings, then the baseline gate re-measures
+# host throughput and fails on a >15% speedup-ratio regression against
+# the committed BENCH_host.json.
 bench-smoke:
 	$(GO) test ./internal/core -run='^$$' -bench=ShellHost -benchtime=1x -benchmem
 	$(GO) test ./internal/bitslice -run='^$$' -bench=SlicedKernels -benchtime=1x -benchmem
+	$(GO) run ./cmd/rbc-bench -experiment hostthroughput -baseline BENCH_host.json

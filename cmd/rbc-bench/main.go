@@ -9,6 +9,9 @@
 //	rbc-bench -csv                 # machine-readable output
 //	rbc-bench -experiment hostthroughput -json BENCH_host.json
 //	                               # host perf point + JSON trajectory file
+//	rbc-bench -experiment hostthroughput -baseline BENCH_host.json
+//	                               # gate: exit 1 if any kernel's speedup
+//	                               # ratio regresses >15% vs the baseline
 //	rbc-bench -experiment servelatency -json BENCH_serve.json
 //	                               # per-class serving latency point
 //
@@ -30,10 +33,16 @@ func main() {
 	trials := flag.Int("trials", 200, "stochastic trials for average-case rows (paper used 1200)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonPath := flag.String("json", "", "with -experiment hostthroughput or servelatency: also write the measurement to this file as JSON")
+	baseline := flag.String("baseline", "", "with -experiment hostthroughput: committed BENCH_host.json to gate against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "with -baseline: allowed fractional speedup-ratio drop before a point counts as regressed")
 	flag.Parse()
 
 	if *jsonPath != "" && *experiment != "hostthroughput" && *experiment != "servelatency" {
 		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput or servelatency")
+		os.Exit(2)
+	}
+	if *baseline != "" && *experiment != "hostthroughput" {
+		fmt.Fprintln(os.Stderr, "rbc-bench: -baseline is only supported with -experiment hostthroughput")
 		os.Exit(2)
 	}
 	if *experiment == "servelatency" {
@@ -96,6 +105,27 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *baseline != "" {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			bl, err := exper.ParseHostBench(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if violations := exper.HostBenchViolations(hb, bl, *tolerance); len(violations) > 0 {
+				fmt.Fprintf(os.Stderr, "rbc-bench: %d regression(s) vs %s:\n", len(violations), *baseline)
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "  "+v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline gate: all %d points hold %s within %.0f%%\n",
+				len(bl.Points), *baseline, *tolerance*100)
 		}
 		return
 	}

@@ -43,6 +43,14 @@ func (g *GateCounts) Add(other GateCounts) {
 // use; each simulated APU bank owns one.
 type Engine struct {
 	counts GateCounts
+
+	// Scratch for the wide Keccak round: the ping-pong state plus the
+	// theta parity/mix lanes, ~71KB total. Kept on the Engine because Go
+	// cannot prove the assembly round overwrites them, so as locals they
+	// would be zeroed on every KeccakF256 call.
+	wideTmp KeccakState256
+	wideC   [5]Slice256
+	wideD   [5]Slice256
 }
 
 // Counts returns the gate operations executed since construction or the
@@ -62,9 +70,9 @@ func Transpose64(a *[64]uint64) {
 	m := uint64(0x00000000FFFFFFFF)
 	for j := 32; j != 0; j >>= 1 {
 		for k := 0; k < 64; k = (k + j + 1) &^ j {
-			t := (a[k] ^ (a[k+j] >> uint(j))) & m
-			a[k] ^= t
-			a[k+j] ^= t << uint(j)
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
 		}
 		m ^= m << uint(j>>1)
 	}

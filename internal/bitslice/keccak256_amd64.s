@@ -1,0 +1,424 @@
+// AVX2 form of the fused wide Keccak round. Layout facts the code
+// depends on (see pack256.go / keccak256.go):
+//
+//   - A Slice256 lane is 256 uint64 = 2048 bytes; bit column z is the
+//     32-byte block at offset z*32, exactly one YMM register.
+//   - KeccakState256 is 25 contiguous lanes: lane l at offset l*2048.
+//   - A rotation by r in z is an index shift: column z reads from
+//     column (z-r)&63, i.e. byte offset ((z*32 - r*32) & 2047).
+//
+// The rho+pi gather offsets below are generated from the same rhoPi
+// table the Go kernels use: for output lane dst, srcdisp = src*2048 and
+// initoff = ((64-rot)&63)*32, the byte offset of the source column that
+// lands in output column 0.
+
+#include "textflag.h"
+
+// func keccakRound256AVX2(nxt, cur *KeccakState256, c, d *[5]Slice256)
+TEXT ·keccakRound256AVX2(SB), NOSPLIT, $0-32
+	MOVQ nxt+0(FP), DI
+	MOVQ cur+8(FP), SI
+	MOVQ c+16(FP), R8
+	MOVQ d+24(FP), R9
+
+	// ---- theta parity: c[x] = cur[x]^cur[x+5]^cur[x+10]^cur[x+15]^cur[x+20].
+	// One flat loop: as the cursor walks the 5*64 columns of lanes 0-4,
+	// the +5 lanes sit at fixed +10240-byte displacements.
+	MOVQ SI, R10
+	MOVQ R8, R11
+	MOVQ $320, CX
+
+parity:
+	VMOVDQU (R10), Y0
+	VPXOR   10240(R10), Y0, Y0
+	VPXOR   20480(R10), Y0, Y0
+	VPXOR   30720(R10), Y0, Y0
+	VPXOR   40960(R10), Y0, Y0
+	VMOVDQU Y0, (R11)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ CX
+	JNE  parity
+
+	// ---- theta D: d[x] = c[(x+4)%5] ^ ROTL(c[(x+1)%5], 1). Column 0
+	// wraps to the rotated lane's column 63 (offset 2016); columns 1-63
+	// read linearly one column behind. Unrolled over x.
+
+	// x = 0: cm = c[4] (+8192), cp = c[1] (+2048), dx = d[0] (+0)
+	VMOVDQU 8192(R8), Y0
+	VPXOR   4064(R8), Y0, Y0
+	VMOVDQU Y0, (R9)
+	LEAQ 8224(R8), R10
+	LEAQ 2048(R8), R11
+	LEAQ 32(R9), R12
+	MOVQ $63, CX
+
+dx0:
+	VMOVDQU (R10), Y0
+	VPXOR   (R11), Y0, Y0
+	VMOVDQU Y0, (R12)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	DECQ CX
+	JNE  dx0
+
+	// x = 1: cm = c[0] (+0), cp = c[2] (+4096), dx = d[1] (+2048)
+	VMOVDQU (R8), Y0
+	VPXOR   6112(R8), Y0, Y0
+	VMOVDQU Y0, 2048(R9)
+	LEAQ 32(R8), R10
+	LEAQ 4096(R8), R11
+	LEAQ 2080(R9), R12
+	MOVQ $63, CX
+
+dx1:
+	VMOVDQU (R10), Y0
+	VPXOR   (R11), Y0, Y0
+	VMOVDQU Y0, (R12)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	DECQ CX
+	JNE  dx1
+
+	// x = 2: cm = c[1] (+2048), cp = c[3] (+6144), dx = d[2] (+4096)
+	VMOVDQU 2048(R8), Y0
+	VPXOR   8160(R8), Y0, Y0
+	VMOVDQU Y0, 4096(R9)
+	LEAQ 2080(R8), R10
+	LEAQ 6144(R8), R11
+	LEAQ 4128(R9), R12
+	MOVQ $63, CX
+
+dx2:
+	VMOVDQU (R10), Y0
+	VPXOR   (R11), Y0, Y0
+	VMOVDQU Y0, (R12)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	DECQ CX
+	JNE  dx2
+
+	// x = 3: cm = c[2] (+4096), cp = c[4] (+8192), dx = d[3] (+6144)
+	VMOVDQU 4096(R8), Y0
+	VPXOR   10208(R8), Y0, Y0
+	VMOVDQU Y0, 6144(R9)
+	LEAQ 4128(R8), R10
+	LEAQ 8192(R8), R11
+	LEAQ 6176(R9), R12
+	MOVQ $63, CX
+
+dx3:
+	VMOVDQU (R10), Y0
+	VPXOR   (R11), Y0, Y0
+	VMOVDQU Y0, (R12)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	DECQ CX
+	JNE  dx3
+
+	// x = 4: cm = c[3] (+6144), cp = c[0] (+0), dx = d[4] (+8192)
+	VMOVDQU 6144(R8), Y0
+	VPXOR   2016(R8), Y0, Y0
+	VMOVDQU Y0, 8192(R9)
+	LEAQ 6176(R8), R10
+	MOVQ R8, R11
+	LEAQ 8224(R9), R12
+	MOVQ $63, CX
+
+dx4:
+	VMOVDQU (R10), Y0
+	VPXOR   (R11), Y0, Y0
+	VMOVDQU Y0, (R12)
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	DECQ CX
+	JNE  dx4
+
+	// ---- fused rho+pi+chi, one output plane per block. Per column:
+	// five gathered source loads (rotation = per-lane running offset,
+	// wrapped at 2048), chi = VPANDN+VPXOR, five stores. Offset
+	// constants generated from rhoPi; see file header.
+
+	// plane 0: out lanes 0-4, srcs 0,6,12,18,24
+	MOVQ $0, R10
+	MOVQ $640, R11
+	MOVQ $672, R12
+	MOVQ $1376, R13
+	MOVQ $1600, R14
+	XORQ BX, BX
+	MOVQ $64, CX
+
+chi0:
+	VMOVDQU (SI)(R10*1), Y0
+	VPXOR   (R9)(R10*1), Y0, Y0
+	VMOVDQU 12288(SI)(R11*1), Y1
+	VPXOR   2048(R9)(R11*1), Y1, Y1
+	VMOVDQU 24576(SI)(R12*1), Y2
+	VPXOR   4096(R9)(R12*1), Y2, Y2
+	VMOVDQU 36864(SI)(R13*1), Y3
+	VPXOR   6144(R9)(R13*1), Y3, Y3
+	VMOVDQU 49152(SI)(R14*1), Y4
+	VPXOR   8192(R9)(R14*1), Y4, Y4
+	VPANDN  Y2, Y1, Y5
+	VPXOR   Y5, Y0, Y5
+	VMOVDQU Y5, (DI)(BX*1)
+	VPANDN  Y3, Y2, Y6
+	VPXOR   Y6, Y1, Y6
+	VMOVDQU Y6, 2048(DI)(BX*1)
+	VPANDN  Y4, Y3, Y7
+	VPXOR   Y7, Y2, Y7
+	VMOVDQU Y7, 4096(DI)(BX*1)
+	VPANDN  Y0, Y4, Y8
+	VPXOR   Y8, Y3, Y8
+	VMOVDQU Y8, 6144(DI)(BX*1)
+	VPANDN  Y1, Y0, Y9
+	VPXOR   Y9, Y4, Y9
+	VMOVDQU Y9, 8192(DI)(BX*1)
+	ADDQ $32, R10
+	ANDQ $2047, R10
+	ADDQ $32, R11
+	ANDQ $2047, R11
+	ADDQ $32, R12
+	ANDQ $2047, R12
+	ADDQ $32, R13
+	ANDQ $2047, R13
+	ADDQ $32, R14
+	ANDQ $2047, R14
+	ADDQ $32, BX
+	DECQ CX
+	JNE  chi0
+
+	// plane 1: out lanes 5-9, srcs 3,9,10,16,22
+	MOVQ $1152, R10
+	MOVQ $1408, R11
+	MOVQ $1952, R12
+	MOVQ $608, R13
+	MOVQ $96, R14
+	XORQ BX, BX
+	MOVQ $64, CX
+
+chi1:
+	VMOVDQU 6144(SI)(R10*1), Y0
+	VPXOR   6144(R9)(R10*1), Y0, Y0
+	VMOVDQU 18432(SI)(R11*1), Y1
+	VPXOR   8192(R9)(R11*1), Y1, Y1
+	VMOVDQU 20480(SI)(R12*1), Y2
+	VPXOR   (R9)(R12*1), Y2, Y2
+	VMOVDQU 32768(SI)(R13*1), Y3
+	VPXOR   2048(R9)(R13*1), Y3, Y3
+	VMOVDQU 45056(SI)(R14*1), Y4
+	VPXOR   4096(R9)(R14*1), Y4, Y4
+	VPANDN  Y2, Y1, Y5
+	VPXOR   Y5, Y0, Y5
+	VMOVDQU Y5, 10240(DI)(BX*1)
+	VPANDN  Y3, Y2, Y6
+	VPXOR   Y6, Y1, Y6
+	VMOVDQU Y6, 12288(DI)(BX*1)
+	VPANDN  Y4, Y3, Y7
+	VPXOR   Y7, Y2, Y7
+	VMOVDQU Y7, 14336(DI)(BX*1)
+	VPANDN  Y0, Y4, Y8
+	VPXOR   Y8, Y3, Y8
+	VMOVDQU Y8, 16384(DI)(BX*1)
+	VPANDN  Y1, Y0, Y9
+	VPXOR   Y9, Y4, Y9
+	VMOVDQU Y9, 18432(DI)(BX*1)
+	ADDQ $32, R10
+	ANDQ $2047, R10
+	ADDQ $32, R11
+	ANDQ $2047, R11
+	ADDQ $32, R12
+	ANDQ $2047, R12
+	ADDQ $32, R13
+	ANDQ $2047, R13
+	ADDQ $32, R14
+	ANDQ $2047, R14
+	ADDQ $32, BX
+	DECQ CX
+	JNE  chi1
+
+	// plane 2: out lanes 10-14, srcs 1,7,13,19,20
+	MOVQ $2016, R10
+	MOVQ $1856, R11
+	MOVQ $1248, R12
+	MOVQ $1792, R13
+	MOVQ $1472, R14
+	XORQ BX, BX
+	MOVQ $64, CX
+
+chi2:
+	VMOVDQU 2048(SI)(R10*1), Y0
+	VPXOR   2048(R9)(R10*1), Y0, Y0
+	VMOVDQU 14336(SI)(R11*1), Y1
+	VPXOR   4096(R9)(R11*1), Y1, Y1
+	VMOVDQU 26624(SI)(R12*1), Y2
+	VPXOR   6144(R9)(R12*1), Y2, Y2
+	VMOVDQU 38912(SI)(R13*1), Y3
+	VPXOR   8192(R9)(R13*1), Y3, Y3
+	VMOVDQU 40960(SI)(R14*1), Y4
+	VPXOR   (R9)(R14*1), Y4, Y4
+	VPANDN  Y2, Y1, Y5
+	VPXOR   Y5, Y0, Y5
+	VMOVDQU Y5, 20480(DI)(BX*1)
+	VPANDN  Y3, Y2, Y6
+	VPXOR   Y6, Y1, Y6
+	VMOVDQU Y6, 22528(DI)(BX*1)
+	VPANDN  Y4, Y3, Y7
+	VPXOR   Y7, Y2, Y7
+	VMOVDQU Y7, 24576(DI)(BX*1)
+	VPANDN  Y0, Y4, Y8
+	VPXOR   Y8, Y3, Y8
+	VMOVDQU Y8, 26624(DI)(BX*1)
+	VPANDN  Y1, Y0, Y9
+	VPXOR   Y9, Y4, Y9
+	VMOVDQU Y9, 28672(DI)(BX*1)
+	ADDQ $32, R10
+	ANDQ $2047, R10
+	ADDQ $32, R11
+	ANDQ $2047, R11
+	ADDQ $32, R12
+	ANDQ $2047, R12
+	ADDQ $32, R13
+	ANDQ $2047, R13
+	ADDQ $32, R14
+	ANDQ $2047, R14
+	ADDQ $32, BX
+	DECQ CX
+	JNE  chi2
+
+	// plane 3: out lanes 15-19, srcs 4,5,11,17,23
+	MOVQ $1184, R10
+	MOVQ $896, R11
+	MOVQ $1728, R12
+	MOVQ $1568, R13
+	MOVQ $256, R14
+	XORQ BX, BX
+	MOVQ $64, CX
+
+chi3:
+	VMOVDQU 8192(SI)(R10*1), Y0
+	VPXOR   8192(R9)(R10*1), Y0, Y0
+	VMOVDQU 10240(SI)(R11*1), Y1
+	VPXOR   (R9)(R11*1), Y1, Y1
+	VMOVDQU 22528(SI)(R12*1), Y2
+	VPXOR   2048(R9)(R12*1), Y2, Y2
+	VMOVDQU 34816(SI)(R13*1), Y3
+	VPXOR   4096(R9)(R13*1), Y3, Y3
+	VMOVDQU 47104(SI)(R14*1), Y4
+	VPXOR   6144(R9)(R14*1), Y4, Y4
+	VPANDN  Y2, Y1, Y5
+	VPXOR   Y5, Y0, Y5
+	VMOVDQU Y5, 30720(DI)(BX*1)
+	VPANDN  Y3, Y2, Y6
+	VPXOR   Y6, Y1, Y6
+	VMOVDQU Y6, 32768(DI)(BX*1)
+	VPANDN  Y4, Y3, Y7
+	VPXOR   Y7, Y2, Y7
+	VMOVDQU Y7, 34816(DI)(BX*1)
+	VPANDN  Y0, Y4, Y8
+	VPXOR   Y8, Y3, Y8
+	VMOVDQU Y8, 36864(DI)(BX*1)
+	VPANDN  Y1, Y0, Y9
+	VPXOR   Y9, Y4, Y9
+	VMOVDQU Y9, 38912(DI)(BX*1)
+	ADDQ $32, R10
+	ANDQ $2047, R10
+	ADDQ $32, R11
+	ANDQ $2047, R11
+	ADDQ $32, R12
+	ANDQ $2047, R12
+	ADDQ $32, R13
+	ANDQ $2047, R13
+	ADDQ $32, R14
+	ANDQ $2047, R14
+	ADDQ $32, BX
+	DECQ CX
+	JNE  chi3
+
+	// plane 4: out lanes 20-24, srcs 2,8,14,15,21
+	MOVQ $64, R10
+	MOVQ $288, R11
+	MOVQ $800, R12
+	MOVQ $736, R13
+	MOVQ $1984, R14
+	XORQ BX, BX
+	MOVQ $64, CX
+
+chi4:
+	VMOVDQU 4096(SI)(R10*1), Y0
+	VPXOR   4096(R9)(R10*1), Y0, Y0
+	VMOVDQU 16384(SI)(R11*1), Y1
+	VPXOR   6144(R9)(R11*1), Y1, Y1
+	VMOVDQU 28672(SI)(R12*1), Y2
+	VPXOR   8192(R9)(R12*1), Y2, Y2
+	VMOVDQU 30720(SI)(R13*1), Y3
+	VPXOR   (R9)(R13*1), Y3, Y3
+	VMOVDQU 43008(SI)(R14*1), Y4
+	VPXOR   2048(R9)(R14*1), Y4, Y4
+	VPANDN  Y2, Y1, Y5
+	VPXOR   Y5, Y0, Y5
+	VMOVDQU Y5, 40960(DI)(BX*1)
+	VPANDN  Y3, Y2, Y6
+	VPXOR   Y6, Y1, Y6
+	VMOVDQU Y6, 43008(DI)(BX*1)
+	VPANDN  Y4, Y3, Y7
+	VPXOR   Y7, Y2, Y7
+	VMOVDQU Y7, 45056(DI)(BX*1)
+	VPANDN  Y0, Y4, Y8
+	VPXOR   Y8, Y3, Y8
+	VMOVDQU Y8, 47104(DI)(BX*1)
+	VPANDN  Y1, Y0, Y9
+	VPXOR   Y9, Y4, Y9
+	VMOVDQU Y9, 49152(DI)(BX*1)
+	ADDQ $32, R10
+	ANDQ $2047, R10
+	ADDQ $32, R11
+	ANDQ $2047, R11
+	ADDQ $32, R12
+	ANDQ $2047, R12
+	ADDQ $32, R13
+	ANDQ $2047, R13
+	ADDQ $32, R14
+	ANDQ $2047, R14
+	ADDQ $32, BX
+	DECQ CX
+	JNE  chi4
+
+	VZEROUPPER
+	RET
+
+// func cpuSupportsAVX2() bool
+TEXT ·cpuSupportsAVX2(SB), NOSPLIT, $0-1
+	// OSXSAVE (bit 27) and AVX (bit 28) in CPUID.1:ECX
+	MOVL $1, AX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<27 | 1<<28), AX
+	CMPL AX, $(1<<27 | 1<<28)
+	JNE  notsup
+
+	// OS enabled XMM+YMM state saving: XCR0 bits 1-2
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  notsup
+
+	// AVX2: CPUID.(7,0):EBX bit 5
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   notsup
+
+	MOVB $1, ret+0(FP)
+	RET
+
+notsup:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,39 @@
+package bitslice
+
+import "testing"
+
+// BenchmarkWideSHA3Stages splits the 256-wide SHA-3 batch cost into its
+// stages: the 24-round permutation alone, the limb->bit-sliced packing
+// alone, and the full seeds-in digest-lanes-out path. The stage split is
+// what directs kernel work - it shows whether the next microsecond
+// should come out of the permutation or the marshalling.
+func BenchmarkWideSHA3Stages(b *testing.B) {
+	var seeds [Width256][32]byte
+	for i := range seeds {
+		seeds[i][0] = byte(i)
+	}
+	var e Engine
+	b.Run("keccakf-only", func(b *testing.B) {
+		var s KeccakState256
+		for i := 0; i < b.N; i++ {
+			e.KeccakF256(&s)
+		}
+	})
+	b.Run("pack-only", func(b *testing.B) {
+		var vals [Width256]uint64
+		var s KeccakState256
+		for i := 0; i < b.N; i++ {
+			for lane := 0; lane < 4; lane++ {
+				for j := 0; j < Width256; j++ {
+					vals[j] = leUint64(seeds[j][lane*8:])
+				}
+				s[lane] = Pack256(&vals)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.SHA3Seeds256WideSliced(&seeds)
+		}
+	})
+}

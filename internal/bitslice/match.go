@@ -55,3 +55,34 @@ func MatchSliced64(lanes []Slice64, target []uint64) uint64 {
 	}
 	return acc
 }
+
+// MatchSliced256 compares Width256 wide bit-sliced 64-bit lanes against
+// target lanes, returning four mask words with bit i%64 of word i/64 set
+// iff instance i equals every target lane. len(lanes) must equal
+// len(target). Same short-circuit as the 64-wide reductions: the
+// accumulator empties after ~log2(Width256) compared columns when
+// nothing matches.
+func MatchSliced256(lanes []Slice256, target []uint64) [4]uint64 {
+	acc := [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	for l := range lanes {
+		tl := target[l]
+		for z := 0; z < 64; z++ {
+			col := lanes[l][z*4 : z*4+4]
+			if tl>>uint(z)&1 == 1 {
+				acc[0] &= col[0]
+				acc[1] &= col[1]
+				acc[2] &= col[2]
+				acc[3] &= col[3]
+			} else {
+				acc[0] &^= col[0]
+				acc[1] &^= col[1]
+				acc[2] &^= col[2]
+				acc[3] &^= col[3]
+			}
+			if acc[0]|acc[1]|acc[2]|acc[3] == 0 {
+				return acc
+			}
+		}
+	}
+	return acc
+}

@@ -1,32 +1,21 @@
 package bitslice
 
-import "math/bits"
-
 // Slice64 is a bit-sliced group of Width 64-bit values: Slice64[z] holds
 // bit z of every instance, with instance i at bit i.
 type Slice64 [64]uint64
 
 // Pack converts Width 64-bit values into bit-sliced form, establishing the
-// invariant sliced[z] bit i == values[i] bit z.
+// invariant sliced[z] bit i == values[i] bit z - exactly the bit transpose
+// Transpose64 computes.
 func Pack(values *[Width]uint64) Slice64 {
 	tmp := *values
 	Transpose64(&tmp)
-	// Transpose64 is the Hacker's Delight MSB-first transpose: it maps
-	// bit j of word i to bit 63-i of word 63-j. Mirror both axes to get
-	// the LSB-first convention stated above.
-	var out Slice64
-	for z := 0; z < 64; z++ {
-		out[z] = bits.Reverse64(tmp[63-z])
-	}
-	return out
+	return tmp
 }
 
 // Unpack is the inverse of Pack.
 func Unpack(s *Slice64) [Width]uint64 {
-	var tmp [64]uint64
-	for z := 0; z < 64; z++ {
-		tmp[63-z] = bits.Reverse64(s[z])
-	}
+	tmp := [64]uint64(*s)
 	Transpose64(&tmp)
 	return tmp
 }

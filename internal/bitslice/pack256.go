@@ -1,0 +1,68 @@
+package bitslice
+
+// Width256 is the lane count of the wide kernels: four 64-bit words per
+// bit position, 256 independent hash instances per compression. The wide
+// form exists purely for host throughput - its longer flat inner loops
+// amortize loop and per-plane setup overhead that dominates the one-word
+// Slice64 kernel, and the four words per bit column are independent
+// XOR/AND/NOT streams for the out-of-order core to overlap. The APU
+// cycle model keeps using the 64-wide kernels; gate counts per seed are
+// identical either way.
+const Width256 = 256
+
+// Slice256 is a bit-sliced group of Width256 64-bit values, stored flat:
+// the word at index z*4 + g holds bit z of instances g*64 .. g*64+63,
+// with instance i at bit i%64 of word z*4 + i/64.
+//
+// The layout is deliberately one flat array rather than [64][4]uint64:
+// Go cannot keep multi-element array values in registers (they are not
+// SSA-able), so a [4]uint64 column type would force every intermediate
+// through the stack. Flat scalar indexing keeps the kernels' inner loops
+// identical in shape to the 64-wide ones - plain uint64 loads, ALU ops,
+// stores - just four times longer. A rotation by r in the z dimension is
+// a contiguous move by 4*r words.
+type Slice256 [4 * 64]uint64
+
+// Pack256 converts Width256 64-bit values into wide bit-sliced form,
+// establishing the invariant sliced[z*4+i/64] bit i%64 == values[i] bit z.
+func Pack256(values *[Width256]uint64) Slice256 {
+	var out Slice256
+	var grp [Width]uint64
+	for g := 0; g < 4; g++ {
+		copy(grp[:], values[g*Width:(g+1)*Width])
+		s := Pack(&grp)
+		for z := 0; z < 64; z++ {
+			out[z*4+g] = s[z]
+		}
+	}
+	return out
+}
+
+// Unpack256 is the inverse of Pack256.
+func Unpack256(s *Slice256) [Width256]uint64 {
+	var out [Width256]uint64
+	var grp Slice64
+	for g := 0; g < 4; g++ {
+		for z := 0; z < 64; z++ {
+			grp[z] = s[z*4+g]
+		}
+		vals := Unpack(&grp)
+		copy(out[g*Width:(g+1)*Width], vals[:])
+	}
+	return out
+}
+
+// Splat256 returns a wide slice whose every instance holds the same
+// 64-bit value, the Width256 analogue of Splat.
+func Splat256(v uint64) Slice256 {
+	var out Slice256
+	for z := 0; z < 64; z++ {
+		if v>>uint(z)&1 == 1 {
+			out[z*4] = ^uint64(0)
+			out[z*4+1] = ^uint64(0)
+			out[z*4+2] = ^uint64(0)
+			out[z*4+3] = ^uint64(0)
+		}
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,9 +18,11 @@ import (
 //
 // Each worker builds its own Matcher from newMatcher. When the matcher
 // implements BatchMatcher (the HashMatcherFactory default), candidates
-// are accumulated into a MatchWidth-slot buffer, generated incrementally
-// in mask form by the iterator's MaskIter fast path, and matched one
-// batch at a time - one bit-sliced compression per MatchWidth seeds.
+// are accumulated BatchWidth at a time - generated incrementally in mask
+// form by the iterator's MaskIter fast path - and matched one batch per
+// call: one wide bit-sliced compression per 256 SHA-3 seeds, or one run
+// of interleaved multi-buffer compressions per 64 SHA-1 seeds. Partial
+// tail batches go through the same engine (padded internally).
 // Scalar-only matchers follow the classic one-seed loop.
 //
 // The early-exit flag, ctx and the deadline are polled every checkEvery
@@ -135,34 +136,47 @@ func SearchRangeHost(ctx context.Context, base u256.Uint256, d int, method iters
 			mi, masked := it.(iterseq.MaskIter)
 			switch {
 			case batched && masked:
-				// Batched hot loop: fill MatchWidth candidates from the
-				// iterator's incremental mask form, match them in one
-				// bit-sliced shot, and poll per batch rather than per
-				// seed.
-				pollEvery := (checkEvery + MatchWidth - 1) / MatchWidth
+				// Batched hot loop: fill the engine's preferred stride of
+				// candidates from the iterator's incremental mask form,
+				// match them in one call, and poll per batch rather than
+				// per seed. Partial batches (the range tail) go through
+				// the same MatchBatch - the engine pads internally - so
+				// no candidate ever drops to the scalar path.
+				width := bm.BatchWidth()
+				if width < 1 || width > MatchWidth {
+					width = MatchWidth
+				}
+				pollEvery := (checkEvery + width - 1) / width
 				var cands [MatchWidth]u256.Uint256
-				var mask u256.Uint256
+				var scratch u256.Uint256
 				sinceCheck := 0
 				for {
-					n := 0
-					for n < MatchWidth && mi.NextMask(&mask) {
-						cands[n] = iterseq.ApplyMask(base, mask)
-						n++
-					}
+					n := iterseq.FillSeeds(mi, base, &scratch, cands[:width])
 					if n == 0 {
 						break
 					}
-					local += uint64(n)
-					if hits := bm.MatchBatch(&cands, n); hits != 0 {
-						for ; hits != 0; hits &= hits - 1 {
-							record(cands[bits.TrailingZeros64(hits)])
-						}
+					if hits := bm.MatchBatch(&cands, n); hits.Any() {
 						if !exhaustive {
+							// Early exit: only candidates at or before the
+							// winning lane count as covered, so the batched
+							// engine's accounting is lane-exact and agrees
+							// with the scalar oracle and the modelled
+							// backends (covered = rank + 1).
+							win := hits.FirstLane()
+							record(cands[win])
+							local += uint64(win) + 1
 							stop.Store(true)
 							break
 						}
+						local += uint64(n)
+						for lane := hits.FirstLane(); lane >= 0; lane = hits.FirstLane() {
+							record(cands[lane])
+							hits.ClearBit(lane)
+						}
+					} else {
+						local += uint64(n)
 					}
-					if n < MatchWidth {
+					if n < width {
 						break // iterator exhausted mid-batch
 					}
 					sinceCheck++

@@ -43,7 +43,7 @@ func TestBatchedMatchesScalarExhaustive(t *testing.T) {
 			for _, rank := range ranks {
 				want := seedAtRank(t, base, d, method, rank)
 				target := HashSeed(alg, want)
-				runBoth(t, base, d, method, alg, target, true, func(tag string, found bool, seed u256.Uint256, covered uint64) {
+				runEngines(t, base, d, method, alg, target, true, 4, func(tag string, found bool, seed u256.Uint256, covered uint64) {
 					if !found {
 						t.Errorf("%s %v %v rank=%d: match not found", tag, alg, method, rank)
 						return
@@ -59,7 +59,7 @@ func TestBatchedMatchesScalarExhaustive(t *testing.T) {
 			// No match in the shell: the base's own digest is at
 			// distance 0, outside shell d.
 			target := HashSeed(alg, base)
-			runBoth(t, base, d, method, alg, target, true, func(tag string, found bool, _ u256.Uint256, covered uint64) {
+			runEngines(t, base, d, method, alg, target, true, 4, func(tag string, found bool, _ u256.Uint256, covered uint64) {
 				if found {
 					t.Errorf("%s %v %v: spurious match", tag, alg, method)
 				}
@@ -71,57 +71,140 @@ func TestBatchedMatchesScalarExhaustive(t *testing.T) {
 	}
 }
 
-// TestBatchedMatchesScalarEarlyExit checks the early-exit path: both
-// engines must locate the same seed. Coverage may differ (the batched
-// engine accounts whole batches), so only the found seed is compared.
+// TestBatchedMatchesScalarEarlyExit checks the early-exit path with a
+// single worker: every batch engine must locate the same seed as the
+// scalar oracle AND report the same covered count - the lane-exact
+// accounting fix. Ranks are chosen to land mid-batch (4321 = 16*256+225)
+// and inside the final partial batch of a d=2 shell (C(256,2) % 256 =
+// 128 pad lanes), so both the winning-lane truncation and the padded
+// tail are exercised.
 func TestBatchedMatchesScalarEarlyExit(t *testing.T) {
 	base := u256.FromUint64(7)
-	const d = 3
-	for _, alg := range []HashAlg{SHA1, SHA3} {
-		for _, method := range iterseq.Methods() {
-			want := seedAtRank(t, base, d, method, 4321)
-			target := HashSeed(alg, want)
-			runBoth(t, base, d, method, alg, target, false, func(tag string, found bool, seed u256.Uint256, covered uint64) {
-				if !found {
-					t.Errorf("%s %v %v: match not found", tag, alg, method)
-					return
-				}
-				if !seed.Equal(want) {
-					t.Errorf("%s %v %v: wrong seed", tag, alg, method)
-				}
-				if covered == 0 {
-					t.Errorf("%s %v %v: zero coverage", tag, alg, method)
-				}
-			})
+	d2total, _ := combin.Binomial64(256, 2)
+	cases := []struct {
+		d    int
+		rank uint64
+	}{
+		{3, 4321},        // mid-batch lane of a full batch
+		{2, d2total - 5}, // inside the padded final partial batch
+	}
+	for _, tc := range cases {
+		for _, alg := range []HashAlg{SHA1, SHA3} {
+			for _, method := range iterseq.Methods() {
+				want := seedAtRank(t, base, tc.d, method, tc.rank)
+				target := HashSeed(alg, want)
+				var scalarCovered uint64
+				runEngines(t, base, tc.d, method, alg, target, false, 1, func(tag string, found bool, seed u256.Uint256, covered uint64) {
+					if !found {
+						t.Errorf("%s %v %v d=%d: match not found", tag, alg, method, tc.d)
+						return
+					}
+					if !seed.Equal(want) {
+						t.Errorf("%s %v %v d=%d: wrong seed", tag, alg, method, tc.d)
+					}
+					// runEngines visits "scalar" first; every batch
+					// engine must agree with it exactly.
+					if tag == "scalar" {
+						scalarCovered = covered
+						if covered != tc.rank+1 {
+							t.Errorf("scalar %v %v d=%d: covered %d, want rank+1 = %d",
+								alg, method, tc.d, covered, tc.rank+1)
+						}
+					} else if covered != scalarCovered {
+						t.Errorf("%s %v %v d=%d: covered %d, scalar oracle covered %d",
+							tag, alg, method, tc.d, covered, scalarCovered)
+					}
+				})
+			}
 		}
 	}
 }
 
-// runBoth runs one shell search through the batched engine and the
-// scalar oracle and hands each outcome to check.
-func runBoth(t *testing.T, base u256.Uint256, d int, method iterseq.Method, alg HashAlg, target Digest, exhaustive bool, check func(tag string, found bool, seed u256.Uint256, covered uint64)) {
+// forcedKernelFactory builds matchers pinned to one batch kernel,
+// bypassing the calibration default, so every kernel is cross-validated
+// even when it would not be selected in production.
+func forcedKernelFactory(alg HashAlg, target Digest, kernel BatchKernel) MatcherFactory {
+	return func() Matcher {
+		m := NewHashMatcher(alg, target)
+		m.Kernel = kernel
+		return m
+	}
+}
+
+// runEngines runs one shell search through the scalar oracle (always
+// first), the calibration-default batched engine, and every implemented
+// batch kernel forced on, handing each outcome to check.
+func runEngines(t *testing.T, base u256.Uint256, d int, method iterseq.Method, alg HashAlg, target Digest, exhaustive bool, workers int, check func(tag string, found bool, seed u256.Uint256, covered uint64)) {
 	t.Helper()
 	batched := HashMatcherFactory(alg, target)
-	// "sliced" forces the bit-sliced compression even where the default
-	// picks the scalar path (SHA-1), so both batch engines stay
-	// cross-validated end to end.
-	sliced := MatcherFactory(func() Matcher {
-		m := NewHashMatcher(alg, target)
-		m.UseSliced = true
-		return m
-	})
-	engines := map[string]MatcherFactory{
-		"batched": batched,
-		"sliced":  sliced,
-		"scalar":  ScalarMatcher(batched),
+	type engine struct {
+		tag string
+		f   MatcherFactory
 	}
-	for tag, f := range engines {
+	engines := []engine{
+		{"scalar", ScalarMatcher(batched)},
+		{"batched", batched},
+	}
+	for _, k := range BatchKernels(alg) {
+		engines = append(engines, engine{k.String(), forcedKernelFactory(alg, target, k)})
+	}
+	for _, eng := range engines {
 		found, seed, covered, _, err := SearchShellHost(
-			context.Background(), base, d, method, 4, 0, exhaustive, time.Time{}, f)
+			context.Background(), base, d, method, workers, 0, exhaustive, time.Time{}, eng.f)
 		if err != nil {
-			t.Fatalf("%s: SearchShellHost: %v", tag, err)
+			t.Fatalf("%s: SearchShellHost: %v", eng.tag, err)
 		}
-		check(tag, found, seed, covered)
+		check(eng.tag, found, seed, covered)
+	}
+}
+
+// TestMatchBatchPartialEqualsFull is the padded-tail regression test: a
+// batch of n-1 candidates and a batch of n candidates must report
+// identical verdicts for the shared lanes, for every batch kernel, with
+// matches planted at the last kept lane (adjacent to the pad) and
+// mid-batch. Before the fix, partial batches silently dropped to the
+// scalar path and the sliced kernels never saw shell tails.
+func TestMatchBatchPartialEqualsFull(t *testing.T) {
+	base := u256.FromUint64(0x5eed)
+	for _, alg := range []HashAlg{SHA1, SHA3} {
+		kernels := append([]BatchKernel{KernelScalar}, BatchKernels(alg)...)
+		for _, kernel := range kernels {
+			for _, n := range []int{1, 5, 63, 64, 65, 255, 256} {
+				var cands [MatchWidth]u256.Uint256
+				for i := 0; i < n; i++ {
+					cands[i] = base.FlipBit(i % 256).FlipBit((i*7 + 31) % 256)
+				}
+				// Plant the target at the last kept lane: a pad lane
+				// replicates it, and must not be reported.
+				target := HashSeed(alg, cands[n-1])
+				m := NewHashMatcher(alg, target)
+				m.Kernel = kernel
+				full := m.MatchBatch(&cands, n)
+				if !full.Bit(n - 1) {
+					t.Errorf("%v/%v n=%d: planted match at lane %d not reported", alg, kernel, n, n-1)
+				}
+				if got := full.Count(); got != 1 {
+					t.Errorf("%v/%v n=%d: %d lanes matched, want 1 (pad lanes must be trimmed)", alg, kernel, n, got)
+				}
+				// Dropping the last candidate must not change any other
+				// lane's verdict.
+				part := m.MatchBatch(&cands, n-1)
+				if part.Any() {
+					t.Errorf("%v/%v n=%d: truncated batch reports matches %v", alg, kernel, n, part)
+				}
+				// And a mid-batch plant survives truncation unchanged.
+				if n >= 2 {
+					mid := HashSeed(alg, cands[n/2])
+					mm := NewHashMatcher(alg, mid)
+					mm.Kernel = kernel
+					a, b := mm.MatchBatch(&cands, n), mm.MatchBatch(&cands, n-1)
+					if n/2 < n-1 && (a != b || !a.Bit(n/2)) {
+						t.Errorf("%v/%v n=%d: mid-batch lane %d differs between n and n-1 (%v vs %v)",
+							alg, kernel, n, n/2, a, b)
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -174,8 +257,9 @@ func TestHashMatcherScalarAgreesWithHashSeed(t *testing.T) {
 }
 
 // TestHotLoopAllocs asserts the steady-state hot loops allocate
-// nothing per seed: the scalar match, the batched match, and the
-// incremental mask iteration.
+// nothing per seed: the scalar match, the 256-wide batched match on
+// every kernel (full and padded-partial batches), the incremental mask
+// iteration, and the batched fill loop.
 func TestHotLoopAllocs(t *testing.T) {
 	base := u256.FromUint64(99)
 	for _, alg := range []HashAlg{SHA1, SHA3} {
@@ -191,12 +275,17 @@ func TestHotLoopAllocs(t *testing.T) {
 
 		var cands [MatchWidth]u256.Uint256
 		for i := range cands {
-			cands[i] = base.FlipBit(i).FlipBit(i + 64)
+			cands[i] = base.FlipBit(i % 256).FlipBit((i + 64) % 256)
 		}
-		if n := testing.AllocsPerRun(20, func() {
-			m.MatchBatch(&cands, MatchWidth)
-		}); n != 0 {
-			t.Errorf("%v MatchBatch allocates %.1f/op", alg, n)
+		for _, kernel := range BatchKernels(alg) {
+			m.Kernel = kernel
+			for _, n := range []int{MatchWidth, MatchWidth - 3} {
+				if a := testing.AllocsPerRun(10, func() {
+					m.MatchBatch(&cands, n)
+				}); a != 0 {
+					t.Errorf("%v/%v MatchBatch(n=%d) allocates %.1f/op", alg, kernel, n, a)
+				}
+			}
 		}
 	}
 
@@ -215,6 +304,16 @@ func TestHotLoopAllocs(t *testing.T) {
 			_ = iterseq.ApplyMask(base, mask)
 		}); n != 0 {
 			t.Errorf("%v NextMask allocates %.1f/op", method, n)
+		}
+
+		// The 256-wide fill loop: one NextMask + one 256-bit XOR per
+		// candidate, zero allocations per batch.
+		var cands [MatchWidth]u256.Uint256
+		var scratch u256.Uint256
+		if n := testing.AllocsPerRun(20, func() {
+			iterseq.FillSeeds(mi, base, &scratch, cands[:])
+		}); n != 0 {
+			t.Errorf("%v FillSeeds allocates %.1f/op", method, n)
 		}
 	}
 }

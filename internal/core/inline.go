@@ -20,7 +20,7 @@ import (
 // Inline-depth policy values for CAConfig.InlineDepth.
 const (
 	// DefaultInlineDepth covers shells d <= 1 inline: 257 candidates,
-	// four bit-sliced batches.
+	// one full 256-wide bit-sliced batch plus a one-candidate tail.
 	DefaultInlineDepth = 1
 	// MaxInlineDepth bounds the inline budget: C(256,2) = 32640
 	// candidates is already ~1 ms of caller-goroutine work; anything

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"math/bits"
 
 	"rbcsalted/internal/bitslice"
 	"rbcsalted/internal/keccak"
@@ -9,10 +10,60 @@ import (
 	"rbcsalted/internal/u256"
 )
 
-// MatchWidth is the number of candidate seeds a BatchMatcher evaluates
-// per call: one bit-sliced hash compression covers exactly this many
-// lanes.
-const MatchWidth = bitslice.Width
+// MatchWidth is the capacity of a BatchMatcher call: the largest number
+// of candidate seeds any batch engine evaluates at once (the 256-lane
+// wide bit-sliced compression). Engines with a smaller natural stride
+// advertise it via BatchWidth.
+const MatchWidth = bitslice.Width256
+
+// MatchMask is a per-lane match bitmask for up to MatchWidth candidates:
+// bit i%64 of word i/64 reports candidate i.
+type MatchMask [4]uint64
+
+// Any reports whether any lane matched.
+func (m MatchMask) Any() bool { return m[0]|m[1]|m[2]|m[3] != 0 }
+
+// Bit reports whether candidate i matched.
+func (m MatchMask) Bit(i int) bool { return m[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// SetBit marks candidate i as matched.
+func (m *MatchMask) SetBit(i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+
+// ClearBit unmarks candidate i.
+func (m *MatchMask) ClearBit(i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// FirstLane returns the lowest matched candidate index, or -1 if none.
+// Combined with ClearBit it iterates matches in candidate order.
+func (m MatchMask) FirstLane() int {
+	for w, v := range m {
+		if v != 0 {
+			return w<<6 | bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// Trim clears all lanes at index n and above - the pad-lane mask of a
+// partial batch.
+func (m *MatchMask) Trim(n int) {
+	if n >= MatchWidth {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	w := n >> 6
+	m[w] &= 1<<(uint(n)&63) - 1
+	for w++; w < 4; w++ {
+		m[w] = 0
+	}
+}
+
+// Count returns the number of matched lanes.
+func (m MatchMask) Count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1]) +
+		bits.OnesCount64(m[2]) + bits.OnesCount64(m[3])
+}
 
 // Matcher decides whether candidate seeds match the search target. A
 // Matcher instance is owned by a single worker goroutine, so
@@ -25,13 +76,21 @@ type Matcher interface {
 
 // BatchMatcher is a Matcher that can evaluate up to MatchWidth
 // candidates in one call. The host search accumulates candidates into a
-// MatchWidth-slot buffer and matches them in one shot; implementations
-// that hash can amortize the per-seed fixed costs across the batch.
+// MatchWidth-slot buffer and matches them BatchWidth at a time;
+// implementations that hash can amortize the per-seed fixed costs across
+// the batch.
 type BatchMatcher interface {
 	Matcher
-	// MatchBatch evaluates cands[:n] and returns a bitmask with bit i
-	// set iff cands[i] matches. n is at most MatchWidth.
-	MatchBatch(cands *[MatchWidth]u256.Uint256, n int) uint64
+	// BatchWidth returns the engine's preferred candidates-per-call
+	// stride, in (0, MatchWidth]. The host search fills batches to this
+	// width; shorter final batches are still evaluated in one call.
+	BatchWidth() int
+	// MatchBatch evaluates cands[:n] and returns the per-lane match
+	// mask. n is at most MatchWidth; lanes n and above of the result are
+	// always clear. Implementations must evaluate partial batches with
+	// the same engine as full ones (padding internally as needed), so a
+	// candidate's verdict never depends on its batch's fill level.
+	MatchBatch(cands *[MatchWidth]u256.Uint256, n int) MatchMask
 }
 
 // MatchFunc adapts a plain predicate to Matcher (scalar-only).
@@ -71,11 +130,14 @@ func ScalarMatcher(factory MatcherFactory) MatcherFactory {
 //     keccak.Sum256Seed, no Digest boxing) and quick-rejects on the first
 //     64 digest bits before comparing the rest - one uint64 compare
 //     decides all but a ~2^-64 fraction of candidates.
-//   - MatchBatch packs MatchWidth seeds via the bit-sliced engine, runs
-//     one gate-level compression for all lanes, and AND-reduces the
-//     digest bit columns against the target into a 64-bit match mask -
-//     the software transpose of the APU's associative compare (§3.3).
-//     Partial batches fall back to the scalar path.
+//   - MatchBatch evaluates up to MatchWidth candidates with the batch
+//     kernel the calibration table selected for the algorithm (see
+//     BatchKernel): a bit-sliced compression whose digest bit columns
+//     are AND-reduced against the target into the match mask - the
+//     software transpose of the APU's associative compare (§3.3) - or
+//     the multi-buffer interleaved scalar compression for SHA-1.
+//     Partial batches are padded with the last candidate and the pad
+//     lanes masked out, so every candidate sees the same engine.
 //
 // A HashMatcher is single-worker state; build one per goroutine via
 // HashMatcherFactory.
@@ -87,21 +149,25 @@ type HashMatcher struct {
 	raw   [32]byte  // full target digest bytes
 	eng   bitslice.Engine
 
-	// UseSliced selects the bit-sliced compression for full batches.
-	// NewHashMatcher sets the measured-faster default per algorithm:
-	// true for SHA-3, whose boolean Keccak rounds bit-slice several
-	// times faster than 64 scalar permutations, and false for SHA-1,
-	// whose modular adds decompose into ripple-carry gate chains that
-	// run slower in software than the hardware adder the scalar path
-	// uses (the APU only wins them back with massive hardware
-	// parallelism). The equivalence tests flip it to cross-validate
-	// both paths.
-	UseSliced bool
+	// Kernel selects the batch engine. NewHashMatcher sets the
+	// calibration table's measured-fastest kernel for the algorithm
+	// (DefaultKernel); the equivalence tests force specific kernels to
+	// cross-validate every path. A kernel the algorithm has no
+	// implementation for falls back per batch group: KernelSliced256
+	// degrades to KernelSliced64, anything else to the scalar loop.
+	Kernel BatchKernel
+
+	// seeds and vals are batch staging buffers, kept on the matcher so
+	// the hot loop never allocates. vals holds the four message lanes of
+	// each candidate for the wide path, extracted straight from the
+	// Uint256 limbs (no byte serialization round trip).
+	seeds [MatchWidth][32]byte
+	vals  [4][MatchWidth]uint64
 }
 
 // NewHashMatcher builds a HashMatcher for one (algorithm, target) pair.
 func NewHashMatcher(alg HashAlg, target Digest) *HashMatcher {
-	m := &HashMatcher{alg: alg, raw: target.b, UseSliced: alg == SHA3}
+	m := &HashMatcher{alg: alg, raw: target.b, Kernel: DefaultKernel(alg)}
 	m.quick = binary.BigEndian.Uint64(target.b[:8])
 	for w := range m.sha1T {
 		m.sha1T[w] = binary.BigEndian.Uint32(target.b[w*4:])
@@ -115,15 +181,15 @@ func NewHashMatcher(alg HashAlg, target Digest) *HashMatcher {
 // HashMatcherFactory returns a MatcherFactory producing one HashMatcher
 // per worker. This is the default matcher of every hashing backend.
 //
-// For algorithms where the batch compression measures no faster than
-// the scalar fast path (SHA-1; see HashMatcher.UseSliced), the matcher
-// is returned without its BatchMatcher capability so the search engine
-// skips batch accumulation entirely instead of buffering candidates
-// just to hash them one at a time.
+// When the calibration table holds no batch kernel measured faster than
+// the scalar fast path for the algorithm, the matcher is returned
+// without its BatchMatcher capability, so the search engine skips batch
+// accumulation entirely instead of buffering candidates just to hash
+// them one at a time.
 func HashMatcherFactory(alg HashAlg, target Digest) MatcherFactory {
 	return func() Matcher {
 		m := NewHashMatcher(alg, target)
-		if !m.UseSliced {
+		if m.Kernel == KernelScalar {
 			return scalarOnly{m}
 		}
 		return m
@@ -151,32 +217,106 @@ func (m *HashMatcher) Match(candidate u256.Uint256) bool {
 	}
 }
 
-// MatchBatch implements BatchMatcher with one bit-sliced compression for
-// a full batch; short batches use the scalar path (the final partial
-// batch of a worker's range, and ranges smaller than MatchWidth), as do
-// algorithms whose scalar path measures faster (see UseSliced).
-func (m *HashMatcher) MatchBatch(cands *[MatchWidth]u256.Uint256, n int) uint64 {
-	if n < MatchWidth || !m.UseSliced {
-		var mask uint64
+// BatchWidth implements BatchMatcher: the selected kernel's natural
+// stride. The 256-lane wide compression wants full 256-candidate
+// batches; the 64-wide sliced and the 4-way multi-buffer kernels run in
+// 64-candidate strides (the multi-buffer kernel consumes them in
+// interleave groups internally), which keeps early-exit polling and
+// covered accounting finer-grained at no amortization cost.
+func (m *HashMatcher) BatchWidth() int {
+	if m.Kernel == KernelSliced256 && m.alg == SHA3 {
+		return bitslice.Width256
+	}
+	return bitslice.Width
+}
+
+// MatchBatch implements BatchMatcher. Full 256-candidate batches take
+// one wide compression when KernelSliced256 is selected; everything
+// else - including the padded tail groups of partial batches - runs in
+// 64-candidate groups so a short batch never pays for a full wide
+// compression.
+func (m *HashMatcher) MatchBatch(cands *[MatchWidth]u256.Uint256, n int) MatchMask {
+	var mask MatchMask
+	if n <= 0 {
+		return mask
+	}
+	if n > MatchWidth {
+		n = MatchWidth
+	}
+	kernel := m.Kernel
+	if kernel == KernelScalar {
 		for i := 0; i < n; i++ {
 			if m.Match(cands[i]) {
-				mask |= 1 << uint(i)
+				mask.SetBit(i)
 			}
 		}
 		return mask
 	}
-	var seeds [MatchWidth][32]byte
-	for i := range cands {
-		seeds[i] = cands[i].Bytes()
+
+	if kernel == KernelSliced256 && m.alg == SHA3 && n == MatchWidth {
+		// Wide path: feed the message lanes straight from the Uint256
+		// limbs. A seed's big-endian byte stream hashes as little-endian
+		// 64-bit lanes, so lane l of candidate i is limb 3-l byte-swapped.
+		for i := 0; i < MatchWidth; i++ {
+			m.vals[0][i] = bits.ReverseBytes64(cands[i].Limb(3))
+			m.vals[1][i] = bits.ReverseBytes64(cands[i].Limb(2))
+			m.vals[2][i] = bits.ReverseBytes64(cands[i].Limb(1))
+			m.vals[3][i] = bits.ReverseBytes64(cands[i].Limb(0))
+		}
+		lanes := m.eng.SHA3Seeds256WideSlicedVals(&m.vals)
+		mask = MatchMask(bitslice.MatchSliced256(lanes[:], m.sha3T[:]))
+		return mask
 	}
-	switch m.alg {
-	case SHA1:
-		words := m.eng.SHA1SeedsSliced(&seeds)
-		return bitslice.MatchSliced32(words[:], m.sha1T[:])
-	case SHA3:
-		lanes := m.eng.SHA3Seeds256Sliced(&seeds)
-		return bitslice.MatchSliced64(lanes[:], m.sha3T[:])
-	default:
-		panic("core: HashMatcher with unknown algorithm")
+
+	for i := 0; i < n; i++ {
+		m.seeds[i] = cands[i].Bytes()
 	}
+
+	// 64-candidate groups; the last group is padded with the final
+	// candidate and its pad lanes trimmed from the combined mask.
+	for g := 0; g*bitslice.Width < n; g++ {
+		lo := g * bitslice.Width
+		hi := lo + bitslice.Width
+		if hi > n {
+			for i := n; i < hi; i++ {
+				m.seeds[i] = m.seeds[n-1]
+			}
+		}
+		grp := (*[bitslice.Width][32]byte)(m.seeds[lo:hi])
+		var gm uint64
+		switch {
+		case m.alg == SHA1 && kernel == KernelMulti4:
+			gm = m.matchMulti4(grp)
+		case m.alg == SHA1:
+			words := m.eng.SHA1SeedsSliced(grp)
+			gm = bitslice.MatchSliced32(words[:], m.sha1T[:])
+		default:
+			lanes := m.eng.SHA3Seeds256Sliced(grp)
+			gm = bitslice.MatchSliced64(lanes[:], m.sha3T[:])
+		}
+		mask[g] = gm
+	}
+	mask.Trim(n)
+	return mask
+}
+
+// matchMulti4 evaluates one 64-candidate group with the interleaved
+// multi-buffer SHA-1 kernel: sixteen 4-lane compressions, each lane's
+// digest words compared against the target (first-word compare rejects
+// all but a ~2^-32 fraction).
+func (m *HashMatcher) matchMulti4(grp *[bitslice.Width][32]byte) uint64 {
+	var words [sha1.MultiWidth][5]uint32
+	var gm uint64
+	for q := 0; q < bitslice.Width; q += sha1.MultiWidth {
+		quad := (*[sha1.MultiWidth][32]byte)(grp[q : q+sha1.MultiWidth])
+		sha1.SeedWords4(quad, &words)
+		for l := 0; l < sha1.MultiWidth; l++ {
+			h := &words[l]
+			if h[0] == m.sha1T[0] && h[1] == m.sha1T[1] && h[2] == m.sha1T[2] &&
+				h[3] == m.sha1T[3] && h[4] == m.sha1T[4] {
+				gm |= 1 << uint(q+l)
+			}
+		}
+	}
+	return gm
 }

@@ -76,7 +76,7 @@ type Task struct {
 // early-exit latency - a worker overshoots a peer's match by at most
 // one interval (microseconds at host hash rates). 1024 keeps the poll
 // overhead under 0.1% of hot-loop time and is a whole multiple of
-// MatchWidth, so the batched engine polls every 16 batches exactly.
+// MatchWidth, so the batched engine polls every 4 wide batches exactly.
 const DefaultCheckInterval = 1024
 
 // EffectiveCheckInterval returns CheckInterval with the unset (zero or

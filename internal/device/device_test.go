@@ -82,14 +82,19 @@ func TestMeasureHostCosts(t *testing.T) {
 			t.Errorf("method %v has non-positive cost", m)
 		}
 	}
-	// The relationships the paper's Table 4 rests on.
-	if !(c.IterNs[iterseq.GrayCode] < c.IterNs[iterseq.Gosper]) {
-		t.Errorf("Gray (%f) not cheaper than Gosper (%f)",
-			c.IterNs[iterseq.GrayCode], c.IterNs[iterseq.Gosper])
-	}
-	if !(c.IterNs[iterseq.Gosper] < c.IterNs[iterseq.Alg515]*1.10) {
-		t.Errorf("Gosper (%f) not cheaper than Alg515 (%f)",
-			c.IterNs[iterseq.Gosper], c.IterNs[iterseq.Alg515])
+	// The relationships the paper's Table 4 rests on. Race builds cannot
+	// check these: the detector's per-access instrumentation taxes the
+	// Gray iterator's int-array walk more than Gosper's limb arithmetic
+	// and inverts the unloaded-host ordering (see RaceEnabled).
+	if !RaceEnabled {
+		if !(c.IterNs[iterseq.GrayCode] < c.IterNs[iterseq.Gosper]) {
+			t.Errorf("Gray (%f) not cheaper than Gosper (%f)",
+				c.IterNs[iterseq.GrayCode], c.IterNs[iterseq.Gosper])
+		}
+		if !(c.IterNs[iterseq.Gosper] < c.IterNs[iterseq.Alg515]*1.10) {
+			t.Errorf("Gosper (%f) not cheaper than Alg515 (%f)",
+				c.IterNs[iterseq.Gosper], c.IterNs[iterseq.Alg515])
+		}
 	}
 	// Caching: second call must return identical values.
 	if c2 := MeasureHostCosts(); c2.SHA1Ns != c.SHA1Ns {

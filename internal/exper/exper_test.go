@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"rbcsalted/internal/device"
 )
 
 func renderOK(t *testing.T, tbl *Table) string {
@@ -60,8 +62,15 @@ func TestTable4Ordering(t *testing.T) {
 	gosper := parseSecs(t, cell(t, tbl, 2, 1))
 	// Gosper's position is a prediction from host-measured iterator costs;
 	// allow 10% measurement headroom above Algorithm 515 on loaded hosts.
-	if !(gray < gosper && gosper < alg515*1.10) {
+	// Race builds degrade gray < gosper to <=: the detector's
+	// instrumentation can invert the measured host gap between the two
+	// iterators, and the model clamps a negative gap to zero (equal
+	// rows) — see device.RaceEnabled.
+	if !(gray <= gosper && gosper < alg515*1.10) {
 		t.Errorf("ordering broken: gray=%.2f gosper=%.2f alg515=%.2f", gray, gosper, alg515)
+	}
+	if !device.RaceEnabled && !(gray < gosper) {
+		t.Errorf("gray (%.2f) not strictly faster than gosper (%.2f)", gray, gosper)
 	}
 	// Anchored rows must match the paper closely.
 	if gray < 4.4 || gray > 4.95 {

@@ -15,14 +15,24 @@ import (
 
 // HostBenchSchema identifies the BENCH_host.json format. Bump on any
 // field change so trajectory tooling can tell points apart.
-const HostBenchSchema = "rbc-salted/host-bench/v1"
+//
+// v2: one point per (algorithm, iteration method, batch kernel) instead
+// of a single anonymous "batched" engine per cell, so the 64-wide and
+// 256-wide bit-sliced paths (and the multi-buffer SHA-1 path) each leave
+// their own trajectory and the bench-smoke gate can catch one of them
+// regressing behind another.
+const HostBenchSchema = "rbc-salted/host-bench/v2"
 
-// HostBenchPoint is one (algorithm, iteration method) cell of the host
-// throughput measurement: the scalar one-seed-at-a-time engine against
-// the 64-wide batched engine, in seeds per second.
+// HostBenchPoint is one (algorithm, iteration method, kernel) cell of
+// the host throughput measurement: the scalar one-seed-at-a-time engine
+// against that batch kernel, in seeds per second. Speedup - the ratio -
+// is the number that transfers across machines and the one the baseline
+// gate compares; the absolute throughputs are context.
 type HostBenchPoint struct {
 	Alg                string  `json:"alg"`
 	Method             string  `json:"method"`
+	Kernel             string  `json:"kernel"`
+	Width              int     `json:"width"`
 	ScalarSeedsPerSec  float64 `json:"scalar_seeds_per_sec"`
 	BatchedSeedsPerSec float64 `json:"batched_seeds_per_sec"`
 	Speedup            float64 `json:"speedup"`
@@ -48,11 +58,12 @@ type HostBench struct {
 // timing windows stabilize and large enough to amortize setup.
 const hostBenchDistance = 2
 
-// MeasureHostThroughput measures the real host search engine - scalar
-// vs batched - over one exhaustive d=2 shell for every algorithm and
-// iteration method. A single worker is used so the numbers track the
-// hot loop itself rather than the host's core count; Workers records
-// it, NumCPU records the machine.
+// MeasureHostThroughput measures the real host search engine - the
+// scalar quick-reject loop against every implemented batch kernel -
+// over one exhaustive d=2 shell for every algorithm and iteration
+// method. A single worker is used so the numbers track the hot loop
+// itself rather than the host's core count; Workers records it, NumCPU
+// records the machine.
 func MeasureHostThroughput() HostBench {
 	hb := HostBench{
 		Schema:      HostBenchSchema,
@@ -72,27 +83,60 @@ func MeasureHostThroughput() HostBench {
 		// outside the measured shell, so every candidate is hashed and
 		// rejected - the worst-case (and steady-state) search load.
 		target := core.HashSeed(alg, base)
-		batched := core.HashMatcherFactory(alg, target)
-		scalar := core.ScalarMatcher(batched)
+		scalar := core.ScalarMatcher(core.HashMatcherFactory(alg, target))
+		kernels := core.BatchKernels(alg)
+		factories := make([]core.MatcherFactory, len(kernels))
+		for i, k := range kernels {
+			factories[i] = pinnedKernelFactory(alg, target, k)
+		}
 		for _, method := range iterseq.Methods() {
-			p := HostBenchPoint{Alg: alg.String(), Method: method.String()}
-			p.ScalarSeedsPerSec, p.BatchedSeedsPerSec =
-				measurePair(base, method, scalar, batched, hb.SeedsPerShell)
-			p.Speedup = p.BatchedSeedsPerSec / p.ScalarSeedsPerSec
-			hb.Points = append(hb.Points, p)
+			sc, bt := measureRow(base, method, scalar, factories, hb.SeedsPerShell)
+			for i, k := range kernels {
+				w := bitsliceWidth
+				if k == core.KernelSliced256 {
+					w = bitsliceWidth256
+				}
+				hb.Points = append(hb.Points, HostBenchPoint{
+					Alg:                alg.String(),
+					Method:             method.String(),
+					Kernel:             k.String(),
+					Width:              w,
+					ScalarSeedsPerSec:  sc,
+					BatchedSeedsPerSec: bt[i],
+					Speedup:            bt[i] / sc,
+				})
+			}
 		}
 	}
 	return hb
 }
 
-// measurePair returns exhaustive-search throughput in seeds/sec for
-// the scalar and batched engines over the d=2 shell. The two engines'
-// timing windows are interleaved - scalar, batched, scalar, batched -
-// so transient host load drifts into both measurements rather than
-// skewing the ratio, and each engine keeps its best of five windows
-// of at least 80ms (maximum-over-windows rejects transient load, the
-// same policy as timeOp).
-func measurePair(base u256.Uint256, method iterseq.Method, scalar, batched core.MatcherFactory, shellSeeds uint64) (sc, bt float64) {
+// The batch strides the kernels run at; mirrored here rather than
+// imported so the exper package stays decoupled from bitslice.
+const (
+	bitsliceWidth    = 64
+	bitsliceWidth256 = 256
+)
+
+// pinnedKernelFactory builds matchers locked to one batch kernel,
+// bypassing the calibration table: the bench must measure every kernel,
+// including ones calibration would never select.
+func pinnedKernelFactory(alg core.HashAlg, target core.Digest, kernel core.BatchKernel) core.MatcherFactory {
+	return func() core.Matcher {
+		m := core.NewHashMatcher(alg, target)
+		m.Kernel = kernel
+		return m
+	}
+}
+
+// measureRow returns exhaustive-search throughput in seeds/sec for the
+// scalar engine and each batch kernel over the d=2 shell. All engines'
+// timing windows are interleaved - scalar, kernel A, kernel B, scalar,
+// ... - so transient host load drifts into every measurement rather
+// than skewing the ratios, and each engine keeps its best of six
+// windows of at least 80ms (maximum-over-windows rejects transient
+// load, the same policy as timeOp).
+func measureRow(base u256.Uint256, method iterseq.Method, scalar core.MatcherFactory, kernels []core.MatcherFactory, shellSeeds uint64) (sc float64, bt []float64) {
 	shell := func(factory core.MatcherFactory) func() {
 		return func() {
 			_, _, covered, _, err := core.SearchShellHost(
@@ -126,29 +170,66 @@ func measurePair(base u256.Uint256, method iterseq.Method, scalar, batched core.
 		}
 		return float64(shellSeeds) * float64(reps) / time.Since(start).Seconds()
 	}
-	runScalar, runBatched := shell(scalar), shell(batched)
-	repsScalar, repsBatched := calibrate(runScalar), calibrate(runBatched)
+
+	runs := []func(){shell(scalar)}
+	for _, f := range kernels {
+		runs = append(runs, shell(f))
+	}
+	reps := make([]int, len(runs))
+	for i, r := range runs {
+		reps[i] = calibrate(r)
+	}
+	best := make([]float64, len(runs))
 	for w := 0; w < 6; w++ {
-		// Alternate which engine leads each round so neither
-		// systematically inherits the other's warm caches (or pays for
-		// a scheduler preemption) more often.
-		if w%2 == 0 {
-			if v := window(runScalar, repsScalar); v > sc {
-				sc = v
-			}
-			if v := window(runBatched, repsBatched); v > bt {
-				bt = v
-			}
-		} else {
-			if v := window(runBatched, repsBatched); v > bt {
-				bt = v
-			}
-			if v := window(runScalar, repsScalar); v > sc {
-				sc = v
+		// Rotate which engine leads each round so none systematically
+		// inherits another's warm caches (or pays for a scheduler
+		// preemption) more often.
+		for off := 0; off < len(runs); off++ {
+			i := (off + w) % len(runs)
+			if v := window(runs[i], reps[i]); v > best[i] {
+				best[i] = v
 			}
 		}
 	}
-	return sc, bt
+	return best[0], best[1:]
+}
+
+// HostBenchViolations compares a fresh measurement against a committed
+// baseline and returns one message per regression. The comparison is on
+// speedup ratios, not absolute seeds/sec - ratios are what transfer
+// across machines, so the gate works on any host that can run the
+// bench. A point regresses when its ratio falls more than tol (e.g.
+// 0.15 for 15%) below the baseline's, and independently whenever a
+// kernel that beat scalar in the baseline drops to or below scalar
+// parity. A nil return means the measurement holds the baseline.
+func HostBenchViolations(fresh, baseline HostBench, tol float64) []string {
+	var v []string
+	if fresh.Schema != baseline.Schema {
+		v = append(v, fmt.Sprintf("schema mismatch: fresh %q vs baseline %q (regenerate the baseline)", fresh.Schema, baseline.Schema))
+		return v
+	}
+	type key struct{ alg, method, kernel string }
+	got := make(map[key]HostBenchPoint, len(fresh.Points))
+	for _, p := range fresh.Points {
+		got[key{p.Alg, p.Method, p.Kernel}] = p
+	}
+	for _, b := range baseline.Points {
+		k := key{b.Alg, b.Method, b.Kernel}
+		f, ok := got[k]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s/%s/%s: missing from fresh measurement", b.Alg, b.Method, b.Kernel))
+			continue
+		}
+		if f.Speedup < b.Speedup*(1-tol) {
+			v = append(v, fmt.Sprintf("%s/%s/%s: speedup %.2fx fell below baseline %.2fx by more than %.0f%%",
+				b.Alg, b.Method, b.Kernel, f.Speedup, b.Speedup, tol*100))
+		}
+		if b.Speedup > 1.0 && f.Speedup <= 1.0 {
+			v = append(v, fmt.Sprintf("%s/%s/%s: speedup %.2fx dropped to or below scalar parity (baseline %.2fx)",
+				b.Alg, b.Method, b.Kernel, f.Speedup, b.Speedup))
+		}
+	}
+	return v
 }
 
 // Table renders the measurement in the experiment-table format.
@@ -157,19 +238,20 @@ func (hb HostBench) Table() *Table {
 		ID:    "hostthroughput",
 		Title: fmt.Sprintf("Host search throughput, exhaustive d=%d shell (%d seeds), 1 worker", hb.Distance, hb.SeedsPerShell),
 		Headers: []string{
-			"Hash", "Iterator", "Scalar seeds/s", "Batched seeds/s", "Speedup",
+			"Hash", "Iterator", "Kernel", "Width", "Scalar seeds/s", "Batched seeds/s", "Speedup",
 		},
 	}
 	for _, p := range hb.Points {
 		t.Rows = append(t.Rows, []string{
-			p.Alg, p.Method,
+			p.Alg, p.Method, p.Kernel,
+			fmt.Sprintf("%d", p.Width),
 			fmt.Sprintf("%.0f", p.ScalarSeedsPerSec),
 			fmt.Sprintf("%.0f", p.BatchedSeedsPerSec),
 			fmt.Sprintf("%.2fx", p.Speedup),
 		})
 	}
 	t.Notes = append(t.Notes,
-		"batched = 64-wide bit-sliced compression where it measures faster (SHA-3); SHA-1 keeps the scalar quick-reject path, so its ratio is ~1",
+		"each batch kernel is pinned and measured against the scalar quick-reject loop; the calibration table selects from these ratios at run time",
 		fmt.Sprintf("%s %s/%s, %d cores", hb.GoVersion, hb.GoOS, hb.GoArch, hb.NumCPU),
 	)
 	return t
@@ -182,6 +264,16 @@ func (hb HostBench) JSON() ([]byte, error) {
 		return nil, err
 	}
 	return append(out, '\n'), nil
+}
+
+// ParseHostBench decodes a BENCH_host.json document (strictly: unknown
+// fields are schema drift, not noise).
+func ParseHostBench(data []byte) (HostBench, error) {
+	var hb HostBench
+	if err := json.Unmarshal(data, &hb); err != nil {
+		return HostBench{}, fmt.Errorf("exper: parsing host bench: %w", err)
+	}
+	return hb, nil
 }
 
 // HostThroughput runs the host throughput experiment for the standard

@@ -82,9 +82,20 @@ type Model struct {
 // NewModel builds the calibrated A100 model. Host costs are measured on
 // first use and cached process-wide.
 func NewModel() *Model {
+	return NewModelWithCosts(device.MeasureHostCosts())
+}
+
+// NewModelWithCosts builds the A100 model from an explicit host cost
+// table instead of the live measurement. The model consumes only ratios
+// of these costs, so a caller that wants reproducible pricing (tests,
+// offline what-if analysis) can pin a representative table: the live
+// measurement legitimately shifts with the execution environment — a
+// loaded host, or the race detector's instrumentation, can compress or
+// even invert the gap between two iterators' host costs.
+func NewModelWithCosts(costs device.HostCosts) *Model {
 	m := &Model{
 		spec:  device.A100,
-		costs: device.MeasureHostCosts(),
+		costs: costs,
 	}
 	m.kernelLaunchSeconds = 5e-6
 	// Figure 4 calibration: exhaustive SHA-3 speedup 2.87x on 3 GPUs

@@ -1,6 +1,8 @@
 package iterseq
 
 import (
+	"math/bits"
+
 	"rbcsalted/internal/combin"
 	"rbcsalted/internal/u256"
 )
@@ -67,11 +69,50 @@ func (it *gosperIter) NextMask(mask *u256.Uint256) bool {
 //	u = x & -x
 //	v = x + u
 //	next = v | (((v ^ x) / u) >> 2)
+//
+// It works on raw limbs rather than u256 value operations: u is a
+// single bit (the lowest set bit), so the negate-and-mask collapses to a
+// trailing-zeros scan, the division by u plus the >>2 collapse to one
+// funnel shift by tz+2, and everything is branchless - this step runs
+// once per candidate in the batched host fill loop.
 func gosperNext(x u256.Uint256) u256.Uint256 {
-	u := x.And(x.Neg())
-	v := x.Add(u)
-	w := v.Xor(x).Shr(uint(u.TrailingZeros())).Shr(2)
-	return v.Or(w)
+	x0, x1, x2, x3 := x.Limb(0), x.Limb(1), x.Limb(2), x.Limb(3)
+
+	// tz = index of the lowest set bit; u = 1 << tz.
+	var tz uint
+	switch {
+	case x0 != 0:
+		tz = uint(bits.TrailingZeros64(x0))
+	case x1 != 0:
+		tz = 64 + uint(bits.TrailingZeros64(x1))
+	case x2 != 0:
+		tz = 128 + uint(bits.TrailingZeros64(x2))
+	default:
+		tz = 192 + uint(bits.TrailingZeros64(x3))
+	}
+
+	// v = x + u, one add with carry per limb.
+	var u [4]uint64
+	u[tz>>6] = 1 << (tz & 63)
+	v0, c := bits.Add64(x0, u[0], 0)
+	v1, c := bits.Add64(x1, u[1], c)
+	v2, c := bits.Add64(x2, u[2], c)
+	v3, _ := bits.Add64(x3, u[3], c)
+
+	// w = (v ^ x) >> (tz + 2), as a branchless funnel shift: Go defines
+	// shifts of 64 or more as zero, so the cross-limb term vanishes on
+	// its own when the bit shift is zero, and reading past the top limbs
+	// of the padded array yields the zeros a 256-bit shift-out needs.
+	var t [9]uint64
+	t[0], t[1], t[2], t[3] = v0^x0, v1^x1, v2^x2, v3^x3
+	s := tz + 2
+	ls, bs := s>>6, s&63
+	w0 := t[ls]>>bs | t[ls+1]<<(64-bs)
+	w1 := t[ls+1]>>bs | t[ls+2]<<(64-bs)
+	w2 := t[ls+2]>>bs | t[ls+3]<<(64-bs)
+	w3 := t[ls+3]>>bs | t[ls+4]<<(64-bs)
+
+	return u256.New(v0|w0, v1|w1, v2|w2, v3|w3)
 }
 
 // maskToCombination extracts the set bit positions of mask in ascending

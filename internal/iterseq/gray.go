@@ -46,7 +46,10 @@ func newGray(n, k int, startRank uint64, count int64) (*grayIter, error) {
 // advance steps cur to its revolving-door successor, keeping the flip
 // mask in sync by XORing only the slots the successor changed. A
 // revolving-door step swaps one element for another, so this is
-// typically two bit flips regardless of k.
+// typically two bit flips regardless of k. The flips accumulate in a
+// local delta applied with one Xor: this runs once per candidate in the
+// batched host fill loop, where chained by-value FlipBit calls (a
+// 32-byte copy in and out each) showed up in profiles.
 func (it *grayIter) advance() {
 	copy(it.prev, it.cur)
 	if !graySuccessor(it.n, it.cur) {
@@ -55,11 +58,14 @@ func (it *grayIter) advance() {
 		panic("iterseq: gray successor exhausted before range end")
 	}
 	if it.n <= 256 {
+		var delta [4]uint64
 		for i, p := range it.prev {
-			if p != it.cur[i] {
-				it.mask = it.mask.FlipBit(p).FlipBit(it.cur[i])
+			if q := it.cur[i]; p != q {
+				delta[uint(p)>>6] ^= 1 << (uint(p) & 63)
+				delta[uint(q)>>6] ^= 1 << (uint(q) & 63)
 			}
 		}
+		it.mask = it.mask.Xor(u256.New(delta[0], delta[1], delta[2], delta[3]))
 	}
 }
 

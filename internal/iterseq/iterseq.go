@@ -149,6 +149,27 @@ func ApplyMask(base, mask u256.Uint256) u256.Uint256 {
 	return base.Xor(mask)
 }
 
+// FillSeeds drains up to len(dst) candidates from the iterator's mask
+// fast path into dst, returning how many were produced; fewer than
+// len(dst) means the sequence is exhausted. This is the batched host
+// engine's fill loop: one NextMask delta plus one 256-bit XOR per
+// candidate, at whatever stride the batch engine asks for (the wide
+// bit-sliced kernel consumes 256-candidate strides).
+//
+// scratch is caller-owned mask storage. It is a parameter, not a local,
+// so the per-candidate NextMask call - an interface call the compiler
+// cannot see through - never forces a fresh heap allocation per fill:
+// the hot loop hoists the scratch next to its candidate buffer and the
+// steady state allocates nothing.
+func FillSeeds(mi MaskIter, base u256.Uint256, scratch *u256.Uint256, dst []u256.Uint256) int {
+	n := 0
+	for n < len(dst) && mi.NextMask(scratch) {
+		dst[n] = ApplyMask(base, *scratch)
+		n++
+	}
+	return n
+}
+
 // maskOf builds the flip mask for a combination. It requires every
 // position to be in [0, 256).
 func maskOf(c []int) u256.Uint256 {

@@ -75,17 +75,31 @@ func (it *mifsudIter) advance(trackMask bool) {
 		limit := it.n - (k - i) // highest value position i may take
 		if it.cur[i] < limit {
 			if trackMask {
-				it.mask = it.mask.FlipBit(it.cur[i])
-			}
-			it.cur[i]++
-			if trackMask {
-				it.mask = it.mask.FlipBit(it.cur[i])
-			}
-			for j := i + 1; j < k; j++ {
-				if trackMask && it.cur[j] != it.cur[j-1]+1 {
-					it.mask = it.mask.FlipBit(it.cur[j]).FlipBit(it.cur[j-1] + 1)
+				// Accumulate every flip in a local delta and apply it
+				// with one Xor: this runs once per candidate in the
+				// batched host fill loop, where chained by-value FlipBit
+				// calls (a 32-byte copy in and out each) showed up in
+				// profiles.
+				var delta [4]uint64
+				p := it.cur[i]
+				delta[uint(p)>>6] ^= 1 << (uint(p) & 63)
+				it.cur[i]++
+				p = it.cur[i]
+				delta[uint(p)>>6] ^= 1 << (uint(p) & 63)
+				for j := i + 1; j < k; j++ {
+					if q := it.cur[j]; q != it.cur[j-1]+1 {
+						p = it.cur[j-1] + 1
+						delta[uint(q)>>6] ^= 1 << (uint(q) & 63)
+						delta[uint(p)>>6] ^= 1 << (uint(p) & 63)
+					}
+					it.cur[j] = it.cur[j-1] + 1
 				}
-				it.cur[j] = it.cur[j-1] + 1
+				it.mask = it.mask.Xor(u256.New(delta[0], delta[1], delta[2], delta[3]))
+			} else {
+				it.cur[i]++
+				for j := i + 1; j < k; j++ {
+					it.cur[j] = it.cur[j-1] + 1
+				}
 			}
 			return
 		}

@@ -1,0 +1,130 @@
+// Multi-buffer SHA-1: several independent single-block compressions
+// interleaved in one pass, the OpenSSL-multibuffer idiom in scalar form.
+//
+// SHA-1's round function is a serial dependency chain - each round's
+// ROTL5(a) + f + e + w + k feeds the next - so one compression can never
+// fill a superscalar core's ALU ports. Bit-slicing does not help either:
+// the modular adds decompose into ripple-carry gate chains that lose to
+// the hardware adder (measured in BENCH_host.json, PR 5). Interleaving
+// MultiWidth independent messages keeps the hardware adder AND gives the
+// core MultiWidth dependency chains to overlap: round i of lane 0 has no
+// data dependence on round i of lane 1, so their instructions retire in
+// parallel from the out-of-order window.
+//
+// The working variables are explicit scalars with tuple-assignment role
+// rotation (mov elimination makes the renames near-free), exactly like
+// the scalar block function - NOT ring-indexed arrays, which would pin
+// every a..e access to the stack and trade the latency win for L1
+// round-trips.
+package sha1
+
+import "math/bits"
+
+// MultiWidth is the batch width of the multi-buffer path. The kernel
+// interleaves two lanes per pass - two sets of five working variables
+// plus temporaries is what amd64's ~14 allocatable integer registers
+// hold without spilling; four-lane interleave measures slower because
+// the 20 working variables spill to the stack every round - and a batch
+// runs two back-to-back passes, which the out-of-order window also
+// overlaps across the boundary.
+const MultiWidth = 4
+
+// SeedWords4 hashes MultiWidth 32-byte seeds - fixed single-block
+// padding, as SumSeed - in two interleaved 2-lane passes, writing each
+// lane's digest words h0..h4 (big-endian word convention) into out. The
+// batched host matcher compares these words directly against the target
+// digest, skipping byte serialization.
+func SeedWords4(seeds *[MultiWidth][SeedSize]byte, out *[MultiWidth][5]uint32) {
+	seedWords2(&seeds[0], &seeds[1], &out[0], &out[1])
+	seedWords2(&seeds[2], &seeds[3], &out[2], &out[3])
+}
+
+// seedWords2 is the 2-lane interleaved compression: one round of lane 0
+// and one round of lane 1 per iteration, all ten working variables in
+// registers. Lane 1's round has no data dependence on lane 0's, so the
+// two serial ROTL5(a)+f+e+w+k chains overlap in the execution window.
+func seedWords2(s0, s1 *[SeedSize]byte, o0, o1 *[5]uint32) {
+	var w0, w1 [16]uint32
+	for t := 0; t < 8; t++ {
+		b := s0[t*4:]
+		w0[t] = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		b = s1[t*4:]
+		w1[t] = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	w0[8], w1[8] = 0x80000000, 0x80000000
+	w0[15], w1[15] = 256, 256 // message length in bits
+
+	a0, b0, c0, d0, e0 := uint32(init0), uint32(init1), uint32(init2), uint32(init3), uint32(init4)
+	a1, b1, c1, d1, e1 := a0, b0, c0, d0, e0
+
+	i := 0
+	for ; i < 16; i++ {
+		t0 := bits.RotateLeft32(a0, 5) + (d0 ^ (b0 & (c0 ^ d0))) + e0 + w0[i] + k0
+		e0, d0, c0, b0, a0 = d0, c0, bits.RotateLeft32(b0, 30), a0, t0
+		t1 := bits.RotateLeft32(a1, 5) + (d1 ^ (b1 & (c1 ^ d1))) + e1 + w1[i] + k0
+		e1, d1, c1, b1, a1 = d1, c1, bits.RotateLeft32(b1, 30), a1, t1
+	}
+	for ; i < 20; i++ {
+		j := i & 15
+		j3, j8, j14 := (i-3)&15, (i-8)&15, (i-14)&15
+		w0[j] = bits.RotateLeft32(w0[j3]^w0[j8]^w0[j14]^w0[j], 1)
+		w1[j] = bits.RotateLeft32(w1[j3]^w1[j8]^w1[j14]^w1[j], 1)
+		t0 := bits.RotateLeft32(a0, 5) + (d0 ^ (b0 & (c0 ^ d0))) + e0 + w0[j] + k0
+		e0, d0, c0, b0, a0 = d0, c0, bits.RotateLeft32(b0, 30), a0, t0
+		t1 := bits.RotateLeft32(a1, 5) + (d1 ^ (b1 & (c1 ^ d1))) + e1 + w1[j] + k0
+		e1, d1, c1, b1, a1 = d1, c1, bits.RotateLeft32(b1, 30), a1, t1
+	}
+	for ; i < 40; i++ {
+		j := i & 15
+		j3, j8, j14 := (i-3)&15, (i-8)&15, (i-14)&15
+		w0[j] = bits.RotateLeft32(w0[j3]^w0[j8]^w0[j14]^w0[j], 1)
+		w1[j] = bits.RotateLeft32(w1[j3]^w1[j8]^w1[j14]^w1[j], 1)
+		t0 := bits.RotateLeft32(a0, 5) + (b0 ^ c0 ^ d0) + e0 + w0[j] + k1
+		e0, d0, c0, b0, a0 = d0, c0, bits.RotateLeft32(b0, 30), a0, t0
+		t1 := bits.RotateLeft32(a1, 5) + (b1 ^ c1 ^ d1) + e1 + w1[j] + k1
+		e1, d1, c1, b1, a1 = d1, c1, bits.RotateLeft32(b1, 30), a1, t1
+	}
+	for ; i < 60; i++ {
+		j := i & 15
+		j3, j8, j14 := (i-3)&15, (i-8)&15, (i-14)&15
+		w0[j] = bits.RotateLeft32(w0[j3]^w0[j8]^w0[j14]^w0[j], 1)
+		w1[j] = bits.RotateLeft32(w1[j3]^w1[j8]^w1[j14]^w1[j], 1)
+		t0 := bits.RotateLeft32(a0, 5) + (b0 ^ ((b0 ^ c0) & (b0 ^ d0))) + e0 + w0[j] + k2
+		e0, d0, c0, b0, a0 = d0, c0, bits.RotateLeft32(b0, 30), a0, t0
+		t1 := bits.RotateLeft32(a1, 5) + (b1 ^ ((b1 ^ c1) & (b1 ^ d1))) + e1 + w1[j] + k2
+		e1, d1, c1, b1, a1 = d1, c1, bits.RotateLeft32(b1, 30), a1, t1
+	}
+	for ; i < 80; i++ {
+		j := i & 15
+		j3, j8, j14 := (i-3)&15, (i-8)&15, (i-14)&15
+		w0[j] = bits.RotateLeft32(w0[j3]^w0[j8]^w0[j14]^w0[j], 1)
+		w1[j] = bits.RotateLeft32(w1[j3]^w1[j8]^w1[j14]^w1[j], 1)
+		t0 := bits.RotateLeft32(a0, 5) + (b0 ^ c0 ^ d0) + e0 + w0[j] + k3
+		e0, d0, c0, b0, a0 = d0, c0, bits.RotateLeft32(b0, 30), a0, t0
+		t1 := bits.RotateLeft32(a1, 5) + (b1 ^ c1 ^ d1) + e1 + w1[j] + k3
+		e1, d1, c1, b1, a1 = d1, c1, bits.RotateLeft32(b1, 30), a1, t1
+	}
+
+	o0[0], o0[1], o0[2], o0[3], o0[4] =
+		init0+a0, init1+b0, init2+c0, init3+d0, init4+e0
+	o1[0], o1[1], o1[2], o1[3], o1[4] =
+		init0+a1, init1+b1, init2+c1, init3+d1, init4+e1
+}
+
+// SumSeeds4 hashes MultiWidth 32-byte seeds in one interleaved pass,
+// returning byte-form digests. SeedWords4 is the matcher-facing variant
+// that skips the serialization.
+func SumSeeds4(seeds *[MultiWidth][SeedSize]byte) [MultiWidth][Size]byte {
+	var words [MultiWidth][5]uint32
+	SeedWords4(seeds, &words)
+	var out [MultiWidth][Size]byte
+	for l := 0; l < MultiWidth; l++ {
+		for r, v := range words[l] {
+			out[l][r*4] = byte(v >> 24)
+			out[l][r*4+1] = byte(v >> 16)
+			out[l][r*4+2] = byte(v >> 8)
+			out[l][r*4+3] = byte(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package sha1
+
+import (
+	cryptosha1 "crypto/sha1"
+	"math/rand"
+	"testing"
+)
+
+// TestSumSeeds4MatchesScalar pins the interleaved multi-buffer path to
+// both the package's own scalar fast path and the standard library
+// implementation.
+func TestSumSeeds4MatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 16; trial++ {
+		var seeds [MultiWidth][SeedSize]byte
+		for l := range seeds {
+			r.Read(seeds[l][:])
+		}
+		got := SumSeeds4(&seeds)
+		for l := range seeds {
+			if want := SumSeed(&seeds[l]); got[l] != want {
+				t.Fatalf("trial %d lane %d: multibuffer %x, SumSeed %x", trial, l, got[l], want)
+			}
+			if want := cryptosha1.Sum(seeds[l][:]); got[l] != want {
+				t.Fatalf("trial %d lane %d: multibuffer %x, crypto/sha1 %x", trial, l, got[l], want)
+			}
+		}
+	}
+}
+
+// TestSeedWords4MatchesBytes pins the matcher-facing word form to the
+// byte form: big-endian serialization of the words is the digest.
+func TestSeedWords4MatchesBytes(t *testing.T) {
+	var seeds [MultiWidth][SeedSize]byte
+	for l := range seeds {
+		for j := range seeds[l] {
+			seeds[l][j] = byte(l*41 + j)
+		}
+	}
+	var words [MultiWidth][5]uint32
+	SeedWords4(&seeds, &words)
+	sums := SumSeeds4(&seeds)
+	for l := range seeds {
+		for r := 0; r < 5; r++ {
+			want := uint32(sums[l][r*4])<<24 | uint32(sums[l][r*4+1])<<16 |
+				uint32(sums[l][r*4+2])<<8 | uint32(sums[l][r*4+3])
+			if words[l][r] != want {
+				t.Fatalf("lane %d word %d: %#x, want %#x", l, r, words[l][r], want)
+			}
+		}
+	}
+}
+
+// TestSumSeeds4Allocs: the multi-buffer kernel is hot-loop code and must
+// not allocate.
+func TestSumSeeds4Allocs(t *testing.T) {
+	var seeds [MultiWidth][SeedSize]byte
+	var words [MultiWidth][5]uint32
+	if n := testing.AllocsPerRun(50, func() {
+		SeedWords4(&seeds, &words)
+	}); n != 0 {
+		t.Errorf("SeedWords4 allocates %.1f/op", n)
+	}
+}
+
+// FuzzSHA1Multi4 differentially fuzzes the interleaved kernel against
+// crypto/sha1: four seeds derived from the fuzz input must hash
+// identically on every lane.
+func FuzzSHA1Multi4(f *testing.F) {
+	f.Add([]byte("multibuffer"), uint64(4))
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, salt uint64) {
+		var seeds [MultiWidth][SeedSize]byte
+		for l := range seeds {
+			for j := range seeds[l] {
+				v := salt + uint64(l)*131 + uint64(j)*17
+				if len(data) > 0 {
+					v += uint64(data[(l*SeedSize+j)%len(data)])
+				}
+				seeds[l][j] = byte(v)
+			}
+		}
+		got := SumSeeds4(&seeds)
+		for l := range seeds {
+			if want := cryptosha1.Sum(seeds[l][:]); got[l] != want {
+				t.Fatalf("lane %d: multibuffer %x, crypto/sha1 %x", l, got[l], want)
+			}
+		}
+	})
+}
+
+// BenchmarkSumSeeds4 measures the interleaved kernel against four scalar
+// fixed-padding hashes - the fundamental multi-buffer comparison.
+func BenchmarkSumSeeds4(b *testing.B) {
+	var seeds [MultiWidth][SeedSize]byte
+	for l := range seeds {
+		seeds[l][0] = byte(l)
+	}
+	var words [MultiWidth][5]uint32
+	b.Run("multibuf4", func(b *testing.B) {
+		b.SetBytes(MultiWidth * SeedSize)
+		for i := 0; i < b.N; i++ {
+			seeds[0][1] = byte(i)
+			SeedWords4(&seeds, &words)
+		}
+	})
+	b.Run("scalar-x4", func(b *testing.B) {
+		b.SetBytes(MultiWidth * SeedSize)
+		for i := 0; i < b.N; i++ {
+			seeds[0][1] = byte(i)
+			for l := range seeds {
+				sinkSum = SumSeed(&seeds[l])
+			}
+		}
+	})
+}
+
+var sinkSum [Size]byte

@@ -270,34 +270,60 @@ func NewScheduler(backend Backend, cfg SchedulerConfig) *Scheduler {
 
 // Host search matchers: the predicate layer of the real execution
 // engine. The default HashMatcher batches candidates MatchWidth at a
-// time through the bit-sliced compression where that measures faster
-// than the scalar fast path (see core.HashMatcher).
+// time through the batch kernel the calibration table measured fastest
+// for the algorithm (see BatchKernel and core.HashMatcher).
 type (
 	// Matcher decides whether candidate seeds match the search target;
 	// one instance is built per worker goroutine.
 	Matcher = core.Matcher
 	// BatchMatcher is a Matcher that evaluates up to MatchWidth
-	// candidates in one call, returning a bitmask of matches.
+	// candidates in one call, returning a MatchMask of matches.
 	BatchMatcher = core.BatchMatcher
 	// MatcherFactory builds one Matcher per search worker.
 	MatcherFactory = core.MatcherFactory
 	// HashMatcher is the digest-equality matcher used by every hashing
-	// backend: scalar quick-reject plus the 64-wide bit-sliced batch
-	// compression.
+	// backend: scalar quick-reject plus the calibrated batch kernel
+	// (wide bit-sliced compression for SHA-3, multi-buffer interleaved
+	// compression for SHA-1).
 	HashMatcher = core.HashMatcher
+	// MatchMask is the per-batch match bitmask: bit i%64 of word i/64
+	// is set iff candidate i matched.
+	MatchMask = core.MatchMask
+	// BatchKernel identifies a batch-match engine implementation.
+	BatchKernel = core.BatchKernel
+	// Calibration is the measured kernel-selection table consulted by
+	// NewHashMatcher; see DefaultKernel and SetCalibration.
+	Calibration = core.Calibration
+	// CalibrationPoint is one measured (algorithm, kernel) speedup ratio.
+	CalibrationPoint = core.CalibrationPoint
 )
 
 // Host search engine constants.
 const (
 	// MatchWidth is the number of candidates a BatchMatcher evaluates
-	// per call (one bit-sliced compression).
+	// per call - one 256-lane wide bit-sliced compression.
 	MatchWidth = core.MatchWidth
 	// DefaultCheckInterval is the early-exit poll interval applied when
 	// Task.CheckInterval is left at zero.
 	DefaultCheckInterval = core.DefaultCheckInterval
 )
 
-// Matcher constructors.
+// Batch kernels a HashMatcher can select (see BatchKernel).
+const (
+	// KernelScalar is the one-seed-at-a-time quick-reject loop, the
+	// baseline and fallback.
+	KernelScalar = core.KernelScalar
+	// KernelSliced64 is the 64-wide bit-sliced compression.
+	KernelSliced64 = core.KernelSliced64
+	// KernelSliced256 is the 256-lane wide bit-sliced compression
+	// (SHA-3).
+	KernelSliced256 = core.KernelSliced256
+	// KernelMulti4 is the 4-way interleaved multi-buffer scalar
+	// compression (SHA-1).
+	KernelMulti4 = core.KernelMulti4
+)
+
+// Matcher constructors and kernel calibration.
 var (
 	// NewHashMatcher builds the digest-equality matcher for one
 	// (algorithm, target) pair.
@@ -308,6 +334,18 @@ var (
 	// ScalarMatcher strips a factory's batch capability, forcing the
 	// one-seed-at-a-time path (correctness oracle, benchmarks).
 	ScalarMatcher = core.ScalarMatcher
+	// BatchKernels lists the batch kernels implemented for an algorithm.
+	BatchKernels = core.BatchKernels
+	// DefaultKernel returns the calibrated batch kernel for an
+	// algorithm - KernelScalar when no batch kernel measures faster.
+	DefaultKernel = core.DefaultKernel
+	// NewCalibration builds a kernel-selection table from measured
+	// speedup points.
+	NewCalibration = core.NewCalibration
+	// SetCalibration installs a kernel-selection table (fresh bench
+	// measurements, or pinning kernels in tests) and returns the
+	// previous one.
+	SetCalibration = core.SetCalibration
 )
 
 // IterMethod selects a seed-iteration algorithm (paper §3.2.1).
