@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz cluster-race sched-race bench bench-all bench-smoke bench-gate
+.PHONY: check build vet test race fuzz cluster-race sched-race plan-race bench bench-all bench-smoke bench-gate
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # with the race detector (the scheduler and backend-cancellation tests
@@ -34,6 +34,12 @@ cluster-race:
 sched-race:
 	$(GO) test -race ./internal/sched/... -count=2
 
+# plan-race races the planner's concurrent plan/dispatch/feedback
+# surfaces (EWMA corrections, the joules ledger, stats snapshots) the
+# same way.
+plan-race:
+	$(GO) test -race ./internal/plan/... -count=2
+
 # fuzz smokes the netproto frame/error-payload fuzzers, the WAL record
 # decoder, and the differential fuzzers for the wide batch kernels
 # (256-lane bit-sliced SHA-3 and 4-way multi-buffer SHA-1, each against
@@ -48,12 +54,14 @@ fuzz:
 
 # bench measures the host search hot path (scalar vs every batch
 # kernel, every alg x iteration method) and refreshes BENCH_host.json
-# plus the per-class serving-latency point BENCH_serve.json, the
-# committed perf-trajectory points.
+# plus the per-class serving-latency point BENCH_serve.json and the
+# planner-vs-fixed-backends point BENCH_planner.json, the committed
+# perf-trajectory points.
 bench:
 	$(GO) test ./internal/core -run='^$$' -bench=ShellHost -benchmem
 	$(GO) run ./cmd/rbc-bench -experiment hostthroughput -json BENCH_host.json
 	$(GO) run ./cmd/rbc-bench -experiment servelatency -json BENCH_serve.json
+	$(GO) run ./cmd/rbc-bench -experiment planner -trials 32 -json BENCH_planner.json
 
 # bench-gate re-measures host throughput and fails when any kernel's
 # speedup ratio regresses more than 15% below the committed

@@ -6,8 +6,10 @@ import (
 
 	"rbcsalted/internal/apusim"
 	"rbcsalted/internal/cluster"
+	"rbcsalted/internal/core"
 	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/gpusim"
+	"rbcsalted/internal/plan"
 )
 
 // BackendKind selects which search engine NewBackend constructs.
@@ -23,6 +25,11 @@ const (
 	// BackendCluster is a fault-tolerant distributed coordinator; pair it
 	// with ClusterWorker processes connecting over TCP.
 	BackendCluster
+	// BackendPlanner is the cost-based multiplexer over the CPU, GPU and
+	// APU engines: every search is dispatched to the engine the
+	// calibrated cost curves (corrected by live feedback) predict to be
+	// cheapest under the planner's policy, deadline and joules budget.
+	BackendPlanner
 )
 
 // String names the kind for logs and error messages.
@@ -36,13 +43,15 @@ func (k BackendKind) String() string {
 		return "apu"
 	case BackendCluster:
 		return "cluster"
+	case BackendPlanner:
+		return "planner"
 	default:
 		return fmt.Sprintf("BackendKind(%d)", int(k))
 	}
 }
 
-// ParseBackendKind parses "cpu", "gpu", "apu" or "cluster" — the values
-// the command-line tools accept for their -backend flags.
+// ParseBackendKind parses "cpu", "gpu", "apu", "cluster" or "planner" —
+// the values the command-line tools accept for their -backend flags.
 func ParseBackendKind(s string) (BackendKind, error) {
 	switch s {
 	case "cpu":
@@ -53,8 +62,10 @@ func ParseBackendKind(s string) (BackendKind, error) {
 		return BackendAPU, nil
 	case "cluster":
 		return BackendCluster, nil
+	case "planner":
+		return BackendPlanner, nil
 	default:
-		return 0, fmt.Errorf("rbc: unknown backend kind %q (want cpu, gpu, apu or cluster)", s)
+		return 0, fmt.Errorf("rbc: unknown backend kind %q (want cpu, gpu, apu, cluster or planner)", s)
 	}
 }
 
@@ -84,8 +95,15 @@ type BackendSpec struct {
 	// local backend whenever the fleet is empty (cluster kind).
 	Fallback Backend
 	// Metrics receives the cluster's fault-tolerance counters (cluster
-	// kind).
+	// kind) or the planner's dispatch counters (planner kind).
 	Metrics *MetricsRegistry
+	// JoulesBudget, when positive, caps the total energy the planner may
+	// spend across all searches (planner kind); engines whose predicted
+	// cost exceeds the remaining budget are deprioritized.
+	JoulesBudget float64
+	// PlanPolicy selects the planner's objective (planner kind); the
+	// zero value is PlanBalanced.
+	PlanPolicy PlanPolicy
 	// HeartbeatInterval and HeartbeatTimeout tune the cluster's failure
 	// detector (cluster kind); zero values take the cluster defaults.
 	HeartbeatInterval time.Duration
@@ -143,7 +161,17 @@ func WithHeartbeat(interval, timeout time.Duration) BackendOption {
 	}
 }
 
-// NewBackend is the single entry point for constructing any of the four
+// WithJoulesBudget caps the planner's total energy spend in joules.
+func WithJoulesBudget(j float64) BackendOption {
+	return func(s *BackendSpec) { s.JoulesBudget = j }
+}
+
+// WithPlanPolicy selects the planner's dispatch objective.
+func WithPlanPolicy(p PlanPolicy) BackendOption {
+	return func(s *BackendSpec) { s.PlanPolicy = p }
+}
+
+// NewBackend is the single entry point for constructing any of the five
 // search engines. It replaces the per-kind constructor zoo
 // (CPUBackend literals, NewGPUBackend, NewAPUBackend, hand-built
 // coordinators); those remain as thin deprecated wrappers.
@@ -164,12 +192,16 @@ func NewBackend(spec BackendSpec, opts ...BackendOption) (Backend, error) {
 	case BackendCPU:
 		return &cpu.Backend{Alg: spec.Alg, Workers: spec.Cores}, nil
 	case BackendGPU:
+		// Shared-memory iterator state is the paper's best GPU config
+		// (§4.4) and is always on here; the deprecated NewGPUBackend
+		// keeps the scalar-state mode reachable for ablations.
 		return gpusim.NewBackend(gpusim.Config{
-			Alg:           spec.Alg,
-			Devices:       spec.Devices,
-			CheckInterval: spec.CheckInterval,
-			ExecBudget:    spec.ExecBudget,
-			HostWorkers:   spec.Cores,
+			Alg:               spec.Alg,
+			Devices:           spec.Devices,
+			CheckInterval:     spec.CheckInterval,
+			ExecBudget:        spec.ExecBudget,
+			HostWorkers:       spec.Cores,
+			SharedMemoryState: true,
 		}), nil
 	case BackendAPU:
 		return apusim.NewBackend(apusim.Config{
@@ -178,6 +210,37 @@ func NewBackend(spec BackendSpec, opts ...BackendOption) (Backend, error) {
 			ExecBudget:  spec.ExecBudget,
 			HostWorkers: spec.Cores,
 		}), nil
+	case BackendPlanner:
+		// The sims execute shells up to ExecBudget seeds for real and
+		// cover the rest analytically; production traffic carries no
+		// Oracle, so default the budget high enough for real execution
+		// through d<=3 (u(3)-u(0) = 2,796,416 candidate seeds).
+		execBudget := spec.ExecBudget
+		if execBudget == 0 {
+			execBudget = 4 << 20
+		}
+		return plan.New(plan.Config{
+			Engines: []core.Backend{
+				&cpu.Backend{Alg: spec.Alg, Workers: spec.Cores},
+				gpusim.NewBackend(gpusim.Config{
+					Alg:               spec.Alg,
+					Devices:           spec.Devices,
+					CheckInterval:     spec.CheckInterval,
+					ExecBudget:        execBudget,
+					HostWorkers:       spec.Cores,
+					SharedMemoryState: true,
+				}),
+				apusim.NewBackend(apusim.Config{
+					Alg:         spec.Alg,
+					Devices:     spec.Devices,
+					ExecBudget:  execBudget,
+					HostWorkers: spec.Cores,
+				}),
+			},
+			Policy:       plan.Policy(spec.PlanPolicy),
+			JoulesBudget: spec.JoulesBudget,
+			Metrics:      spec.Metrics,
+		})
 	case BackendCluster:
 		return cluster.NewCoordinator(cluster.Config{
 			Alg:               spec.Alg,

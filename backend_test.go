@@ -32,7 +32,7 @@ func backendTask(t *testing.T, alg rbc.HashAlg) (rbc.Task, rbc.Seed) {
 
 func TestNewBackendConstructsAllKinds(t *testing.T) {
 	task, client := backendTask(t, rbc.SHA3)
-	kinds := []rbc.BackendKind{rbc.BackendCPU, rbc.BackendGPU, rbc.BackendAPU}
+	kinds := []rbc.BackendKind{rbc.BackendCPU, rbc.BackendGPU, rbc.BackendAPU, rbc.BackendPlanner}
 	for _, kind := range kinds {
 		b, err := rbc.NewBackend(rbc.BackendSpec{Kind: kind},
 			rbc.WithAlg(rbc.SHA3), rbc.WithCores(2))
@@ -135,6 +135,7 @@ func TestParseBackendKind(t *testing.T) {
 		{"gpu", rbc.BackendGPU},
 		{"apu", rbc.BackendAPU},
 		{"cluster", rbc.BackendCluster},
+		{"planner", rbc.BackendPlanner},
 	} {
 		got, err := rbc.ParseBackendKind(tc.in)
 		if err != nil || got != tc.want {

@@ -14,10 +14,12 @@
 //	                               # ratio regresses >15% vs the baseline
 //	rbc-bench -experiment servelatency -json BENCH_serve.json
 //	                               # per-class serving latency point
+//	rbc-bench -experiment planner -json BENCH_planner.json
+//	                               # planner vs fixed backends: latency,
+//	                               # joules, SLO, d-crossovers
 //
-// Experiments: table1, itermicro, figure3, flaginterval, table4, table5,
-// table6, figure4, table7, cpuscaling, sharedmem, awarevssalted,
-// multiapu, noisesecurity, hostthroughput, servelatency.
+// Run rbc-bench with an unknown -experiment to list the registered
+// experiment ids (the list is generated from the registry).
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"os"
 
 	"rbcsalted/internal/exper"
+	"rbcsalted/internal/plan"
 )
 
 func main() {
@@ -37,8 +40,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "with -baseline: allowed fractional speedup-ratio drop before a point counts as regressed")
 	flag.Parse()
 
-	if *jsonPath != "" && *experiment != "hostthroughput" && *experiment != "servelatency" {
-		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput or servelatency")
+	if *jsonPath != "" && *experiment != "hostthroughput" && *experiment != "servelatency" && *experiment != "planner" {
+		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput, servelatency or planner")
 		os.Exit(2)
 	}
 	if *baseline != "" && *experiment != "hostthroughput" {
@@ -77,6 +80,43 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *experiment == "planner" {
+		// Measure once, then render the table and (optionally) the JSON
+		// trajectory point from the same run.
+		pb, err := exper.MeasurePlanner(*trials, plan.PolicyBalanced)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonPath != "" {
+			out, err := pb.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonPath, out, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		tbl := pb.Table()
+		if *csv {
+			err = tbl.RenderCSV(os.Stdout)
+		} else {
+			err = tbl.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if violations := exper.PlannerBenchViolations(pb, exper.PlannerBenchTolerance); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "rbc-bench: planner dominated in %d cell(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  "+v)
+			}
 			os.Exit(1)
 		}
 		return

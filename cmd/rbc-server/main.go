@@ -8,6 +8,12 @@
 // searches, -sched-queue waiting) so a burst of clients degrades into
 // fast "overloaded" rejections instead of an unbounded goroutine pile-up.
 //
+// -backend picks the search engine: the real multicore CPU engine
+// (default), a calibrated GPU or APU simulator, or "planner" — a
+// cost-based dispatcher that routes every search to whichever engine
+// the calibrated curves predict to be cheapest under -plan-policy and
+// the optional -joules-budget (see DESIGN.md §14).
+//
 // With -debug-addr set, a second listener serves operational endpoints:
 // /metrics (counters, latency histograms and live scheduler stats as
 // JSON), /trace (the most recent search trace events), /healthz, and
@@ -33,8 +39,8 @@ import (
 	"syscall"
 	"time"
 
+	"rbcsalted"
 	"rbcsalted/internal/core"
-	"rbcsalted/internal/cpu"
 	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/durable"
 	"rbcsalted/internal/netproto"
@@ -53,6 +59,12 @@ type options struct {
 	workers      int
 	schedWorkers int
 	schedQueue   int
+	// backend selects the search engine (the -backend flag); the zero
+	// value is BackendCPU. The planner kind multiplexes CPU, GPU and APU
+	// engines by predicted cost and honors joulesBudget and planPolicy.
+	backend      rbc.BackendKind
+	joulesBudget float64
+	planPolicy   rbc.PlanPolicy
 	// inlineDepth is CAConfig.InlineDepth: shells d <= inlineDepth run
 	// inline on the accepting goroutine, bypassing the scheduler (0 =
 	// core.DefaultInlineDepth, negative = disabled).
@@ -136,7 +148,20 @@ func buildStack(opts options) (*stack, error) {
 	if ra == nil {
 		ra = core.NewRA()
 	}
-	engine := &cpu.Backend{Alg: core.SHA3, Workers: opts.workers}
+	if opts.backend == rbc.BackendCluster {
+		return nil, fmt.Errorf("rbc-server: cluster backends need a worker fleet; wire one up through the rbc API instead")
+	}
+	engine, err := rbc.NewBackend(rbc.BackendSpec{
+		Kind:         opts.backend,
+		Alg:          core.SHA3,
+		Cores:        opts.workers,
+		JoulesBudget: opts.joulesBudget,
+		PlanPolicy:   opts.planPolicy,
+		Metrics:      reg, // the planner kind publishes dispatch stats here
+	})
+	if err != nil {
+		return nil, err
+	}
 	pool := sched.New(engine, sched.Config{
 		Workers:    opts.schedWorkers,
 		QueueDepth: opts.schedQueue,
@@ -224,6 +249,9 @@ func main() {
 	maxD := flag.Int("maxd", 3, "maximum Hamming distance searched")
 	timeLimit := flag.Duration("timelimit", 20*time.Second, "authentication threshold T")
 	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS)")
+	backendFlag := flag.String("backend", "cpu", "search engine: cpu|gpu|apu|planner")
+	joulesBudget := flag.Float64("joules-budget", 0, "with -backend planner: total energy budget in joules (0 = unbudgeted)")
+	planPolicy := flag.String("plan-policy", "balanced", "with -backend planner: dispatch objective balanced|latency|energy")
 	schedWorkers := flag.Int("sched-workers", sched.DefaultWorkers, "concurrent searches admitted by the scheduler")
 	schedQueue := flag.Int("sched-queue", sched.DefaultQueueDepth, "scheduler admission-queue depth")
 	inlineDepth := flag.Int("inline-depth", core.DefaultInlineDepth, "largest shell served inline without queuing (-1 = always queue)")
@@ -237,6 +265,14 @@ func main() {
 	baseError := flag.Float64("baseerror", 0, "PUF per-cell noise for self-enrolled demo clients (0 = default profile)")
 	flag.Parse()
 
+	kind, err := rbc.ParseBackendKind(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := rbc.ParsePlanPolicy(*planPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := options{
 		clients:      strings.Split(*clients, ","),
 		enrollSeed:   *enrollSeed,
@@ -245,6 +281,9 @@ func main() {
 		workers:      *workers,
 		schedWorkers: *schedWorkers,
 		schedQueue:   *schedQueue,
+		backend:      kind,
+		joulesBudget: *joulesBudget,
+		planPolicy:   policy,
 		inlineDepth:  *inlineDepth,
 		hedge:        *hedge,
 		hedgeDelay:   *hedgeDelay,

@@ -39,11 +39,13 @@ func main() {
 }
 
 func meanSeconds(alg rbc.HashAlg, devices int, exhaustive bool, trials int) float64 {
-	backend := rbc.NewGPUBackend(rbc.GPUConfig{
-		Alg:               alg,
-		Devices:           devices,
-		SharedMemoryState: true,
-	})
+	// NewBackend's GPU kind runs shared-memory iterator state (the
+	// paper's best config) by default.
+	backend, err := rbc.NewBackend(rbc.BackendSpec{Kind: rbc.BackendGPU},
+		rbc.WithAlg(alg), rbc.WithDevices(devices))
+	if err != nil {
+		log.Fatal(err)
+	}
 	n := trials
 	if exhaustive {
 		n = 1 // deterministic

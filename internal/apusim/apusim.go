@@ -141,6 +141,42 @@ func (b *Backend) powerModel() (device.PowerModel, float64) {
 	return device.PowerAPUSHA3, device.PeakAPUSHA3
 }
 
+// PredictCost implements core.CostModel: the expected device time and
+// energy of the task under the calibrated cycle model, without touching
+// the oracle. PEs progress in lockstep over equal shares, so an
+// early-exit search prices the final shell at half each PE's share (the
+// uniform-match expectation); every other shell is priced in full.
+func (b *Backend) PredictCost(task core.Task) (core.Cost, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Cost{}, fmt.Errorf("apusim: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	var cycles, seconds float64
+	if task.IncludeBase() {
+		cycles += b.cyclesPerSeed
+	}
+	totalPEs := uint64(b.pes) * uint64(b.cfg.Devices)
+	for d := task.StartShell(); d <= task.MaxDistance; d++ {
+		size, ok := combin.Binomial64(256, d)
+		if !ok {
+			return core.Cost{}, fmt.Errorf("apusim: C(256,%d) overflows uint64", d)
+		}
+		perPE := (size + totalPEs - 1) / totalPEs
+		cycles += float64(core.ExpectedShellCoverage(task, d, perPE)) * b.cyclesPerSeed
+		if b.cfg.Devices > 1 {
+			seconds += perDeviceShellSyncSeconds * float64(b.cfg.Devices)
+		}
+	}
+	if !task.Exhaustive && b.cfg.Devices > 1 {
+		seconds += exitDrainSeconds
+	}
+	seconds += cycles / device.GeminiAPU.ClockHz
+	power, _ := b.powerModel()
+	return core.Cost{
+		Seconds: seconds,
+		Joules:  power.Energy(seconds) * float64(b.cfg.Devices),
+	}, nil
+}
+
 // Search implements core.Backend. Cancellation is polled at 256-seed
 // batch boundaries in the bit-sliced execution paths — the same places
 // the hardware checks its early-exit flag — and between shells in the

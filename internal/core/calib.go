@@ -155,6 +155,19 @@ func DefaultKernel(alg HashAlg) BatchKernel {
 	return defaultCalibration.Load().Best(alg)
 }
 
+// DefaultKernelSpeedup returns the measured speedup (>= 1) of the
+// installed default kernel for alg over the scalar baseline. Cost
+// predictions divide the scalar per-seed host cost by it, so a search
+// is priced at the throughput of the kernel that will actually run.
+func DefaultKernelSpeedup(alg HashAlg) float64 {
+	c := defaultCalibration.Load()
+	s := c.Speedup(alg, c.Best(alg))
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
 // SetCalibration installs a new kernel-selection table (for feeding
 // fresh bench measurements, or pinning kernels in tests) and returns the
 // previous one so callers can restore it.

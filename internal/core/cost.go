@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Cost is a backend's predicted price for one search: modelled device
+// time and the energy drawn over it. Predictions use the expected
+// (average-case, Equation 3) coverage — full shells below MaxDistance
+// plus half the final shell for an early-exit search, every shell in
+// full for an exhaustive one — so two backends' predictions for the
+// same task are directly comparable.
+type Cost struct {
+	// Seconds is the predicted device-seconds of search.
+	Seconds float64
+	// Joules is the predicted energy over those seconds under the
+	// backend's power model.
+	Joules float64
+}
+
+// CostModel is implemented by backends that can price a search before
+// running it. The planner (internal/plan) consumes these predictions as
+// its static per-backend throughput/energy curves; each simulator
+// derives them from the same calibrated model that prices its searches,
+// and the real host engine derives them from the measured host cost
+// table, so prediction and execution cannot drift apart structurally.
+type CostModel interface {
+	// PredictCost prices the task without running it. Implementations
+	// must not consult the task's Oracle: the prediction is what a
+	// dispatcher knows before the answer exists.
+	PredictCost(task Task) (Cost, error)
+}
+
+// ETAEstimator is implemented by backends (notably the planner) whose
+// service-time estimate depends on the task itself, not just on the
+// history of past searches. The scheduler's deadline admission consults
+// it when present: an estimate specific to the task's shell sizes and
+// chosen engine refuses infeasible deadlines the global EWMA would
+// wrongly admit, and admits small searches the EWMA would wrongly
+// refuse.
+type ETAEstimator interface {
+	// EstimateETA returns the expected service time for the task on the
+	// engine that would serve it, and whether an estimate is available.
+	EstimateETA(task Task) (time.Duration, bool)
+}
+
+// AlternateSearcher is implemented by multiplexing backends that can
+// run a search on a different engine than their first choice. The
+// scheduler's hedged dispatch uses it: when a primary flight straggles,
+// re-issuing the search on the *second-best* engine attacks the case
+// where the primary engine itself (not transient load) is the problem,
+// which a duplicate flight on the same engine cannot.
+type AlternateSearcher interface {
+	// SearchAlternate runs the task on the backend's second choice of
+	// engine, falling back to the primary when only one engine exists.
+	SearchAlternate(ctx context.Context, task Task) (Result, error)
+}
+
+// ExpectedShellCoverage returns the expected number of seeds a backend
+// covers in the shell at distance d (of size seeds) for the task: the
+// whole shell when the search is exhaustive or the shell is not the
+// last, half the shell — the uniform-match expectation — when an
+// early-exit search ends there.
+func ExpectedShellCoverage(task Task, d int, seeds uint64) uint64 {
+	if task.Exhaustive || d < task.MaxDistance {
+		return seeds
+	}
+	half := seeds / 2
+	if half == 0 {
+		half = 1
+	}
+	return half
+}

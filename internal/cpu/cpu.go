@@ -17,7 +17,9 @@ import (
 	"runtime"
 	"time"
 
+	"rbcsalted/internal/combin"
 	"rbcsalted/internal/core"
+	"rbcsalted/internal/device"
 )
 
 // Backend is the real multicore search engine.
@@ -43,6 +45,46 @@ func (b *Backend) workers() int {
 		return b.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// PredictCost implements core.CostModel: the expected wall time and
+// energy of running the search on *this* host, priced from the measured
+// host cost table (device.MeasureHostCosts) at the throughput of the
+// calibrated default batch kernel, divided across the worker count. An
+// early-exit search prices the final shell at half a worker's share
+// (the uniform-match expectation). Energy uses the device.PowerCPUEst
+// host estimate.
+func (b *Backend) PredictCost(task core.Task) (core.Cost, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Cost{}, fmt.Errorf("cpu: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	costs := device.MeasureHostCosts()
+	hashNs := costs.SHA3Ns
+	if b.Alg == core.SHA1 {
+		hashNs = costs.SHA1Ns
+	}
+	speedup := core.DefaultKernelSpeedup(b.Alg)
+	if b.ScalarMatch {
+		speedup = 1
+	}
+	perSeed := (hashNs/speedup + costs.IterNs[task.Method]) / 1e9
+	workers := uint64(b.workers())
+	seconds := 0.0
+	if task.IncludeBase() {
+		seconds += perSeed
+	}
+	for d := task.StartShell(); d <= task.MaxDistance; d++ {
+		size, ok := combin.Binomial64(256, d)
+		if !ok {
+			return core.Cost{}, fmt.Errorf("cpu: C(256,%d) overflows uint64", d)
+		}
+		perWorker := (size + workers - 1) / workers
+		seconds += float64(core.ExpectedShellCoverage(task, d, perWorker)) * perSeed
+	}
+	return core.Cost{
+		Seconds: seconds,
+		Joules:  device.PowerCPUEst.Energy(seconds),
+	}, nil
 }
 
 // Search implements core.Backend by actually hashing every covered seed.

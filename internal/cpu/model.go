@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"rbcsalted/internal/combin"
 	"rbcsalted/internal/core"
 	"rbcsalted/internal/device"
 	"rbcsalted/internal/iterseq"
@@ -79,6 +80,37 @@ func (m *ModelBackend) perSeedSeconds(method iterseq.Method) float64 {
 	// (N/p) x perSeed = N x s / Speedup(p), so perSeed = s x p / Speedup(p).
 	p := m.workers()
 	return s * factor * float64(p) / Speedup(m.Alg, p)
+}
+
+// PredictCost implements core.CostModel: the expected modelled time and
+// energy of the task on the paper's 64-core EPYC, without touching the
+// oracle. Workers take equal shares of each shell, so an early-exit
+// search prices the final shell at half a worker's share (the
+// uniform-match expectation); every other shell is priced in full.
+// Energy uses device.PowerCPUEst — an estimate, since Table 6 reports
+// no CPU rows.
+func (m *ModelBackend) PredictCost(task core.Task) (core.Cost, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Cost{}, fmt.Errorf("cpu: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	perSeed := m.perSeedSeconds(task.Method)
+	workers := uint64(m.workers())
+	seconds := 0.0
+	if task.IncludeBase() {
+		seconds += perSeed
+	}
+	for d := task.StartShell(); d <= task.MaxDistance; d++ {
+		size, ok := combin.Binomial64(256, d)
+		if !ok {
+			return core.Cost{}, fmt.Errorf("cpu: C(256,%d) overflows uint64", d)
+		}
+		perWorker := (size + workers - 1) / workers
+		seconds += float64(core.ExpectedShellCoverage(task, d, perWorker)) * perSeed
+	}
+	return core.Cost{
+		Seconds: seconds,
+		Joules:  device.PowerCPUEst.Energy(seconds),
+	}, nil
 }
 
 // Search implements core.Backend with the event-driven model. The model
@@ -156,6 +188,11 @@ func (m *ModelBackend) search(ctx context.Context, task core.Task) (core.Result,
 	if task.TimeLimit > 0 && deviceSeconds > task.TimeLimit.Seconds() {
 		res.TimedOut = true
 	}
+	// Estimated accounting (device.PowerCPUEst): Table 6 has no CPU rows,
+	// so these numbers support the planner's energy policy rather than any
+	// paper-table reproduction.
+	res.EnergyJoules = device.PowerCPUEst.Energy(deviceSeconds)
+	res.PeakWatts = device.PeakCPUEst
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
 }

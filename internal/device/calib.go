@@ -179,4 +179,16 @@ var (
 	PeakGPUSHA3 = 258.29
 	PeakAPUSHA1 = 83.81
 	PeakAPUSHA3 = 83.63
+
+	// PowerCPUEst is an engineering *estimate* for PlatformA (2x AMD EPYC
+	// 7542): Table 6 reports no CPU rows, so the active draw is taken as
+	// the two sockets' combined 225 W TDP (an all-core hash search is a
+	// TDP-bound workload) and idle as a typical dual-socket server floor.
+	// It exists so the planner can weigh SALTED-CPU's energy against the
+	// measured GPU/APU draws; it is never used to reproduce a paper table.
+	PowerCPUEst = PowerModel{IdleWatts: 90, ActiveWatts: 450}
+
+	// PeakCPUEst mirrors the Table 6 peak columns for the estimated CPU
+	// model: TDP-bound, so peak ~= active.
+	PeakCPUEst = 450.0
 )

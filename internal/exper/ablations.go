@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"rbcsalted/internal/core"
 	"rbcsalted/internal/cpu"
@@ -95,66 +96,59 @@ func AwareVsSalted(maxD int) *Table {
 	return t
 }
 
+// registry lists every experiment in paper order. All, ByID and the
+// unknown-experiment error are all generated from it, so adding an
+// experiment here is the single registration step.
+var registry = []struct {
+	id string
+	fn func(trials int) *Table
+}{
+	{"table1", func(int) *Table { return Table1() }},
+	{"itermicro", func(int) *Table { return IteratorMicro() }},
+	{"figure3", func(int) *Table { return Figure3() }},
+	{"flaginterval", func(int) *Table { return FlagInterval() }},
+	{"table4", func(int) *Table { return Table4() }},
+	{"table5", Table5},
+	{"table6", func(int) *Table { return Table6() }},
+	{"figure4", func(trials int) *Table { return Figure4(trials / 4) }},
+	{"table7", func(int) *Table { return Table7() }},
+	{"cpuscaling", func(int) *Table { return CPUScaling() }},
+	{"sharedmem", func(int) *Table { return SharedMem() }},
+	{"awarevssalted", func(int) *Table { return AwareVsSalted(2) }},
+	{"multiapu", func(int) *Table { return MultiAPU() }},
+	{"noisesecurity", func(int) *Table { return NoiseSecurity() }},
+	{"hostthroughput", func(int) *Table { return HostThroughput() }},
+	{"servelatency", ServeLatency},
+	{"planner", PlannerAblation},
+}
+
 // All returns every experiment in paper order. trials scales the
 // stochastic average-case sample counts.
 func All(trials int) []*Table {
-	return []*Table{
-		Table1(),
-		IteratorMicro(),
-		Figure3(),
-		FlagInterval(),
-		Table4(),
-		Table5(trials),
-		Table6(),
-		Figure4(trials / 4),
-		Table7(),
-		CPUScaling(),
-		SharedMem(),
-		AwareVsSalted(2),
-		MultiAPU(),
-		NoiseSecurity(),
-		HostThroughput(),
-		ServeLatency(trials),
+	out := make([]*Table, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.fn(trials))
 	}
+	return out
+}
+
+// ExperimentIDs returns every registered experiment id, in run order.
+func ExperimentIDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	return ids
 }
 
 // ByID returns the experiment with the given id, scaling stochastic
 // sampling by trials.
 func ByID(id string, trials int) (*Table, error) {
-	switch id {
-	case "table1":
-		return Table1(), nil
-	case "itermicro":
-		return IteratorMicro(), nil
-	case "figure3":
-		return Figure3(), nil
-	case "flaginterval":
-		return FlagInterval(), nil
-	case "table4":
-		return Table4(), nil
-	case "table5":
-		return Table5(trials), nil
-	case "table6":
-		return Table6(), nil
-	case "figure4":
-		return Figure4(trials / 4), nil
-	case "table7":
-		return Table7(), nil
-	case "cpuscaling":
-		return CPUScaling(), nil
-	case "sharedmem":
-		return SharedMem(), nil
-	case "awarevssalted":
-		return AwareVsSalted(2), nil
-	case "multiapu":
-		return MultiAPU(), nil
-	case "noisesecurity":
-		return NoiseSecurity(), nil
-	case "hostthroughput":
-		return HostThroughput(), nil
-	case "servelatency":
-		return ServeLatency(trials), nil
-	default:
-		return nil, fmt.Errorf("exper: unknown experiment %q (try: table1, itermicro, figure3, flaginterval, table4, table5, table6, figure4, table7, cpuscaling, sharedmem, awarevssalted, multiapu, noisesecurity, hostthroughput, servelatency)", id)
+	for _, e := range registry {
+		if e.id == id {
+			return e.fn(trials), nil
+		}
 	}
+	return nil, fmt.Errorf("exper: unknown experiment %q (try: %s)",
+		id, strings.Join(ExperimentIDs(), ", "))
 }

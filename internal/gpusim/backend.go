@@ -85,6 +85,47 @@ func (b *Backend) powerModel() (device.PowerModel, float64) {
 	return device.PowerGPUSHA3, device.PeakGPUSHA3
 }
 
+// PredictCost implements core.CostModel: the expected device time and
+// energy of the task priced by the same calibrated kernel model that
+// charges real searches, without touching the oracle. An early-exit
+// search is priced at half the final shell (the uniform-match
+// expectation); every other shell is priced in full.
+func (b *Backend) PredictCost(task core.Task) (core.Cost, error) {
+	if task.MaxDistance < 0 || task.MaxDistance > 10 {
+		return core.Cost{}, fmt.Errorf("gpusim: MaxDistance %d outside supported range", task.MaxDistance)
+	}
+	if task.CheckInterval == 0 {
+		task.CheckInterval = b.cfg.CheckInterval
+	}
+	seconds := 0.0
+	if task.IncludeBase() {
+		seconds += b.model.kernelLaunchSeconds
+	}
+	g := uint64(b.cfg.Devices)
+	for d := task.StartShell(); d <= task.MaxDistance; d++ {
+		size, ok := combin.Binomial64(256, d)
+		if !ok {
+			return core.Cost{}, fmt.Errorf("gpusim: C(256,%d) overflows uint64", d)
+		}
+		perDevice := (size + g - 1) / g
+		full := b.model.shellSeconds(perDevice, b.cfg.Alg, task.Method, b.cfg.Params,
+			b.cfg.SharedMemoryState, task.CheckInterval)
+		expect := core.ExpectedShellCoverage(task, d, size)
+		seconds += full * float64(expect) / float64(size)
+		if b.cfg.Devices > 1 {
+			seconds += b.model.perDeviceKernelSyncSeconds * float64(b.cfg.Devices)
+		}
+	}
+	if !task.Exhaustive && b.cfg.Devices > 1 {
+		seconds += b.model.exitPropagationSeconds
+	}
+	power, _ := b.powerModel()
+	return core.Cost{
+		Seconds: seconds,
+		Joules:  power.Energy(seconds) * float64(b.cfg.Devices),
+	}, nil
+}
+
 // Search implements core.Backend. Within-budget shells run real host
 // execution and poll ctx every CheckInterval seeds; analytically planned
 // shells check ctx at shell boundaries (the modelled kernel launches).

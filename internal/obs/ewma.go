@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// EWMA is a thread-safe exponentially weighted moving average. The
+// planner keeps one per (engine, algorithm, shell-depth) cell to track
+// the ratio of observed to predicted cost, so the calibrated static
+// curves are corrected by live feedback without a lock on the dispatch
+// path.
+//
+// The zero value is usable and reports no observations; Observe with
+// the configured alpha folds each sample in as
+// v_new = alpha*sample + (1-alpha)*v_old.
+type EWMA struct {
+	bits atomic.Uint64 // float64 bits of the current average
+	n    atomic.Uint64 // observations folded in
+}
+
+// Observe folds one sample into the average with the given smoothing
+// factor alpha in (0, 1]. The first observation seeds the average
+// directly. Non-finite samples and alphas outside (0, 1] are ignored —
+// a poisoned measurement must not wedge the average at NaN forever.
+func (e *EWMA) Observe(alpha, sample float64) {
+	if math.IsNaN(sample) || math.IsInf(sample, 0) || !(alpha > 0 && alpha <= 1) {
+		return
+	}
+	for {
+		old := e.bits.Load()
+		var next float64
+		if e.n.Load() == 0 {
+			next = sample
+		} else {
+			next = alpha*sample + (1-alpha)*math.Float64frombits(old)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			e.n.Add(1)
+			return
+		}
+	}
+}
+
+// Value returns the current average and the number of observations; the
+// average is meaningless when n is zero.
+func (e *EWMA) Value() (v float64, n uint64) {
+	return math.Float64frombits(e.bits.Load()), e.n.Load()
+}

@@ -465,7 +465,7 @@ func (s *Scheduler) admit(j *job) error {
 	if !j.deadline.IsZero() {
 		infeasible := !now.Before(j.deadline)
 		if !infeasible {
-			if eta := s.estimateETA(); eta > 0 && now.Add(eta).After(j.deadline) {
+			if eta := s.estimateETA(j.task); eta > 0 && now.Add(eta).After(j.deadline) {
 				infeasible = true
 			}
 		}
@@ -617,8 +617,32 @@ func (s *Scheduler) resolveShed(victim *job) {
 
 // estimateETA returns the admission controller's estimate of how long a
 // newly admitted search will take to finish (queue wait plus service),
-// or 0 while the estimator is still warming up.
-func (s *Scheduler) estimateETA() time.Duration {
+// or 0 while no estimate is available.
+//
+// A backend that knows the task — a core.ETAEstimator, such as the
+// planner, which prices the task's actual shell sizes on the engine it
+// would choose — supersedes the task-blind global service-time EWMA:
+// the EWMA wrongly refuses small searches and wrongly admits deep ones
+// whenever the mix is heterogeneous.
+func (s *Scheduler) estimateETA(task core.Task) time.Duration {
+	s.qmu.Lock()
+	queued := s.queued
+	s.qmu.Unlock()
+	// Everything queued ahead must be served first, Workers at a time.
+	slots := 1 + queued/s.cfg.Workers
+
+	if est, ok := s.backend.(core.ETAEstimator); ok {
+		if eta, ok := est.EstimateETA(task); ok && eta > 0 {
+			// The estimator already accounts for its own in-flight load;
+			// add the wait imposed by this scheduler's queue.
+			s.estMu.Lock()
+			svc := s.ewmaSvc
+			s.estMu.Unlock()
+			queueWait := time.Duration(svc * float64(slots-1) * float64(time.Second))
+			return eta + queueWait
+		}
+	}
+
 	s.estMu.Lock()
 	served := s.servedEst
 	svc := s.ewmaSvc
@@ -626,11 +650,6 @@ func (s *Scheduler) estimateETA() time.Duration {
 	if served < admitWarmup || svc <= 0 {
 		return 0
 	}
-	s.qmu.Lock()
-	queued := s.queued
-	s.qmu.Unlock()
-	// Everything queued ahead must be served first, Workers at a time.
-	slots := 1 + queued/s.cfg.Workers
 	return time.Duration(svc * float64(slots) * float64(time.Second))
 }
 
@@ -906,7 +925,16 @@ func (s *Scheduler) execute(ctx context.Context, j *job) (res core.Result, err e
 	results := make(chan flight, 2)
 	launch := func(hedge bool) {
 		go func() {
-			r, e := s.backend.Search(hctx, j.task)
+			search := s.backend.Search
+			if hedge {
+				// Hedge onto different hardware when the backend can: a
+				// straggle caused by the chosen engine itself (not
+				// transient load) is only fixed by a different choice.
+				if alt, ok := s.backend.(core.AlternateSearcher); ok {
+					search = alt.SearchAlternate
+				}
+			}
+			r, e := search(hctx, j.task)
 			results <- flight{res: r, err: e, hedge: hedge}
 		}()
 	}

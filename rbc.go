@@ -131,6 +131,7 @@ import (
 	"rbcsalted/internal/iterseq"
 	"rbcsalted/internal/netproto"
 	"rbcsalted/internal/obs"
+	"rbcsalted/internal/plan"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/sched"
 	"rbcsalted/internal/u256"
@@ -466,6 +467,47 @@ func NewGPUBackend(cfg GPUConfig) Backend { return gpusim.NewBackend(cfg) }
 // Deprecated: use NewBackend with BackendSpec{Kind: BackendAPU}; this
 // wrapper remains for existing callers.
 func NewAPUBackend(cfg APUConfig) Backend { return apusim.NewBackend(cfg) }
+
+// Cost-based planner (see DESIGN.md §14): dispatches each search to the
+// engine the calibrated cost curves predict to be cheapest under the
+// chosen policy, deadline and joules budget, with live EWMA feedback
+// correcting the static curves.
+type (
+	// Planner is the dispatching backend; NewBackend with
+	// BackendSpec{Kind: BackendPlanner} builds one over the standard
+	// CPU/GPU/APU trio, NewPlanner builds one over custom engines.
+	Planner = plan.Planner
+	// PlannerConfig configures a custom planner.
+	PlannerConfig = plan.Config
+	// PlannerStats is a dispatch-accounting snapshot.
+	PlannerStats = plan.Stats
+	// PlanPolicy selects the planner's objective.
+	PlanPolicy = plan.Policy
+	// EngineChoice is one ranked candidate from a planning decision.
+	EngineChoice = plan.EngineChoice
+	// PlanDecision is a full ranked planning decision.
+	PlanDecision = plan.Decision
+)
+
+// Planner policies.
+const (
+	// PlanBalanced minimizes predicted joules among deadline-feasible
+	// engines, falling back to the fastest when none is feasible.
+	PlanBalanced = plan.PolicyBalanced
+	// PlanLatency minimizes the load-adjusted ETA unconditionally.
+	PlanLatency = plan.PolicyLatency
+	// PlanEnergy minimizes predicted joules among feasible engines.
+	PlanEnergy = plan.PolicyEnergy
+)
+
+// NewPlanner builds a planner over custom engines; each engine must
+// implement a cost model (the built-in CPU, GPU and APU backends all
+// do).
+var NewPlanner = plan.New
+
+// ParsePlanPolicy parses "balanced", "latency" or "energy" — the values
+// the command-line tools accept for -plan-policy.
+var ParsePlanPolicy = plan.ParsePolicy
 
 // Key generation for the salted seed (and the algorithm-aware baseline).
 type (
