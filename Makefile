@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz cluster-race sched-race plan-race bench bench-all bench-smoke bench-gate
+.PHONY: check build vet test race fuzz cluster-race sched-race plan-race replica-race bench bench-all bench-smoke bench-gate
 
 # check is the CI gate: compile everything, vet, run the full test suite
 # with the race detector (the scheduler and backend-cancellation tests
@@ -39,6 +39,16 @@ sched-race:
 # same way.
 plan-race:
 	$(GO) test -race ./internal/plan/... -count=2
+
+# replica-race is the scaled-out CA suite under the race detector: the
+# WAL streaming / snapshot catch-up / fencing property tests, the WAL
+# tailing and netproto routing-client layers beneath them, and the two
+# gating drills — the three-node rolling restart (zero dropped in-flight
+# auths) and the kill-promote failover (no acked-write loss, nonce
+# single-use across promotion).
+replica-race:
+	$(GO) test -race ./internal/replica/... ./internal/durable/... ./internal/ring/... ./internal/netproto/... -count=2
+	$(GO) test -race ./cmd/rbc-server -run 'TestRollingRestartDrill|TestKillPromoteFailover' -count=2
 
 # fuzz smokes the netproto frame/error-payload fuzzers, the WAL record
 # decoder, and the differential fuzzers for the wide batch kernels

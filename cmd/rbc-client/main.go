@@ -1,25 +1,32 @@
 // Command rbc-client authenticates against an rbc-server using a
 // simulated PUF device.
 //
+// -server accepts one address or a comma-separated bootstrap list; the
+// routing-aware client dials the node that owns this client's shard
+// (learning it from wrong-shard redirects), and retries transport
+// failures against the remaining candidates — so it rides out a rolling
+// restart of a replicated CA group.
+//
 // Usage:
 //
-//	rbc-client -server 127.0.0.1:7443 -id alice -devseed 42 -noise 2
+//	rbc-client -server 127.0.0.1:7443,127.0.0.1:7444 -id alice -devseed 42 -noise 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
+	"strings"
 	"time"
 
+	"rbcsalted"
 	"rbcsalted/internal/core"
-	"rbcsalted/internal/netproto"
 	"rbcsalted/internal/puf"
 )
 
 func main() {
-	server := flag.String("server", "127.0.0.1:7443", "server address")
+	server := flag.String("server", "127.0.0.1:7443", "server address, or a comma-separated bootstrap list")
 	id := flag.String("id", "alice", "client id")
 	devSeed := flag.Uint64("devseed", 42, "PUF device seed (must match the server's enrollment)")
 	noise := flag.Int("noise", 0, "deliberately injected noise bits")
@@ -46,24 +53,31 @@ func main() {
 	if _, err := puf.Enroll(dev, 31); err != nil {
 		log.Fatal(err)
 	}
-	client := &core.Client{ID: core.ClientID(*id), Device: dev, NoiseBits: *noise}
+	device := &rbc.PUFClient{ID: core.ClientID(*id), Device: dev, NoiseBits: *noise}
 
-	conn, err := net.Dial("tcp", *server)
+	lat := rbc.Latency{}
+	if *paperComm {
+		lat = rbc.PaperLatency
+	}
+	client, err := rbc.Dial(rbc.ClientConfig{
+		Addrs:   strings.Split(*server, ","),
+		Latency: lat,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
+	defer client.Close()
 
-	lat := netproto.Latency{}
-	if *paperComm {
-		lat = netproto.PaperLatency
-	}
-	opts := netproto.AuthOptions{Latency: lat, Class: qos}
+	req := rbc.ClientAuthRequest{Device: device, Class: qos}
+	ctx := context.Background()
 	if *deadline > 0 {
-		opts.Deadline = time.Now().Add(*deadline)
+		req.Deadline = time.Now().Add(*deadline)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
+		defer cancel()
 	}
 	start := time.Now()
-	res, err := netproto.AuthenticateWithOptions(conn, client, opts)
+	res, err := client.Authenticate(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,24 @@
 // the calibrated curves predict to be cheapest under -plan-policy and
 // the optional -joules-budget (see DESIGN.md §14).
 //
+// # Replicated, sharded serving (DESIGN.md §15)
+//
+// A group of rbc-servers forms a scaled-out CA. Give every node a
+// -node-id, its client-facing -advertise address, and the full topology
+// via -peers (id=addr pairs); clients are then routed by consistent
+// hashing, and a node that receives a hello for a shard it does not own
+// refuses with the owner's address (the rbc.Client API follows such
+// redirects transparently).
+//
+// -repl-listen serves this node's write-ahead log to followers.
+// `-role follower -follow addr` makes the node ingest a primary's WAL
+// instead of being authoritative; on the primary's death it can be
+// restarted with -role primary after a promotion (the fencing epoch in
+// the data directory's replica.meta keeps the deposed primary from
+// coming back as a split brain). -shards restricts a follower to a
+// subset of shards, which is how serving peers cross-replicate exactly
+// the shards each owns.
+//
 // With -debug-addr set, a second listener serves operational endpoints:
 // /metrics (counters, latency histograms and live scheduler stats as
 // JSON), /trace (the most recent search trace events), /healthz, and
@@ -23,7 +41,8 @@
 // Usage:
 //
 //	rbc-server -listen :7443 -clients alice,bob -maxd 3 -sched-workers 4 \
-//	    -debug-addr 127.0.0.1:7444
+//	    -data-dir /var/lib/rbc -repl-listen :7543 \
+//	    -node-id ca1 -advertise 10.0.0.1:7443 -peers ca2=10.0.0.2:7443
 package main
 
 import (
@@ -35,211 +54,17 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"rbcsalted"
 	"rbcsalted/internal/core"
-	"rbcsalted/internal/cryptoalg/aeskg"
 	"rbcsalted/internal/durable"
-	"rbcsalted/internal/netproto"
-	"rbcsalted/internal/obs"
 	"rbcsalted/internal/puf"
 	"rbcsalted/internal/sched"
 )
-
-// options collects everything main reads from flags, so tests can build
-// the same stack without a command line.
-type options struct {
-	clients      []string
-	enrollSeed   uint64
-	maxD         int
-	timeLimit    time.Duration
-	workers      int
-	schedWorkers int
-	schedQueue   int
-	// backend selects the search engine (the -backend flag); the zero
-	// value is BackendCPU. The planner kind multiplexes CPU, GPU and APU
-	// engines by predicted cost and honors joulesBudget and planPolicy.
-	backend      rbc.BackendKind
-	joulesBudget float64
-	planPolicy   rbc.PlanPolicy
-	// inlineDepth is CAConfig.InlineDepth: shells d <= inlineDepth run
-	// inline on the accepting goroutine, bypassing the scheduler (0 =
-	// core.DefaultInlineDepth, negative = disabled).
-	inlineDepth int
-	// hedge enables hedged dispatch for straggling searches; hedgeDelay,
-	// when non-zero, fixes the trigger instead of deriving it from the
-	// service-time percentile.
-	hedge      bool
-	hedgeDelay time.Duration
-	store        *core.ImageStore // nil = self-enroll demo store
-	traceDepth   int
-	// dataDir, when set, opens a durable.State there: every enrollment,
-	// key rotation and session is journaled and survives a restart.
-	// Mutually exclusive with store.
-	dataDir string
-	// sync is the WAL fsync policy for dataDir.
-	sync durable.SyncPolicy
-	// masterKey seals images in dataDir (the -key flag).
-	masterKey [32]byte
-	// profile overrides the PUF noise profile for self-enrolled demo
-	// clients; nil means puf.DefaultProfile. Tests use a low-noise
-	// profile so authentication outcomes are deterministic.
-	profile *puf.Profile
-}
-
-// stack is the assembled serving path: scheduler-fronted backend, CA,
-// protocol server, and the observability plumbing that spans them.
-type stack struct {
-	CA     *core.CA
-	Pool   *sched.Scheduler
-	Server *netproto.Server
-	Reg    *obs.Registry
-	Ring   *obs.Ring
-	// State is non-nil when the stack runs on a durable data directory;
-	// Close it last (it takes the shutdown snapshot).
-	State *durable.State
-}
-
-// buildStack wires the serving path. Every layer shares one registry and
-// one trace ring: the scheduler records queue/service histograms and
-// emits lifecycle events, backends emit per-shell search events through
-// the Task hook, and the protocol server counts connections and
-// statuses. Close the returned stack's Pool when done.
-func buildStack(opts options) (*stack, error) {
-	reg := obs.NewRegistry()
-	depth := opts.traceDepth
-	if depth <= 0 {
-		depth = 1024
-	}
-	ring := obs.NewRing(depth)
-
-	var (
-		state       *durable.State
-		ra          *core.RA
-		cfgSessions *core.SessionTable
-	)
-	store := opts.store
-	switch {
-	case opts.dataDir != "":
-		if store != nil {
-			return nil, fmt.Errorf("rbc-server: -store and -data-dir are mutually exclusive")
-		}
-		var err error
-		state, err = durable.Open(durable.Options{
-			Dir:       opts.dataDir,
-			MasterKey: opts.masterKey,
-			Sync:      opts.sync,
-			Metrics:   reg,
-		})
-		if err != nil {
-			return nil, err
-		}
-		store, ra, cfgSessions = state.Images(), state.RA(), state.Sessions()
-	case store == nil:
-		var err error
-		store, err = core.NewImageStore([32]byte{0x52, 0x42, 0x43}) // demo master key
-		if err != nil {
-			return nil, err
-		}
-	}
-	if ra == nil {
-		ra = core.NewRA()
-	}
-	if opts.backend == rbc.BackendCluster {
-		return nil, fmt.Errorf("rbc-server: cluster backends need a worker fleet; wire one up through the rbc API instead")
-	}
-	engine, err := rbc.NewBackend(rbc.BackendSpec{
-		Kind:         opts.backend,
-		Alg:          core.SHA3,
-		Cores:        opts.workers,
-		JoulesBudget: opts.joulesBudget,
-		PlanPolicy:   opts.planPolicy,
-		Metrics:      reg, // the planner kind publishes dispatch stats here
-	})
-	if err != nil {
-		return nil, err
-	}
-	pool := sched.New(engine, sched.Config{
-		Workers:    opts.schedWorkers,
-		QueueDepth: opts.schedQueue,
-		Hedge:      sched.HedgeConfig{Enabled: opts.hedge, Delay: opts.hedgeDelay},
-		Trace:      ring,
-		Metrics:    reg,
-	})
-	ca, err := core.NewCA(store, pool, &aeskg.Generator{}, ra, core.CAConfig{
-		Alg:         core.SHA3,
-		MaxDistance: opts.maxD,
-		TimeLimit:   opts.timeLimit,
-		InlineDepth: opts.inlineDepth,
-		Trace:       ring,
-		Sessions:    cfgSessions,
-	})
-	if err != nil {
-		pool.Close()
-		return nil, err
-	}
-
-	profile := puf.DefaultProfile
-	if opts.profile != nil {
-		profile = *opts.profile
-	}
-	for i, id := range opts.clients {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
-		}
-		// On a durable data directory, restart must not re-enroll clients
-		// the store already holds: that would reset their key-rotation
-		// chain and desynchronize live devices.
-		if store.Has(core.ClientID(id)) {
-			continue
-		}
-		devSeed := opts.enrollSeed + uint64(i)
-		dev, err := puf.NewDevice(devSeed, 1024, profile)
-		if err != nil {
-			pool.Close()
-			return nil, err
-		}
-		im, err := puf.Enroll(dev, 31)
-		if err != nil {
-			pool.Close()
-			return nil, err
-		}
-		if err := ca.Enroll(core.ClientID(id), im); err != nil {
-			pool.Close()
-			return nil, err
-		}
-	}
-
-	// Live scheduler stats ride along in every /metrics snapshot, so the
-	// debug endpoint always agrees with sched.Stats().
-	reg.Func("sched", func() any { return pool.Stats() })
-
-	server := &netproto.Server{
-		CA:      ca,
-		Metrics: netproto.NewMetrics(reg),
-	}
-	return &stack{CA: ca, Pool: pool, Server: server, Reg: reg, Ring: ring, State: state}, nil
-}
-
-// Close tears the stack down in dependency order; the durable state goes
-// last so its shutdown snapshot sees every mutation.
-func (s *stack) Close() error {
-	s.Pool.Close()
-	if s.State != nil {
-		return s.State.Close()
-	}
-	return nil
-}
-
-// DebugListener starts the stack's debug HTTP listener (the -debug-addr
-// surface) and returns it; close it to stop serving.
-func (s *stack) DebugListener(addr string) (net.Listener, error) {
-	return obs.Serve(addr, s.Reg, s.Ring)
-}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7443", "listen address")
@@ -263,6 +88,15 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); state survives restarts")
 	syncMode := flag.String("sync", "interval", "WAL fsync policy for -data-dir: always|interval|never")
 	baseError := flag.Float64("baseerror", 0, "PUF per-cell noise for self-enrolled demo clients (0 = default profile)")
+
+	role := flag.String("role", "primary", "replication role: primary (authoritative) or follower (ingests -follow)")
+	nodeID := flag.String("node-id", "", "this node's id in the shard ring (empty = unsharded)")
+	advertise := flag.String("advertise", "", "client-facing address announced in the ring (default: -listen)")
+	peers := flag.String("peers", "", "other ring nodes as comma-separated id=addr pairs")
+	numShards := flag.Int("num-shards", rbc.DefaultNumShards, "shard-space size (must agree across the group)")
+	replListen := flag.String("repl-listen", "", "serve WAL replication to followers on this address (needs -data-dir)")
+	follow := flag.String("follow", "", "with -role follower: primary replication address to ingest")
+	shardsFlag := flag.String("shards", "", "with -follow: comma-separated shard subset to subscribe (empty = all)")
 	flag.Parse()
 
 	kind, err := rbc.ParseBackendKind(*backendFlag)
@@ -273,22 +107,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := options{
-		clients:      strings.Split(*clients, ","),
-		enrollSeed:   *enrollSeed,
-		maxD:         *maxD,
-		timeLimit:    *timeLimit,
-		workers:      *workers,
-		schedWorkers: *schedWorkers,
-		schedQueue:   *schedQueue,
-		backend:      kind,
-		joulesBudget: *joulesBudget,
-		planPolicy:   policy,
-		inlineDepth:  *inlineDepth,
-		hedge:        *hedge,
-		hedgeDelay:   *hedgeDelay,
-		traceDepth:   *traceDepth,
-		dataDir:      *dataDir,
+	sync, err := durable.ParseSyncPolicy(*syncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := rbc.ServerConfig{
+		Clients:      strings.Split(*clients, ","),
+		EnrollSeed:   *enrollSeed,
+		MaxDistance:  *maxD,
+		TimeLimit:    *timeLimit,
+		Cores:        *workers,
+		SchedWorkers: *schedWorkers,
+		SchedQueue:   *schedQueue,
+		Backend:      kind,
+		JoulesBudget: *joulesBudget,
+		PlanPolicy:   policy,
+		InlineDepth:  *inlineDepth,
+		Hedge:        *hedge,
+		HedgeDelay:   *hedgeDelay,
+		TraceDepth:   *traceDepth,
+		DataDir:      *dataDir,
+		Sync:         sync,
+		MasterKey:    key,
+		NodeID:       *nodeID,
+		OnFenced: func(epoch uint64) {
+			log.Printf("rbc-server: fenced by epoch %d — a promotion happened elsewhere; shut this node down", epoch)
+		},
 	}
 	if *baseError > 0 {
 		// Override only the typical-cell noise, as rbc-client does:
@@ -296,54 +145,51 @@ func main() {
 		// sees (and TAPKI-masks) the same bad cells the client has.
 		p := puf.DefaultProfile
 		p.BaseError = *baseError
-		opts.profile = &p
+		cfg.PUFProfile = &p
 	}
-	sync, err := durable.ParseSyncPolicy(*syncMode)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts.sync = sync
-	key, err := parseKey(*keyHex)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts.masterKey = key
 	if *storePath != "" {
 		store, err := loadStore(*storePath, key)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("loaded %s: %d enrolled client(s)\n", *storePath, store.Len())
-		opts.store = store
-		opts.clients = nil // images come from the store
+		cfg.Store = store
+		cfg.Clients = nil // images come from the store
+	}
+	if *nodeID != "" {
+		ringMap, err := buildRing(*nodeID, firstNonEmpty(*advertise, *listen), *peers, *numShards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Ring = ringMap
 	}
 
-	st, err := buildStack(opts)
+	node, err := rbc.NewServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer st.Close()
-	if st.State != nil {
-		rec := st.State.Recovery()
+	defer node.Close()
+	if node.State != nil {
+		rec := node.State.Recovery()
 		fmt.Printf("rbc-server: data dir %s (%d enrolled; snapshot seq %d, %d records replayed",
-			opts.dataDir, st.State.Images().Len(), rec.SnapshotSeq, rec.Records)
+			*dataDir, node.State.Images().Len(), rec.SnapshotSeq, rec.Records)
 		if rec.Truncated {
 			fmt.Printf(", torn tail repaired: %d bytes", rec.TornBytes)
 		}
 		fmt.Println(")")
 	}
-	for i, id := range opts.clients {
+	for i, id := range cfg.Clients {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
-		devSeed := opts.enrollSeed + uint64(i)
+		devSeed := *enrollSeed + uint64(i)
 		fmt.Printf("enrolled %q (device seed %d; run: rbc-client -id %s -devseed %d)\n",
 			id, devSeed, id, devSeed)
 	}
 
 	if *debugAddr != "" {
-		dln, err := st.DebugListener(*debugAddr)
+		dln, err := node.DebugListener(*debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -351,28 +197,96 @@ func main() {
 		fmt.Printf("rbc-server: debug endpoints on http://%s/metrics\n", dln.Addr())
 	}
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("rbc-server: CA listening on %s (backend %s, d<=%d, T=%s)\n",
-		ln.Addr(), st.Pool.Name(), *maxD, *timeLimit)
-
-	// SIGINT/SIGTERM close the listener; Serve returns, the deferred
-	// stack Close snapshots the durable state, and the process exits
+	// SIGINT/SIGTERM close the listeners; Serve returns, the deferred
+	// node Close snapshots the durable state, and the process exits
 	// cleanly. A SIGKILL skips all of that — which is exactly what the
 	// WAL is for.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *replListen != "" {
+		rln, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rbc-server: replication listening on %s\n", rln.Addr())
+		go func() {
+			if err := node.ServeReplication(rln); err != nil {
+				log.Printf("rbc-server: replication stopped: %v", err)
+			}
+		}()
+		defer rln.Close()
+	}
+	if *follow != "" {
+		if *role != "follower" {
+			log.Fatal("rbc-server: -follow requires -role follower")
+		}
+		shards, err := parseShards(*shardsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rbc-server: following primary at %s\n", *follow)
+		go func() {
+			if err := node.Follow(ctx, *follow, shards); err != nil && ctx.Err() == nil {
+				log.Printf("rbc-server: follower stopped: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rbc-server: CA listening on %s (role %s, backend %s, d<=%d, T=%s)\n",
+		ln.Addr(), *role, node.Pool.Name(), *maxD, *timeLimit)
+
 	go func() {
 		<-ctx.Done()
 		ln.Close()
 	}()
-	serveErr := st.Server.Serve(ln)
+	serveErr := node.Serve(ln)
 	if ctx.Err() == nil && serveErr != nil {
 		log.Fatal(serveErr)
 	}
 	fmt.Println("rbc-server: shutting down")
+}
+
+// buildRing assembles the shard ring from this node plus the -peers
+// pairs.
+func buildRing(selfID, selfAddr, peers string, numShards int) (*rbc.RingMap, error) {
+	nodes := []rbc.RingNode{{ID: selfID, Addr: selfAddr}}
+	if peers != "" {
+		for _, pair := range strings.Split(peers, ",") {
+			id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || id == "" || addr == "" {
+				return nil, fmt.Errorf("rbc-server: -peers entry %q is not id=addr", pair)
+			}
+			nodes = append(nodes, rbc.RingNode{ID: id, Addr: addr})
+		}
+	}
+	return rbc.NewRingMap(numShards, 0, nodes...)
+}
+
+func parseShards(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("rbc-server: bad -shards entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 func parseKey(keyHex string) ([32]byte, error) {

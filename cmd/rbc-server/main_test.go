@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"rbcsalted"
 	"rbcsalted/internal/core"
 	"rbcsalted/internal/netproto"
 	"rbcsalted/internal/puf"
@@ -22,22 +23,22 @@ import (
 // and the expected counter values are deterministic.
 var quietProfile = puf.Profile{BaseError: 0.1 / 256.0}
 
-func testStack(t *testing.T) *stack {
+func testStack(t *testing.T) *rbc.ServerNode {
 	t.Helper()
-	st, err := buildStack(options{
-		clients:      []string{"c0", "c1", "c2", "c3", "c4", "c5"},
-		enrollSeed:   42,
-		maxD:         3,
-		timeLimit:    20 * time.Second,
-		workers:      2,
-		schedWorkers: 2,
-		schedQueue:   16,
+	st, err := rbc.NewServer(rbc.ServerConfig{
+		Clients:      []string{"c0", "c1", "c2", "c3", "c4", "c5"},
+		EnrollSeed:   42,
+		MaxDistance:  3,
+		TimeLimit:    20 * time.Second,
+		Cores:        2,
+		SchedWorkers: 2,
+		SchedQueue:   16,
 		// Every search must flow through the scheduler so the /metrics
 		// counters this test pins down are deterministic; the inline fast
 		// path would serve these quiet devices at d <= 1 without queuing.
-		inlineDepth: core.InlineDisabled,
-		traceDepth:  256,
-		profile:     &quietProfile,
+		InlineDepth: core.InlineDisabled,
+		TraceDepth:  256,
+		PUFProfile:  &quietProfile,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,8 +59,8 @@ func TestDebugEndpointMatchesSchedulerStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go st.Server.Serve(ln)
-	defer st.Server.Close()
+	go st.Serve(ln)
+	defer st.Proto.Close()
 
 	dln, err := st.DebugListener("127.0.0.1:0")
 	if err != nil {
@@ -119,7 +120,7 @@ func TestDebugEndpointMatchesSchedulerStats(t *testing.T) {
 
 	// Let the connection handlers finish tearing down, then snapshot.
 	waitFor(t, func() bool {
-		snap := st.Reg.Snapshot()
+		snap := st.Metrics.Snapshot()
 		stats := st.Pool.Stats()
 		return snap["netproto.conns_active"] == int64(0) &&
 			stats.InFlight == 0 && stats.Queued == 0
@@ -161,7 +162,7 @@ func TestDebugEndpointMatchesSchedulerStats(t *testing.T) {
 
 	// The flight recorder saw the burst too: every admitted search leaves
 	// enqueue/dequeue/done plus backend start/end events.
-	events := st.Ring.Snapshot()
+	events := st.Trace.Snapshot()
 	if len(events) == 0 {
 		t.Fatal("trace ring is empty after the burst")
 	}
@@ -191,16 +192,17 @@ func TestDebugEndpointMatchesSchedulerStats(t *testing.T) {
 	}
 }
 
-// TestBuildStackRejectsBadStore exercises the constructor error path.
-func TestBuildStackUnknownClientSkipsBlankIDs(t *testing.T) {
-	st, err := buildStack(options{
-		clients:      []string{" ", "", "carol"},
-		enrollSeed:   7,
-		maxD:         1,
-		timeLimit:    time.Second,
-		schedWorkers: 1,
-		schedQueue:   1,
-		profile:      &quietProfile,
+// TestNewServerSkipsBlankIDs exercises the constructor's enrollment
+// hygiene.
+func TestNewServerSkipsBlankIDs(t *testing.T) {
+	st, err := rbc.NewServer(rbc.ServerConfig{
+		Clients:      []string{" ", "", "carol"},
+		EnrollSeed:   7,
+		MaxDistance:  1,
+		TimeLimit:    time.Second,
+		SchedWorkers: 1,
+		SchedQueue:   1,
+		PUFProfile:   &quietProfile,
 	})
 	if err != nil {
 		t.Fatal(err)

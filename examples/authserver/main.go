@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -69,13 +70,18 @@ func main() {
 	defer server.Close()
 	fmt.Printf("CA listening on %s\n", ln.Addr())
 
-	authenticate := func(label string, client *rbc.Client, opts rbc.AuthOptions) {
-		conn, err := net.Dial("tcp", ln.Addr().String())
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer conn.Close()
-		res, err := rbc.AuthenticateWithOptions(conn, client, opts)
+	// The client side goes through rbc.Dial — the routing-aware Client
+	// that owns dialing, redirects and retry. On a single node it simply
+	// dials the one address; against a sharded deployment the same code
+	// routes by client ID and follows wrong-shard redirects.
+	netClient, err := rbc.Dial(rbc.ClientConfig{Addrs: []string{ln.Addr().String()}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer netClient.Close()
+	authenticate := func(label string, device *rbc.PUFClient, req rbc.ClientAuthRequest) {
+		req.Device = device
+		res, err := netClient.Authenticate(context.Background(), req)
 		if err != nil {
 			fmt.Printf("%-28s rejected by server: %v\n", label, err)
 			return
@@ -87,8 +93,8 @@ func main() {
 	// 1. Alice with her real PUF: should authenticate. A quiet PUF lands
 	//    at d<=1, so the CA resolves this session on the inline fast path
 	//    without it ever entering the scheduler queue.
-	authenticate("alice (genuine PUF):", &rbc.Client{ID: "alice", Device: aliceDev},
-		rbc.AuthOptions{})
+	authenticate("alice (genuine PUF):", &rbc.PUFClient{ID: "alice", Device: aliceDev},
+		rbc.ClientAuthRequest{})
 
 	// 2. Alice again with extra injected noise (the paper's §5 security
 	//    knob): still authenticates at a deeper Hamming distance. The
@@ -96,8 +102,8 @@ func main() {
 	//    both riding in the v3 hello; they only take effect if the search
 	//    escalates past the inline depth, which d=1 does not - the options
 	//    are free on the fast path.
-	authenticate("alice (+1 noise bit):", &rbc.Client{ID: "alice", Device: aliceDev, NoiseBits: 1},
-		rbc.AuthOptions{Class: rbc.ClassBatch, Deadline: time.Now().Add(30 * time.Second)})
+	authenticate("alice (+1 noise bit):", &rbc.PUFClient{ID: "alice", Device: aliceDev, NoiseBits: 1},
+		rbc.ClientAuthRequest{Class: rbc.ClassBatch, Deadline: time.Now().Add(30 * time.Second)})
 
 	// 3. Mallory answering alice's challenge with a different PUF: the
 	//    exhaustive d=2 impostor search is exactly the d-large tail the
@@ -108,8 +114,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	authenticate("mallory (wrong PUF):", &rbc.Client{ID: "alice", Device: malloryDev},
-		rbc.AuthOptions{Class: rbc.ClassBackground})
+	authenticate("mallory (wrong PUF):", &rbc.PUFClient{ID: "alice", Device: malloryDev},
+		rbc.ClientAuthRequest{Class: rbc.ClassBackground})
 
 	// Both genuine sessions resolved inline at d<=1, so they never show
 	// up in the scheduler's Submitted count - only the escalated

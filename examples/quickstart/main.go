@@ -44,7 +44,7 @@ func main() {
 
 	// 3. The client answers a challenge by reading its PUF and hashing
 	//    the (erratic) seed.
-	client := &rbc.Client{ID: "alice", Device: dev}
+	client := &rbc.PUFClient{ID: "alice", Device: dev}
 	ch, err := ca.BeginHandshake("alice")
 	if err != nil {
 		log.Fatal(err)

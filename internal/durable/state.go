@@ -211,6 +211,13 @@ func (s *State) applyPayload(seq uint64, payload []byte) error {
 	if err != nil {
 		return err
 	}
+	s.applyRecord(rec)
+	return nil
+}
+
+// applyRecord applies one decoded record through the stores'
+// non-journaling methods (shared by recovery replay and Ingest).
+func (s *State) applyRecord(rec *Record) {
 	switch rec.Op {
 	case OpImagePut:
 		s.images.PutSealed(rec.ID, rec.Blob)
@@ -227,7 +234,38 @@ func (s *State) applyPayload(seq uint64, payload []byte) error {
 	case OpSessionClose:
 		s.sess.Forget(rec.ID)
 	}
-	return nil
+}
+
+// LastSeq returns the sequence number of the last journaled record.
+func (s *State) LastSeq() uint64 { return s.wal.LastSeq() }
+
+// TailFrom opens a read-only iterator over the journal yielding every
+// record with sequence number > after (blocking for records not yet
+// appended). It fails with ErrTruncated when record after+1 has been
+// compacted away — the subscriber must catch up from a full-state
+// transfer instead. Replication streams records through this; it is
+// also handy for debugging a live data directory.
+func (s *State) TailFrom(after uint64) (*Tail, error) {
+	return s.wal.TailFrom(after)
+}
+
+// Ingest journals one replicated record payload into this State's own
+// WAL and applies it to the in-memory stores, returning the local
+// sequence number. The payload is validated before anything is written.
+// Followers re-sequence the primary's records through this: every op is
+// an idempotent overwrite/delete, so re-delivery after a reconnect
+// converges instead of corrupting.
+func (s *State) Ingest(payload []byte) (uint64, error) {
+	rec, err := DecodeRecord(payload)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := s.wal.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	s.applyRecord(rec)
+	return seq, nil
 }
 
 // append encodes and journals one record.

@@ -1,0 +1,304 @@
+package durable
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
+)
+
+// TestTailSeesLiveAppends is the satellite's contract: a tail started
+// before records exist sees records appended after it started, in
+// order, without going through the apply callback.
+func TestTailSeesLiveAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := collectWAL(t, dir, walConfig{}, 0)
+	defer w.Close()
+
+	tail, err := w.TailFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+
+	type result struct {
+		seq     uint64
+		payload []byte
+	}
+	got := make(chan result, 16)
+	errs := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i := 0; i < 10; i++ {
+			seq, p, err := tail.Next(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got <- result{seq, p}
+		}
+		close(got)
+	}()
+
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("live-%03d", i))
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	i := 0
+	for {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case r, ok := <-got:
+			if !ok {
+				if i != 10 {
+					t.Fatalf("tailed %d records, want 10", i)
+				}
+				return
+			}
+			if r.seq != uint64(i+1) || !bytes.Equal(r.payload, want[i]) {
+				t.Fatalf("record %d = (%d, %q), want (%d, %q)", i, r.seq, r.payload, i+1, want[i])
+			}
+			i++
+		case <-time.After(10 * time.Second):
+			t.Fatal("tail stalled")
+		}
+	}
+}
+
+// TestTailAcrossRotation: a tail follows the writer across segment
+// boundaries, including records appended before the tail started.
+func TestTailAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of records.
+	w, _, _ := collectWAL(t, dir, walConfig{segBytes: 64}, 0)
+	defer w.Close()
+
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("seg-%03d", i))
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+
+	tail, err := w.TailFrom(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 5; i < 20; i++ {
+		seq, p, err := tail.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) || !bytes.Equal(p, want[i]) {
+			t.Fatalf("record = (%d, %q), want (%d, %q)", seq, p, i+1, want[i])
+		}
+	}
+}
+
+// TestTailFromCompactedFailsTruncated: asking for records a snapshot
+// compacted away must fail loudly, not silently skip.
+func TestTailFromCompactedFailsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := collectWAL(t, dir, walConfig{segBytes: 64}, 0)
+	defer w.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("c-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := w.CompactBefore(10); err != nil || removed == 0 {
+		t.Fatalf("CompactBefore removed %d segments, err=%v", removed, err)
+	}
+	if _, err := w.TailFrom(0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("TailFrom(0) after compaction = %v, want ErrTruncated", err)
+	}
+	// Tailing the live edge still works.
+	tail, err := w.TailFrom(w.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail.Close()
+}
+
+// TestTailNextCancel: a blocked Next honours context cancellation.
+func TestTailNextCancel(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := collectWAL(t, dir, walConfig{}, 0)
+	defer w.Close()
+	tail, err := w.TailFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := tail.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next on empty WAL = %v, want context.Canceled", err)
+	}
+}
+
+// TestTailWALClose: closing the WAL releases a blocked Next with
+// ErrWALClosed instead of hanging it.
+func TestTailWALClose(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := collectWAL(t, dir, walConfig{}, 0)
+	tail, err := w.TailFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	errs := make(chan error, 1)
+	go func() {
+		_, _, err := tail.Next(context.Background())
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrWALClosed) {
+			t.Fatalf("Next across Close = %v, want ErrWALClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next not released by Close")
+	}
+}
+
+// TestStateIngestReplaysIntoStores: Ingest journals a foreign payload
+// under a local sequence number and applies it, and the result survives
+// reopening — the follower half of replication in miniature.
+func TestStateIngestReplaysIntoStores(t *testing.T) {
+	var key [32]byte
+	key[0] = 7
+
+	// A "primary" state produces journaled records.
+	primaryDir := t.TempDir()
+	p, err := Open(Options{Dir: primaryDir, MasterKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := enrollImage(t)
+	if err := p.Images().Put("alice", im); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RA().Update("alice", []byte("alice-key")); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := p.TailFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+
+	// A "follower" ingests them.
+	followerDir := t.TempDir()
+	f, err := Open(Options{Dir: followerDir, MasterKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for f.LastSeq() < p.LastSeq() {
+		_, payload, err := tail.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Ingest(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ingested state survives recovery like native state.
+	f2, err := Open(Options{Dir: followerDir, MasterKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	img, err := f2.Images().Get("alice")
+	if err != nil || img == nil || len(img.Values) != len(im.Values) {
+		t.Fatalf("follower image mismatch, err=%v", err)
+	}
+	for i := range im.Values {
+		if img.Values[i] != im.Values[i] {
+			t.Fatalf("follower image cell %d differs", i)
+		}
+	}
+	if pk, ok := f2.RA().PublicKey("alice"); !ok || !bytes.Equal(pk, []byte("alice-key")) {
+		t.Fatalf("follower RA key = %q, ok=%v", pk, ok)
+	}
+}
+
+// TestStateIngestRejectsGarbage: a corrupt payload is rejected before
+// anything reaches the WAL or the stores.
+func TestStateIngestRejectsGarbage(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.LastSeq()
+	if _, err := s.Ingest([]byte{0xff, 0xfe}); err == nil {
+		t.Fatal("garbage payload ingested")
+	}
+	if s.LastSeq() != before {
+		t.Fatal("garbage payload advanced the WAL")
+	}
+	if _, err := s.Ingest(nil); err == nil {
+		t.Fatal("empty payload ingested")
+	}
+}
+
+// TestStateIngestIsIdempotent: re-delivering the same payload (a
+// reconnect replaying an unacked suffix) converges to the same state.
+func TestStateIngestIsIdempotent(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := &Record{Op: OpRAKey, ID: core.ClientID("bob"), Blob: []byte("bob-key")}
+	payload, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Ingest(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pk, ok := s.RA().PublicKey("bob"); !ok || !bytes.Equal(pk, []byte("bob-key")) {
+		t.Fatalf("RA key after re-delivery = %q, ok=%v", pk, ok)
+	}
+	if s.RA().Len() != 1 {
+		t.Fatalf("RA len = %d, want 1", s.RA().Len())
+	}
+}

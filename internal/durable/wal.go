@@ -127,6 +127,7 @@ type wal struct {
 	segStart uint64
 	dirty    bool
 	closed   bool
+	notify   chan struct{} // closed and renewed on every append; see appendWait
 
 	stop chan struct{}
 	done chan struct{}
@@ -371,6 +372,7 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 	w.size += int64(len(frame))
 	w.dirty = true
 	w.seq.Store(seq)
+	w.wakeTailersLocked()
 	w.metrics.incAppends(len(frame))
 
 	if w.cfg.policy == SyncAlways {
@@ -389,6 +391,38 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 // LastSeq returns the last assigned sequence number (0 before any
 // append). Lock-free: snapshots use it to take their sequence cut.
 func (w *wal) LastSeq() uint64 { return w.seq.Load() }
+
+// appendWait returns a channel that is closed by the next append (or by
+// Close). A tailer must re-check LastSeq after obtaining the channel:
+// an append that raced the call has already closed an earlier channel.
+func (w *wal) appendWait() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	if w.notify == nil {
+		w.notify = make(chan struct{})
+	}
+	return w.notify
+}
+
+// wakeTailersLocked releases every appendWait channel; mu must be held.
+func (w *wal) wakeTailersLocked() {
+	if w.notify != nil {
+		close(w.notify)
+		w.notify = nil
+	}
+}
+
+// isClosed reports whether Close has run.
+func (w *wal) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
 
 func (w *wal) fsyncLocked() error {
 	if !w.dirty {
@@ -499,6 +533,7 @@ func (w *wal) Close() error {
 		return nil
 	}
 	w.closed = true
+	w.wakeTailersLocked()
 	err := w.fsyncLocked()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

@@ -1,0 +1,260 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/ring"
+)
+
+// routeAll is a Router serving or redirecting every client the same way.
+type routeAll struct {
+	addr  string
+	local bool
+	seen  atomic.Int64 // routed hellos
+	epoch atomic.Uint64
+}
+
+func (r *routeAll) Route(clientID string, epoch uint64) (string, bool) {
+	r.seen.Add(1)
+	r.epoch.Store(epoch)
+	return r.addr, r.local
+}
+
+func TestHelloV4RoundTrip(t *testing.T) {
+	h := Hello{ClientID: "alice", RingEpoch: 7}
+	enc := EncodeHello(h)
+	if enc[0] != helloV3Marker || enc[1] != helloV4Version {
+		t.Fatalf("hello with ring epoch not encoded as v4: % x", enc[:2])
+	}
+	dec, err := DecodeHello(enc)
+	if err != nil || dec != h {
+		t.Fatalf("v4 round trip: %+v, %v", dec, err)
+	}
+	// No ring epoch keeps the old layouts.
+	if enc := EncodeHello(Hello{ClientID: "alice"}); enc[0] == helloV3Marker {
+		t.Fatal("default hello no longer v2")
+	}
+	if enc := EncodeHello(Hello{ClientID: "alice", Deadline: time.Unix(1, 0)}); enc[1] != helloV3Version {
+		t.Fatal("deadline-only hello no longer v3")
+	}
+	// Truncated v4 rejected.
+	if _, err := DecodeHello(enc[:3]); err == nil {
+		t.Fatal("truncated extended hello accepted")
+	}
+}
+
+// TestServerRedirectsWrongShard: a server whose router disowns the
+// client refuses with StatusWrongShard carrying the owner address, and
+// the raw (deprecated) client surfaces it as a ServerError.
+func TestServerRedirectsWrongShard(t *testing.T) {
+	server, device, _ := newServer(t)
+	router := &routeAll{addr: "10.9.9.9:999", local: false}
+	server.Router = router
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = AuthenticateWithOptions(conn, device, AuthOptions{RingEpoch: 42})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Status != StatusWrongShard || se.Msg != "10.9.9.9:999" {
+		t.Fatalf("wrong-shard refusal = %v", err)
+	}
+	if router.epoch.Load() != 42 {
+		t.Fatalf("router saw epoch %d, want 42 (v4 hello lost)", router.epoch.Load())
+	}
+}
+
+// TestClientFollowsRedirect: the routing Client lands on a node that
+// disowns the shard and transparently follows the redirect to the
+// owner, and the next request goes straight to the learned address.
+func TestClientFollowsRedirect(t *testing.T) {
+	owner, device, _ := newServer(t)
+	ownerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go owner.Serve(ownerLn)
+	defer owner.Close()
+
+	bouncer, _, _ := newServer(t)
+	bounceRouter := &routeAll{addr: ownerLn.Addr().String(), local: false}
+	bouncer.Router = bounceRouter
+	bounceLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go bouncer.Serve(bounceLn)
+	defer bouncer.Close()
+
+	c, err := Dial(ClientConfig{Addrs: []string{bounceLn.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Authenticate(ctx, AuthRequest{Device: device})
+	if err != nil || !res.Authenticated {
+		t.Fatalf("redirected auth: %+v, %v", res, err)
+	}
+	bounced := bounceRouter.seen.Load()
+	if bounced == 0 {
+		t.Fatal("request never hit the bouncing node")
+	}
+	// Second request: learned address, no new bounce.
+	if res, err := c.Authenticate(ctx, AuthRequest{Device: device}); err != nil || !res.Authenticated {
+		t.Fatalf("second auth: %+v, %v", res, err)
+	}
+	if bounceRouter.seen.Load() != bounced {
+		t.Fatal("client did not learn the redirect target")
+	}
+}
+
+// TestClientRingRouting: with a topology, the client dials the shard
+// owner directly and stamps the ring epoch into a v4 hello.
+func TestClientRingRouting(t *testing.T) {
+	server, device, _ := newServer(t)
+	router := &routeAll{local: true}
+	server.Router = router
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	m, err := ring.NewMap(0, 0, ring.Node{ID: "n0", Addr: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = m.WithEpoch(9)
+	c, err := Dial(ClientConfig{Ring: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Authenticate(ctx, AuthRequest{Device: device})
+	if err != nil || !res.Authenticated {
+		t.Fatalf("ring-routed auth: %+v, %v", res, err)
+	}
+	if router.epoch.Load() != 9 {
+		t.Fatalf("server saw epoch %d, want 9", router.epoch.Load())
+	}
+}
+
+// TestClientRetriesAcrossRestart: the first dial lands on a dead
+// address; the client backs off and fails over to the live one — the
+// rolling-restart behaviour in miniature.
+func TestClientRetriesAcrossRestart(t *testing.T) {
+	server, device, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	// A dead address: listen and immediately close, so dialing fails fast.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	c, err := Dial(ClientConfig{
+		Addrs:        []string{deadAddr, ln.Addr().String()},
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Authenticate(ctx, AuthRequest{Device: device})
+	if err != nil || !res.Authenticated {
+		t.Fatalf("failover auth: %+v, %v", res, err)
+	}
+}
+
+// TestClientAuthoritativeErrorsAreFinal: a non-redirect server verdict
+// is returned immediately, not retried against other nodes.
+func TestClientAuthoritativeErrorsAreFinal(t *testing.T) {
+	server, _, _ := newServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+
+	_, ghost, _ := newServer(t) // enrolled on its own CA, unknown here
+	ghost.ID = "ghost"
+	c, err := Dial(ClientConfig{Addrs: []string{ln.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Authenticate(ctx, AuthRequest{Device: ghost})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Status != StatusUnknownClient {
+		t.Fatalf("unknown client = %v, want StatusUnknownClient", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("authoritative error was retried")
+	}
+}
+
+// TestClientUpdateRing: stale topologies are ignored, fresh ones adopted.
+func TestClientUpdateRing(t *testing.T) {
+	m1, _ := ring.NewMap(0, 0, ring.Node{ID: "a", Addr: "1:1"})
+	m1 = m1.WithEpoch(5)
+	m2, _ := ring.NewMap(0, 0, ring.Node{ID: "b", Addr: "2:2"})
+	c, err := Dial(ClientConfig{Ring: m1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.UpdateRing(m2.WithEpoch(3)) // stale
+	if c.Ring().Epoch() != 5 {
+		t.Fatal("stale ring adopted")
+	}
+	c.UpdateRing(m2.WithEpoch(8))
+	if c.Ring().Epoch() != 8 || !c.Ring().Has("b") {
+		t.Fatal("fresh ring rejected")
+	}
+}
+
+// TestDialValidation pins the constructor's error paths and defaults.
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(ClientConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	c, err := Dial(ClientConfig{Addrs: []string{"x:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Authenticate(context.Background(), AuthRequest{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}

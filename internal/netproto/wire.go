@@ -59,6 +59,12 @@ const (
 	// refused without being run. Retrying with the same deadline is
 	// pointless; relax it or drop it.
 	StatusDeadlineInfeasible
+	// StatusWrongShard reports that the client's shard is served by
+	// another node; the error message is that node's address. Clients
+	// (the Client type does this automatically) redial there — the
+	// request was refused before any session state was created, so the
+	// retry is always safe.
+	StatusWrongShard
 )
 
 // String names the status for logs and error text.
@@ -80,6 +86,8 @@ func (s Status) String() string {
 		return "cancelled"
 	case StatusDeadlineInfeasible:
 		return "deadline-infeasible"
+	case StatusWrongShard:
+		return "wrong-shard"
 	default:
 		return fmt.Sprintf("status-%d", byte(s))
 	}
@@ -170,6 +178,11 @@ type Hello struct {
 	// both ends must have loosely synchronized clocks (same assumption
 	// the session TTL already makes).
 	Deadline time.Time
+	// RingEpoch is the topology epoch of the ring the client routed
+	// with (protocol v4); zero means the client is not ring-aware. A
+	// sharded server uses it to tell a stale router from a fresh one
+	// when deciding how to phrase a redirect.
+	RingEpoch uint64
 }
 
 // helloV3Version tags the extended hello layout. A v3 payload is
@@ -181,40 +194,64 @@ type Hello struct {
 // (IDs are human-assigned names), so old and new payloads are
 // distinguishable from the first byte and a v2-only server rejects a v3
 // hello cleanly at its id-length check rather than misreading it.
+// A v4 payload extends v3 with the client's ring epoch:
+//
+//	0x00 | 4 | class | deadline (8 bytes) | ring epoch (8 bytes,
+//	big-endian, 0 = not ring-aware) | client id (1-255 bytes)
 const (
 	helloV3Marker  = 0x00
 	helloV3Version = 3
 	helloV3Header  = 11 // marker + version + class + 8-byte deadline
+	helloV4Version = 4
+	helloV4Header  = helloV3Header + 8 // + 8-byte ring epoch
 )
 
-// EncodeHello serializes a Hello. A hello with default QoS (interactive
-// class, no deadline) encodes as the v2 raw client id, so upgraded
-// clients keep working against v2 servers until they actually use the
-// new fields.
+// EncodeHello serializes a Hello at the oldest wire version that can
+// carry it: a hello with default QoS and no ring epoch encodes as the
+// v2 raw client id, QoS alone selects v3, and a ring epoch selects v4 —
+// so upgraded clients keep working against older servers until they
+// actually use the new fields.
 func EncodeHello(h Hello) []byte {
-	if h.Class == core.ClassInteractive && h.Deadline.IsZero() {
+	if h.Class == core.ClassInteractive && h.Deadline.IsZero() && h.RingEpoch == 0 {
 		return []byte(h.ClientID)
 	}
-	out := make([]byte, helloV3Header+len(h.ClientID))
+	header := helloV3Header
+	version := byte(helloV3Version)
+	if h.RingEpoch != 0 {
+		header = helloV4Header
+		version = helloV4Version
+	}
+	out := make([]byte, header+len(h.ClientID))
 	out[0] = helloV3Marker
-	out[1] = helloV3Version
+	out[1] = version
 	out[2] = byte(h.Class)
 	if !h.Deadline.IsZero() {
 		binary.BigEndian.PutUint64(out[3:11], uint64(h.Deadline.UnixNano()))
 	}
-	copy(out[helloV3Header:], h.ClientID)
+	if version == helloV4Version {
+		binary.BigEndian.PutUint64(out[11:19], h.RingEpoch)
+	}
+	copy(out[header:], h.ClientID)
 	return out
 }
 
-// DecodeHello parses a Hello, accepting both the v2 raw-id payload and
-// the v3 extended layout.
+// DecodeHello parses a Hello, accepting the v2 raw-id payload and the
+// v3/v4 extended layouts.
 func DecodeHello(p []byte) (Hello, error) {
 	if len(p) > 0 && p[0] == helloV3Marker {
-		if len(p) < helloV3Header {
-			return Hello{}, errors.New("netproto: truncated v3 hello")
+		if len(p) < 2 {
+			return Hello{}, errors.New("netproto: truncated extended hello")
 		}
-		if p[1] != helloV3Version {
+		header := helloV3Header
+		switch p[1] {
+		case helloV3Version:
+		case helloV4Version:
+			header = helloV4Header
+		default:
 			return Hello{}, fmt.Errorf("netproto: unsupported hello version %d", p[1])
+		}
+		if len(p) < header {
+			return Hello{}, fmt.Errorf("netproto: truncated v%d hello", p[1])
 		}
 		h := Hello{Class: core.QoSClass(p[2])}
 		if !h.Class.Valid() {
@@ -223,7 +260,10 @@ func DecodeHello(p []byte) (Hello, error) {
 		if nanos := binary.BigEndian.Uint64(p[3:11]); nanos != 0 {
 			h.Deadline = time.Unix(0, int64(nanos))
 		}
-		id := p[helloV3Header:]
+		if p[1] == helloV4Version {
+			h.RingEpoch = binary.BigEndian.Uint64(p[11:19])
+		}
+		id := p[header:]
 		if len(id) == 0 || len(id) > 255 {
 			return Hello{}, errors.New("netproto: invalid client id length")
 		}

@@ -1,0 +1,437 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/durable"
+	"rbcsalted/internal/ring"
+)
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// State is the local durable state replicated records are ingested
+	// into.
+	State *durable.State
+	// ID names this follower in the primary's liveness table.
+	ID string
+	// MetaPath is where the fencing epoch and cursor persist (one file
+	// per followed primary).
+	MetaPath string
+	// NumShards is the shard count (default ring.DefaultNumShards);
+	// it must match the primary's.
+	NumShards int
+	// Shards selects which shards to subscribe to (nil = all). A
+	// serving node cross-replicating a peer passes exactly the shards
+	// that peer owns.
+	Shards []int
+	// AckInterval paces cursor acks (and meta persistence) back to the
+	// primary (default 500 ms; tests shorten it).
+	AckInterval time.Duration
+	// DialTimeout bounds each connection attempt (default 5 s).
+	DialTimeout time.Duration
+	// ReadTimeout bounds silence from the primary before the follower
+	// declares it dead and redials (default 10 s — several primary
+	// heartbeats).
+	ReadTimeout time.Duration
+}
+
+// Follower subscribes to a primary's WAL stream and ingests it into
+// the local durable state. Safe for use from one Run loop plus
+// concurrent Cursor/Epoch/Promote calls.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu       sync.Mutex
+	epoch    uint64
+	cursor   uint64
+	promoted bool
+	conn     net.Conn
+}
+
+// NewFollower builds a Follower, loading its persisted meta.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.State == nil {
+		return nil, errors.New("replica: FollowerConfig.State required")
+	}
+	if cfg.MetaPath == "" {
+		return nil, errors.New("replica: FollowerConfig.MetaPath required")
+	}
+	if cfg.NumShards <= 0 {
+		cfg.NumShards = ring.DefaultNumShards
+	}
+	if cfg.AckInterval <= 0 {
+		cfg.AckInterval = 500 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 10 * time.Second
+	}
+	meta, err := LoadMeta(cfg.MetaPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{cfg: cfg, epoch: meta.Epoch, cursor: meta.Cursor}, nil
+}
+
+// Cursor returns the primary sequence number applied through.
+func (f *Follower) Cursor() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cursor
+}
+
+// Epoch returns the follower's fencing epoch.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Promote turns this follower into the replication group's new
+// authority: the fencing epoch advances (persisted before returning)
+// and the challenge-nonce high-water mark jumps by PromoteNonceSlack so
+// nonces the dead primary issued but never replicated cannot be
+// reissued. Any active Run loop stops with ErrPromoted. The caller
+// owns what happens next — typically re-serving the follower's State
+// as a Primary at the returned epoch.
+func (f *Follower) Promote() (uint64, error) {
+	f.mu.Lock()
+	if f.promoted {
+		epoch := f.epoch
+		f.mu.Unlock()
+		return epoch, nil
+	}
+	f.promoted = true
+	f.epoch++
+	epoch := f.epoch
+	cursor := f.cursor
+	conn := f.conn
+	f.mu.Unlock()
+
+	if conn != nil {
+		conn.Close()
+	}
+	sess := f.cfg.State.Sessions()
+	sess.BumpNonce(sess.Nonce() + PromoteNonceSlack)
+	if err := SaveMeta(f.cfg.MetaPath, Meta{Epoch: epoch, Cursor: cursor}); err != nil {
+		return epoch, err
+	}
+	return epoch, nil
+}
+
+// Promoted reports whether Promote has run.
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// RunUntil follows the primary at addr, redialing with a fixed delay
+// after connection loss — the cluster worker's rejoin idiom — until ctx
+// is cancelled, the follower is promoted, or the primary turns out to
+// be fenced or stale (those are permanent for this topology, so the
+// loop reports instead of hammering).
+func (f *Follower) RunUntil(ctx context.Context, addr string, delay time.Duration) error {
+	if delay <= 0 {
+		delay = time.Second
+	}
+	for {
+		err := f.Run(ctx, addr)
+		switch {
+		case errors.Is(err, ErrPromoted), errors.Is(err, ErrStalePrimary), errors.Is(err, ErrFenced):
+			return err
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Run follows the primary at addr over one connection: subscribe,
+// catch up, tail live records until the connection drops, ctx is
+// cancelled, or the follower is promoted.
+func (f *Follower) Run(ctx context.Context, addr string) error {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return ErrPromoted
+	}
+	epoch, cursor := f.epoch, f.cursor
+	f.mu.Unlock()
+
+	d := net.Dialer{Timeout: f.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return ErrPromoted
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+	}()
+
+	// Tear the connection down when ctx dies so blocking reads fail.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := writeMsg(conn, kindSubscribe, &subscribeMsg{
+		FollowerID: f.cfg.ID,
+		Epoch:      epoch,
+		Cursor:     cursor,
+		NumShards:  f.cfg.NumShards,
+		Shards:     f.cfg.Shards,
+	}); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	kind, raw, err := readMsg(conn)
+	if err != nil || kind != kindAccept {
+		return fmt.Errorf("replica: expected accept, got %v / %w", kind, err)
+	}
+	acc := raw.(*acceptMsg)
+	if acc.Err != "" {
+		if acc.Epoch < epoch {
+			return fmt.Errorf("%w: refused: %s", ErrFenced, acc.Err)
+		}
+		return fmt.Errorf("replica: primary refused: %s", acc.Err)
+	}
+	if acc.Epoch < epoch {
+		// The primary predates our promotion history: refusing its
+		// stream is what prevents a deposed primary from rewriting a
+		// promoted follower.
+		return fmt.Errorf("%w: primary epoch %d, follower epoch %d", ErrStalePrimary, acc.Epoch, epoch)
+	}
+	if acc.Epoch > epoch {
+		// The group moved on while we were away; adopt its epoch.
+		f.mu.Lock()
+		f.epoch = acc.Epoch
+		epoch = acc.Epoch
+		cursor = f.cursor
+		f.mu.Unlock()
+		if err := SaveMeta(f.cfg.MetaPath, Meta{Epoch: epoch, Cursor: cursor}); err != nil {
+			return err
+		}
+	}
+
+	// Ack loop: heartbeat the applied cursor back and persist it.
+	ackErr := make(chan error, 1)
+	go func() {
+		t := time.NewTicker(f.cfg.AckInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			f.mu.Lock()
+			cur, ep := f.cursor, f.epoch
+			f.mu.Unlock()
+			if err := SaveMeta(f.cfg.MetaPath, Meta{Epoch: ep, Cursor: cur}); err != nil {
+				ackErr <- err
+				return
+			}
+			if err := writeMsg(conn, kindAck, &ackMsg{Cursor: cur}); err != nil {
+				return // reader will surface the connection error
+			}
+		}
+	}()
+
+	err = f.consume(conn)
+	select {
+	case aerr := <-ackErr:
+		err = aerr
+	default:
+	}
+	// Persist the final position; re-delivery from an older cursor is
+	// harmless, so a failed save only costs replay.
+	f.mu.Lock()
+	cur, ep, promoted := f.cursor, f.epoch, f.promoted
+	f.mu.Unlock()
+	_ = SaveMeta(f.cfg.MetaPath, Meta{Epoch: ep, Cursor: cur})
+	if promoted {
+		return ErrPromoted
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// consume applies the primary's stream: catch-up records (Seq 0) are
+// collected for reconciliation, live records advance the cursor.
+func (f *Follower) consume(conn net.Conn) error {
+	var catchup *catchupSet
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		kind, raw, err := readMsg(conn)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case kindRecord:
+			m := raw.(*recordMsg)
+			rec, err := durable.DecodeRecord(m.Payload)
+			if err != nil {
+				return fmt.Errorf("replica: bad record from primary: %w", err)
+			}
+			if m.Seq == 0 {
+				if catchup == nil {
+					catchup = newCatchupSet()
+				}
+				catchup.note(rec)
+			}
+			if _, err := f.cfg.State.Ingest(m.Payload); err != nil {
+				return fmt.Errorf("replica: ingest: %w", err)
+			}
+			if m.Seq > 0 {
+				f.advance(m.Seq)
+			}
+		case kindWatermark:
+			f.advance(raw.(*watermarkMsg).Seq)
+		case kindCatchupDone:
+			m := raw.(*catchupDoneMsg)
+			if catchup == nil {
+				catchup = newCatchupSet()
+			}
+			if err := f.reconcile(catchup); err != nil {
+				return err
+			}
+			catchup = nil
+			f.cfg.State.Sessions().BumpNonce(m.Nonce)
+			f.advance(m.Cut)
+		default:
+			return fmt.Errorf("replica: unexpected message kind %d mid-stream", kind)
+		}
+	}
+}
+
+// advance moves the cursor forward (never backward: watermarks and
+// records can interleave across a snapshot fallback).
+func (f *Follower) advance(seq uint64) {
+	f.mu.Lock()
+	if seq > f.cursor {
+		f.cursor = seq
+	}
+	f.mu.Unlock()
+}
+
+// catchupSet tracks which entries a full-state transfer mentioned, so
+// reconciliation can delete everything else — entries the primary
+// deleted in the compacted gap the follower never saw.
+type catchupSet struct {
+	images   map[core.ClientID]bool
+	raKeys   map[core.ClientID]bool
+	raCerts  map[core.ClientID]bool
+	sessions map[core.ClientID]bool
+}
+
+func newCatchupSet() *catchupSet {
+	return &catchupSet{
+		images:   make(map[core.ClientID]bool),
+		raKeys:   make(map[core.ClientID]bool),
+		raCerts:  make(map[core.ClientID]bool),
+		sessions: make(map[core.ClientID]bool),
+	}
+}
+
+func (c *catchupSet) note(rec *durable.Record) {
+	switch rec.Op {
+	case durable.OpImagePut:
+		c.images[rec.ID] = true
+	case durable.OpRAKey:
+		c.raKeys[rec.ID] = true
+	case durable.OpRACert:
+		c.raCerts[rec.ID] = true
+	case durable.OpSessionOpen:
+		c.sessions[rec.ID] = true
+	}
+}
+
+// inShards reports whether id belongs to a shard this follower
+// subscribes to — reconciliation must never touch shards the transfer
+// was filtered on, or a shard-subset snapshot would wipe the rest.
+func (f *Follower) inShards(id core.ClientID) bool {
+	if f.cfg.Shards == nil {
+		return true
+	}
+	shard := ring.ShardOfKey(string(id), f.cfg.NumShards)
+	for _, s := range f.cfg.Shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// reconcile deletes local entries (in subscribed shards) that the
+// full-state transfer did not mention. Deletions go through the
+// journaling store APIs, so they land in the follower's own WAL and
+// survive its restarts. RA entries are kept while either their key or
+// certificate was mentioned; a stale certificate under a live key is
+// left for the next re-key to overwrite (certificates carry their own
+// expiry).
+func (f *Follower) reconcile(c *catchupSet) error {
+	st := f.cfg.State
+	for id := range st.Images().SealedSnapshot() {
+		if f.inShards(id) && !c.images[id] {
+			if err := st.Images().Delete(id); err != nil {
+				return fmt.Errorf("replica: reconcile image %q: %w", id, err)
+			}
+		}
+	}
+	stale := make(map[core.ClientID]bool)
+	for id := range st.RA().SnapshotKeys() {
+		if f.inShards(id) && !c.raKeys[id] && !c.raCerts[id] {
+			stale[id] = true
+		}
+	}
+	for id := range st.RA().SnapshotCertificates() {
+		if f.inShards(id) && !c.raKeys[id] && !c.raCerts[id] {
+			stale[id] = true
+		}
+	}
+	for id := range stale {
+		if err := st.RA().Delete(id); err != nil {
+			return fmt.Errorf("replica: reconcile RA %q: %w", id, err)
+		}
+	}
+	for id := range st.Sessions().Snapshot() {
+		if f.inShards(id) && !c.sessions[id] {
+			if err := st.Sessions().Drop(id); err != nil {
+				return fmt.Errorf("replica: reconcile session %q: %w", id, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"rbcsalted/internal/durable"
+	"rbcsalted/internal/ring"
+)
+
+// FollowerStatus is one subscriber in the primary's liveness table.
+type FollowerStatus struct {
+	ID      string
+	Addr    string
+	Acked   uint64    // cursor the follower has acked
+	LastAck time.Time // when the last ack (or the subscribe) arrived
+	Shards  []int     // nil = all
+}
+
+// Primary serves this node's WAL to subscribing followers.
+type Primary struct {
+	// State is the durable state whose journal is streamed.
+	State *durable.State
+	// Epoch is the fencing epoch this primary serves at (from its meta
+	// file). Subscribers carrying a higher epoch fence it.
+	Epoch uint64
+	// NumShards is the shard count records are classified with
+	// (default ring.DefaultNumShards). Subscribers must agree.
+	NumShards int
+	// Heartbeat paces watermark messages on an idle stream (default
+	// 1 s; tests shorten it).
+	Heartbeat time.Duration
+	// ReapAfter bounds follower silence: a subscriber that has not
+	// acked for this long is disconnected and must resubscribe
+	// (default 5× Heartbeat) — the cluster coordinator's reap idiom.
+	ReapAfter time.Duration
+	// OnFenced, when set, fires once when a subscriber fences this
+	// primary (the server uses it to stand down).
+	OnFenced func(epoch uint64)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	fenced   bool
+	fencedBy uint64
+	subs     map[*subscriber]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type subscriber struct {
+	id     string
+	addr   string
+	shards map[int]bool // nil = all
+	conn   net.Conn
+
+	mu      sync.Mutex
+	acked   uint64
+	lastAck time.Time
+}
+
+func (s *subscriber) wants(shard int) bool {
+	return s.shards == nil || s.shards[shard]
+}
+
+func (s *subscriber) noteAck(cursor uint64) {
+	s.mu.Lock()
+	if cursor > s.acked {
+		s.acked = cursor
+	}
+	s.lastAck = time.Now()
+	s.mu.Unlock()
+}
+
+func (p *Primary) heartbeat() time.Duration {
+	if p.Heartbeat > 0 {
+		return p.Heartbeat
+	}
+	return time.Second
+}
+
+func (p *Primary) reapAfter() time.Duration {
+	if p.ReapAfter > 0 {
+		return p.ReapAfter
+	}
+	return 5 * p.heartbeat()
+}
+
+func (p *Primary) numShards() int {
+	if p.NumShards > 0 {
+		return p.NumShards
+	}
+	return ring.DefaultNumShards
+}
+
+// Serve accepts subscribers until the listener closes.
+func (p *Primary) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.subs == nil {
+		p.subs = make(map[*subscriber]struct{})
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and every subscriber stream.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	for s := range p.subs {
+		s.conn.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Fenced reports whether a higher-epoch subscriber has fenced this
+// primary, and by which epoch.
+func (p *Primary) Fenced() (bool, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fenced, p.fencedBy
+}
+
+// Followers snapshots the liveness table, sorted by follower ID.
+func (p *Primary) Followers() []FollowerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FollowerStatus, 0, len(p.subs))
+	for s := range p.subs {
+		s.mu.Lock()
+		st := FollowerStatus{ID: s.id, Addr: s.addr, Acked: s.acked, LastAck: s.lastAck}
+		s.mu.Unlock()
+		if s.shards != nil {
+			for sh := range s.shards {
+				st.Shards = append(st.Shards, sh)
+			}
+			sort.Ints(st.Shards)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// fence marks the primary superseded and fires OnFenced once.
+func (p *Primary) fence(epoch uint64) {
+	p.mu.Lock()
+	first := !p.fenced
+	p.fenced = true
+	if epoch > p.fencedBy {
+		p.fencedBy = epoch
+	}
+	hook := p.OnFenced
+	p.mu.Unlock()
+	if first && hook != nil {
+		hook(epoch)
+	}
+}
+
+// handle runs one subscriber stream.
+func (p *Primary) handle(conn net.Conn) {
+	defer conn.Close()
+
+	refuse := func(msg string) {
+		_ = writeMsg(conn, kindAccept, &acceptMsg{Epoch: p.Epoch, Err: msg})
+	}
+
+	conn.SetReadDeadline(time.Now().Add(p.reapAfter()))
+	kind, raw, err := readMsg(conn)
+	if err != nil || kind != kindSubscribe {
+		refuse("expected subscribe")
+		return
+	}
+	sub := raw.(*subscribeMsg)
+	if sub.NumShards != 0 && sub.NumShards != p.numShards() {
+		refuse(fmt.Sprintf("shard count mismatch: primary %d, follower %d", p.numShards(), sub.NumShards))
+		return
+	}
+	if sub.Epoch > p.Epoch {
+		// A promotion happened elsewhere: this primary is history.
+		p.fence(sub.Epoch)
+		refuse(fmt.Sprintf("fenced: follower at epoch %d, primary at %d", sub.Epoch, p.Epoch))
+		return
+	}
+	if fenced, by := p.Fenced(); fenced {
+		refuse(fmt.Sprintf("fenced by epoch %d", by))
+		return
+	}
+
+	s := &subscriber{id: sub.FollowerID, addr: conn.RemoteAddr().String(), conn: conn, lastAck: time.Now()}
+	if sub.Shards != nil {
+		s.shards = make(map[int]bool, len(sub.Shards))
+		for _, sh := range sub.Shards {
+			s.shards[sh] = true
+		}
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		refuse("primary closing")
+		return
+	}
+	p.subs[s] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.subs, s)
+		p.mu.Unlock()
+	}()
+
+	// Acks arrive on their own goroutine; any read error tears the
+	// stream down. The stream context dies with it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		defer cancel()
+		for {
+			conn.SetReadDeadline(time.Now().Add(p.reapAfter()))
+			kind, raw, err := readMsg(conn)
+			if err != nil || kind != kindAck {
+				return
+			}
+			s.noteAck(raw.(*ackMsg).Cursor)
+		}
+	}()
+	conn.SetWriteDeadline(time.Time{})
+
+	_ = p.stream(ctx, conn, s, sub.Cursor)
+}
+
+// stream ships records from cursor onward, switching to a synthesized
+// full-state transfer whenever compaction has outrun the cursor.
+func (p *Primary) stream(ctx context.Context, conn net.Conn, s *subscriber, cursor uint64) error {
+	accepted := false
+	for {
+		tail, err := p.State.TailFrom(cursor)
+		if errors.Is(err, durable.ErrTruncated) {
+			if !accepted {
+				if err := writeMsg(conn, kindAccept, &acceptMsg{Epoch: p.Epoch, Snapshot: true}); err != nil {
+					return err
+				}
+				accepted = true
+			}
+			cursor, err = p.sendSnapshot(conn, s)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			if !accepted {
+				_ = writeMsg(conn, kindAccept, &acceptMsg{Epoch: p.Epoch, Err: err.Error()})
+			}
+			return err
+		}
+		if !accepted {
+			if err := writeMsg(conn, kindAccept, &acceptMsg{Epoch: p.Epoch}); err != nil {
+				tail.Close()
+				return err
+			}
+			accepted = true
+		}
+		err = p.tailLoop(ctx, conn, s, tail, cursor)
+		tail.Close()
+		if !errors.Is(err, durable.ErrTruncated) {
+			return err
+		}
+		// Compaction outran the tail mid-stream (slow follower): fall
+		// back to a fresh snapshot transfer and resume from its cut.
+		cursor, err = p.sendSnapshot(conn, s)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// tailLoop is live streaming: records the subscriber's shards want,
+// watermarks for everything else and for idle heartbeats.
+func (p *Primary) tailLoop(ctx context.Context, conn net.Conn, s *subscriber, tail *durable.Tail, cursor uint64) error {
+	numShards := p.numShards()
+	watermark := cursor // highest seq covered but not sent as a record
+	for {
+		if since := time.Since(s.lastAckTime()); since > p.reapAfter() {
+			return fmt.Errorf("replica: follower %s silent for %s, reaping", s.id, since.Round(time.Millisecond))
+		}
+		stepCtx, cancel := context.WithTimeout(ctx, p.heartbeat())
+		seq, payload, err := tail.Next(stepCtx)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				// Idle: heartbeat the current position.
+				if err := writeMsg(conn, kindWatermark, &watermarkMsg{Seq: watermark}); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		rec, err := durable.DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("replica: undecodable record %d: %w", seq, err)
+		}
+		if s.wants(ring.ShardOfKey(string(rec.ID), numShards)) {
+			if err := writeMsg(conn, kindRecord, &recordMsg{Seq: seq, Payload: payload}); err != nil {
+				return err
+			}
+		}
+		watermark = seq
+	}
+}
+
+func (s *subscriber) lastAckTime() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAck
+}
+
+// sendSnapshot ships the stores' current state as synthesized records
+// and returns the sequence cut live tailing resumes from. The cut is
+// taken before the store copies, so the copies can only be ahead of it
+// — a mutation present in both the transfer and the replayed suffix
+// converges because every op is an idempotent overwrite (the same
+// argument durable.Snapshot makes).
+func (p *Primary) sendSnapshot(conn net.Conn, s *subscriber) (uint64, error) {
+	cut := p.State.LastSeq()
+	nonce := p.State.Sessions().Nonce()
+	numShards := p.numShards()
+
+	send := func(rec *durable.Record) error {
+		if !s.wants(ring.ShardOfKey(string(rec.ID), numShards)) {
+			return nil
+		}
+		payload, err := rec.Encode()
+		if err != nil {
+			return err
+		}
+		return writeMsg(conn, kindRecord, &recordMsg{Payload: payload})
+	}
+	for id, sealed := range p.State.Images().SealedSnapshot() {
+		if err := send(&durable.Record{Op: durable.OpImagePut, ID: id, Blob: sealed}); err != nil {
+			return 0, err
+		}
+	}
+	for id, key := range p.State.RA().SnapshotKeys() {
+		if err := send(&durable.Record{Op: durable.OpRAKey, ID: id, Blob: key}); err != nil {
+			return 0, err
+		}
+	}
+	for id, cert := range p.State.RA().SnapshotCertificates() {
+		if err := send(&durable.Record{Op: durable.OpRACert, ID: id, Cert: cert}); err != nil {
+			return 0, err
+		}
+	}
+	for id, ch := range p.State.Sessions().Snapshot() {
+		ch := ch
+		if err := send(&durable.Record{Op: durable.OpSessionOpen, ID: id, Challenge: &ch}); err != nil {
+			return 0, err
+		}
+	}
+	if err := writeMsg(conn, kindCatchupDone, &catchupDoneMsg{Cut: cut, Nonce: nonce}); err != nil {
+		return 0, err
+	}
+	return cut, nil
+}

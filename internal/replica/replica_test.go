@@ -1,0 +1,478 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rbcsalted/internal/core"
+	"rbcsalted/internal/durable"
+	"rbcsalted/internal/ring"
+)
+
+func openState(t *testing.T, dir string) *durable.State {
+	t.Helper()
+	st, err := durable.Open(durable.Options{
+		Dir:          dir,
+		MasterKey:    [32]byte{9},
+		SegmentBytes: 512, // rotate often so compaction has teeth
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// startPrimary serves st's WAL on a loopback listener.
+func startPrimary(t *testing.T, st *durable.State, epoch uint64) (*Primary, string) {
+	t.Helper()
+	p := &Primary{
+		State:     st,
+		Epoch:     epoch,
+		Heartbeat: 20 * time.Millisecond,
+		ReapAfter: 2 * time.Second,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(ln)
+	return p, ln.Addr().String()
+}
+
+func newFollower(t *testing.T, st *durable.State, dir, id string, shards []int) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		State:       st,
+		ID:          id,
+		MetaPath:    filepath.Join(dir, "replica-primary.meta"),
+		Shards:      shards,
+		AckInterval: 10 * time.Millisecond,
+		ReadTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func openSession(t *testing.T, st *durable.State, id core.ClientID) core.Challenge {
+	t.Helper()
+	ch := core.Challenge{
+		Nonce:      st.Sessions().NextNonce(),
+		AddressMap: make([]int, 256),
+		Alg:        core.SHA3,
+		IssuedAt:   time.Now(),
+	}
+	if err := st.Sessions().Open(id, ch); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// TestLiveReplication: records journaled on the primary appear on the
+// follower, and the liveness table sees the follower acking.
+func TestLiveReplication(t *testing.T) {
+	pst := openState(t, t.TempDir())
+	defer pst.Close()
+	fdir := t.TempDir()
+	fst := openState(t, fdir)
+	defer fst.Close()
+
+	p, addr := startPrimary(t, pst, 1)
+	defer p.Close()
+	f := newFollower(t, fst, fdir, "f1", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.RunUntil(ctx, addr, 20*time.Millisecond)
+
+	for i := 0; i < 30; i++ {
+		id := core.ClientID(fmt.Sprintf("client-%02d", i))
+		if err := pst.RA().Update(id, []byte(fmt.Sprintf("key-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	openSession(t, pst, "client-00")
+
+	waitFor(t, "follower caught up", func() bool { return f.Cursor() >= pst.LastSeq() })
+	for i := 0; i < 30; i++ {
+		id := core.ClientID(fmt.Sprintf("client-%02d", i))
+		key, ok := fst.RA().PublicKey(id)
+		if !ok || string(key) != fmt.Sprintf("key-%02d", i) {
+			t.Fatalf("follower missing %s (key %q ok=%v)", id, key, ok)
+		}
+	}
+	if fst.Sessions().Len() != 1 {
+		t.Fatalf("follower sessions = %d, want 1", fst.Sessions().Len())
+	}
+
+	waitFor(t, "follower acked", func() bool {
+		fs := p.Followers()
+		return len(fs) == 1 && fs[0].ID == "f1" && fs[0].Acked >= pst.LastSeq()
+	})
+}
+
+// TestSnapshotCatchup: a follower whose cursor was compacted away gets
+// the synthesized full-state transfer, including reconciliation of
+// entries the primary deleted while the follower was gone.
+func TestSnapshotCatchup(t *testing.T) {
+	pst := openState(t, t.TempDir())
+	defer pst.Close()
+	fdir := t.TempDir()
+	fst := openState(t, fdir)
+	defer fst.Close()
+
+	// The follower holds a stale entry the primary deleted long ago.
+	if err := fst.RA().Update("ghost", []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 40; i++ {
+		id := core.ClientID(fmt.Sprintf("snap-%02d", i))
+		if err := pst.RA().Update(id, []byte(fmt.Sprintf("key-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot + compaction: the WAL prefix is gone, TailFrom(0) is
+	// impossible, so the primary must synthesize state.
+	if err := pst.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pst.TailFrom(0); !errors.Is(err, durable.ErrTruncated) {
+		t.Fatalf("expected compacted prefix, got %v", err)
+	}
+
+	p, addr := startPrimary(t, pst, 1)
+	defer p.Close()
+	f := newFollower(t, fst, fdir, "f1", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.RunUntil(ctx, addr, 20*time.Millisecond)
+
+	waitFor(t, "catch-up", func() bool { return f.Cursor() >= pst.LastSeq() })
+	for i := 0; i < 40; i++ {
+		id := core.ClientID(fmt.Sprintf("snap-%02d", i))
+		if _, ok := fst.RA().PublicKey(id); !ok {
+			t.Fatalf("follower missing %s after snapshot catch-up", id)
+		}
+	}
+	if _, ok := fst.RA().PublicKey("ghost"); ok {
+		t.Fatal("reconciliation kept an entry the transfer never mentioned")
+	}
+
+	// Live tailing continues after the transfer.
+	if err := pst.RA().Update("after", []byte("after-key")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live record after catch-up", func() bool {
+		_, ok := fst.RA().PublicKey("after")
+		return ok
+	})
+}
+
+// TestShardFiltering: a subscriber asking for a shard subset receives
+// only those records, while watermarks still advance its cursor past
+// the filtered ones.
+func TestShardFiltering(t *testing.T) {
+	pst := openState(t, t.TempDir())
+	defer pst.Close()
+	fdir := t.TempDir()
+	fst := openState(t, fdir)
+	defer fst.Close()
+
+	// Find two client IDs in different shards.
+	inID := core.ClientID("shard-a")
+	inShard := ring.ShardOfKey(string(inID), ring.DefaultNumShards)
+	var outID core.ClientID
+	for i := 0; ; i++ {
+		id := core.ClientID(fmt.Sprintf("other-%d", i))
+		if ring.ShardOfKey(string(id), ring.DefaultNumShards) != inShard {
+			outID = id
+			break
+		}
+	}
+
+	p, addr := startPrimary(t, pst, 1)
+	defer p.Close()
+	f := newFollower(t, fst, fdir, "f1", []int{inShard})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.RunUntil(ctx, addr, 20*time.Millisecond)
+
+	if err := pst.RA().Update(inID, []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pst.RA().Update(outID, []byte("out")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "cursor past filtered record", func() bool { return f.Cursor() >= pst.LastSeq() })
+	if _, ok := fst.RA().PublicKey(inID); !ok {
+		t.Fatal("subscribed-shard record not replicated")
+	}
+	if _, ok := fst.RA().PublicKey(outID); ok {
+		t.Fatal("foreign-shard record replicated despite filter")
+	}
+}
+
+// TestFencing: a higher-epoch subscriber fences the primary (OnFenced
+// fires, later subscribers are refused); a lower-epoch follower adopts
+// the primary's epoch.
+func TestFencing(t *testing.T) {
+	pst := openState(t, t.TempDir())
+	defer pst.Close()
+
+	var fencedAt atomic.Uint64
+	p := &Primary{
+		State:     pst,
+		Epoch:     5,
+		Heartbeat: 20 * time.Millisecond,
+		OnFenced:  func(e uint64) { fencedAt.Store(e) },
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(ln)
+	defer p.Close()
+	addr := ln.Addr().String()
+
+	// A lower-epoch follower adopts epoch 5.
+	f3dir := t.TempDir()
+	f3st := openState(t, f3dir)
+	defer f3st.Close()
+	f3 := newFollower(t, f3st, f3dir, "old", nil)
+	if err := SaveMeta(f3.cfg.MetaPath, Meta{Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	f3, _ = NewFollower(f3.cfg) // reload with epoch 3
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	go f3.RunUntil(ctx, addr, 20*time.Millisecond)
+	waitFor(t, "epoch adoption", func() bool { return f3.Epoch() == 5 })
+	cancel()
+
+	// A higher-epoch follower fences the primary.
+	f7dir := t.TempDir()
+	f7st := openState(t, f7dir)
+	defer f7st.Close()
+	f7 := newFollower(t, f7st, f7dir, "new", nil)
+	if err := SaveMeta(f7.cfg.MetaPath, Meta{Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	f7, _ = NewFollower(f7.cfg)
+	err = f7.Run(context.Background(), addr)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("higher-epoch follower got %v, want ErrFenced", err)
+	}
+	if fenced, by := p.Fenced(); !fenced || by != 7 {
+		t.Fatalf("primary fenced=%v by=%d, want true/7", fenced, by)
+	}
+	if fencedAt.Load() != 7 {
+		t.Fatalf("OnFenced saw %d, want 7", fencedAt.Load())
+	}
+
+	// Once fenced, even same-epoch subscribers are refused.
+	f5dir := t.TempDir()
+	f5st := openState(t, f5dir)
+	defer f5st.Close()
+	f5 := newFollower(t, f5st, f5dir, "same", nil)
+	if err := SaveMeta(f5.cfg.MetaPath, Meta{Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	f5, _ = NewFollower(f5.cfg)
+	if err := f5.Run(context.Background(), addr); err == nil {
+		t.Fatal("fenced primary accepted a subscriber")
+	}
+}
+
+// TestFollowerRejoinsAfterPrimaryRestart: the cluster rejoin idiom — a
+// primary restart (same address) does not strand the follower.
+func TestFollowerRejoinsAfterPrimaryRestart(t *testing.T) {
+	pst := openState(t, t.TempDir())
+	defer pst.Close()
+	fdir := t.TempDir()
+	fst := openState(t, fdir)
+	defer fst.Close()
+
+	p1, addr := startPrimary(t, pst, 1)
+	f := newFollower(t, fst, fdir, "f1", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.RunUntil(ctx, addr, 10*time.Millisecond)
+
+	if err := pst.RA().Update("before", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first sync", func() bool { return f.Cursor() >= pst.LastSeq() })
+
+	p1.Close()
+	// Restart on the same address with the same state.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := &Primary{State: pst, Epoch: 1, Heartbeat: 20 * time.Millisecond}
+	go p2.Serve(ln)
+	defer p2.Close()
+
+	if err := pst.RA().Update("after", []byte("k2")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "resync after restart", func() bool {
+		_, ok := fst.RA().PublicKey("after")
+		return ok
+	})
+}
+
+// TestFailoverProperty is the satellite's property test: kill the
+// primary mid-load, promote the follower, and assert (a) every write
+// the follower acknowledged survives the promotion and a restart, and
+// (b) challenge-nonce single-use holds across the failover — the new
+// authority never reissues a nonce the dead primary handed out.
+func TestFailoverProperty(t *testing.T) {
+	pst := openState(t, t.TempDir())
+	fdir := t.TempDir()
+	fst := openState(t, fdir)
+
+	p, addr := startPrimary(t, pst, 1)
+	f := newFollower(t, fst, fdir, "f1", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- f.RunUntil(ctx, addr, 10*time.Millisecond) }()
+
+	// Load: interleaved re-keys and session opens (each open consumes a
+	// nonce, the single-use resource failover must respect).
+	const load = 120
+	for i := 0; i < load; i++ {
+		id := core.ClientID(fmt.Sprintf("user-%03d", i))
+		if err := pst.RA().Update(id, []byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			openSession(t, pst, id)
+		}
+	}
+
+	// Kill the primary mid-load: no drain, no handshake — the follower
+	// keeps whatever it has applied.
+	waitFor(t, "some replication progress", func() bool { return f.Cursor() > 0 })
+	primaryNonce := pst.Sessions().Nonce()
+	primaryLast := pst.LastSeq()
+	p.Close()
+	if err := pst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "follower run loop to notice", func() bool { return f.Cursor() > 0 }) // cursor settled
+	ackedCursor := f.Cursor()
+
+	epoch, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follower adopted the primary's epoch (1) on subscribe, so
+	// promotion must out-rank it.
+	if epoch != 2 {
+		t.Fatalf("promotion epoch = %d, want 2", epoch)
+	}
+	select {
+	case err := <-runDone:
+		if !errors.Is(err, ErrPromoted) && err != nil && ctx.Err() == nil {
+			t.Fatalf("run loop exit = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run loop did not stop on promotion")
+	}
+
+	// (a) Everything the follower applied (cursor) must be present: the
+	// cursor only advances after Ingest journals the record locally.
+	// Re-open the follower state to prove it survives a restart too.
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fst2 := openState(t, fdir)
+	defer fst2.Close()
+	missing := 0
+	for i := 0; i < load; i++ {
+		id := core.ClientID(fmt.Sprintf("user-%03d", i))
+		if _, ok := fst2.RA().PublicKey(id); !ok {
+			missing++
+		}
+	}
+	// The cursor tells how many primary records were applied; with
+	// load*4/3 total records, a fully-acked follower misses nothing.
+	if ackedCursor >= primaryLast && missing > 0 {
+		t.Fatalf("follower acked cursor %d >= primary last %d but misses %d clients",
+			ackedCursor, primaryLast, missing)
+	}
+
+	// (b) Nonce single-use: the promoted authority's next nonce must
+	// clear every nonce the dead primary ever issued (even ones it
+	// never replicated) — that is what PromoteNonceSlack buys.
+	nextNonce := fst2.Sessions().NextNonce()
+	if nextNonce <= primaryNonce {
+		t.Fatalf("promoted nonce %d does not clear primary nonce %d", nextNonce, primaryNonce)
+	}
+
+	// The promoted follower's meta carries the new epoch, so a deposed
+	// primary coming back cannot out-rank it.
+	meta, err := LoadMeta(filepath.Join(fdir, "replica-primary.meta"))
+	if err != nil || meta.Epoch != epoch {
+		t.Fatalf("persisted meta = %+v, %v; want epoch %d", meta, err, epoch)
+	}
+}
+
+// TestPromoteIsIdempotent: double promotion neither double-bumps the
+// epoch nor errors.
+func TestPromoteIsIdempotent(t *testing.T) {
+	fdir := t.TempDir()
+	fst := openState(t, fdir)
+	defer fst.Close()
+	f := newFollower(t, fst, fdir, "f1", nil)
+	e1, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := f.Promote()
+	if err != nil || e1 != e2 {
+		t.Fatalf("second Promote = (%d, %v), want (%d, nil)", e2, err, e1)
+	}
+	if !f.Promoted() {
+		t.Fatal("Promoted() false after Promote")
+	}
+}
+
+// TestMetaRoundTrip pins the meta file format and the missing-file
+// default.
+func TestMetaRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.meta")
+	m, err := LoadMeta(path)
+	if err != nil || m != (Meta{}) {
+		t.Fatalf("missing meta = %+v, %v", m, err)
+	}
+	want := Meta{Epoch: 3, Cursor: 99}
+	if err := SaveMeta(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMeta(path)
+	if err != nil || got != want {
+		t.Fatalf("meta round trip = %+v, %v", got, err)
+	}
+}

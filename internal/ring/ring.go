@@ -1,0 +1,239 @@
+// Package ring partitions the CA's client population across serving
+// nodes with a consistent-hash ring of virtual nodes.
+//
+// Two hash levels keep the two concerns separate:
+//
+//   - ClientID → shard is a plain FNV-1a hash modulo a fixed shard
+//     count. The shard of a client never changes, so per-shard WAL
+//     streams (internal/replica) can follow a shard wherever it lives.
+//   - Shard → node is the consistent-hash ring: every node projects
+//     VirtualNodes points onto the 64-bit hash circle and a shard is
+//     owned by the first point clockwise of its own hash. Adding or
+//     removing one node therefore moves only the shards whose owning
+//     point belonged to that node — on average shards/nodes of them —
+//     while every other shard stays put, which is the property that
+//     makes shard movement incremental instead of a full rehash.
+//
+// A Map is immutable; Add and Remove derive a new Map with the epoch
+// advanced by one. The epoch totally orders topologies, so a node (or a
+// routing client) holding an older Map can detect it is stale, and the
+// replication layer uses the same epoch sequence for primary fencing.
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultNumShards is the default shard count. It bounds the
+// granularity of rebalancing: a cluster can usefully grow to about this
+// many nodes before shards get lumpy.
+const DefaultNumShards = 16
+
+// DefaultVirtualNodes is the default number of ring points per node.
+// 64 points keep the shard assignment within a few percent of even for
+// small fleets without making ring construction noticeable.
+const DefaultVirtualNodes = 64
+
+// Node is one CA serving node: a stable identity plus the address
+// clients authenticate against (and are redirected to).
+type Node struct {
+	ID   string
+	Addr string
+}
+
+// Hash is the ring's key hash: 64-bit FNV-1a finished with a
+// splitmix64 mix. The finalizer matters: raw FNV of short keys that
+// differ only in a trailing digit ("shard/3" vs "shard/4") differs only
+// in its low bits, which collapses the ring's point spread. Exported so
+// every party — servers, the routing client, the replication filter —
+// agrees on the placement of a key without sharing code beyond this
+// package.
+func Hash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
+// ShardOfKey maps a client ID onto a shard index in [0, numShards).
+func ShardOfKey(key string, numShards int) int {
+	if numShards <= 0 {
+		numShards = DefaultNumShards
+	}
+	return int(Hash(key) % uint64(numShards))
+}
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// Map is an immutable cluster topology: the node set, the ring built
+// from it, and the shard→node assignment derived from the ring.
+type Map struct {
+	epoch     uint64
+	numShards int
+	vnodes    int
+	nodes     []Node
+	owners    []int // shard → index into nodes
+}
+
+// NewMap builds the topology for a node set. numShards and vnodes of 0
+// select the defaults. The node list must be non-empty with unique IDs;
+// order does not matter (the assignment depends only on the set).
+func NewMap(numShards, vnodes int, nodes ...Node) (*Map, error) {
+	if numShards <= 0 {
+		numShards = DefaultNumShards
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("ring: a topology needs at least one node")
+	}
+	seen := make(map[string]bool, len(nodes))
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, n := range sorted {
+		if n.ID == "" {
+			return nil, fmt.Errorf("ring: node with empty ID")
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("ring: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	m := &Map{numShards: numShards, vnodes: vnodes, nodes: sorted}
+	m.assign()
+	return m, nil
+}
+
+// assign builds the vnode ring and derives the shard owners.
+func (m *Map) assign() {
+	points := make([]point, 0, len(m.nodes)*m.vnodes)
+	for ni, n := range m.nodes {
+		for v := 0; v < m.vnodes; v++ {
+			points = append(points, point{
+				hash: Hash(fmt.Sprintf("%s#%d", n.ID, v)),
+				node: ni,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Ties broken by node index so the assignment is deterministic
+		// regardless of input order (nodes are sorted by ID).
+		return points[i].node < points[j].node
+	})
+	m.owners = make([]int, m.numShards)
+	for s := range m.owners {
+		h := Hash(fmt.Sprintf("shard/%d", s))
+		// First point clockwise of h, wrapping at the top of the circle.
+		i := sort.Search(len(points), func(i int) bool { return points[i].hash >= h })
+		if i == len(points) {
+			i = 0
+		}
+		m.owners[s] = points[i].node
+	}
+}
+
+// Epoch totally orders topologies derived from one another: every Add,
+// Remove or WithEpoch advances it.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// NumShards returns the fixed shard count.
+func (m *Map) NumShards() int { return m.numShards }
+
+// Nodes returns the member nodes, sorted by ID.
+func (m *Map) Nodes() []Node { return append([]Node(nil), m.nodes...) }
+
+// ShardOf maps a client ID onto its shard.
+func (m *Map) ShardOf(key string) int { return ShardOfKey(key, m.numShards) }
+
+// Owner returns the node owning a shard.
+func (m *Map) Owner(shard int) Node {
+	return m.nodes[m.owners[((shard%m.numShards)+m.numShards)%m.numShards]]
+}
+
+// OwnerOf returns the node owning a client ID.
+func (m *Map) OwnerOf(key string) Node { return m.Owner(m.ShardOf(key)) }
+
+// ShardsOwnedBy lists the shards a node owns (empty for a non-member).
+func (m *Map) ShardsOwnedBy(id string) []int {
+	var out []int
+	for s := range m.owners {
+		if m.nodes[m.owners[s]].ID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Has reports whether a node is a member.
+func (m *Map) Has(id string) bool {
+	for _, n := range m.nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Add derives a topology with one more node and the epoch advanced.
+// Adding an existing ID replaces its address.
+func (m *Map) Add(n Node) (*Map, error) {
+	nodes := make([]Node, 0, len(m.nodes)+1)
+	for _, have := range m.nodes {
+		if have.ID != n.ID {
+			nodes = append(nodes, have)
+		}
+	}
+	nodes = append(nodes, n)
+	next, err := NewMap(m.numShards, m.vnodes, nodes...)
+	if err != nil {
+		return nil, err
+	}
+	next.epoch = m.epoch + 1
+	return next, nil
+}
+
+// Remove derives a topology without the named node and the epoch
+// advanced. Removing the last node or a non-member is an error.
+func (m *Map) Remove(id string) (*Map, error) {
+	if !m.Has(id) {
+		return nil, fmt.Errorf("ring: node %q is not a member", id)
+	}
+	nodes := make([]Node, 0, len(m.nodes)-1)
+	for _, have := range m.nodes {
+		if have.ID != id {
+			nodes = append(nodes, have)
+		}
+	}
+	next, err := NewMap(m.numShards, m.vnodes, nodes...)
+	if err != nil {
+		return nil, fmt.Errorf("ring: removing %q: %w", id, err)
+	}
+	next.epoch = m.epoch + 1
+	return next, nil
+}
+
+// WithEpoch returns a copy pinned at an explicit epoch — the promotion
+// path, where the new topology must carry the fencing epoch the
+// replication layer agreed on rather than a relative bump.
+func (m *Map) WithEpoch(epoch uint64) *Map {
+	cp := *m
+	cp.epoch = epoch
+	return &cp
+}

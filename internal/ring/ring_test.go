@@ -1,0 +1,168 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodes(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{ID: fmt.Sprintf("node%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 7000+i)}
+	}
+	return out
+}
+
+// TestDeterministicAssignment: the same node set yields the same
+// assignment regardless of input order — both ends of a peer flag must
+// compute identical routing without talking to each other.
+func TestDeterministicAssignment(t *testing.T) {
+	ns := nodes(3)
+	a, err := NewMap(0, 0, ns[0], ns[1], ns[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMap(0, 0, ns[2], ns[0], ns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		if a.Owner(s).ID != b.Owner(s).ID {
+			t.Fatalf("shard %d owner differs by input order: %q vs %q", s, a.Owner(s).ID, b.Owner(s).ID)
+		}
+	}
+}
+
+// TestEveryNodeOwnsShards: with the default 64 vnodes, a small fleet
+// splits the default 16 shards without starving any member.
+func TestEveryNodeOwnsShards(t *testing.T) {
+	m, err := NewMap(0, 0, nodes(3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range m.Nodes() {
+		owned := m.ShardsOwnedBy(n.ID)
+		if len(owned) == 0 {
+			t.Errorf("node %s owns no shards", n.ID)
+		}
+		total += len(owned)
+	}
+	if total != m.NumShards() {
+		t.Fatalf("shards over-assigned: %d owned, %d exist", total, m.NumShards())
+	}
+}
+
+// TestMinimalMovementOnRemove is the consistent-hashing contract: when a
+// node leaves, only the shards it owned change hands.
+func TestMinimalMovementOnRemove(t *testing.T) {
+	m, err := NewMap(64, 0, nodes(4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := "node2"
+	next, err := m.Remove(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != m.Epoch()+1 {
+		t.Fatalf("epoch %d after remove, want %d", next.Epoch(), m.Epoch()+1)
+	}
+	for s := 0; s < m.NumShards(); s++ {
+		before, after := m.Owner(s), next.Owner(s)
+		if before.ID == removed {
+			if after.ID == removed {
+				t.Fatalf("shard %d still owned by removed node", s)
+			}
+			continue
+		}
+		if before.ID != after.ID {
+			t.Errorf("shard %d moved %q -> %q although its owner survived", s, before.ID, after.ID)
+		}
+	}
+}
+
+// TestMinimalMovementOnAdd: adding a node only steals shards, never
+// shuffles them between surviving owners.
+func TestMinimalMovementOnAdd(t *testing.T) {
+	m, err := NewMap(64, 0, nodes(3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.Add(Node{ID: "node9", Addr: "127.0.0.1:7999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for s := 0; s < m.NumShards(); s++ {
+		if next.Owner(s).ID == m.Owner(s).ID {
+			continue
+		}
+		if next.Owner(s).ID != "node9" {
+			t.Errorf("shard %d moved %q -> %q, not to the new node", s, m.Owner(s).ID, next.Owner(s).ID)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Error("new node stole no shards")
+	}
+}
+
+// TestShardOfStability pins the client→shard mapping: it must never
+// depend on the topology, or a shard could not move between nodes
+// without re-keying clients.
+func TestShardOfStability(t *testing.T) {
+	a, _ := NewMap(0, 0, nodes(2)...)
+	b, _ := NewMap(0, 0, nodes(5)...)
+	for _, id := range []string{"alice", "bob", "carol", "x", ""} {
+		if a.ShardOf(id) != b.ShardOf(id) {
+			t.Fatalf("shard of %q depends on topology", id)
+		}
+		if a.ShardOf(id) != ShardOfKey(id, DefaultNumShards) {
+			t.Fatalf("Map.ShardOf(%q) disagrees with ShardOfKey", id)
+		}
+	}
+}
+
+// TestErrors pins the constructor and membership error paths.
+func TestErrors(t *testing.T) {
+	if _, err := NewMap(0, 0); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := NewMap(0, 0, Node{ID: "a"}, Node{ID: "a"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := NewMap(0, 0, Node{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	m, _ := NewMap(0, 0, Node{ID: "a"})
+	if _, err := m.Remove("ghost"); err == nil {
+		t.Error("removing non-member accepted")
+	}
+	if _, err := m.Remove("a"); err == nil {
+		t.Error("removing the last node accepted")
+	}
+}
+
+// TestAddReplacesAddr: re-adding a member updates its address (a node
+// coming back on a new port) without disturbing unrelated shards.
+func TestAddReplacesAddr(t *testing.T) {
+	m, _ := NewMap(0, 0, nodes(3)...)
+	next, err := m.Add(Node{ID: "node1", Addr: "10.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Nodes()) != 3 {
+		t.Fatalf("re-adding a member changed the node count to %d", len(next.Nodes()))
+	}
+	for s := 0; s < m.NumShards(); s++ {
+		if m.Owner(s).ID != next.Owner(s).ID {
+			t.Errorf("shard %d moved on an address-only update", s)
+		}
+	}
+	for _, n := range next.Nodes() {
+		if n.ID == "node1" && n.Addr != "10.0.0.1:9" {
+			t.Errorf("node1 addr not updated: %q", n.Addr)
+		}
+	}
+}

@@ -19,7 +19,7 @@
 //	ca, _ := rbc.NewCA(store, &rbc.CPUBackend{Alg: rbc.SHA3}, &rbc.AESKeyGenerator{}, rbc.NewRA(), rbc.CAConfig{})
 //	ca.Enroll("alice", image)
 //
-//	client := &rbc.Client{ID: "alice", Device: dev}
+//	client := &rbc.PUFClient{ID: "alice", Device: dev}
 //	ch, _ := ca.BeginHandshake("alice")
 //	m1, _ := client.Respond(ch)
 //	result, _ := ca.Authenticate(ctx, rbc.AuthRequest{Client: "alice", Nonce: ch.Nonce, M1: m1})
@@ -133,6 +133,8 @@ import (
 	"rbcsalted/internal/obs"
 	"rbcsalted/internal/plan"
 	"rbcsalted/internal/puf"
+	"rbcsalted/internal/replica"
+	"rbcsalted/internal/ring"
 	"rbcsalted/internal/sched"
 	"rbcsalted/internal/u256"
 )
@@ -170,8 +172,10 @@ type (
 	QoSClass = core.QoSClass
 	// AuthResult is an authentication outcome.
 	AuthResult = core.AuthResult
-	// Client is the PUF-equipped device-side participant.
-	Client = core.Client
+	// PUFClient is the PUF-equipped device-side participant (the thing
+	// that answers challenges). The networked counterpart that carries
+	// a PUFClient's response to a CA over TCP is Client.
+	PUFClient = core.Client
 	// ImageStore is the CA's encrypted PUF-image database.
 	ImageStore = core.ImageStore
 	// Certificate is the CA-signed binding of a client to a session key.
@@ -580,7 +584,25 @@ type (
 	// latency, QoS class and absolute deadline — for
 	// AuthenticateWithOptions.
 	AuthOptions = netproto.AuthOptions
+	// Client is the routing-aware networked client: it owns connection
+	// management, shard routing over a RingMap, redirect following and
+	// retry across node restarts. Construct with Dial.
+	Client = netproto.Client
+	// ClientConfig configures Dial (bootstrap addresses and/or ring).
+	ClientConfig = netproto.ClientConfig
+	// ClientAuthRequest is one authentication through a Client: the
+	// device-side PUFClient plus optional QoS class and deadline.
+	ClientAuthRequest = netproto.AuthRequest
+	// Router decides, per hello, whether this server owns the client's
+	// shard or should redirect (Server.Router; see NewServer).
+	Router = netproto.Router
 )
+
+// Dial builds a routing-aware Client from bootstrap addresses and/or a
+// shard ring. Each Authenticate dials the owning node, follows
+// wrong-shard redirects, and retries transport failures against the
+// remaining candidates with backoff.
+var Dial = netproto.Dial
 
 // Wire status codes (the first byte of an error frame).
 const (
@@ -593,19 +615,93 @@ const (
 	StatusCancelled     = netproto.StatusCancelled
 	// StatusDeadlineInfeasible: the request's deadline could not be met.
 	StatusDeadlineInfeasible = netproto.StatusDeadlineInfeasible
+	// StatusWrongShard: this node does not own the client's shard; the
+	// message carries the owner's address. Client follows it
+	// transparently.
+	StatusWrongShard = netproto.StatusWrongShard
 )
 
 // PaperLatency reproduces the paper's 0.90 s communication constant.
 var PaperLatency = netproto.PaperLatency
 
 // Authenticate runs the full client side of the protocol over a
-// connection.
+// caller-owned connection.
+//
+// Deprecated: use Dial and Client.Authenticate, which own routing,
+// redirects and retry. This wrapper remains for single-node callers.
 var Authenticate = netproto.Authenticate
 
 // AuthenticateWithOptions is Authenticate with the request's QoS class
 // and deadline carried in the hello (the v3 wire layout; a default-QoS
 // hello stays v2-compatible).
+//
+// Deprecated: use Dial and Client.Authenticate.
 var AuthenticateWithOptions = netproto.AuthenticateWithOptions
+
+// Consistent-hash sharding (see DESIGN.md §15): client IDs map to a
+// fixed shard space, shards map to nodes through a virtual-node ring,
+// so topology changes move only the shards that must move.
+type (
+	// RingMap is an immutable shard-to-node assignment with a fencing
+	// epoch; Add/Remove derive new maps.
+	RingMap = ring.Map
+	// RingNode is one CA node in the ring (ID + client-facing address).
+	RingNode = ring.Node
+)
+
+// Sharding defaults.
+const (
+	// DefaultNumShards is the fixed shard-space size client IDs hash
+	// into; it is topology-independent, so it must agree across nodes.
+	DefaultNumShards = ring.DefaultNumShards
+	// DefaultVirtualNodes is the vnode count per node on the ring.
+	DefaultVirtualNodes = ring.DefaultVirtualNodes
+)
+
+var (
+	// NewRingMap builds a ring from nodes (0 counts take the defaults).
+	NewRingMap = ring.NewMap
+	// ShardOfKey maps a client ID to its shard.
+	ShardOfKey = ring.ShardOfKey
+)
+
+// Primary→follower WAL replication (see DESIGN.md §15): a follower
+// holds a replica of a primary's durable state and can be promoted on
+// failure, with epoch fencing against split-brain.
+type (
+	// ReplicaPrimary streams a durable State's WAL to subscribers.
+	ReplicaPrimary = replica.Primary
+	// ReplicaFollower subscribes to a primary and ingests its records.
+	ReplicaFollower = replica.Follower
+	// ReplicaFollowerConfig configures NewReplicaFollower.
+	ReplicaFollowerConfig = replica.FollowerConfig
+	// ReplicaFollowerStatus is one row of a primary's liveness table.
+	ReplicaFollowerStatus = replica.FollowerStatus
+	// ReplicaMeta is a node's persisted fencing epoch and replication
+	// cursor.
+	ReplicaMeta = replica.Meta
+)
+
+// PromoteNonceSlack is the challenge-nonce headroom a promotion adds so
+// the new primary never reissues a nonce the dead one handed out.
+const PromoteNonceSlack = replica.PromoteNonceSlack
+
+var (
+	// NewReplicaFollower builds a follower over a durable State.
+	NewReplicaFollower = replica.NewFollower
+	// LoadReplicaMeta reads a node's replication meta file (missing =
+	// zero value).
+	LoadReplicaMeta = replica.LoadMeta
+	// SaveReplicaMeta atomically persists a replication meta file.
+	SaveReplicaMeta = replica.SaveMeta
+	// ErrFenced: a higher fencing epoch exists; this primary stood down.
+	ErrFenced = replica.ErrFenced
+	// ErrStalePrimary: the follower outranks the primary it dialed.
+	ErrStalePrimary = replica.ErrStalePrimary
+	// ErrPromoted: the follower stopped following because it was
+	// promoted.
+	ErrPromoted = replica.ErrPromoted
+)
 
 // Observability: dependency-free metrics and per-search tracing for the
 // serving path (scheduler, backends, protocol server).

@@ -34,7 +34,7 @@ func TestPublicAPIProtocolRoundTrip(t *testing.T) {
 	if err := ca.Enroll("alice", image); err != nil {
 		t.Fatal(err)
 	}
-	client := &Client{ID: "alice", Device: dev}
+	client := &PUFClient{ID: "alice", Device: dev}
 	ch, err := ca.BeginHandshake("alice")
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +135,7 @@ func TestPublicAPINetworkedFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	res, err := Authenticate(conn, &Client{ID: "bob", Device: dev}, Latency{})
+	res, err := Authenticate(conn, &PUFClient{ID: "bob", Device: dev}, Latency{})
 	if err != nil {
 		t.Fatal(err)
 	}
