@@ -51,16 +51,18 @@ replica-race:
 	$(GO) test -race ./cmd/rbc-server -run 'TestRollingRestartDrill|TestKillPromoteFailover' -count=2
 
 # fuzz smokes the netproto frame/error-payload fuzzers, the WAL record
-# decoder, and the differential fuzzers for the wide batch kernels
-# (256-lane bit-sliced SHA-3 and 4-way multi-buffer SHA-1, each against
-# its scalar reference) for FUZZTIME each; -run='^$$' skips the unit
-# tests so only fuzzing runs.
+# decoder, the differential fuzzers for the wide batch kernels (256-lane
+# bit-sliced SHA-3 and 4-way multi-buffer SHA-1, each against its scalar
+# reference), and the sliced-domain delta engine (chained delta advances
+# against a fresh pack, across all four iterators) for FUZZTIME each;
+# -run='^$$' skips the unit tests so only fuzzing runs.
 fuzz:
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netproto -run='^$$' -fuzz=FuzzDecodeError -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/durable -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bitslice -run='^$$' -fuzz=FuzzSHA3Wide -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sha1 -run='^$$' -fuzz=FuzzSHA1Multi4 -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDeltaFill -fuzztime=$(FUZZTIME)
 
 # bench measures the host search hot path (scalar vs every batch
 # kernel, every alg x iteration method) and refreshes BENCH_host.json

@@ -17,6 +17,8 @@
 //	rbc-bench -experiment planner -json BENCH_planner.json
 //	                               # planner vs fixed backends: latency,
 //	                               # joules, SLO, d-crossovers
+//	rbc-bench -experiment hostthroughput -cpuprofile cpu.pprof
+//	                               # profile the run (go tool pprof)
 //
 // Run rbc-bench with an unknown -experiment to list the registered
 // experiment ids (the list is generated from the registry).
@@ -26,27 +28,69 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rbcsalted/internal/exper"
 	"rbcsalted/internal/plan"
 )
 
 func main() {
+	// All exit paths funnel through run's return code so the profile
+	// teardown defers always execute; os.Exit here would drop a partial
+	// CPU profile on the floor.
+	os.Exit(run())
+}
+
+func run() int {
 	experiment := flag.String("experiment", "", "experiment id to run (empty = all)")
 	trials := flag.Int("trials", 200, "stochastic trials for average-case rows (paper used 1200)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonPath := flag.String("json", "", "with -experiment hostthroughput or servelatency: also write the measurement to this file as JSON")
 	baseline := flag.String("baseline", "", "with -experiment hostthroughput: committed BENCH_host.json to gate against; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.15, "with -baseline: allowed fractional speedup-ratio drop before a point counts as regressed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbc-bench: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "rbc-bench: -cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rbc-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rbc-bench: -memprofile:", err)
+			}
+		}()
+	}
 
 	if *jsonPath != "" && *experiment != "hostthroughput" && *experiment != "servelatency" && *experiment != "planner" {
 		fmt.Fprintln(os.Stderr, "rbc-bench: -json is only supported with -experiment hostthroughput, servelatency or planner")
-		os.Exit(2)
+		return 2
 	}
 	if *baseline != "" && *experiment != "hostthroughput" {
 		fmt.Fprintln(os.Stderr, "rbc-bench: -baseline is only supported with -experiment hostthroughput")
-		os.Exit(2)
+		return 2
 	}
 	if *experiment == "servelatency" {
 		// Measure once, then render the table and (optionally) the JSON
@@ -60,7 +104,7 @@ func main() {
 		sb, err := exper.MeasureServeLatency(perClass)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *jsonPath != "" {
 			out, err := sb.JSON()
@@ -69,7 +113,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		tbl := sb.Table()
@@ -80,9 +124,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *experiment == "planner" {
 		// Measure once, then render the table and (optionally) the JSON
@@ -90,7 +134,7 @@ func main() {
 		pb, err := exper.MeasurePlanner(*trials, plan.PolicyBalanced)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *jsonPath != "" {
 			out, err := pb.JSON()
@@ -99,7 +143,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		tbl := pb.Table()
@@ -110,16 +154,16 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if violations := exper.PlannerBenchViolations(pb, exper.PlannerBenchTolerance); len(violations) > 0 {
 			fmt.Fprintf(os.Stderr, "rbc-bench: planner dominated in %d cell(s):\n", len(violations))
 			for _, v := range violations {
 				fmt.Fprintln(os.Stderr, "  "+v)
 			}
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *experiment == "hostthroughput" {
 		// Measure once, then render the table and (optionally) the JSON
@@ -132,7 +176,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		tbl := hb.Table()
@@ -144,30 +188,30 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *baseline != "" {
 			data, err := os.ReadFile(*baseline)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			bl, err := exper.ParseHostBench(data)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			if violations := exper.HostBenchViolations(hb, bl, *tolerance); len(violations) > 0 {
 				fmt.Fprintf(os.Stderr, "rbc-bench: %d regression(s) vs %s:\n", len(violations), *baseline)
 				for _, v := range violations {
 					fmt.Fprintln(os.Stderr, "  "+v)
 				}
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("baseline gate: all %d points hold %s within %.0f%%\n",
 				len(bl.Points), *baseline, *tolerance*100)
 		}
-		return
+		return 0
 	}
 
 	var tables []*exper.Table
@@ -177,7 +221,7 @@ func main() {
 		tbl, err := exper.ByID(*experiment, *trials)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		tables = []*exper.Table{tbl}
 	}
@@ -191,7 +235,8 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -47,10 +47,13 @@ type Engine struct {
 	// Scratch for the wide Keccak round: the ping-pong state plus the
 	// theta parity/mix lanes, ~71KB total. Kept on the Engine because Go
 	// cannot prove the assembly round overwrites them, so as locals they
-	// would be zeroed on every KeccakF256 call.
+	// would be zeroed on every KeccakF256 call. wideMsg is the
+	// permutation state of SHA3Msg256WideSliced, engine-resident for the
+	// same reason.
 	wideTmp KeccakState256
 	wideC   [5]Slice256
 	wideD   [5]Slice256
+	wideMsg KeccakState256
 }
 
 // Counts returns the gate operations executed since construction or the

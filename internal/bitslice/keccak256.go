@@ -208,14 +208,39 @@ func (e *Engine) SHA3Seeds256WideSliced(seeds *[Width256][32]byte) [4]Slice256 {
 // native integers feed them here directly, skipping a byte-serialization
 // round trip per candidate.
 func (e *Engine) SHA3Seeds256WideSlicedVals(vals *[4][Width256]uint64) [4]Slice256 {
-	var s KeccakState256
-	for lane := 0; lane < 4; lane++ {
-		s[lane] = Pack256(&vals[lane])
-	}
-	s[4] = Splat256(uint64(keccak.DomainSHA3))
-	s[16] = Splat256(0x80 << 56)
+	var msg [4]Slice256
+	PackSeedVals256(&msg, vals)
+	return e.SHA3Msg256WideSliced(&msg)
+}
 
-	e.KeccakF256(&s)
+// The constant (non-message) lanes of the wide seed-hashing state: the
+// SHA-3 domain/padding byte in lane 4 and the final padding bit closing
+// the rate in lane 16, splatted across all Width256 instances. Package
+// constants because they are identical for every compression — read-only
+// after init, safe to share across engines.
+var (
+	splatDomain256 = Splat256(uint64(keccak.DomainSHA3))
+	splatPad256    = Splat256(0x80 << 56)
+)
+
+// SHA3Msg256WideSliced runs the wide fixed-padding SHA3-256 compression
+// over message lanes already resident in sliced form, leaving msg
+// intact: this is the compression entry of the delta-advance path
+// (DESIGN.md §16), where msg persists across batches and is stepped by
+// DeltaFill instead of re-packed. The permutation state is engine
+// scratch (KeccakF256 destroys its input, so the resident lanes are
+// copied in and the constant lanes re-splatted each call — ~50KB of
+// writes, the same state build the pack-per-batch path paid, minus the
+// transposes).
+func (e *Engine) SHA3Msg256WideSliced(msg *[4]Slice256) [4]Slice256 {
+	s := &e.wideMsg
+	s[0], s[1], s[2], s[3] = msg[0], msg[1], msg[2], msg[3]
+	s[4] = splatDomain256
+	clear(s[5:16])
+	s[16] = splatPad256
+	clear(s[17:25])
+
+	e.KeccakF256(s)
 
 	return [4]Slice256{s[0], s[1], s[2], s[3]}
 }

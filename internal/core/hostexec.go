@@ -104,6 +104,11 @@ func SearchRangeHost(ctx context.Context, base u256.Uint256, d int, method iters
 				return
 			}
 			m := newMatcher()
+			if r, ok := m.(MatcherReleaser); ok {
+				// Pooled matchers go back to their pool when the worker
+				// is done with them.
+				defer r.ReleaseMatcher()
+			}
 
 			// poll checks the stop flag, ctx and deadline; it reports
 			// whether the worker should bail out.
@@ -147,11 +152,69 @@ func SearchRangeHost(ctx context.Context, base u256.Uint256, d int, method iters
 					width = MatchWidth
 				}
 				pollEvery := (checkEvery + width - 1) / width
+				hbm := loadHostBatchMetrics()
+				if dm, ok := bm.(DeltaBatchMatcher); ok && dm.DeltaCapable() {
+					// Sliced-domain delta hot loop (DESIGN.md §16): the
+					// batch stays resident in the matcher's wide bit-sliced
+					// layout across batches; the iterator hands over raw
+					// flip masks and each lane advances by its sparse mask
+					// delta. Candidates are only materialized (one 256-bit
+					// XOR) for recorded hits.
+					var masks [MatchWidth]u256.Uint256
+					sinceCheck := 0
+					for {
+						var t0 time.Time
+						if hbm != nil {
+							t0 = time.Now()
+						}
+						n := iterseq.FillMasks(mi, masks[:width])
+						if hbm != nil {
+							hbm.Fill.Observe(float64(time.Since(t0).Nanoseconds()))
+						}
+						if n == 0 {
+							break
+						}
+						if hits := dm.MatchDeltaBatch(base, &masks, n); hits.Any() {
+							if !exhaustive {
+								win := hits.FirstLane()
+								record(iterseq.ApplyMask(base, masks[win]))
+								local += uint64(win) + 1
+								stop.Store(true)
+								break
+							}
+							local += uint64(n)
+							for lane := hits.FirstLane(); lane >= 0; lane = hits.FirstLane() {
+								record(iterseq.ApplyMask(base, masks[lane]))
+								hits.ClearBit(lane)
+							}
+						} else {
+							local += uint64(n)
+						}
+						if n < width {
+							break // iterator exhausted mid-batch
+						}
+						sinceCheck++
+						if sinceCheck >= pollEvery {
+							sinceCheck = 0
+							if poll() {
+								break
+							}
+						}
+					}
+					break
+				}
 				var cands [MatchWidth]u256.Uint256
 				var scratch u256.Uint256
 				sinceCheck := 0
 				for {
+					var t0 time.Time
+					if hbm != nil {
+						t0 = time.Now()
+					}
 					n := iterseq.FillSeeds(mi, base, &scratch, cands[:width])
+					if hbm != nil {
+						hbm.Fill.Observe(float64(time.Since(t0).Nanoseconds()))
+					}
 					if n == 0 {
 						break
 					}

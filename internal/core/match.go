@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"math/bits"
+	"time"
 
 	"rbcsalted/internal/bitslice"
 	"rbcsalted/internal/keccak"
@@ -93,6 +94,32 @@ type BatchMatcher interface {
 	MatchBatch(cands *[MatchWidth]u256.Uint256, n int) MatchMask
 }
 
+// DeltaBatchMatcher is a BatchMatcher that can hold the candidate batch
+// resident in its internal bit-sliced layout across calls and advance it
+// by sparse XOR deltas of the candidates' flip masks, instead of
+// re-marshalling (transpose included) every batch. The host search
+// feeds it raw iterator masks (iterseq.FillMasks) rather than
+// materialized seeds; candidates are only reconstructed for recorded
+// hits. See DESIGN.md §16.
+type DeltaBatchMatcher interface {
+	BatchMatcher
+	// DeltaCapable reports whether the currently selected kernel wants
+	// the mask-form fill path. The host search checks it per worker and
+	// falls back to the materialized-candidate loop when false.
+	DeltaCapable() bool
+	// MatchDeltaBatch evaluates the candidates base^masks[i] for i < n
+	// and returns the per-lane match mask, with the same padding and
+	// trimming contract as MatchBatch. Consecutive calls must follow one
+	// iterator's mask sequence; the pad region masks[n:] may be
+	// overwritten. Callers must hold DeltaCapable() true.
+	MatchDeltaBatch(base u256.Uint256, masks *[MatchWidth]u256.Uint256, n int) MatchMask
+	// InvalidateDelta breaks the resident delta chain: the next
+	// MatchDeltaBatch packs from scratch. Required on iterator restarts
+	// and task switches, where a lane's previous mask no longer precedes
+	// its next one in any single iterator sequence.
+	InvalidateDelta()
+}
+
 // MatchFunc adapts a plain predicate to Matcher (scalar-only).
 type MatchFunc func(u256.Uint256) bool
 
@@ -163,11 +190,36 @@ type HashMatcher struct {
 	// Uint256 limbs (no byte serialization round trip).
 	seeds [MatchWidth][32]byte
 	vals  [4][MatchWidth]uint64
+
+	// Sliced-domain delta state (KernelSliced256Delta, DESIGN.md §16).
+	// deltaMsg holds the batch's four message lanes resident in flat
+	// sliced layout; deltaPrev remembers each lane's last flip mask so the
+	// next batch can advance it by the sparse XOR difference. deltaLive
+	// marks the chain coherent: it drops on Reset, InvalidateDelta and any
+	// repack MatchBatch (which reuses deltaMsg as scratch), forcing the
+	// next MatchDeltaBatch to pack from scratch.
+	deltaMsg  [4]bitslice.Slice256
+	deltaPrev [MatchWidth]u256.Uint256
+	deltaLive bool
 }
 
 // NewHashMatcher builds a HashMatcher for one (algorithm, target) pair.
 func NewHashMatcher(alg HashAlg, target Digest) *HashMatcher {
-	m := &HashMatcher{alg: alg, raw: target.b, Kernel: DefaultKernel(alg)}
+	m := &HashMatcher{}
+	m.Reset(alg, target)
+	return m
+}
+
+// Reset reconfigures the matcher for a new (algorithm, target) pair,
+// re-reads the calibration table and invalidates any resident sliced
+// candidate state. A delta chain is only meaningful within one search's
+// iterator sequence, so a matcher drawn from a reuse pool must never
+// carry it across a task switch; everything else on the matcher is
+// derived from (alg, target) or overwritten before use.
+func (m *HashMatcher) Reset(alg HashAlg, target Digest) {
+	m.alg = alg
+	m.raw = target.b
+	m.Kernel = DefaultKernel(alg)
 	m.quick = binary.BigEndian.Uint64(target.b[:8])
 	for w := range m.sha1T {
 		m.sha1T[w] = binary.BigEndian.Uint32(target.b[w*4:])
@@ -175,7 +227,7 @@ func NewHashMatcher(alg HashAlg, target Digest) *HashMatcher {
 	for l := range m.sha3T {
 		m.sha3T[l] = binary.LittleEndian.Uint64(target.b[l*8:])
 	}
-	return m
+	m.deltaLive = false
 }
 
 // HashMatcherFactory returns a MatcherFactory producing one HashMatcher
@@ -224,7 +276,8 @@ func (m *HashMatcher) Match(candidate u256.Uint256) bool {
 // interleave groups internally), which keeps early-exit polling and
 // covered accounting finer-grained at no amortization cost.
 func (m *HashMatcher) BatchWidth() int {
-	if m.Kernel == KernelSliced256 && m.alg == SHA3 {
+	if (m.Kernel == KernelSliced256 || m.Kernel == KernelSliced256Delta) &&
+		m.alg == SHA3 {
 		return bitslice.Width256
 	}
 	return bitslice.Width
@@ -252,24 +305,49 @@ func (m *HashMatcher) MatchBatch(cands *[MatchWidth]u256.Uint256, n int) MatchMa
 		}
 		return mask
 	}
+	if kernel == KernelSliced256Delta {
+		// The delta kernel's plain-candidate entry is the repack path:
+		// without the mask form there is no delta to apply, so the batch
+		// is evaluated exactly like KernelSliced256 — and any resident
+		// delta chain is invalidated, because the repack below reuses
+		// deltaMsg as its pack buffer.
+		kernel = KernelSliced256
+		m.deltaLive = false
+	}
+	hbm := loadHostBatchMetrics()
 
 	if kernel == KernelSliced256 && m.alg == SHA3 && n == MatchWidth {
 		// Wide path: feed the message lanes straight from the Uint256
 		// limbs. A seed's big-endian byte stream hashes as little-endian
 		// 64-bit lanes, so lane l of candidate i is limb 3-l byte-swapped.
+		var t0 time.Time
+		if hbm != nil {
+			t0 = time.Now()
+		}
 		for i := 0; i < MatchWidth; i++ {
 			m.vals[0][i] = bits.ReverseBytes64(cands[i].Limb(3))
 			m.vals[1][i] = bits.ReverseBytes64(cands[i].Limb(2))
 			m.vals[2][i] = bits.ReverseBytes64(cands[i].Limb(1))
 			m.vals[3][i] = bits.ReverseBytes64(cands[i].Limb(0))
 		}
-		lanes := m.eng.SHA3Seeds256WideSlicedVals(&m.vals)
+		bitslice.PackSeedVals256(&m.deltaMsg, &m.vals)
+		if hbm != nil {
+			hbm.Pack.Observe(float64(time.Since(t0).Nanoseconds()))
+		}
+		lanes := m.eng.SHA3Msg256WideSliced(&m.deltaMsg)
 		mask = MatchMask(bitslice.MatchSliced256(lanes[:], m.sha3T[:]))
 		return mask
 	}
 
+	var t0 time.Time
+	if hbm != nil {
+		t0 = time.Now()
+	}
 	for i := 0; i < n; i++ {
 		m.seeds[i] = cands[i].Bytes()
+	}
+	if hbm != nil {
+		hbm.Pack.Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 
 	// 64-candidate groups; the last group is padded with the final
@@ -296,6 +374,82 @@ func (m *HashMatcher) MatchBatch(cands *[MatchWidth]u256.Uint256, n int) MatchMa
 		}
 		mask[g] = gm
 	}
+	mask.Trim(n)
+	return mask
+}
+
+// DeltaCapable implements DeltaBatchMatcher: the mask-form fill path is
+// wanted exactly when the sliced-domain delta kernel is selected (and
+// implemented, i.e. SHA-3).
+func (m *HashMatcher) DeltaCapable() bool {
+	return m.Kernel == KernelSliced256Delta && m.alg == SHA3
+}
+
+// InvalidateDelta implements DeltaBatchMatcher.
+func (m *HashMatcher) InvalidateDelta() { m.deltaLive = false }
+
+// MatchDeltaBatch implements DeltaBatchMatcher: evaluate the candidates
+// base^masks[i] for i < n with the batch resident in sliced layout. The
+// first call of a chain packs the message lanes from scratch (limb
+// extraction plus four 64x64 bit transposes — the price KernelSliced256
+// pays every batch); each later call advances lane i by the XOR of its
+// consecutive masks, which for Hamming-distance-k masks is at most 2k
+// single-word XORs (bitslice.DeltaFill). Partial batches are padded in
+// place with masks[n-1] — the pad region of masks is overwritten — kept
+// in the chain like any other lane, and trimmed from the result, so
+// mid-batch winners and covered accounting agree lane-exactly with every
+// other engine.
+func (m *HashMatcher) MatchDeltaBatch(base u256.Uint256, masks *[MatchWidth]u256.Uint256, n int) MatchMask {
+	var mask MatchMask
+	if n <= 0 {
+		return mask
+	}
+	if n > MatchWidth {
+		n = MatchWidth
+	}
+	if !m.DeltaCapable() {
+		panic("core: MatchDeltaBatch on a non-delta kernel (check DeltaCapable)")
+	}
+	hbm := loadHostBatchMetrics()
+	var t0 time.Time
+	if hbm != nil {
+		t0 = time.Now()
+	}
+	for i := n; i < MatchWidth; i++ {
+		masks[i] = masks[n-1]
+	}
+	if !m.deltaLive {
+		// Prime the chain: materialize base^mask per lane and pack once.
+		for i := 0; i < MatchWidth; i++ {
+			cand := base.Xor(masks[i])
+			m.vals[0][i] = bits.ReverseBytes64(cand.Limb(3))
+			m.vals[1][i] = bits.ReverseBytes64(cand.Limb(2))
+			m.vals[2][i] = bits.ReverseBytes64(cand.Limb(1))
+			m.vals[3][i] = bits.ReverseBytes64(cand.Limb(0))
+		}
+		bitslice.PackSeedVals256(&m.deltaMsg, &m.vals)
+		m.deltaLive = true
+	} else {
+		// Advance: lane i moved from deltaPrev[i] to masks[i]; base
+		// cancels out of the XOR, so the seed-domain delta is just the
+		// mask difference.
+		for i := 0; i < MatchWidth; i++ {
+			prev := &m.deltaPrev[i]
+			d0 := masks[i].Limb(0) ^ prev.Limb(0)
+			d1 := masks[i].Limb(1) ^ prev.Limb(1)
+			d2 := masks[i].Limb(2) ^ prev.Limb(2)
+			d3 := masks[i].Limb(3) ^ prev.Limb(3)
+			if d0|d1|d2|d3 != 0 {
+				bitslice.DeltaFill(&m.deltaMsg, i, d0, d1, d2, d3)
+			}
+		}
+	}
+	copy(m.deltaPrev[:], masks[:])
+	if hbm != nil {
+		hbm.Pack.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
+	lanes := m.eng.SHA3Msg256WideSliced(&m.deltaMsg)
+	mask = MatchMask(bitslice.MatchSliced256(lanes[:], m.sha3T[:]))
 	mask.Trim(n)
 	return mask
 }

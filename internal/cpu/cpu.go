@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"rbcsalted/internal/combin"
@@ -33,6 +34,15 @@ type Backend struct {
 	// oracle of the equivalence tests and the baseline of the throughput
 	// benchmarks; leave it false in production.
 	ScalarMatch bool
+
+	// matchers recycles HashMatchers across this backend's searches: each
+	// carries ~180KB of kernel staging buffers plus the delta kernel's
+	// resident sliced candidate state, and a serving CA builds one per
+	// worker per search. Pool draws are Reset to the task's (alg, target)
+	// — which invalidates any resident state from the previous task — so
+	// reuse never leaks state across task switches. The zero value works;
+	// a Backend must not be copied after first use.
+	matchers sync.Pool
 }
 
 // Name implements core.Backend.
@@ -129,7 +139,7 @@ func (b *Backend) search(ctx context.Context, task core.Task) (core.Result, erro
 		deadline = start.Add(task.TimeLimit)
 	}
 
-	newMatcher := core.HashMatcherFactory(b.Alg, task.Target)
+	newMatcher := core.PooledHashMatcherFactory(&b.matchers, b.Alg, task.Target)
 	if b.ScalarMatch {
 		newMatcher = core.ScalarMatcher(newMatcher)
 	}

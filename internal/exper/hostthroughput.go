@@ -10,6 +10,7 @@ import (
 	"rbcsalted/internal/combin"
 	"rbcsalted/internal/core"
 	"rbcsalted/internal/iterseq"
+	"rbcsalted/internal/obs"
 	"rbcsalted/internal/u256"
 )
 
@@ -21,7 +22,13 @@ import (
 // 256-wide bit-sliced paths (and the multi-buffer SHA-1 path) each leave
 // their own trajectory and the bench-smoke gate can catch one of them
 // regressing behind another.
-const HostBenchSchema = "rbc-salted/host-bench/v2"
+//
+// v3: each kernel point additionally records the measured fill and pack
+// phase cost (ns/seed, from a dedicated instrumented pass) separately
+// from compression, so the marshalling overhead the sliced-domain delta
+// kernel eliminates is a tracked number rather than an inference from
+// end-to-end throughput.
+const HostBenchSchema = "rbc-salted/host-bench/v3"
 
 // HostBenchPoint is one (algorithm, iteration method, kernel) cell of
 // the host throughput measurement: the scalar one-seed-at-a-time engine
@@ -36,6 +43,15 @@ type HostBenchPoint struct {
 	ScalarSeedsPerSec  float64 `json:"scalar_seeds_per_sec"`
 	BatchedSeedsPerSec float64 `json:"batched_seeds_per_sec"`
 	Speedup            float64 `json:"speedup"`
+	// FillNsPerSeed and PackNsPerSeed split out the batched path's
+	// non-compression phases, measured in a separate instrumented pass
+	// (capturePhases): fill is the iterator drain (successor steps, and
+	// base XORs on the materializing path), pack is candidate
+	// marshalling into the kernel's layout (limb extraction and bit
+	// transposes on the repack kernels, sparse delta application on the
+	// sliced-domain delta kernel).
+	FillNsPerSeed float64 `json:"fill_ns_per_seed"`
+	PackNsPerSeed float64 `json:"pack_ns_per_seed"`
 }
 
 // HostBench is the full host-throughput measurement - the perf
@@ -93,9 +109,10 @@ func MeasureHostThroughput() HostBench {
 			sc, bt := measureRow(base, method, scalar, factories, hb.SeedsPerShell)
 			for i, k := range kernels {
 				w := bitsliceWidth
-				if k == core.KernelSliced256 {
+				if k == core.KernelSliced256 || k == core.KernelSliced256Delta {
 					w = bitsliceWidth256
 				}
+				fill, pack := capturePhases(base, method, factories[i], hb.SeedsPerShell)
 				hb.Points = append(hb.Points, HostBenchPoint{
 					Alg:                alg.String(),
 					Method:             method.String(),
@@ -104,6 +121,8 @@ func MeasureHostThroughput() HostBench {
 					ScalarSeedsPerSec:  sc,
 					BatchedSeedsPerSec: bt[i],
 					Speedup:            bt[i] / sc,
+					FillNsPerSeed:      fill,
+					PackNsPerSeed:      pack,
 				})
 			}
 		}
@@ -117,6 +136,30 @@ const (
 	bitsliceWidth    = 64
 	bitsliceWidth256 = 256
 )
+
+// capturePhases runs one exhaustive shell with the host batch-phase
+// histograms installed and returns the mean fill and pack cost in
+// nanoseconds per seed. It is a dedicated untimed pass, separate from
+// the timed windows: the windows interleave engines, so one shared
+// process-global histogram would mix their observations, and the
+// timestamp reads would perturb the throughput numbers they exist to
+// explain. The previously installed hooks are restored on return.
+func capturePhases(base u256.Uint256, method iterseq.Method, factory core.MatcherFactory, shellSeeds uint64) (fillNs, packNs float64) {
+	hbm := core.RegisterHostBatchMetrics(obs.NewRegistry())
+	prev := core.SetHostBatchMetrics(hbm)
+	defer core.SetHostBatchMetrics(prev)
+	_, _, covered, _, err := core.SearchShellHost(
+		context.Background(), base, hostBenchDistance, method, 1, 0,
+		true, time.Time{}, factory)
+	if err != nil {
+		panic(err)
+	}
+	if covered != shellSeeds {
+		panic(fmt.Sprintf("exper: phase capture covered %d of %d seeds", covered, shellSeeds))
+	}
+	s := float64(shellSeeds)
+	return hbm.Fill.Snapshot().Sum / s, hbm.Pack.Snapshot().Sum / s
+}
 
 // pinnedKernelFactory builds matchers locked to one batch kernel,
 // bypassing the calibration table: the bench must measure every kernel,
@@ -238,7 +281,7 @@ func (hb HostBench) Table() *Table {
 		ID:    "hostthroughput",
 		Title: fmt.Sprintf("Host search throughput, exhaustive d=%d shell (%d seeds), 1 worker", hb.Distance, hb.SeedsPerShell),
 		Headers: []string{
-			"Hash", "Iterator", "Kernel", "Width", "Scalar seeds/s", "Batched seeds/s", "Speedup",
+			"Hash", "Iterator", "Kernel", "Width", "Scalar seeds/s", "Batched seeds/s", "Speedup", "Fill ns/seed", "Pack ns/seed",
 		},
 	}
 	for _, p := range hb.Points {
@@ -248,10 +291,13 @@ func (hb HostBench) Table() *Table {
 			fmt.Sprintf("%.0f", p.ScalarSeedsPerSec),
 			fmt.Sprintf("%.0f", p.BatchedSeedsPerSec),
 			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.1f", p.FillNsPerSeed),
+			fmt.Sprintf("%.1f", p.PackNsPerSeed),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"each batch kernel is pinned and measured against the scalar quick-reject loop; the calibration table selects from these ratios at run time",
+		"fill/pack ns/seed are from a separate instrumented pass: fill = iterator drain, pack = marshalling into the kernel layout (delta application on the sliced-domain delta kernel)",
 		fmt.Sprintf("%s %s/%s, %d cores", hb.GoVersion, hb.GoOS, hb.GoArch, hb.NumCPU),
 	)
 	return t

@@ -170,6 +170,23 @@ func FillSeeds(mi MaskIter, base u256.Uint256, scratch *u256.Uint256, dst []u256
 	return n
 }
 
+// FillMasks drains up to len(dst) combination flip masks — not applied
+// to any base — from the iterator's mask fast path, returning how many
+// were produced; fewer than len(dst) means the sequence is exhausted.
+// This is the batch-wise form of NextMask the sliced-domain delta engine
+// consumes: it keeps the candidate batch resident in bit-sliced layout
+// and advances lane i between batches by the XOR of that lane's
+// consecutive masks (masks of equal popcount k differ in at most 2k
+// bits), so it wants the raw masks, not base-applied seeds. Masks are
+// written straight into dst; the steady state allocates nothing.
+func FillMasks(mi MaskIter, dst []u256.Uint256) int {
+	n := 0
+	for n < len(dst) && mi.NextMask(&dst[n]) {
+		n++
+	}
+	return n
+}
+
 // maskOf builds the flip mask for a combination. It requires every
 // position to be in [0, 256).
 func maskOf(c []int) u256.Uint256 {

@@ -65,6 +65,17 @@ var DefLatencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
 }
 
+// DefBatchNsBuckets is the histogram geometry for per-batch hot-path
+// phase timings in nanoseconds: roughly exponential from 250 ns to
+// 10 ms. A 256-candidate fill or pack phase runs single-digit
+// microseconds on the reference host; the wide range keeps the buckets
+// meaningful from one-cacheline delta advances up to contended
+// full-repack batches.
+var DefBatchNsBuckets = []float64{
+	250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 10_000_000,
+}
+
 // Histogram is a fixed-bucket histogram of float64 observations. Bounds
 // are inclusive upper bucket edges in ascending order; observations
 // above the last bound land in an overflow bucket. All methods are safe

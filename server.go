@@ -125,6 +125,11 @@ func (r *ringRouter) Route(clientID string, epoch uint64) (string, bool) {
 // durable data directory the close takes the shutdown snapshot.
 func NewServer(cfg ServerConfig) (*ServerNode, error) {
 	reg := obs.NewRegistry()
+	// Point the host hot path's batch-phase histograms (host_batch_fill_ns
+	// / host_batch_pack_ns) at this node's registry so the fill-vs-pack
+	// split shows up in /metrics. The hooks are process-global
+	// (last-writer-wins across embedded nodes, see SetHostBatchMetrics).
+	core.SetHostBatchMetrics(core.RegisterHostBatchMetrics(reg))
 	depth := cfg.TraceDepth
 	if depth <= 0 {
 		depth = 1024
